@@ -1,0 +1,271 @@
+// Package rlpm's root benchmarks regenerate every table and figure of the
+// paper's evaluation (see DESIGN.md §5 for the experiment index). Each
+// benchmark runs its experiment once per iteration in quick mode (so
+// `go test -bench=.` completes in reasonable time) and reports the
+// headline quantity as a custom metric; run cmd/pmbench for the
+// full-length numbers recorded in EXPERIMENTS.md.
+package rlpm_test
+
+import (
+	"testing"
+
+	"rlpm/internal/bench"
+)
+
+func quickOpts() bench.Options {
+	o := bench.DefaultOptions()
+	o.Quick = true
+	return o
+}
+
+// BenchmarkTable1EnergyPerQoS regenerates Table 1: energy per unit QoS of
+// the six baseline governors vs the RL policy across the seven scenarios.
+// Reported metric: average improvement (%) of the RL policy — the paper's
+// headline 31.66%.
+func BenchmarkTable1EnergyPerQoS(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		t, err := bench.RunTable1(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t.AvgImprovementPct
+	}
+	b.ReportMetric(last, "improvement-%")
+}
+
+// BenchmarkTable2DecisionLatency regenerates Table 2: software vs hardware
+// policy decision latency. Reported metrics: the decision speedup (paper:
+// 3.92×) and the loaded-system tail reduction (paper: up to 40×).
+func BenchmarkTable2DecisionLatency(b *testing.B) {
+	var t2 *bench.Table2
+	for i := 0; i < b.N; i++ {
+		t, err := bench.RunTable2(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		t2 = t
+	}
+	b.ReportMetric(t2.SpeedupDecision, "decision-x")
+	b.ReportMetric(t2.SpeedupTail, "tail-x")
+}
+
+// BenchmarkTable3Resources regenerates Table 3: FPGA resource and timing
+// estimates across accelerator sizings.
+func BenchmarkTable3Resources(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t, err := bench.RunTable3(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "sizings")
+}
+
+// BenchmarkFig2Convergence regenerates Fig. 2: the online-learning curve
+// on the gaming scenario. Reported metric: 1 if the policy improved from
+// the first to the last quarter of training.
+func BenchmarkFig2Convergence(b *testing.B) {
+	opt := quickOpts()
+	opt.Quick = false
+	opt.DurationS = 20
+	opt.TrainEpisodes = 16
+	converged := 0.0
+	for i := 0; i < b.N; i++ {
+		f, err := bench.RunFig2(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Converged() {
+			converged = 1
+		} else {
+			converged = 0
+		}
+	}
+	b.ReportMetric(converged, "converged")
+}
+
+// BenchmarkFig3EnergyQoSBars regenerates Fig. 3: per-scenario energy and
+// QoS for every governor.
+func BenchmarkFig3EnergyQoSBars(b *testing.B) {
+	var cells int
+	for i := 0; i < b.N; i++ {
+		f, err := bench.RunFig3(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(f.Scenarios) * len(f.Governors)
+	}
+	b.ReportMetric(float64(cells), "cells")
+}
+
+// BenchmarkFig4Trace regenerates Fig. 4: the OPP/power/QoS time series of
+// the RL policy vs ondemand over a gaming window.
+func BenchmarkFig4Trace(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		f, err := bench.RunFig4(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = f.RL.Len()
+	}
+	b.ReportMetric(float64(rows), "trace-rows")
+}
+
+// BenchmarkAblationStateBins regenerates ablation A1: state-space
+// granularity vs final energy per QoS.
+func BenchmarkAblationStateBins(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		a, err := bench.RunAblationStateBins(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(a.Rows)
+	}
+	b.ReportMetric(float64(rows), "configs")
+}
+
+// BenchmarkAblationPrecision regenerates ablation A2: Q-table precision
+// (float64 vs Q16.16 vs coarse) vs policy quality. Reported metric: the
+// relative deviation of the Q16.16 deployment from float64 (should be ~0).
+func BenchmarkAblationPrecision(b *testing.B) {
+	var dev float64
+	for i := 0; i < b.N; i++ {
+		a, err := bench.RunAblationPrecision(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sw, hw := a.Rows[0].EnergyPerQoS, a.Rows[1].EnergyPerQoS
+		dev = (hw - sw) / sw * 100
+	}
+	b.ReportMetric(dev, "q16-deviation-%")
+}
+
+// BenchmarkAblationLambda regenerates ablation A3: the violation-penalty
+// sweep on gaming.
+func BenchmarkAblationLambda(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		a, err := bench.RunAblationLambda(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(a.Rows)
+	}
+	b.ReportMetric(float64(rows), "lambdas")
+}
+
+// BenchmarkOracleStatic regenerates the oracle-static reference: the best
+// per-scenario fixed OPP pins vs the RL policy.
+func BenchmarkOracleStatic(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		o, err := bench.RunOracleStatic(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(o.Rows)
+	}
+	b.ReportMetric(float64(rows), "scenarios")
+}
+
+// BenchmarkAblationSwitchCost regenerates ablation A4: the DVFS
+// transition-cost sweep across governors.
+func BenchmarkAblationSwitchCost(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		a, err := bench.RunAblationSwitchCost(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(a.Rows)
+	}
+	b.ReportMetric(float64(rows), "sweep-points")
+}
+
+// BenchmarkAblationAlgorithm regenerates ablation A5: Q-learning vs SARSA
+// vs Double Q-learning at equal training budget.
+func BenchmarkAblationAlgorithm(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		a, err := bench.RunAblationAlgorithm(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(a.Rows)
+	}
+	b.ReportMetric(float64(rows), "algorithms")
+}
+
+// BenchmarkSymmetricChip regenerates the companion-paper symmetric-chip
+// evaluation. Reported metric: average improvement (%) of the RL policy.
+func BenchmarkSymmetricChip(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		s, err := bench.RunSymmetric(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp = s.AvgImprovePct
+	}
+	b.ReportMetric(imp, "improvement-%")
+}
+
+// BenchmarkBatteryLife regenerates the battery-life projection table.
+func BenchmarkBatteryLife(b *testing.B) {
+	var cells int
+	for i := 0; i < b.N; i++ {
+		l, err := bench.RunBatteryLife(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(l.Scenarios) * len(l.Governors)
+	}
+	b.ReportMetric(float64(cells), "cells")
+}
+
+// BenchmarkGPUDomain regenerates the three-domain (LITTLE+big+GPU chip)
+// evaluation. Reported metric: average improvement (%) of the RL policy.
+func BenchmarkGPUDomain(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		g, err := bench.RunGPUDomain(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp = g.AvgImprovePct
+	}
+	b.ReportMetric(imp, "improvement-%")
+}
+
+// BenchmarkAblationObsNoise regenerates ablation A6: the
+// utilization-sampling-noise sweep.
+func BenchmarkAblationObsNoise(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		a, err := bench.RunAblationObsNoise(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(a.Rows)
+	}
+	b.ReportMetric(float64(rows), "noise-points")
+}
+
+// BenchmarkTable1Seeds replicates Table 1 over 3 quick seeds and reports
+// the satisfaction-constrained improvement's confidence half-width.
+func BenchmarkTable1Seeds(b *testing.B) {
+	var ci float64
+	for i := 0; i < b.N; i++ {
+		s, err := bench.RunTable1Seeds(quickOpts(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ci = s.CIConstrained
+	}
+	b.ReportMetric(ci, "ci95-halfwidth")
+}

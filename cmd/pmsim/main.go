@@ -1,0 +1,119 @@
+// Command pmsim runs one scenario under one governor and prints the
+// energy/QoS digest — the smallest way to poke the system.
+//
+// Usage:
+//
+//	pmsim -scenario gaming -governor ondemand
+//	pmsim -scenario video -governor rl-policy -train 60
+//	pmsim -scenario camera -governor rl-policy-hw
+//	pmsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rlpm/internal/bus"
+	"rlpm/internal/core"
+	"rlpm/internal/governor"
+	"rlpm/internal/hwpolicy"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "gaming", "workload scenario")
+		govName  = flag.String("governor", "ondemand", "governor: six baselines, schedutil, rl-policy, rl-policy-hw")
+		duration = flag.Float64("duration", 120, "simulated seconds")
+		period   = flag.Float64("period", 0.05, "control period in seconds")
+		seed     = flag.Uint64("seed", 1, "scenario seed")
+		train    = flag.Int("train", 60, "RL training episodes before evaluation")
+		list     = flag.Bool("list", false, "list scenarios and governors")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("scenarios:", strings.Join(workload.Names(), ", "))
+		fmt.Println("governors:", strings.Join(append(governor.BaselineNames(), "schedutil", "rl-policy", "rl-policy-hw"), ", "))
+		return
+	}
+
+	if err := run(*scenario, *govName, *duration, *period, *seed, *train); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario, govName string, duration, period float64, seed uint64, train int) error {
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		return err
+	}
+	spec, err := workload.ByName(scenario)
+	if err != nil {
+		return err
+	}
+	scen, err := workload.New(spec, chip.NumClusters(), seed)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{PeriodS: period, DurationS: duration, Seed: seed}
+
+	gov, err := buildGovernor(govName, chip, scen, cfg, train)
+	if err != nil {
+		return err
+	}
+
+	res, err := sim.Run(chip, scen, gov, cfg)
+	if err != nil {
+		return err
+	}
+	s := res.QoS
+	fmt.Printf("scenario=%s governor=%s duration=%.0fs periods=%d\n", res.Scenario, res.Governor, duration, s.Periods)
+	fmt.Printf("  energy          %10.1f J\n", s.TotalEnergyJ)
+	fmt.Printf("  energy per QoS  %10.4f J/served-period\n", s.EnergyPerQoS)
+	fmt.Printf("  mean QoS        %10.4f (raw service %0.4f, min %0.4f)\n", s.MeanQoS, s.MeanService, s.MinQoS)
+	fmt.Printf("  violations      %10d of %d critical periods (%.2f%%)\n",
+		s.Violations, s.CriticalPeriods, 100*s.ViolationRate)
+	if hg, ok := gov.(*hwpolicy.Governor); ok {
+		n, mean, max := hg.LatencyStats()
+		fmt.Printf("  hw decisions    %10d, mean MMIO latency %v (max %v)\n", n, mean, max)
+	}
+	return nil
+}
+
+func buildGovernor(name string, chip *soc.Chip, scen workload.Scenario, cfg sim.Config, train int) (sim.Governor, error) {
+	switch name {
+	case "rl-policy":
+		p, err := core.NewPolicy(core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		if train > 0 {
+			if _, err := core.Train(chip, scen, p, cfg, train); err != nil {
+				return nil, err
+			}
+			p.SetLearning(false)
+		}
+		return p, nil
+	case "rl-policy-hw":
+		p, err := core.NewPolicy(core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		if train > 0 {
+			if _, err := core.Train(chip, scen, p, cfg, train); err != nil {
+				return nil, err
+			}
+			p.SetLearning(false)
+			return hwpolicy.FromPolicy(p, core.DefaultConfig(), bus.DefaultConfig(), hwpolicy.DefaultParams().Banks)
+		}
+		return hwpolicy.NewGovernor(core.DefaultConfig(), bus.DefaultConfig(), hwpolicy.DefaultParams().Banks)
+	default:
+		return governor.New(name)
+	}
+}

@@ -1,0 +1,108 @@
+// Command pmtrace runs a scenario under a governor and writes the
+// per-period time series (OPP levels, utilizations, power, QoS) as CSV —
+// the raw material for Fig. 4-style plots.
+//
+// Usage:
+//
+//	pmtrace -scenario gaming -governor rl-policy -o gaming_rl.csv
+//	pmtrace -scenario gaming -governor ondemand            # CSV to stdout
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rlpm/internal/core"
+	"rlpm/internal/governor"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/trace"
+	"rlpm/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "gaming", "workload scenario")
+		govName  = flag.String("governor", "ondemand", "governor name (see pmsim -list)")
+		duration = flag.Float64("duration", 30, "simulated seconds")
+		period   = flag.Float64("period", 0.05, "control period in seconds")
+		seed     = flag.Uint64("seed", 1, "scenario seed")
+		train    = flag.Int("train", 60, "RL training episodes before the traced run")
+		out      = flag.String("o", "", "output CSV path (default stdout)")
+		every    = flag.Int("every", 1, "keep every k-th sample")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+
+	if err := run(*scenario, *govName, *duration, *period, *seed, *train, *every, w); err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario, govName string, duration, period float64, seed uint64, train, every int, w io.Writer) error {
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		return err
+	}
+	spec, err := workload.ByName(scenario)
+	if err != nil {
+		return err
+	}
+	scen, err := workload.New(spec, chip.NumClusters(), seed)
+	if err != nil {
+		return err
+	}
+
+	var gov sim.Governor
+	if govName == "rl-policy" {
+		p, err := core.NewPolicy(core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if train > 0 {
+			trainCfg := sim.Config{PeriodS: period, DurationS: 120, Seed: seed}
+			if _, err := core.Train(chip, scen, p, trainCfg, train); err != nil {
+				return err
+			}
+			p.SetLearning(false)
+		}
+		gov = p
+	} else {
+		gov, err = governor.New(govName)
+		if err != nil {
+			return err
+		}
+	}
+
+	rec, err := trace.NewRecorder(sim.RecorderColumns(chip.NumClusters())...)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{PeriodS: period, DurationS: duration, Seed: seed, Recorder: rec}
+	if _, err := sim.Run(chip, scen, gov, cfg); err != nil {
+		return err
+	}
+	if every > 1 {
+		rec, err = rec.Downsample(every)
+		if err != nil {
+			return err
+		}
+	}
+	return rec.WriteCSV(w)
+}

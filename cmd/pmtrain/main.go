@@ -1,0 +1,115 @@
+// Command pmtrain trains the RL power-management policy on a scenario and
+// saves the learned Q-tables to disk; it can also evaluate a saved policy,
+// on the training scenario or any other.
+//
+// Usage:
+//
+//	pmtrain -scenario gaming -episodes 60 -o gaming.policy
+//	pmtrain -load gaming.policy -scenario gaming        # evaluate
+//	pmtrain -load gaming.policy -scenario video         # transfer test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rlpm/internal/core"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "gaming", "workload scenario")
+		episodes = flag.Int("episodes", 60, "training episodes")
+		duration = flag.Float64("duration", 120, "seconds per episode / evaluation")
+		period   = flag.Float64("period", 0.05, "control period in seconds")
+		seed     = flag.Uint64("seed", 1, "scenario seed")
+		out      = flag.String("o", "", "save the trained policy to this path")
+		load     = flag.String("load", "", "load a saved policy instead of training")
+	)
+	flag.Parse()
+
+	if err := run(*scenario, *episodes, *duration, *period, *seed, *out, *load); err != nil {
+		fmt.Fprintln(os.Stderr, "pmtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario string, episodes int, duration, period float64, seed uint64, out, load string) error {
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		return err
+	}
+	spec, err := workload.ByName(scenario)
+	if err != nil {
+		return err
+	}
+	scen, err := workload.New(spec, chip.NumClusters(), seed)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{PeriodS: period, DurationS: duration, Seed: seed}
+
+	policy, err := core.NewPolicy(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return err
+		}
+		snap, err := core.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		// One decision materializes the agents so the snapshot can land.
+		if _, err := sim.Run(chip, scen, policy, sim.Config{PeriodS: period, DurationS: period, Seed: seed}); err != nil {
+			return err
+		}
+		if err := policy.Restore(snap); err != nil {
+			return err
+		}
+		policy.SetLearning(false)
+		fmt.Printf("loaded policy from %s\n", load)
+	} else {
+		fmt.Printf("training on %s for %d episodes of %.0fs...\n", scenario, episodes, duration)
+		tr, err := core.Train(chip, scen, policy, cfg, episodes)
+		if err != nil {
+			return err
+		}
+		first, last := tr.EnergyPerQoS[0], tr.EnergyPerQoS[len(tr.EnergyPerQoS)-1]
+		fmt.Printf("energy/QoS: episode 1 = %.4f, episode %d = %.4f\n", first, episodes, last)
+		policy.SetLearning(false)
+	}
+
+	res, err := sim.Run(chip, scen, policy, cfg)
+	if err != nil {
+		return err
+	}
+	s := res.QoS
+	fmt.Printf("evaluation on %s: energy/QoS=%.4f meanQoS=%.4f violations=%.2f%% energy=%.1fJ\n",
+		scenario, s.EnergyPerQoS, s.MeanQoS, 100*s.ViolationRate, s.TotalEnergyJ)
+
+	if out != "" {
+		snap, err := policy.Snapshot()
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := snap.Encode(f); err != nil {
+			return err
+		}
+		fmt.Printf("saved policy to %s\n", out)
+	}
+	return nil
+}

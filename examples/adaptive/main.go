@@ -1,0 +1,107 @@
+// Adaptive: the paper's key robustness claim — the policy "can flexibly
+// manage the system power regardless of the application scenario". Train
+// the policy on one scenario, then confront it with a different one and
+// let online learning adapt; compare against a policy trained natively on
+// the target and against ondemand.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlpm/internal/core"
+	"rlpm/internal/governor"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+func main() {
+	cfg := sim.Config{PeriodS: 0.05, DurationS: 60, Seed: 5}
+
+	// Train on browsing.
+	source := mustScenario("browsing")
+	policy, err := core.NewPolicy(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training on browsing...")
+	trainCfg := cfg
+	trainCfg.DurationS = 120
+	if _, err := core.Train(mustChip(), source, policy, trainCfg, 120); err != nil {
+		log.Fatal(err)
+	}
+
+	// Confront with gaming, still learning online (the deployment mode in
+	// the paper: the policy keeps adapting to system variations).
+	target := mustScenario("gaming")
+	fmt.Println("switching to gaming with online learning and a fresh exploration boost...")
+	policy.BoostExploration(0.15)
+	adaptCfg := cfg
+	adaptCfg.DurationS = 120
+	adaptation, err := core.Train(mustChip(), target, policy, adaptCfg, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%8s %14s %10s\n", "episode", "energy/QoS", "violRate")
+	for i := range adaptation.EnergyPerQoS {
+		fmt.Printf("%8d %14.4f %10.4f\n", i+1, adaptation.EnergyPerQoS[i], adaptation.ViolationRate[i])
+	}
+
+	policy.SetLearning(false)
+	transferred := mustRun(policy, target, cfg)
+
+	// References: natively trained policy, and ondemand.
+	native, err := core.NewPolicy(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	nativeCfg := cfg
+	nativeCfg.DurationS = 120
+	if _, err := core.Train(mustChip(), target, native, nativeCfg, 120); err != nil {
+		log.Fatal(err)
+	}
+	native.SetLearning(false)
+	nativeRes := mustRun(native, target, cfg)
+
+	od, err := governor.New("ondemand")
+	if err != nil {
+		log.Fatal(err)
+	}
+	odRes := mustRun(od, target, cfg)
+
+	fmt.Printf("\ngaming evaluation:\n%-26s %14s %12s\n", "policy", "energy/QoS", "violations")
+	fmt.Printf("%-26s %14.4f %11.2f%%\n", "transferred + adapted", transferred.QoS.EnergyPerQoS, 100*transferred.QoS.ViolationRate)
+	fmt.Printf("%-26s %14.4f %11.2f%%\n", "natively trained", nativeRes.QoS.EnergyPerQoS, 100*nativeRes.QoS.ViolationRate)
+	fmt.Printf("%-26s %14.4f %11.2f%%\n", "ondemand", odRes.QoS.EnergyPerQoS, 100*odRes.QoS.ViolationRate)
+}
+
+func mustChip() *soc.Chip {
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return chip
+}
+
+func mustScenario(name string) workload.Scenario {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scen, err := workload.New(spec, 2, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return scen
+}
+
+func mustRun(g sim.Governor, scen workload.Scenario, cfg sim.Config) sim.Result {
+	res, err := sim.Run(mustChip(), scen, g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

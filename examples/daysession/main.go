@@ -1,0 +1,82 @@
+// Daysession: a compressed day of phone use — idle, browsing, video,
+// gaming, camera, navigation — played back to back as one composite
+// scenario. The policy learns online across the whole session (no
+// per-scenario training), which is the deployment reality: one table must
+// serve whatever the user does next.
+//
+//	go run ./examples/daysession
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlpm/internal/battery"
+	"rlpm/internal/core"
+	"rlpm/internal/governor"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+func main() {
+	cfg := sim.Config{PeriodS: 0.05, DurationS: 140, Seed: 13}
+
+	// Baselines on the session.
+	fmt.Printf("%-13s %14s %10s %12s %14s\n", "governor", "energy/QoS", "meanQoS", "violations", "battery@3W-equiv")
+	for _, name := range []string{"performance", "ondemand", "interactive"} {
+		g, err := governor.New(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(run(g, cfg), cfg)
+	}
+
+	// The RL policy learns online across the whole session: several loops
+	// of the day warm the single shared table.
+	policy, err := core.NewPolicy(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip := mustChip()
+	scen := mustSession()
+	if _, err := core.Train(chip, scen, policy, cfg, 120); err != nil {
+		log.Fatal(err)
+	}
+	policy.SetLearning(false)
+	report(run(policy, cfg), cfg)
+}
+
+func mustChip() *soc.Chip {
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return chip
+}
+
+func mustSession() workload.Scenario {
+	s, err := workload.DaySession(2, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func run(g sim.Governor, cfg sim.Config) sim.Result {
+	res, err := sim.Run(mustChip(), mustSession(), g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func report(r sim.Result, cfg sim.Config) {
+	meanPower := r.QoS.TotalEnergyJ / cfg.DurationS
+	hours, err := battery.LifeHours(battery.DefaultSpec(), meanPower)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-13s %14.4f %10.4f %11.2f%% %13.1fh\n",
+		r.Governor, r.QoS.EnergyPerQoS, r.QoS.MeanQoS, 100*r.QoS.ViolationRate, hours)
+}

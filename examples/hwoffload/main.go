@@ -1,0 +1,91 @@
+// Hwoffload: the paper's deployment flow. Train the policy in software,
+// upload the Q-table into the modeled FPGA accelerator over the MMIO
+// interface, run the whole control loop with decisions made in hardware,
+// and report the decision-latency comparison and FPGA resource estimate.
+//
+//	go run ./examples/hwoffload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlpm/internal/bus"
+	"rlpm/internal/core"
+	"rlpm/internal/hwpolicy"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+func main() {
+	cfg := sim.Config{PeriodS: 0.05, DurationS: 60, Seed: 3}
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := workload.ByName("camera")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scen, err := workload.New(spec, chip.NumClusters(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Train in software.
+	coreCfg := core.DefaultConfig()
+	policy, err := core.NewPolicy(coreCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training software policy on the camera scenario...")
+	trainCfg := cfg
+	trainCfg.DurationS = 120
+	if _, err := core.Train(chip, scen, policy, trainCfg, 120); err != nil {
+		log.Fatal(err)
+	}
+	policy.SetLearning(false)
+	swRes, err := sim.Run(chip, scen, policy, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Deploy: quantize the Q-tables to Q16.16 and upload them through
+	// the AXI-Lite register file into the accelerator's BRAM.
+	hw, err := hwpolicy.FromPolicy(policy, coreCfg, bus.DefaultConfig(), hwpolicy.DefaultParams().Banks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hwRes, err := sim.Run(chip, scen, hw, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %14s %10s %12s\n", "implementation", "energy/QoS", "meanQoS", "violations")
+	fmt.Printf("%-22s %14.4f %10.4f %11.2f%%\n", "software (float64)",
+		swRes.QoS.EnergyPerQoS, swRes.QoS.MeanQoS, 100*swRes.QoS.ViolationRate)
+	fmt.Printf("%-22s %14.4f %10.4f %11.2f%%\n", "hardware (Q16.16)",
+		hwRes.QoS.EnergyPerQoS, hwRes.QoS.MeanQoS, 100*hwRes.QoS.ViolationRate)
+
+	// 3. Decision latency: software model vs measured MMIO transactions.
+	n, mean, max := hw.LatencyStats()
+	fmt.Printf("\nhardware decisions: %d MMIO transactions, mean %v, max %v\n", n, mean, max)
+
+	drv := hw.Drivers()[0]
+	cmp, err := hwpolicy.Compare(hwpolicy.DefaultSWLatency(), drv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("software decision kernel: %v  -> hardware transaction: %v  (%.2fx faster)\n",
+		cmp.SWDecision, cmp.HWTotal, cmp.SpeedupDecision)
+	fmt.Printf("software incl. invocation path: %v  (%.1fx reduction; tail %.1fx)\n",
+		cmp.SWTotal, cmp.SpeedupTotal, cmp.SpeedupTail)
+
+	// 4. What the accelerator costs on the FPGA.
+	res, err := hwpolicy.EstimateResources(drv.Accel().Params())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFPGA cost per cluster accelerator: %v\n", res)
+}

@@ -1,0 +1,75 @@
+// Quickstart: simulate a mobile MPSoC running a gaming workload under the
+// Linux ondemand governor and under the RL power-management policy, and
+// compare energy per unit QoS.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlpm/internal/core"
+	"rlpm/internal/governor"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+func main() {
+	// 1. Build the default big.LITTLE chip model.
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Pick a workload scenario (deterministic for a given seed).
+	spec, err := workload.ByName("gaming")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scen, err := workload.New(spec, chip.NumClusters(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.Config{PeriodS: 0.05, DurationS: 60, Seed: 1}
+
+	// 3. Baseline: the Linux ondemand governor.
+	od, err := governor.New("ondemand")
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := sim.Run(chip, scen, od, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The RL policy: train online for a few episodes, then freeze and
+	// evaluate.
+	policy, err := core.NewPolicy(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainCfg := cfg
+	trainCfg.DurationS = 120 // longer episodes converge the table
+	if _, err := core.Train(chip, scen, policy, trainCfg, 120); err != nil {
+		log.Fatal(err)
+	}
+	policy.SetLearning(false)
+	rl, err := sim.Run(chip, scen, policy, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Compare.
+	fmt.Printf("%-12s %14s %10s %10s\n", "governor", "energy/QoS", "energy(J)", "violations")
+	for _, r := range []sim.Result{baseline, rl} {
+		fmt.Printf("%-12s %14.4f %10.1f %9.2f%%\n",
+			r.Governor, r.QoS.EnergyPerQoS, r.QoS.TotalEnergyJ, 100*r.QoS.ViolationRate)
+	}
+	imp := 100 * (baseline.QoS.EnergyPerQoS - rl.QoS.EnergyPerQoS) / baseline.QoS.EnergyPerQoS
+	fmt.Printf("\nRL policy uses %.1f%% less energy per unit QoS than ondemand\n", imp)
+	fmt.Printf("while dropping %.1fx fewer critical frames.\n",
+		baseline.QoS.ViolationRate/rl.QoS.ViolationRate)
+}

@@ -1,0 +1,115 @@
+// Videostream: a QoS-sensitive video playback session. Shows how the RL
+// policy finds the "just enough" operating points for a steady periodic
+// workload, compared against the full baseline governor set, and prints
+// the per-phase OPP residency the policy learned.
+//
+//	go run ./examples/videostream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rlpm/internal/core"
+	"rlpm/internal/governor"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/trace"
+	"rlpm/internal/workload"
+)
+
+func main() {
+	cfg := sim.Config{PeriodS: 0.05, DurationS: 90, Seed: 7}
+
+	fmt.Println("video playback, 90 s, all governors:")
+	fmt.Printf("%-13s %14s %10s %12s\n", "governor", "energy/QoS", "meanQoS", "violations")
+
+	for _, name := range append(governor.BaselineNames(), "schedutil") {
+		g, err := governor.New(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := mustRun(g, cfg)
+		printRow(res)
+	}
+
+	// Train and evaluate the RL policy.
+	chip := mustChip()
+	scen := mustScenario(chip)
+	policy, err := core.NewPolicy(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainCfg := cfg
+	trainCfg.DurationS = 120
+	if _, err := core.Train(chip, scen, policy, trainCfg, 120); err != nil {
+		log.Fatal(err)
+	}
+	policy.SetLearning(false)
+	res := mustRun(policy, cfg)
+	printRow(res)
+
+	// Show where the learned policy spends its time: OPP residency.
+	rec, err := trace.NewRecorder(sim.RecorderColumns(chip.NumClusters())...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	traceCfg := cfg
+	traceCfg.Recorder = rec
+	if _, err := sim.Run(chip, scen, policy, traceCfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlearned OPP residency (fraction of periods at each level):")
+	for c := 0; c < chip.NumClusters(); c++ {
+		series, err := rec.Series(fmt.Sprintf("level%d", c))
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := make([]int, chip.Cluster(c).NumLevels())
+		for _, v := range series {
+			counts[int(v)]++
+		}
+		fmt.Printf("  %-7s", chip.Cluster(c).Spec().Name)
+		for lvl, n := range counts {
+			frac := float64(n) / float64(len(series))
+			if frac >= 0.005 {
+				fmt.Printf(" L%d(%.0f MHz):%4.1f%%", lvl, chip.Cluster(c).OPPAt(lvl).FreqHz/1e6, 100*frac)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func mustChip() *soc.Chip {
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return chip
+}
+
+func mustScenario(chip *soc.Chip) workload.Scenario {
+	spec, err := workload.ByName("video")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scen, err := workload.New(spec, chip.NumClusters(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return scen
+}
+
+func mustRun(g sim.Governor, cfg sim.Config) sim.Result {
+	chip := mustChip()
+	res, err := sim.Run(chip, mustScenario(chip), g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func printRow(r sim.Result) {
+	fmt.Printf("%-13s %14.4f %10.4f %11.2f%%\n",
+		r.Governor, r.QoS.EnergyPerQoS, r.QoS.MeanQoS, 100*r.QoS.ViolationRate)
+}

@@ -1,0 +1,3 @@
+module rlpm
+
+go 1.22

@@ -1,0 +1,152 @@
+// Package battery models the mobile device's energy source, turning the
+// simulator's joule counts into the quantity a user experiences: hours of
+// battery life.
+//
+// The model is a coulomb-counting cell with internal resistance: drawing
+// power P at terminal voltage V forces current I = P/V through the cell's
+// internal resistance R, dissipating an extra I²R — so heavy draws drain
+// the battery disproportionately, the effect that makes sustained
+// performance-governor gaming so costly on real devices. Terminal voltage
+// sags linearly with depth of discharge between the full and empty knees.
+package battery
+
+import (
+	"fmt"
+	"time"
+)
+
+// Spec describes a cell.
+type Spec struct {
+	// CapacityWh is the nominal energy capacity (a 4000 mAh cell at a
+	// 3.85 V nominal is 15.4 Wh).
+	CapacityWh float64
+	// FullV and EmptyV are the open-circuit voltages at 100% and 0%
+	// state of charge.
+	FullV  float64
+	EmptyV float64
+	// InternalOhm is the cell's internal resistance.
+	InternalOhm float64
+}
+
+// DefaultSpec returns a typical modern phone cell: 4000 mAh, 4.35→3.40 V,
+// 120 mΩ.
+func DefaultSpec() Spec {
+	return Spec{CapacityWh: 15.4, FullV: 4.35, EmptyV: 3.40, InternalOhm: 0.120}
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.CapacityWh <= 0 {
+		return fmt.Errorf("battery: capacity must be positive, got %v Wh", s.CapacityWh)
+	}
+	if s.FullV <= s.EmptyV || s.EmptyV <= 0 {
+		return fmt.Errorf("battery: voltage knees must satisfy 0 < empty < full, got %v..%v", s.EmptyV, s.FullV)
+	}
+	if s.InternalOhm < 0 {
+		return fmt.Errorf("battery: negative internal resistance")
+	}
+	return nil
+}
+
+// Battery is a discharging cell. Create with New.
+type Battery struct {
+	spec       Spec
+	capacityJ  float64
+	remainingJ float64
+	lossJ      float64 // cumulative I²R dissipation
+	drawnJ     float64 // cumulative load energy delivered
+}
+
+// New returns a fully charged battery.
+func New(spec Spec) (*Battery, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	capJ := spec.CapacityWh * 3600
+	return &Battery{spec: spec, capacityJ: capJ, remainingJ: capJ}, nil
+}
+
+// SoC returns the state of charge in [0,1].
+func (b *Battery) SoC() float64 { return b.remainingJ / b.capacityJ }
+
+// RemainingJ returns the remaining stored energy in joules.
+func (b *Battery) RemainingJ() float64 { return b.remainingJ }
+
+// LossJ returns the cumulative internal-resistance dissipation.
+func (b *Battery) LossJ() float64 { return b.lossJ }
+
+// DeliveredJ returns the cumulative energy delivered to the load.
+func (b *Battery) DeliveredJ() float64 { return b.drawnJ }
+
+// Voltage returns the current open-circuit terminal voltage (linear sag
+// with depth of discharge).
+func (b *Battery) Voltage() float64 {
+	return b.spec.EmptyV + (b.spec.FullV-b.spec.EmptyV)*b.SoC()
+}
+
+// Empty reports whether the battery is exhausted.
+func (b *Battery) Empty() bool { return b.remainingJ <= 0 }
+
+// Draw discharges the battery by a load of powerW for dtS seconds,
+// including the internal-resistance loss. It returns the energy actually
+// removed from the cell. Drawing from an empty battery is an error; a
+// draw that crosses empty is truncated at empty.
+func (b *Battery) Draw(powerW, dtS float64) (float64, error) {
+	if powerW < 0 || dtS <= 0 {
+		return 0, fmt.Errorf("battery: invalid draw %v W for %v s", powerW, dtS)
+	}
+	if b.Empty() {
+		return 0, fmt.Errorf("battery: empty")
+	}
+	v := b.Voltage()
+	i := powerW / v
+	loss := i * i * b.spec.InternalOhm
+	total := (powerW + loss) * dtS
+	if total > b.remainingJ {
+		// Truncate the final draw at empty, attributing loss pro rata.
+		frac := b.remainingJ / total
+		b.drawnJ += powerW * dtS * frac
+		b.lossJ += loss * dtS * frac
+		removed := b.remainingJ
+		b.remainingJ = 0
+		return removed, nil
+	}
+	b.remainingJ -= total
+	b.drawnJ += powerW * dtS
+	b.lossJ += loss * dtS
+	return total, nil
+}
+
+// Runtime estimates how long the remaining charge lasts at a constant
+// load of powerW (including resistance loss at the current voltage).
+func (b *Battery) Runtime(powerW float64) (time.Duration, error) {
+	if powerW <= 0 {
+		return 0, fmt.Errorf("battery: runtime needs positive power, got %v", powerW)
+	}
+	v := b.Voltage()
+	i := powerW / v
+	total := powerW + i*i*b.spec.InternalOhm
+	seconds := b.remainingJ / total
+	return time.Duration(seconds * float64(time.Second)), nil
+}
+
+// LifeHours is a convenience: full-capacity life at a constant average
+// power for the given cell spec.
+func LifeHours(spec Spec, avgPowerW float64) (float64, error) {
+	b, err := New(spec)
+	if err != nil {
+		return 0, err
+	}
+	d, err := b.Runtime(avgPowerW)
+	if err != nil {
+		return 0, err
+	}
+	return d.Hours(), nil
+}
+
+// Reset restores full charge.
+func (b *Battery) Reset() {
+	b.remainingJ = b.capacityJ
+	b.lossJ = 0
+	b.drawnJ = 0
+}

@@ -1,0 +1,220 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newBattery(t *testing.T) *Battery {
+	t.Helper()
+	b, err := New(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{CapacityWh: 0, FullV: 4.3, EmptyV: 3.4, InternalOhm: 0.1},
+		{CapacityWh: 15, FullV: 3.4, EmptyV: 3.4, InternalOhm: 0.1},
+		{CapacityWh: 15, FullV: 4.3, EmptyV: 0, InternalOhm: 0.1},
+		{CapacityWh: 15, FullV: 4.3, EmptyV: 3.4, InternalOhm: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestFreshBatteryState(t *testing.T) {
+	b := newBattery(t)
+	if b.SoC() != 1 {
+		t.Fatalf("SoC = %v", b.SoC())
+	}
+	if b.Voltage() != DefaultSpec().FullV {
+		t.Fatalf("Voltage = %v", b.Voltage())
+	}
+	if b.Empty() {
+		t.Fatal("fresh battery empty")
+	}
+	wantJ := DefaultSpec().CapacityWh * 3600
+	if b.RemainingJ() != wantJ {
+		t.Fatalf("RemainingJ = %v, want %v", b.RemainingJ(), wantJ)
+	}
+}
+
+func TestDrawAccounting(t *testing.T) {
+	b := newBattery(t)
+	removed, err := b.Draw(2, 3600) // 2 W for an hour
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removed = load + I²R loss; both tracked.
+	if removed <= 2*3600 {
+		t.Fatalf("removed %v should exceed pure load energy", removed)
+	}
+	if got := b.DeliveredJ(); got != 2*3600 {
+		t.Fatalf("DeliveredJ = %v", got)
+	}
+	if b.LossJ() <= 0 {
+		t.Fatal("no resistance loss recorded")
+	}
+	if math.Abs(removed-(b.DeliveredJ()+b.LossJ())) > 1e-9 {
+		t.Fatal("energy conservation violated")
+	}
+}
+
+func TestDrawValidation(t *testing.T) {
+	b := newBattery(t)
+	if _, err := b.Draw(-1, 1); err == nil {
+		t.Fatal("negative power accepted")
+	}
+	if _, err := b.Draw(1, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestVoltageSags(t *testing.T) {
+	b := newBattery(t)
+	v0 := b.Voltage()
+	if _, err := b.Draw(5, 3600); err != nil {
+		t.Fatal(err)
+	}
+	if b.Voltage() >= v0 {
+		t.Fatalf("voltage did not sag: %v -> %v", v0, b.Voltage())
+	}
+}
+
+func TestHighDrawIsLessEfficient(t *testing.T) {
+	// Delivering the same load energy at 8 W must burn more total cell
+	// energy than at 1 W (I²R scaling) — the race-to-idle caveat.
+	lo := newBattery(t)
+	hi := newBattery(t)
+	if _, err := lo.Draw(1, 8000); err != nil { // 8000 J load
+		t.Fatal(err)
+	}
+	if _, err := hi.Draw(8, 1000); err != nil { // 8000 J load
+		t.Fatal(err)
+	}
+	if hi.LossJ() <= lo.LossJ() {
+		t.Fatalf("high draw loss %v <= low draw loss %v", hi.LossJ(), lo.LossJ())
+	}
+	if hi.RemainingJ() >= lo.RemainingJ() {
+		t.Fatal("high draw left more charge for the same delivered energy")
+	}
+}
+
+func TestDrainToEmpty(t *testing.T) {
+	spec := DefaultSpec()
+	spec.CapacityWh = 0.001 // 3.6 J
+	b, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := b.Draw(100, 10) // far more than capacity
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(removed-3.6) > 1e-9 {
+		t.Fatalf("final draw removed %v, want 3.6", removed)
+	}
+	if !b.Empty() || b.SoC() != 0 {
+		t.Fatalf("battery not empty: SoC=%v", b.SoC())
+	}
+	if _, err := b.Draw(1, 1); err == nil {
+		t.Fatal("draw from empty accepted")
+	}
+}
+
+func TestRuntime(t *testing.T) {
+	b := newBattery(t)
+	d, err := b.Runtime(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15.4 Wh at ~2 W (plus small loss) ≈ 7.5 h.
+	if d.Hours() < 7 || d.Hours() > 7.8 {
+		t.Fatalf("runtime at 2W = %v h", d.Hours())
+	}
+	if _, err := b.Runtime(0); err == nil {
+		t.Fatal("zero power accepted")
+	}
+}
+
+func TestLifeHours(t *testing.T) {
+	h, err := LifeHours(DefaultSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 4.5 || h > 5.2 {
+		t.Fatalf("LifeHours(3W) = %v", h)
+	}
+	if _, err := LifeHours(Spec{}, 3); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := LifeHours(DefaultSpec(), 0); err == nil {
+		t.Fatal("zero power accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := newBattery(t)
+	_, _ = b.Draw(5, 3600)
+	b.Reset()
+	if b.SoC() != 1 || b.LossJ() != 0 || b.DeliveredJ() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+// Property: SoC is monotone non-increasing under draws and always in [0,1].
+func TestSoCMonotoneProperty(t *testing.T) {
+	f := func(draws []uint16) bool {
+		b, _ := New(DefaultSpec())
+		prev := b.SoC()
+		for _, d := range draws {
+			p := float64(d%100) / 10 // 0..9.9 W
+			if p == 0 {
+				continue
+			}
+			if _, err := b.Draw(p, 60); err != nil {
+				return b.Empty() // only acceptable failure is empty
+			}
+			s := b.SoC()
+			if s > prev || s < 0 || s > 1 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total removed energy equals delivered + loss.
+func TestConservationProperty(t *testing.T) {
+	f := func(draws []uint8) bool {
+		b, _ := New(DefaultSpec())
+		var removed float64
+		for _, d := range draws {
+			p := float64(d%50)/10 + 0.1
+			r, err := b.Draw(p, 30)
+			if err != nil {
+				return b.Empty()
+			}
+			removed += r
+		}
+		total := b.DeliveredJ() + b.LossJ()
+		return math.Abs(removed-total) < 1e-6*math.Max(1, removed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

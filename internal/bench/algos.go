@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rlpm/internal/core"
+	"rlpm/internal/governor"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+// AblationAlgorithm (A5) compares the TD update rules — Q-learning (the
+// paper's choice, hardware-friendly), SARSA, and Double Q-learning — on
+// gaming and video with equal training budgets.
+type AblationAlgorithm struct {
+	Rows []AlgorithmRow
+}
+
+// AlgorithmRow is one algorithm's results.
+type AlgorithmRow struct {
+	Algorithm     core.Algorithm
+	GamingEQ      float64
+	VideoEQ       float64
+	GamingViol    float64
+	VideoViol     float64
+	TablesPerAgnt int // memory cost in Q-tables (the HW argument)
+}
+
+// RunAblationAlgorithm executes the comparison.
+func RunAblationAlgorithm(opt Options) (*AblationAlgorithm, error) {
+	opt = opt.normalized()
+	out := &AblationAlgorithm{}
+	for _, algo := range []core.Algorithm{core.QLearning, core.SARSA, core.DoubleQ} {
+		cfg := coreConfig()
+		cfg.Algorithm = algo
+		row := AlgorithmRow{Algorithm: algo, TablesPerAgnt: 1}
+		if algo == core.DoubleQ {
+			row.TablesPerAgnt = 2
+		}
+		for _, scenario := range []string{"gaming", "video"} {
+			p, err := trainedPolicy(scenario, opt, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: A5 %s on %s: %w", algo, scenario, err)
+			}
+			res, err := evalGovernor(scenario, p, opt)
+			if err != nil {
+				return nil, err
+			}
+			if scenario == "gaming" {
+				row.GamingEQ, row.GamingViol = res.QoS.EnergyPerQoS, res.QoS.ViolationRate
+			} else {
+				row.VideoEQ, row.VideoViol = res.QoS.EnergyPerQoS, res.QoS.ViolationRate
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// WriteText renders the comparison.
+func (a *AblationAlgorithm) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Ablation A5: TD algorithm vs policy quality (equal training budget)")
+	writeRule(w, 84)
+	fmt.Fprintf(w, "%-12s %12s %10s %12s %10s %8s\n",
+		"algorithm", "gaming E/QoS", "viol", "video E/QoS", "viol", "tables")
+	for _, r := range a.Rows {
+		fmt.Fprintf(w, "%-12s %12.4f %10.4f %12.4f %10.4f %8d\n",
+			r.Algorithm, r.GamingEQ, r.GamingViol, r.VideoEQ, r.VideoViol, r.TablesPerAgnt)
+	}
+}
+
+// Symmetric runs the companion-paper evaluation on the symmetric 8-core
+// chip: the same governor comparison but with a single cluster, mirroring
+// the "symmetric multicore CPU" results (maximum 30.7% energy saving in
+// that paper).
+type Symmetric struct {
+	Scenarios []string
+	Governors []string
+	// EnergyPerQoS[scenario][governor].
+	EnergyPerQoS  map[string]map[string]float64
+	ViolationRate map[string]map[string]float64
+	AvgImprovePct float64
+}
+
+// RunSymmetric executes the experiment.
+func RunSymmetric(opt Options) (*Symmetric, error) {
+	opt = opt.normalized()
+	out := &Symmetric{
+		EnergyPerQoS:  map[string]map[string]float64{},
+		ViolationRate: map[string]map[string]float64{},
+	}
+	baselines := baselineGovernors()
+	for _, g := range baselines {
+		out.Governors = append(out.Governors, g.Name())
+	}
+	out.Governors = append(out.Governors, "rl-policy")
+	out.Scenarios = scenarioNames()
+
+	mk := func() (*soc.Chip, error) { return soc.NewChip(soc.SymmetricChipSpec()) }
+	mkScen := func(name string) (workload.Scenario, error) {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return workload.New(spec, 1, opt.Seed)
+	}
+
+	var imps []float64
+	for _, sc := range out.Scenarios {
+		out.EnergyPerQoS[sc] = map[string]float64{}
+		out.ViolationRate[sc] = map[string]float64{}
+		run := func(gov sim.Governor) (sim.Result, error) {
+			chip, err := mk()
+			if err != nil {
+				return sim.Result{}, err
+			}
+			scen, err := mkScen(sc)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return sim.Run(chip, scen, gov, opt.simConfig())
+		}
+		for _, name := range governor.BaselineNames() {
+			g, err := governor.New(name)
+			if err != nil {
+				return nil, err
+			}
+			res, err := run(g)
+			if err != nil {
+				return nil, fmt.Errorf("bench: symm %s/%s: %w", sc, name, err)
+			}
+			out.EnergyPerQoS[sc][name] = res.QoS.EnergyPerQoS
+			out.ViolationRate[sc][name] = res.QoS.ViolationRate
+		}
+		// RL: train on the symmetric chip, then evaluate frozen.
+		chip, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		scen, err := mkScen(sc)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.NewPolicy(coreConfig())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := core.Train(chip, scen, p, opt.simConfig(), opt.TrainEpisodes); err != nil {
+			return nil, err
+		}
+		p.SetLearning(false)
+		res, err := run(p)
+		if err != nil {
+			return nil, err
+		}
+		out.EnergyPerQoS[sc]["rl-policy"] = res.QoS.EnergyPerQoS
+		out.ViolationRate[sc]["rl-policy"] = res.QoS.ViolationRate
+		for _, name := range governor.BaselineNames() {
+			imps = append(imps, improvementPct(out.EnergyPerQoS[sc][name], res.QoS.EnergyPerQoS))
+		}
+	}
+	var sum float64
+	for _, v := range imps {
+		sum += v
+	}
+	if len(imps) > 0 {
+		out.AvgImprovePct = sum / float64(len(imps))
+	}
+	return out, nil
+}
+
+// WriteText renders the table.
+func (s *Symmetric) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Symmetric 8-core chip: energy per unit QoS (companion-paper setting)")
+	writeRule(w, 96)
+	fmt.Fprintf(w, "%-10s", "scenario")
+	for _, g := range s.Governors {
+		fmt.Fprintf(w, " %12s", g)
+	}
+	fmt.Fprintln(w)
+	for _, sc := range s.Scenarios {
+		fmt.Fprintf(w, "%-10s", sc)
+		for _, g := range s.Governors {
+			fmt.Fprintf(w, " %12s", fmtEQ(s.EnergyPerQoS[sc][g]))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Average capped improvement vs the six governors: %.2f%%\n", s.AvgImprovePct)
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rlpm/internal/battery"
+)
+
+// BatteryLife converts the Fig. 3 energy numbers into the user-facing
+// quantity: hours of battery life per scenario under each governor, using
+// the default 4000 mAh cell model. This is the motivation table the
+// paper's introduction gestures at ("lower energy consumption without
+// compromising the user satisfaction").
+type BatteryLife struct {
+	Scenarios []string
+	Governors []string
+	// Hours[scenario][governor].
+	Hours map[string]map[string]float64
+	// ExtraMinutesVsOndemand[scenario] for the RL policy.
+	ExtraMinutesVsOndemand map[string]float64
+}
+
+// RunBatteryLife executes the experiment (reuses the Fig. 3 runs).
+func RunBatteryLife(opt Options) (*BatteryLife, error) {
+	opt = opt.normalized()
+	f3, err := RunFig3(opt)
+	if err != nil {
+		return nil, err
+	}
+	spec := battery.DefaultSpec()
+	out := &BatteryLife{
+		Scenarios:              f3.Scenarios,
+		Governors:              f3.Governors,
+		Hours:                  map[string]map[string]float64{},
+		ExtraMinutesVsOndemand: map[string]float64{},
+	}
+	for _, sc := range f3.Scenarios {
+		out.Hours[sc] = map[string]float64{}
+		for _, g := range f3.Governors {
+			meanPowerW := f3.EnergyJ[sc][g] / opt.DurationS
+			h, err := battery.LifeHours(spec, meanPowerW)
+			if err != nil {
+				return nil, fmt.Errorf("bench: battery life %s/%s: %w", sc, g, err)
+			}
+			out.Hours[sc][g] = h
+		}
+		out.ExtraMinutesVsOndemand[sc] = 60 * (out.Hours[sc]["rl-policy"] - out.Hours[sc]["ondemand"])
+	}
+	return out, nil
+}
+
+// WriteText renders the table.
+func (b *BatteryLife) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Battery life: hours on a 4000 mAh cell per scenario (higher is better)")
+	writeRule(w, 104)
+	fmt.Fprintf(w, "%-10s", "scenario")
+	for _, g := range b.Governors {
+		fmt.Fprintf(w, " %12s", g)
+	}
+	fmt.Fprintf(w, " %12s\n", "vs ondemand")
+	for _, sc := range b.Scenarios {
+		fmt.Fprintf(w, "%-10s", sc)
+		for _, g := range b.Governors {
+			fmt.Fprintf(w, " %11.1fh", b.Hours[sc][g])
+		}
+		fmt.Fprintf(w, " %+9.0f min\n", b.ExtraMinutesVsOndemand[sc])
+	}
+}

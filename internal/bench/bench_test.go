@@ -1,0 +1,431 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickOpt keeps harness tests fast; headline numbers are validated by the
+// full-length runs in the repository root's bench_test.go.
+func quickOpt() Options {
+	o := DefaultOptions()
+	o.Quick = true
+	return o
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	n := Options{}.normalized()
+	if n.PeriodS != 0.05 || n.DurationS != 120 || n.TrainEpisodes != 120 || n.Seed != 1 {
+		t.Fatalf("defaults wrong: %+v", n)
+	}
+	q := quickOpt().normalized()
+	if q.DurationS >= 120 || q.TrainEpisodes >= 60 {
+		t.Fatalf("quick mode did not shrink: %+v", q)
+	}
+}
+
+func TestImprovementPct(t *testing.T) {
+	if got := improvementPct(100, 70); got != 30 {
+		t.Fatalf("improvement = %v", got)
+	}
+	if got := improvementPct(math.Inf(1), 70); got != 100 {
+		t.Fatalf("inf baseline = %v", got)
+	}
+	if got := improvementPct(0, 70); got != 0 {
+		t.Fatalf("zero baseline = %v", got)
+	}
+	if got := improvementPct(1, -100); got != 100 {
+		t.Fatalf("cap = %v", got)
+	}
+}
+
+func TestRunTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario run")
+	}
+	tab, err := RunTable1(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Scenarios) != 7 || len(tab.Governors) != 7 {
+		t.Fatalf("table shape %dx%d", len(tab.Scenarios), len(tab.Governors))
+	}
+	for _, sc := range tab.Scenarios {
+		for _, g := range tab.Governors {
+			if _, ok := tab.EnergyPerQoS[sc][g]; !ok {
+				t.Fatalf("missing cell %s/%s", sc, g)
+			}
+		}
+	}
+	// Even in quick mode the policy must not be behind the pack on
+	// average (each baseline comparison averaged over scenarios).
+	if tab.AvgImprovementPct < 0 {
+		t.Fatalf("average improvement %.2f%% negative", tab.AvgImprovementPct)
+	}
+	// The satisfaction-constrained aggregate can only raise the number
+	// (failing baselines count as the cap).
+	if tab.AvgConstrainedPct < tab.AvgImprovementPct {
+		t.Fatalf("constrained %.2f%% below unconstrained %.2f%%",
+			tab.AvgConstrainedPct, tab.AvgImprovementPct)
+	}
+	if tab.SatisfactionViolLimit != 0.10 {
+		t.Fatalf("constraint limit = %v", tab.SatisfactionViolLimit)
+	}
+	var b strings.Builder
+	tab.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"Table 1", "rl-policy", "31.66%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	tab, err := RunTable2(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's bands.
+	if tab.SpeedupDecision < 2.5 || tab.SpeedupDecision > 6 {
+		t.Fatalf("decision speedup %.2f out of band", tab.SpeedupDecision)
+	}
+	if tab.SpeedupTail < 20 || tab.SpeedupTail > 60 {
+		t.Fatalf("tail speedup %.2f out of band", tab.SpeedupTail)
+	}
+	if tab.Decisions == 0 || tab.MeasuredSimLatency <= 0 {
+		t.Fatalf("closed-loop cross-check missing: %+v", tab)
+	}
+	// The closed-loop mean transaction latency should agree with the
+	// single-transaction analysis within 2×.
+	ratio := float64(tab.MeasuredSimLatency) / float64(tab.HWTotal)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("closed-loop latency %v disagrees with analysis %v", tab.MeasuredSimLatency, tab.HWTotal)
+	}
+	var b strings.Builder
+	tab.WriteText(&b)
+	if !strings.Contains(b.String(), "3.92x") {
+		t.Fatal("rendered table missing the paper anchor")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	tab, err := RunTable3(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("only %d sizings", len(tab.Rows))
+	}
+	prevBRAM := 0
+	for _, r := range tab.Rows {
+		if r.Resources.BRAM36 < prevBRAM {
+			t.Fatalf("BRAM not monotone over sizings")
+		}
+		prevBRAM = r.Resources.BRAM36
+		if r.Cycles == 0 {
+			t.Fatal("zero-cycle decision")
+		}
+	}
+	var b strings.Builder
+	tab.WriteText(&b)
+	if !strings.Contains(b.String(), "BRAM36") {
+		t.Fatal("rendered table missing header")
+	}
+}
+
+func TestRunFig2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	opt := Options{PeriodS: 0.05, DurationS: 10, TrainEpisodes: 12, Seed: 1}
+	f, err := RunFig2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.EnergyPerQoS) != 12 {
+		t.Fatalf("episodes = %d", len(f.EnergyPerQoS))
+	}
+	// Epsilon must decay monotonically.
+	for i := 1; i < len(f.Epsilon); i++ {
+		if f.Epsilon[i] > f.Epsilon[i-1] {
+			t.Fatalf("epsilon rose at episode %d", i)
+		}
+	}
+	var b strings.Builder
+	f.WriteText(&b)
+	if !strings.Contains(b.String(), "Fig. 2") {
+		t.Fatal("rendered figure missing header")
+	}
+	var csv strings.Builder
+	if err := f.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != 13 { // header + 12
+		t.Fatalf("CSV lines = %d", lines)
+	}
+}
+
+func TestRunFig4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	f, err := RunFig4(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RL.Len() == 0 || f.Ondemand.Len() == 0 {
+		t.Fatal("empty traces")
+	}
+	if f.RL.Len() != f.Ondemand.Len() {
+		t.Fatalf("trace lengths differ: %d vs %d", f.RL.Len(), f.Ondemand.Len())
+	}
+	var b strings.Builder
+	f.WriteText(&b)
+	if !strings.Contains(b.String(), "meanPower") {
+		t.Fatal("summary missing power stats")
+	}
+	var csv strings.Builder
+	if err := f.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "# ondemand trace") {
+		t.Fatal("CSV missing second trace")
+	}
+}
+
+func TestRunAblationLambdaQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	a, err := RunAblationLambda(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 6 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	// The dial must move: λ=0 should violate more than the largest λ.
+	if a.Rows[0].ViolationRate <= a.Rows[len(a.Rows)-1].ViolationRate {
+		t.Fatalf("violation penalty has no effect: λ=0 %.4f vs λ=max %.4f",
+			a.Rows[0].ViolationRate, a.Rows[len(a.Rows)-1].ViolationRate)
+	}
+	var b strings.Builder
+	a.WriteText(&b)
+	if !strings.Contains(b.String(), "lambda") {
+		t.Fatal("rendered ablation missing header")
+	}
+}
+
+func TestRunAblationPrecisionQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	a, err := RunAblationPrecision(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 3 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	sw, hw := a.Rows[0], a.Rows[1]
+	rel := math.Abs(hw.EnergyPerQoS-sw.EnergyPerQoS) / sw.EnergyPerQoS
+	if rel > 0.05 {
+		t.Fatalf("Q16.16 deployment deviates %.1f%% from float64", rel*100)
+	}
+}
+
+func TestRunAblationSwitchCostQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	a, err := RunAblationSwitchCost(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 4 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	// Reactive governors must switch far more than the learned policy at
+	// the highest cost point, and everyone's switch counts must be
+	// positive on gaming.
+	last := a.Rows[len(a.Rows)-1]
+	for _, g := range switchGovernorNames() {
+		if last.Switches[g] == 0 {
+			t.Fatalf("%s recorded zero switches", g)
+		}
+	}
+	// Energy/QoS must not decrease as switch costs rise (per governor,
+	// first vs last sweep point).
+	first := a.Rows[0]
+	for _, g := range []string{"ondemand", "conservative", "interactive"} {
+		if last.EnergyPerQoS[g] < first.EnergyPerQoS[g]*0.98 {
+			t.Fatalf("%s got cheaper with costly switches: %v -> %v", g, first.EnergyPerQoS[g], last.EnergyPerQoS[g])
+		}
+	}
+	var b strings.Builder
+	a.WriteText(&b)
+	if !strings.Contains(b.String(), "stall") {
+		t.Fatal("rendered ablation missing header")
+	}
+}
+
+func TestRunBatteryLifeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario run")
+	}
+	l, err := RunBatteryLife(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range l.Scenarios {
+		for _, g := range l.Governors {
+			h := l.Hours[sc][g]
+			if h <= 0 || h > 100 {
+				t.Fatalf("implausible battery life %s/%s: %vh", sc, g, h)
+			}
+		}
+		// Performance always burns more than powersave.
+		if l.Hours[sc]["performance"] >= l.Hours[sc]["powersave"] {
+			t.Fatalf("%s: performance outlives powersave", sc)
+		}
+	}
+	var b strings.Builder
+	l.WriteText(&b)
+	if !strings.Contains(b.String(), "4000 mAh") {
+		t.Fatal("rendered table missing header")
+	}
+}
+
+func TestRunAblationAlgorithmQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training runs")
+	}
+	a, err := RunAblationAlgorithm(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 3 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	for _, r := range a.Rows {
+		if r.GamingEQ <= 0 || r.VideoEQ <= 0 {
+			t.Fatalf("%s has degenerate results: %+v", r.Algorithm, r)
+		}
+	}
+	if a.Rows[2].TablesPerAgnt != 2 {
+		t.Fatal("DoubleQ memory cost not reported")
+	}
+	var b strings.Builder
+	a.WriteText(&b)
+	if !strings.Contains(b.String(), "doubleq") {
+		t.Fatal("rendered ablation missing doubleq row")
+	}
+}
+
+func TestRunSymmetricQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario run")
+	}
+	s, err := RunSymmetric(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Scenarios) != 7 || len(s.Governors) != 7 {
+		t.Fatalf("shape %dx%d", len(s.Scenarios), len(s.Governors))
+	}
+	for _, sc := range s.Scenarios {
+		if _, ok := s.EnergyPerQoS[sc]["rl-policy"]; !ok {
+			t.Fatalf("missing RL cell for %s", sc)
+		}
+	}
+	var b strings.Builder
+	s.WriteText(&b)
+	if !strings.Contains(b.String(), "Symmetric") {
+		t.Fatal("rendered table missing header")
+	}
+}
+
+func TestRunGPUDomainQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario run")
+	}
+	g, err := RunGPUDomain(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Scenarios) != 4 || len(g.Governors) != 7 {
+		t.Fatalf("shape %dx%d", len(g.Scenarios), len(g.Governors))
+	}
+	// The GPU domain must make gaming materially more expensive than on
+	// the CPU-only chip (performance governor total energy comparison is
+	// implicit in E/QoS; just require valid cells here).
+	for _, sc := range g.Scenarios {
+		for _, gov := range g.Governors {
+			if _, ok := g.EnergyPerQoS[sc][gov]; !ok {
+				t.Fatalf("missing cell %s/%s", sc, gov)
+			}
+		}
+	}
+	var b strings.Builder
+	g.WriteText(&b)
+	if !strings.Contains(b.String(), "GPU-domain") {
+		t.Fatal("rendered table missing header")
+	}
+}
+
+func TestRunAblationObsNoiseQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	a, err := RunAblationObsNoise(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 4 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	// Reactive governors must get worse with noise (first vs last point,
+	// generous 2% slack for run-to-run structure).
+	first, last := a.Rows[0], a.Rows[len(a.Rows)-1]
+	for _, g := range []string{"ondemand", "interactive"} {
+		if last.EnergyPerQoS[g] < first.EnergyPerQoS[g]*0.98 {
+			t.Errorf("%s improved under noise: %v -> %v", g, first.EnergyPerQoS[g], last.EnergyPerQoS[g])
+		}
+	}
+	var b strings.Builder
+	a.WriteText(&b)
+	if !strings.Contains(b.String(), "noiseCV") {
+		t.Fatal("rendered ablation missing header")
+	}
+}
+
+func TestRunTable1SeedsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated run")
+	}
+	if _, err := RunTable1Seeds(quickOpt(), 1); err == nil {
+		t.Fatal("single seed accepted")
+	}
+	s, err := RunTable1Seeds(quickOpt(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Seeds) != 3 || len(s.Constrained) != 3 {
+		t.Fatalf("shape: %+v", s.Seeds)
+	}
+	if s.CIConstrained < 0 {
+		t.Fatalf("negative CI %v", s.CIConstrained)
+	}
+	for i := range s.Seeds {
+		if s.Constrained[i] < s.Unconstrained[i] {
+			t.Fatalf("seed %d: constrained < unconstrained", s.Seeds[i])
+		}
+	}
+	var b strings.Builder
+	s.WriteText(&b)
+	if !strings.Contains(b.String(), "95% CI") {
+		t.Fatal("rendered summary missing CI")
+	}
+}

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rlpm/internal/core"
+	"rlpm/internal/governor"
+	"rlpm/internal/sim"
+	"rlpm/internal/stats"
+	"rlpm/internal/trace"
+)
+
+// Fig2 is the learning-convergence figure: per-episode energy-per-QoS,
+// mean QoS, violation rate, and exploration rate while the policy trains
+// online on the gaming scenario.
+type Fig2 struct {
+	Scenario      string
+	EnergyPerQoS  []float64
+	MeanQoS       []float64
+	ViolationRate []float64
+	Epsilon       []float64
+}
+
+// RunFig2 executes the experiment.
+func RunFig2(opt Options) (*Fig2, error) {
+	opt = opt.normalized()
+	const scenario = "gaming"
+	chip, err := newChip()
+	if err != nil {
+		return nil, err
+	}
+	scen, err := newScenario(scenario, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPolicy(coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.Train(chip, scen, p, opt.simConfig(), opt.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2{
+		Scenario:      scenario,
+		EnergyPerQoS:  tr.EnergyPerQoS,
+		MeanQoS:       tr.MeanQoS,
+		ViolationRate: tr.ViolationRate,
+		Epsilon:       tr.Epsilon,
+	}, nil
+}
+
+// Converged reports whether training improved from the first few episodes
+// to the final quarter — the property the figure exists to show. Both the
+// energy metric and the violation rate must improve (the violation rate is
+// the sharper signal: it typically falls by an order of magnitude).
+func (f *Fig2) Converged() bool {
+	n := len(f.EnergyPerQoS)
+	if n < 4 {
+		return false
+	}
+	early := n / 10
+	if early < 3 {
+		early = 3
+	}
+	late := n / 4
+	earlyEQ, err1 := stats.Mean(f.EnergyPerQoS[:early])
+	lateEQ, err2 := stats.Mean(f.EnergyPerQoS[n-late:])
+	earlyViol, err3 := stats.Mean(f.ViolationRate[:early])
+	lateViol, err4 := stats.Mean(f.ViolationRate[n-late:])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return false
+	}
+	// Energy/QoS plateaus within a few episodes and then wanders with
+	// workload noise; allow 5% slack on it and require the violation rate
+	// (the sharp signal) to at least halve.
+	return lateEQ <= earlyEQ*1.05 && lateViol < earlyViol/2
+}
+
+// WriteText renders the series.
+func (f *Fig2) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 2: online learning convergence (%s scenario)\n", f.Scenario)
+	writeRule(w, 64)
+	fmt.Fprintf(w, "%8s %14s %10s %10s %8s\n", "episode", "energy/QoS", "meanQoS", "violRate", "epsilon")
+	for i := range f.EnergyPerQoS {
+		fmt.Fprintf(w, "%8d %14.4f %10.4f %10.4f %8.4f\n",
+			i+1, f.EnergyPerQoS[i], f.MeanQoS[i], f.ViolationRate[i], f.Epsilon[i])
+	}
+	writeRule(w, 64)
+	fmt.Fprintf(w, "converged (improved from the early episodes): %v\n", f.Converged())
+}
+
+// WriteCSV emits the series for plotting.
+func (f *Fig2) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "episode,energy_per_qos,mean_qos,violation_rate,epsilon"); err != nil {
+		return err
+	}
+	for i := range f.EnergyPerQoS {
+		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%g\n",
+			i+1, f.EnergyPerQoS[i], f.MeanQoS[i], f.ViolationRate[i], f.Epsilon[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig3 is the per-scenario energy and QoS bars: total energy and mean QoS
+// side by side for every governor, showing the RL policy cuts energy
+// without giving up QoS.
+type Fig3 struct {
+	Scenarios []string
+	Governors []string
+	EnergyJ   map[string]map[string]float64
+	MeanQoS   map[string]map[string]float64
+}
+
+// RunFig3 executes the experiment.
+func RunFig3(opt Options) (*Fig3, error) {
+	opt = opt.normalized()
+	f := &Fig3{
+		EnergyJ: map[string]map[string]float64{},
+		MeanQoS: map[string]map[string]float64{},
+	}
+	baselines := baselineGovernors()
+	for _, g := range baselines {
+		f.Governors = append(f.Governors, g.Name())
+	}
+	f.Governors = append(f.Governors, "rl-policy")
+	f.Scenarios = scenarioNames()
+	for _, sc := range f.Scenarios {
+		f.EnergyJ[sc] = map[string]float64{}
+		f.MeanQoS[sc] = map[string]float64{}
+		for _, g := range baselines {
+			g.Reset()
+			res, err := evalGovernor(sc, g, opt)
+			if err != nil {
+				return nil, err
+			}
+			f.EnergyJ[sc][g.Name()] = res.QoS.TotalEnergyJ
+			f.MeanQoS[sc][g.Name()] = res.QoS.MeanQoS
+		}
+		p, err := trainedPolicy(sc, opt, coreConfig())
+		if err != nil {
+			return nil, err
+		}
+		res, err := evalGovernor(sc, p, opt)
+		if err != nil {
+			return nil, err
+		}
+		f.EnergyJ[sc]["rl-policy"] = res.QoS.TotalEnergyJ
+		f.MeanQoS[sc]["rl-policy"] = res.QoS.MeanQoS
+	}
+	return f, nil
+}
+
+// WriteText renders grouped bars as text.
+func (f *Fig3) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Fig. 3: total energy (J) and mean useful QoS per scenario")
+	writeRule(w, 96)
+	fmt.Fprintf(w, "%-10s", "scenario")
+	for _, g := range f.Governors {
+		fmt.Fprintf(w, " %12s", g)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "energy (J):")
+	for _, sc := range f.Scenarios {
+		fmt.Fprintf(w, "%-10s", sc)
+		for _, g := range f.Governors {
+			fmt.Fprintf(w, " %12.1f", f.EnergyJ[sc][g])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "mean QoS:")
+	for _, sc := range f.Scenarios {
+		fmt.Fprintf(w, "%-10s", sc)
+		for _, g := range f.Governors {
+			fmt.Fprintf(w, " %12.4f", f.MeanQoS[sc][g])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig4 is the time-series figure: OPP level, power and QoS traces of the
+// RL policy against ondemand over a gaming window.
+type Fig4 struct {
+	Scenario string
+	RL       *trace.Recorder
+	Ondemand *trace.Recorder
+}
+
+// RunFig4 executes the experiment.
+func RunFig4(opt Options) (*Fig4, error) {
+	opt = opt.normalized()
+	const scenario = "gaming"
+	windowS := opt.DurationS
+	if windowS > 30 {
+		windowS = 30
+	}
+
+	runWith := func(gov sim.Governor) (*trace.Recorder, error) {
+		chip, err := newChip()
+		if err != nil {
+			return nil, err
+		}
+		scen, err := newScenario(scenario, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := trace.NewRecorder(sim.RecorderColumns(chip.NumClusters())...)
+		if err != nil {
+			return nil, err
+		}
+		cfg := opt.simConfig()
+		cfg.DurationS = windowS
+		cfg.Recorder = rec
+		if _, err := sim.Run(chip, scen, gov, cfg); err != nil {
+			return nil, err
+		}
+		return rec, nil
+	}
+
+	p, err := trainedPolicy(scenario, opt, coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	rlRec, err := runWith(p)
+	if err != nil {
+		return nil, err
+	}
+	odRec, err := runWith(governor.NewOndemand())
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4{Scenario: scenario, RL: rlRec, Ondemand: odRec}, nil
+}
+
+// WriteText summarizes both traces (full series go to CSV).
+func (f *Fig4) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 4: %s trace summary (use pmtrace for the full CSV)\n", f.Scenario)
+	for label, rec := range map[string]*trace.Recorder{"rl-policy": f.RL, "ondemand": f.Ondemand} {
+		power, err := rec.Series("power")
+		if err != nil {
+			fmt.Fprintf(w, "  %s: %v\n", label, err)
+			continue
+		}
+		qosSeries, _ := rec.Series("qos")
+		meanP, _ := stats.Mean(power)
+		meanQ, _ := stats.Mean(qosSeries)
+		energy, _ := rec.Integrate("power")
+		h, _ := stats.NewHistogram(0, 8, 16)
+		for _, v := range power {
+			h.Add(v)
+		}
+		fmt.Fprintf(w, "  %-10s meanPower=%.3fW meanQoS=%.4f energy=%.1fJ power-histogram %s\n",
+			label, meanP, meanQ, energy, h.Sparkline())
+	}
+}
+
+// WriteCSV emits both traces, prefixing columns with the governor name.
+func (f *Fig4) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "# rl-policy trace"); err != nil {
+		return err
+	}
+	if err := f.RL.WriteCSV(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# ondemand trace"); err != nil {
+		return err
+	}
+	return f.Ondemand.WriteCSV(w)
+}

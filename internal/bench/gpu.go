@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rlpm/internal/core"
+	"rlpm/internal/governor"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+// GPUDomain evaluates the governors on the three-domain chip
+// (LITTLE + big + GPU), the extension platform where gaming power is
+// GPU-dominated. The policy architecture is domain-count agnostic — one
+// Q-learning agent per DVFS domain — so the same code scales from the
+// paper's two CPU clusters to three domains without change.
+type GPUDomain struct {
+	Scenarios []string
+	Governors []string
+	// EnergyPerQoS[scenario][governor].
+	EnergyPerQoS  map[string]map[string]float64
+	ViolationRate map[string]map[string]float64
+	AvgImprovePct float64
+}
+
+// gpuScenarios are the GPU-exercising evaluation scenarios.
+func gpuScenarios() []string { return []string{"browsing", "video", "gaming", "camera"} }
+
+// RunGPUDomain executes the experiment.
+func RunGPUDomain(opt Options) (*GPUDomain, error) {
+	opt = opt.normalized()
+	out := &GPUDomain{
+		Scenarios:     gpuScenarios(),
+		EnergyPerQoS:  map[string]map[string]float64{},
+		ViolationRate: map[string]map[string]float64{},
+	}
+	for _, n := range governor.BaselineNames() {
+		out.Governors = append(out.Governors, n)
+	}
+	out.Governors = append(out.Governors, "rl-policy")
+
+	mkChip := func() (*soc.Chip, error) { return soc.NewChip(soc.GPUChipSpec()) }
+	mkScen := func(name string) (workload.Scenario, error) {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return workload.New(spec, 3, opt.Seed)
+	}
+
+	var imps []float64
+	for _, sc := range out.Scenarios {
+		out.EnergyPerQoS[sc] = map[string]float64{}
+		out.ViolationRate[sc] = map[string]float64{}
+		run := func(gov sim.Governor) (sim.Result, error) {
+			chip, err := mkChip()
+			if err != nil {
+				return sim.Result{}, err
+			}
+			scen, err := mkScen(sc)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return sim.Run(chip, scen, gov, opt.simConfig())
+		}
+		for _, name := range governor.BaselineNames() {
+			g, err := governor.New(name)
+			if err != nil {
+				return nil, err
+			}
+			res, err := run(g)
+			if err != nil {
+				return nil, fmt.Errorf("bench: gpu %s/%s: %w", sc, name, err)
+			}
+			out.EnergyPerQoS[sc][name] = res.QoS.EnergyPerQoS
+			out.ViolationRate[sc][name] = res.QoS.ViolationRate
+		}
+		chip, err := mkChip()
+		if err != nil {
+			return nil, err
+		}
+		scen, err := mkScen(sc)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.NewPolicy(coreConfig())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := core.Train(chip, scen, p, opt.simConfig(), opt.TrainEpisodes); err != nil {
+			return nil, err
+		}
+		p.SetLearning(false)
+		res, err := run(p)
+		if err != nil {
+			return nil, err
+		}
+		out.EnergyPerQoS[sc]["rl-policy"] = res.QoS.EnergyPerQoS
+		out.ViolationRate[sc]["rl-policy"] = res.QoS.ViolationRate
+		for _, name := range governor.BaselineNames() {
+			imps = append(imps, improvementPct(out.EnergyPerQoS[sc][name], res.QoS.EnergyPerQoS))
+		}
+	}
+	var sum float64
+	for _, v := range imps {
+		sum += v
+	}
+	if len(imps) > 0 {
+		out.AvgImprovePct = sum / float64(len(imps))
+	}
+	return out, nil
+}
+
+// WriteText renders the table.
+func (g *GPUDomain) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "GPU-domain chip (LITTLE + big + GPU): energy per unit QoS")
+	writeRule(w, 96)
+	fmt.Fprintf(w, "%-10s", "scenario")
+	for _, gov := range g.Governors {
+		fmt.Fprintf(w, " %12s", gov)
+	}
+	fmt.Fprintln(w)
+	for _, sc := range g.Scenarios {
+		fmt.Fprintf(w, "%-10s", sc)
+		for _, gov := range g.Governors {
+			fmt.Fprintf(w, " %12s", fmtEQ(g.EnergyPerQoS[sc][gov]))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "violation rates:")
+	for _, sc := range g.Scenarios {
+		fmt.Fprintf(w, "%-10s", sc)
+		for _, gov := range g.Governors {
+			fmt.Fprintf(w, " %12.4f", g.ViolationRate[sc][gov])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Average capped improvement vs the six governors: %.2f%%\n", g.AvgImprovePct)
+}

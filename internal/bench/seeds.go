@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rlpm/internal/stats"
+)
+
+// Table1Seeds replicates the headline experiment across independent seeds
+// and reports the mean and 95% confidence interval of both Table 1
+// aggregates — the statistical check that the headline number is not an
+// artifact of one workload realization.
+type Table1Seeds struct {
+	Seeds []uint64
+	// Per-seed aggregates.
+	Unconstrained []float64
+	Constrained   []float64
+	// Summary statistics.
+	MeanUnconstrained float64
+	CIUnconstrained   float64
+	MeanConstrained   float64
+	CIConstrained     float64
+	// WorstRLViolation is the maximum RL violation rate seen across all
+	// seeds and scenarios.
+	WorstRLViolation float64
+}
+
+// RunTable1Seeds executes Table 1 for n seeds starting at opt.Seed.
+func RunTable1Seeds(opt Options, n int) (*Table1Seeds, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("bench: seed replication needs at least 2 seeds, got %d", n)
+	}
+	opt = opt.normalized()
+	out := &Table1Seeds{}
+	for i := 0; i < n; i++ {
+		o := opt
+		o.Seed = opt.Seed + uint64(i)
+		t, err := RunTable1(o)
+		if err != nil {
+			return nil, fmt.Errorf("bench: seed %d: %w", o.Seed, err)
+		}
+		out.Seeds = append(out.Seeds, o.Seed)
+		out.Unconstrained = append(out.Unconstrained, t.AvgImprovementPct)
+		out.Constrained = append(out.Constrained, t.AvgConstrainedPct)
+		if t.ProposedMaxViolationRate > out.WorstRLViolation {
+			out.WorstRLViolation = t.ProposedMaxViolationRate
+		}
+	}
+	var err error
+	if out.MeanUnconstrained, err = stats.Mean(out.Unconstrained); err != nil {
+		return nil, err
+	}
+	if out.CIUnconstrained, err = stats.CI95(out.Unconstrained); err != nil {
+		return nil, err
+	}
+	if out.MeanConstrained, err = stats.Mean(out.Constrained); err != nil {
+		return nil, err
+	}
+	if out.CIConstrained, err = stats.CI95(out.Constrained); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteText renders the replication summary.
+func (t *Table1Seeds) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Table 1 replicated over %d seeds\n", len(t.Seeds))
+	writeRule(w, 64)
+	fmt.Fprintf(w, "%6s %16s %16s\n", "seed", "unconstrained", "constrained")
+	for i, s := range t.Seeds {
+		fmt.Fprintf(w, "%6d %15.2f%% %15.2f%%\n", s, t.Unconstrained[i], t.Constrained[i])
+	}
+	writeRule(w, 64)
+	fmt.Fprintf(w, "unconstrained improvement: %.2f%% ± %.2f%% (95%% CI)\n", t.MeanUnconstrained, t.CIUnconstrained)
+	fmt.Fprintf(w, "constrained improvement:   %.2f%% ± %.2f%% (95%% CI; paper: 31.66%%)\n", t.MeanConstrained, t.CIConstrained)
+	fmt.Fprintf(w, "worst RL violation rate across seeds/scenarios: %.1f%%\n", 100*t.WorstRLViolation)
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rlpm/internal/core"
+	"rlpm/internal/governor"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+// AblationSwitchCost (A4) sweeps the DVFS transition cost and compares
+// how the governors degrade: reactive governors that hop between OPPs
+// every few periods pay the stall and ramp energy far more often than the
+// learned policy, which settles per state. This is the substrate-realism
+// ablation DESIGN.md calls out for the transition-cost design choice.
+type AblationSwitchCost struct {
+	Rows []SwitchCostRow
+}
+
+// SwitchCostRow is one sweep point on the gaming scenario.
+type SwitchCostRow struct {
+	LatencyUS float64 // switch stall in microseconds
+	EnergyMJ  float64 // switch energy in millijoules
+	// Per governor: energy-per-QoS and total switch count.
+	EnergyPerQoS map[string]float64
+	Switches     map[string]uint64
+}
+
+// switchGovernors returns the governors compared in the sweep.
+func switchGovernorNames() []string {
+	return []string{"ondemand", "conservative", "interactive", "rl-policy"}
+}
+
+// RunAblationSwitchCost executes the sweep.
+func RunAblationSwitchCost(opt Options) (*AblationSwitchCost, error) {
+	opt = opt.normalized()
+	const scenario = "gaming"
+	sweep := []struct {
+		latencyUS float64
+		energyMJ  float64
+	}{
+		{0, 0},
+		{100, 0.3},
+		{500, 1.5},
+		{2000, 6.0},
+	}
+	out := &AblationSwitchCost{}
+	for _, pt := range sweep {
+		row := SwitchCostRow{
+			LatencyUS:    pt.latencyUS,
+			EnergyMJ:     pt.energyMJ,
+			EnergyPerQoS: map[string]float64{},
+			Switches:     map[string]uint64{},
+		}
+		mkChip := func() (*soc.Chip, error) {
+			spec := soc.DefaultChipSpec()
+			for i := range spec.Clusters {
+				spec.Clusters[i].SwitchLatencyS = pt.latencyUS * 1e-6
+				spec.Clusters[i].SwitchEnergyJ = pt.energyMJ * 1e-3
+			}
+			return soc.NewChip(spec)
+		}
+		for _, name := range switchGovernorNames() {
+			chip, err := mkChip()
+			if err != nil {
+				return nil, err
+			}
+			wspec, err := workload.ByName(scenario)
+			if err != nil {
+				return nil, err
+			}
+			scen, err := workload.New(wspec, chip.NumClusters(), opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			var gov sim.Governor
+			if name == "rl-policy" {
+				p, err := core.NewPolicy(coreConfig())
+				if err != nil {
+					return nil, err
+				}
+				if _, err := core.Train(chip, scen, p, opt.simConfig(), opt.TrainEpisodes); err != nil {
+					return nil, err
+				}
+				p.SetLearning(false)
+				gov = p
+			} else {
+				gov, err = governor.New(name)
+				if err != nil {
+					return nil, err
+				}
+			}
+			res, err := sim.Run(chip, scen, gov, opt.simConfig())
+			if err != nil {
+				return nil, fmt.Errorf("bench: A4 %s at %vµs: %w", name, pt.latencyUS, err)
+			}
+			row.EnergyPerQoS[name] = res.QoS.EnergyPerQoS
+			row.Switches[name] = res.Switches
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// WriteText renders the sweep.
+func (a *AblationSwitchCost) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Ablation A4: DVFS transition cost vs governor energy/QoS (gaming)")
+	writeRule(w, 100)
+	fmt.Fprintf(w, "%10s %9s", "stall(µs)", "ramp(mJ)")
+	for _, g := range switchGovernorNames() {
+		fmt.Fprintf(w, " %12s %9s", g, "switches")
+	}
+	fmt.Fprintln(w)
+	for _, r := range a.Rows {
+		fmt.Fprintf(w, "%10.0f %9.1f", r.LatencyUS, r.EnergyMJ)
+		for _, g := range switchGovernorNames() {
+			fmt.Fprintf(w, " %12s %9d", fmtEQ(r.EnergyPerQoS[g]), r.Switches[g])
+		}
+		fmt.Fprintln(w)
+	}
+}

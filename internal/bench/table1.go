@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rlpm/internal/qos"
+	"rlpm/internal/stats"
+)
+
+// Table1 is the headline experiment: energy per unit QoS for the six
+// baseline DVFS governors and the proposed RL policy across all seven
+// mobile scenarios, with the average improvement of the proposed policy.
+//
+// Paper claim (journal abstract): the proposed policy's average energy per
+// QoS is 31.66% lower than the previous six governors'.
+type Table1 struct {
+	Scenarios []string
+	Governors []string // six baselines, then "rl-policy"
+	// EnergyPerQoS[scenario][governor].
+	EnergyPerQoS map[string]map[string]float64
+	// MeanQoS[scenario][governor] and ViolationRate[scenario][governor]
+	// qualify the headline metric.
+	MeanQoS       map[string]map[string]float64
+	ViolationRate map[string]map[string]float64
+	// ImprovementPct[scenario][baseline] is the capped improvement of the
+	// RL policy vs that baseline on that scenario.
+	ImprovementPct map[string]map[string]float64
+	// AvgImprovementPct averages ImprovementPct over all scenarios and
+	// baselines, with no QoS qualification.
+	AvgImprovementPct float64
+	// PerGovernorImprovementPct averages over scenarios for each baseline.
+	PerGovernorImprovementPct map[string]float64
+	// AvgConstrainedPct is the satisfaction-constrained aggregate — the
+	// number matching the paper's framing ("lower energy per QoS without
+	// compromising the user satisfaction"): a baseline that drops more
+	// than SatisfactionViolLimit of a scenario's critical frames has
+	// compromised satisfaction and fails that scenario (counted as the
+	// 100% cap); compliant baselines compare on energy-per-QoS as usual.
+	AvgConstrainedPct         float64
+	PerGovernorConstrainedPct map[string]float64
+	SatisfactionViolLimit     float64
+	ProposedMaxViolationRate  float64 // the RL policy's own worst rate
+}
+
+// RunTable1 executes the experiment.
+func RunTable1(opt Options) (*Table1, error) {
+	opt = opt.normalized()
+	t := &Table1{
+		EnergyPerQoS:              map[string]map[string]float64{},
+		MeanQoS:                   map[string]map[string]float64{},
+		ViolationRate:             map[string]map[string]float64{},
+		ImprovementPct:            map[string]map[string]float64{},
+		PerGovernorImprovementPct: map[string]float64{},
+		PerGovernorConstrainedPct: map[string]float64{},
+		SatisfactionViolLimit:     0.10,
+	}
+	baselines := baselineGovernors()
+	for _, g := range baselines {
+		t.Governors = append(t.Governors, g.Name())
+	}
+	t.Governors = append(t.Governors, "rl-policy")
+
+	scenarioNames := scenarios()
+	t.Scenarios = scenarioNames
+
+	var allImps, allCons []float64
+	perGov := map[string][]float64{}
+	perGovCons := map[string][]float64{}
+	for _, sc := range scenarioNames {
+		t.EnergyPerQoS[sc] = map[string]float64{}
+		t.MeanQoS[sc] = map[string]float64{}
+		t.ViolationRate[sc] = map[string]float64{}
+		t.ImprovementPct[sc] = map[string]float64{}
+
+		record := func(gov string, s qos.Summary) {
+			t.EnergyPerQoS[sc][gov] = s.EnergyPerQoS
+			t.MeanQoS[sc][gov] = s.MeanQoS
+			t.ViolationRate[sc][gov] = s.ViolationRate
+		}
+
+		for _, g := range baselines {
+			g.Reset()
+			res, err := evalGovernor(sc, g, opt)
+			if err != nil {
+				return nil, fmt.Errorf("bench: table1 %s/%s: %w", sc, g.Name(), err)
+			}
+			record(g.Name(), res.QoS)
+		}
+
+		cfg := coreConfig()
+		p, err := trainedPolicy(sc, opt, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table1 training on %s: %w", sc, err)
+		}
+		res, err := evalGovernor(sc, p, opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table1 %s/rl: %w", sc, err)
+		}
+		record("rl-policy", res.QoS)
+
+		if res.QoS.ViolationRate > t.ProposedMaxViolationRate {
+			t.ProposedMaxViolationRate = res.QoS.ViolationRate
+		}
+		for _, g := range baselines {
+			imp := improvementPct(t.EnergyPerQoS[sc][g.Name()], res.QoS.EnergyPerQoS)
+			t.ImprovementPct[sc][g.Name()] = imp
+			allImps = append(allImps, imp)
+			perGov[g.Name()] = append(perGov[g.Name()], imp)
+
+			cons := imp
+			if t.ViolationRate[sc][g.Name()] > t.SatisfactionViolLimit {
+				cons = 100 // compromised satisfaction: the baseline fails the scenario
+			}
+			allCons = append(allCons, cons)
+			perGovCons[g.Name()] = append(perGovCons[g.Name()], cons)
+		}
+	}
+	t.AvgImprovementPct, _ = stats.Mean(allImps)
+	t.AvgConstrainedPct, _ = stats.Mean(allCons)
+	for g, imps := range perGov {
+		t.PerGovernorImprovementPct[g], _ = stats.Mean(imps)
+	}
+	for g, imps := range perGovCons {
+		t.PerGovernorConstrainedPct[g], _ = stats.Mean(imps)
+	}
+	return t, nil
+}
+
+// WriteText renders the table.
+func (t *Table1) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: energy per unit QoS (J/served-period); lower is better")
+	writeRule(w, 96)
+	fmt.Fprintf(w, "%-10s", "scenario")
+	for _, g := range t.Governors {
+		fmt.Fprintf(w, " %12s", g)
+	}
+	fmt.Fprintln(w)
+	writeRule(w, 96)
+	for _, sc := range t.Scenarios {
+		fmt.Fprintf(w, "%-10s", sc)
+		for _, g := range t.Governors {
+			fmt.Fprintf(w, " %12s", fmtEQ(t.EnergyPerQoS[sc][g]))
+		}
+		fmt.Fprintln(w)
+	}
+	writeRule(w, 96)
+	fmt.Fprintln(w, "QoS violation rate (fraction of critical periods missed)")
+	for _, sc := range t.Scenarios {
+		fmt.Fprintf(w, "%-10s", sc)
+		for _, g := range t.Governors {
+			fmt.Fprintf(w, " %12.4f", t.ViolationRate[sc][g])
+		}
+		fmt.Fprintln(w)
+	}
+	writeRule(w, 96)
+	fmt.Fprintln(w, "RL-policy improvement over each baseline (%, capped at 100)")
+	fmt.Fprintf(w, "  %-16s %14s %28s\n", "", "unconstrained", "satisfaction-constrained")
+	for _, g := range t.Governors[:len(t.Governors)-1] {
+		fmt.Fprintf(w, "  vs %-13s %13.2f%% %27.2f%%\n", g,
+			t.PerGovernorImprovementPct[g], t.PerGovernorConstrainedPct[g])
+	}
+	fmt.Fprintf(w, "Average improvement, unconstrained:              %6.2f%%\n", t.AvgImprovementPct)
+	fmt.Fprintf(w, "Average improvement, satisfaction-constrained:   %6.2f%%  (paper: 31.66%%)\n", t.AvgConstrainedPct)
+	fmt.Fprintf(w, "  (baselines dropping >%0.f%% of a scenario's critical frames fail it; the\n", 100*t.SatisfactionViolLimit)
+	fmt.Fprintf(w, "   RL policy's own worst violation rate is %.1f%%)\n", 100*t.ProposedMaxViolationRate)
+}
+
+// scenarios returns the evaluation scenario names.
+func scenarios() []string { return scenarioNames() }

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rlpm/internal/hwpolicy"
+)
+
+// Table3 reproduces the journal extension's FPGA implementation-cost
+// sweep: resource utilization and timing estimates for accelerator sizes
+// from small state spaces to well beyond the evaluation configuration.
+type Table3 struct {
+	Rows []Table3Row
+}
+
+// Table3Row is one accelerator sizing.
+type Table3Row struct {
+	States    int
+	Actions   int
+	Banks     int
+	Cycles    uint64 // per decision
+	Resources hwpolicy.Resources
+}
+
+// RunTable3 executes the sweep.
+func RunTable3(opt Options) (*Table3, error) {
+	_ = opt.normalized()
+	sizings := []struct {
+		states, actions, banks int
+	}{
+		{256, 5, 1},
+		{512, 8, 2},
+		{864, 9, 4}, // the evaluation configuration
+		{2048, 9, 4},
+		{4096, 16, 8},
+		{16384, 16, 8},
+	}
+	t := &Table3{}
+	for _, s := range sizings {
+		p := hwpolicy.Params{NumStates: s.states, NumActions: s.actions, Banks: s.banks, LFSRSeed: 1}
+		res, err := hwpolicy.EstimateResources(p)
+		if err != nil {
+			return nil, fmt.Errorf("bench: table3 sizing %+v: %w", s, err)
+		}
+		accel, err := hwpolicy.New(p)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, Table3Row{
+			States:    s.states,
+			Actions:   s.actions,
+			Banks:     s.banks,
+			Cycles:    accel.StepCycles(),
+			Resources: res,
+		})
+	}
+	return t, nil
+}
+
+// WriteText renders the table.
+func (t *Table3) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: FPGA resource and timing estimates for the policy accelerator")
+	writeRule(w, 86)
+	fmt.Fprintf(w, "%8s %8s %6s %8s %8s %7s %8s %8s %9s\n",
+		"states", "actions", "banks", "cyc/dec", "BRAM36", "DSP48", "LUT", "FF", "Fmax(MHz)")
+	writeRule(w, 86)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%8d %8d %6d %8d %8d %7d %8d %8d %9.0f\n",
+			r.States, r.Actions, r.Banks, r.Cycles,
+			r.Resources.BRAM36, r.Resources.DSP48, r.Resources.LUT, r.Resources.FF, r.Resources.FmaxMHz)
+	}
+}

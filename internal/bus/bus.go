@@ -1,0 +1,150 @@
+// Package bus models the CPU↔accelerator communication interface the paper
+// builds for its FPGA-implemented policy.
+//
+// The interface is an AXI-Lite-style memory-mapped register file: the CPU
+// writes the encoded state (and reward fields) into device registers,
+// strobes a doorbell, the accelerator runs, and the CPU reads the chosen
+// action back. The model is transaction-accurate: every read and write
+// costs a fixed number of bus-clock cycles (address + data + response
+// phases), and the device can stall reads until its computation finishes —
+// exactly the handshake the decision-latency experiment (Table 2) times.
+package bus
+
+import (
+	"fmt"
+	"time"
+)
+
+// Device is the accelerator side of the interface: a register file plus a
+// compute hook. Read/Write work in register words; Busy cycles model
+// compute time that gates result reads.
+type Device interface {
+	// ReadReg returns the value of register addr.
+	ReadReg(addr uint32) (uint32, error)
+	// WriteReg stores val into register addr. Writing a doorbell register
+	// may start computation; the device returns how many device-clock
+	// cycles that computation takes (0 for plain stores).
+	WriteReg(addr, val uint32) (computeCycles uint64, err error)
+}
+
+// Config describes the interconnect timing.
+type Config struct {
+	// BusClockHz is the interconnect clock (e.g. 200 MHz AXI-Lite).
+	BusClockHz float64
+	// DeviceClockHz is the accelerator's clock (e.g. 100 MHz fabric).
+	DeviceClockHz float64
+	// WriteCycles is the bus-clock cost of one posted write
+	// (address+data accept).
+	WriteCycles uint64
+	// ReadCycles is the bus-clock cost of one read round trip
+	// (address, data, response).
+	ReadCycles uint64
+}
+
+// DefaultConfig returns the timing used in the evaluation: a 200 MHz
+// AXI-Lite port (4-cycle writes, 6-cycle read round trips) in front of a
+// 100 MHz fabric — conservative numbers for a Zynq-class FPGA platform.
+func DefaultConfig() Config {
+	return Config{
+		BusClockHz:    200e6,
+		DeviceClockHz: 100e6,
+		WriteCycles:   4,
+		ReadCycles:    6,
+	}
+}
+
+// Validate checks the config.
+func (c Config) Validate() error {
+	if c.BusClockHz <= 0 || c.DeviceClockHz <= 0 {
+		return fmt.Errorf("bus: clocks must be positive, got bus=%v dev=%v", c.BusClockHz, c.DeviceClockHz)
+	}
+	if c.WriteCycles == 0 || c.ReadCycles == 0 {
+		return fmt.Errorf("bus: transaction costs must be at least one cycle")
+	}
+	return nil
+}
+
+// Bus connects a master (the CPU-side driver) to one Device and accounts
+// for elapsed time. It is transaction-accurate, not signal-accurate: each
+// operation advances the wall clock by its full cost.
+type Bus struct {
+	cfg Config
+	dev Device
+
+	// busyUntil is the absolute time (seconds) the device's current
+	// computation finishes; reads issued before then stall.
+	busyUntil float64
+	nowS      float64
+
+	reads, writes, stallCycles uint64
+}
+
+// New creates a bus in front of dev.
+func New(cfg Config, dev Device) (*Bus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dev == nil {
+		return nil, fmt.Errorf("bus: nil device")
+	}
+	return &Bus{cfg: cfg, dev: dev}, nil
+}
+
+// Config returns the interconnect timing configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// NowS returns the bus's current absolute time in seconds.
+func (b *Bus) NowS() float64 { return b.nowS }
+
+// Now returns the bus's current absolute time as a duration.
+func (b *Bus) Now() time.Duration { return time.Duration(b.nowS * float64(time.Second)) }
+
+// Stats reports transaction counts and total read-stall cycles (bus clock).
+func (b *Bus) Stats() (reads, writes, stallCycles uint64) {
+	return b.reads, b.writes, b.stallCycles
+}
+
+// Write posts one register write. Posted writes complete in WriteCycles of
+// bus clock; if the write triggers computation, the device becomes busy
+// for the returned device-clock cycles starting when the write lands.
+func (b *Bus) Write(addr, val uint32) error {
+	b.nowS += float64(b.cfg.WriteCycles) / b.cfg.BusClockHz
+	compute, err := b.dev.WriteReg(addr, val)
+	if err != nil {
+		return fmt.Errorf("bus: write %#x: %w", addr, err)
+	}
+	b.writes++
+	if compute > 0 {
+		finish := b.nowS + float64(compute)/b.cfg.DeviceClockHz
+		if finish > b.busyUntil {
+			b.busyUntil = finish
+		}
+	}
+	return nil
+}
+
+// Read performs one register read round trip, stalling until any pending
+// computation has finished (result registers are not valid earlier).
+func (b *Bus) Read(addr uint32) (uint32, error) {
+	if b.busyUntil > b.nowS {
+		stallS := b.busyUntil - b.nowS
+		b.stallCycles += uint64(stallS*b.cfg.BusClockHz + 0.5)
+		b.nowS = b.busyUntil
+	}
+	b.nowS += float64(b.cfg.ReadCycles) / b.cfg.BusClockHz
+	v, err := b.dev.ReadReg(addr)
+	if err != nil {
+		return 0, fmt.Errorf("bus: read %#x: %w", addr, err)
+	}
+	b.reads++
+	return v, nil
+}
+
+// ResetClock rewinds the wall clock and statistics without touching the
+// device — used between timed transactions when measuring per-decision
+// latency.
+func (b *Bus) ResetClock() {
+	b.nowS = 0
+	b.busyUntil = 0
+	b.reads, b.writes, b.stallCycles = 0, 0, 0
+}

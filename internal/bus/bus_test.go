@@ -1,0 +1,222 @@
+package bus
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// regFile is a simple test device: 16 registers, writing register 0xF
+// starts a computation of the written number of device cycles.
+type regFile struct {
+	regs     [16]uint32
+	failRead bool
+}
+
+func (r *regFile) ReadReg(addr uint32) (uint32, error) {
+	if r.failRead {
+		return 0, errors.New("boom")
+	}
+	if int(addr) >= len(r.regs) {
+		return 0, errors.New("bad addr")
+	}
+	return r.regs[addr], nil
+}
+
+func (r *regFile) WriteReg(addr, val uint32) (uint64, error) {
+	if int(addr) >= len(r.regs) {
+		return 0, errors.New("bad addr")
+	}
+	r.regs[addr] = val
+	if addr == 0xF {
+		return uint64(val), nil
+	}
+	return 0, nil
+}
+
+func newBus(t *testing.T) (*Bus, *regFile) {
+	t.Helper()
+	dev := &regFile{}
+	b, err := New(DefaultConfig(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, dev
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{BusClockHz: 0, DeviceClockHz: 1, WriteCycles: 1, ReadCycles: 1},
+		{BusClockHz: 1, DeviceClockHz: 0, WriteCycles: 1, ReadCycles: 1},
+		{BusClockHz: 1, DeviceClockHz: 1, WriteCycles: 0, ReadCycles: 1},
+		{BusClockHz: 1, DeviceClockHz: 1, WriteCycles: 1, ReadCycles: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{}, &regFile{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	b, dev := newBus(t)
+	if err := b.Write(3, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if dev.regs[3] != 0xdeadbeef {
+		t.Fatalf("register not written: %#x", dev.regs[3])
+	}
+	v, err := b.Read(3)
+	if err != nil || v != 0xdeadbeef {
+		t.Fatalf("Read = %#x, %v", v, err)
+	}
+	reads, writes, _ := b.Stats()
+	if reads != 1 || writes != 1 {
+		t.Fatalf("stats = %d/%d", reads, writes)
+	}
+}
+
+func TestTimingAccounting(t *testing.T) {
+	b, _ := newBus(t)
+	cfg := DefaultConfig()
+	_ = b.Write(0, 1)
+	wantWrite := float64(cfg.WriteCycles) / cfg.BusClockHz
+	if math.Abs(b.NowS()-wantWrite) > 1e-15 {
+		t.Fatalf("time after write = %v, want %v", b.NowS(), wantWrite)
+	}
+	_, _ = b.Read(0)
+	want := wantWrite + float64(cfg.ReadCycles)/cfg.BusClockHz
+	if math.Abs(b.NowS()-want) > 1e-15 {
+		t.Fatalf("time after read = %v, want %v", b.NowS(), want)
+	}
+}
+
+func TestComputeStallsRead(t *testing.T) {
+	b, _ := newBus(t)
+	cfg := DefaultConfig()
+	const computeCycles = 50
+	if err := b.Write(0xF, computeCycles); err != nil {
+		t.Fatal(err)
+	}
+	afterWrite := b.NowS()
+	if _, err := b.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	// The read must have waited for the 50 device cycles then paid the
+	// read cost.
+	want := afterWrite + computeCycles/cfg.DeviceClockHz + float64(cfg.ReadCycles)/cfg.BusClockHz
+	if math.Abs(b.NowS()-want) > 1e-12 {
+		t.Fatalf("time after stalled read = %v, want %v", b.NowS(), want)
+	}
+	_, _, stall := b.Stats()
+	if stall == 0 {
+		t.Fatal("no stall cycles recorded")
+	}
+}
+
+func TestNoStallAfterComputeDrains(t *testing.T) {
+	b, _ := newBus(t)
+	_ = b.Write(0xF, 10)
+	_, _ = b.Read(0) // absorbs the stall
+	before := b.NowS()
+	_, _ = b.Read(0)
+	cfg := DefaultConfig()
+	if got := b.NowS() - before; math.Abs(got-float64(cfg.ReadCycles)/cfg.BusClockHz) > 1e-15 {
+		t.Fatalf("second read cost %v, want plain read", got)
+	}
+}
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	b, _ := newBus(t)
+	if err := b.Write(99, 1); err == nil {
+		t.Fatal("bad write accepted")
+	}
+	if _, err := b.Read(99); err == nil {
+		t.Fatal("bad read accepted")
+	}
+}
+
+func TestReadErrorPropagates(t *testing.T) {
+	dev := &regFile{failRead: true}
+	b, _ := New(DefaultConfig(), dev)
+	if _, err := b.Read(0); err == nil {
+		t.Fatal("device read error swallowed")
+	}
+}
+
+func TestResetClock(t *testing.T) {
+	b, _ := newBus(t)
+	_ = b.Write(0xF, 1000)
+	_, _ = b.Read(0)
+	b.ResetClock()
+	if b.NowS() != 0 {
+		t.Fatalf("clock not reset: %v", b.NowS())
+	}
+	r, w, s := b.Stats()
+	if r != 0 || w != 0 || s != 0 {
+		t.Fatal("stats not reset")
+	}
+	// busyUntil cleared: next read is un-stalled.
+	_, _ = b.Read(0)
+	cfg := DefaultConfig()
+	if math.Abs(b.NowS()-float64(cfg.ReadCycles)/cfg.BusClockHz) > 1e-15 {
+		t.Fatalf("read after reset stalled: %v", b.NowS())
+	}
+}
+
+func TestNowDuration(t *testing.T) {
+	b, _ := newBus(t)
+	_ = b.Write(0, 1)
+	if b.Now() <= 0 {
+		t.Fatal("Now() not positive after a write")
+	}
+}
+
+// Property: time is monotone and total time equals the sum of per-op costs
+// plus stalls.
+func TestTimeMonotoneProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		dev := &regFile{}
+		b, _ := New(DefaultConfig(), dev)
+		prev := 0.0
+		for _, op := range ops {
+			if op%3 == 0 {
+				_ = b.Write(uint32(op%15), uint32(op))
+			} else if op%3 == 1 {
+				_ = b.Write(0xF, uint32(op%64)) // compute
+			} else {
+				_, _ = b.Read(uint32(op % 15))
+			}
+			if b.NowS() < prev {
+				return false
+			}
+			prev = b.NowS()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	dev := &regFile{}
+	bus, _ := New(DefaultConfig(), dev)
+	for i := 0; i < b.N; i++ {
+		_ = bus.Write(1, uint32(i))
+		_, _ = bus.Read(1)
+	}
+}

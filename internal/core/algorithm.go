@@ -1,0 +1,39 @@
+package core
+
+import "fmt"
+
+// Algorithm selects the temporal-difference update rule the agent runs.
+//
+// The paper implements tabular Q-learning — the only of the three whose
+// datapath is a single argmax plus one MAC, which is why it is what the
+// FPGA accelerates. SARSA and Double Q-learning are provided for the
+// algorithm ablation: SARSA is on-policy (its target follows the ε-greedy
+// action actually taken), and Double Q-learning decorrelates action
+// selection from evaluation to counter Q-learning's maximization bias at
+// the cost of a second table.
+type Algorithm string
+
+// Supported algorithms. The empty string means QLearning.
+const (
+	QLearning Algorithm = "qlearning"
+	SARSA     Algorithm = "sarsa"
+	DoubleQ   Algorithm = "doubleq"
+)
+
+// Validate checks the algorithm name.
+func (a Algorithm) Validate() error {
+	switch a {
+	case "", QLearning, SARSA, DoubleQ:
+		return nil
+	default:
+		return fmt.Errorf("core: unknown algorithm %q", a)
+	}
+}
+
+// normalize maps the empty default to QLearning.
+func (a Algorithm) normalize() Algorithm {
+	if a == "" {
+		return QLearning
+	}
+	return a
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"rlpm/internal/sim"
+)
+
+// Policy is the chip-level power management policy: one Q-learning Agent
+// per cluster behind the sim.Governor interface, so it drops into the same
+// control loop as the baseline governors.
+type Policy struct {
+	cfg    Config
+	agents []*Agent
+}
+
+var _ sim.Governor = (*Policy)(nil)
+
+// NewPolicy creates a policy; agents are instantiated lazily on the first
+// Decide call, when the cluster count and OPP table sizes are known.
+func NewPolicy(cfg Config) (*Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Policy{cfg: cfg}, nil
+}
+
+// MustPolicy is NewPolicy for static configurations; panics on error.
+func MustPolicy(cfg Config) *Policy {
+	p, err := NewPolicy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements sim.Governor.
+func (*Policy) Name() string { return "rl-policy" }
+
+// Decide implements sim.Governor: one Q-learning step per cluster.
+func (p *Policy) Decide(obs []sim.Observation) []int {
+	if p.agents == nil {
+		p.agents = make([]*Agent, len(obs))
+		for i, o := range obs {
+			a, err := NewAgent(p.cfg, o.NumLevels, uint64(i))
+			if err != nil {
+				panic(err) // cfg validated in NewPolicy; only bad NumLevels can land here
+			}
+			p.agents[i] = a
+		}
+	}
+	if len(obs) != len(p.agents) {
+		panic(fmt.Sprintf("core: policy built for %d clusters, got %d observations", len(p.agents), len(obs)))
+	}
+	out := make([]int, len(obs))
+	for i, o := range obs {
+		out[i] = p.agents[i].Step(o)
+	}
+	return out
+}
+
+// Reset implements sim.Governor: clears all learned state.
+func (p *Policy) Reset() {
+	for _, a := range p.agents {
+		a.Reset()
+	}
+}
+
+// SetLearning toggles learning/exploration on every agent.
+func (p *Policy) SetLearning(on bool) {
+	for _, a := range p.agents {
+		a.SetLearning(on)
+	}
+}
+
+// BoostExploration raises every agent's exploration rate to eps (capped at
+// the configured start rate) without discarding learned values — the knob
+// for adapting to a workload shift.
+func (p *Policy) BoostExploration(eps float64) {
+	for _, a := range p.agents {
+		a.BoostExploration(eps)
+	}
+}
+
+// Agents returns the per-cluster agents (nil before the first Decide).
+func (p *Policy) Agents() []*Agent { return p.agents }
+
+// MeanEpsilon returns the average exploration rate across agents, a
+// convergence indicator for Fig. 2.
+func (p *Policy) MeanEpsilon() float64 {
+	if len(p.agents) == 0 {
+		return p.cfg.EpsilonStart
+	}
+	var sum float64
+	for _, a := range p.agents {
+		sum += a.Epsilon()
+	}
+	return sum / float64(len(p.agents))
+}
+
+// MeanTD returns the average last TD-error magnitude across agents.
+func (p *Policy) MeanTD() float64 {
+	if len(p.agents) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range p.agents {
+		sum += a.LastTD()
+	}
+	return sum / float64(len(p.agents))
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a serializable image of a trained policy: one Q-table per
+// cluster plus the state configuration it was trained with, so a loader
+// can reject incompatible shapes.
+type Snapshot struct {
+	State  StateConfig
+	Tables [][][]float64 // [cluster][state][action]
+}
+
+// Snapshot captures the current tables. It errors before the first Decide,
+// when no agents exist yet.
+func (p *Policy) Snapshot() (Snapshot, error) {
+	if len(p.agents) == 0 {
+		return Snapshot{}, fmt.Errorf("core: policy has no agents yet (run at least one Decide)")
+	}
+	s := Snapshot{State: p.cfg.State}
+	for _, a := range p.agents {
+		s.Tables = append(s.Tables, a.Table())
+	}
+	return s, nil
+}
+
+// Restore loads a snapshot into the policy's agents. The policy must have
+// been driven at least once (so agents exist) and shapes must match.
+func (p *Policy) Restore(s Snapshot) error {
+	if len(p.agents) == 0 {
+		return fmt.Errorf("core: policy has no agents yet (run at least one Decide)")
+	}
+	if s.State != p.cfg.State {
+		return fmt.Errorf("core: snapshot state config %+v != policy %+v", s.State, p.cfg.State)
+	}
+	if len(s.Tables) != len(p.agents) {
+		return fmt.Errorf("core: snapshot has %d tables, policy has %d agents", len(s.Tables), len(p.agents))
+	}
+	for i, t := range s.Tables {
+		if err := p.agents[i].LoadTable(t); err != nil {
+			return fmt.Errorf("core: cluster %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Encode serializes the snapshot to w.
+func (s Snapshot) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// ReadSnapshot deserializes a snapshot written by WriteTo.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,46 @@
+package governor
+
+import (
+	"fmt"
+
+	"rlpm/internal/sim"
+)
+
+// Fixed pins each cluster at an explicit OPP level. It is the building
+// block of the oracle-static baseline (brute-force search over all pinned
+// combinations) used by the ablation benches, and is handy in examples.
+type Fixed struct {
+	levels []int
+	name   string
+}
+
+// NewFixed returns a governor pinning cluster i at levels[i]. Levels are
+// clamped into range by the simulator's SetLevel semantics.
+func NewFixed(levels []int) (*Fixed, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("governor: fixed governor needs at least one level")
+	}
+	for i, l := range levels {
+		if l < 0 {
+			return nil, fmt.Errorf("governor: fixed level %d for cluster %d is negative", l, i)
+		}
+	}
+	return &Fixed{
+		levels: append([]int(nil), levels...),
+		name:   fmt.Sprintf("fixed%v", levels),
+	}, nil
+}
+
+// Name implements sim.Governor.
+func (g *Fixed) Name() string { return g.name }
+
+// Reset implements sim.Governor.
+func (g *Fixed) Reset() {}
+
+// Decide implements sim.Governor.
+func (g *Fixed) Decide(obs []sim.Observation) []int {
+	if len(obs) != len(g.levels) {
+		panic(fmt.Sprintf("governor: fixed governor built for %d clusters, got %d", len(g.levels), len(obs)))
+	}
+	return append([]int(nil), g.levels...)
+}

@@ -1,0 +1,62 @@
+package governor
+
+import (
+	"testing"
+
+	"rlpm/internal/sim"
+)
+
+func TestNewFixedValidation(t *testing.T) {
+	if _, err := NewFixed(nil); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+	if _, err := NewFixed([]int{2, -1}); err == nil {
+		t.Fatal("negative level accepted")
+	}
+	g, err := NewFixed([]int{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "fixed[3 7]" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+}
+
+func TestFixedReturnsPinnedLevels(t *testing.T) {
+	g, _ := NewFixed([]int{2, 6})
+	obs := obsWith(0.9, 0)
+	for i := 0; i < 5; i++ {
+		levels := g.Decide(obs)
+		if levels[0] != 2 || levels[1] != 6 {
+			t.Fatalf("levels = %v", levels)
+		}
+	}
+}
+
+func TestFixedIsImmutableFromOutside(t *testing.T) {
+	in := []int{1, 2}
+	g, _ := NewFixed(in)
+	in[0] = 9 // mutating the input must not affect the governor
+	if got := g.Decide(obsWith(0.5, 0)); got[0] != 1 {
+		t.Fatalf("input aliasing: %v", got)
+	}
+	out := g.Decide(obsWith(0.5, 0))
+	out[1] = 99 // mutating the output must not affect later decisions
+	if got := g.Decide(obsWith(0.5, 0)); got[1] != 2 {
+		t.Fatalf("output aliasing: %v", got)
+	}
+}
+
+func TestFixedPanicsOnClusterMismatch(t *testing.T) {
+	g, _ := NewFixed([]int{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cluster mismatch did not panic")
+		}
+	}()
+	g.Decide(obsWith(0.5, 0)) // two-cluster observations
+}
+
+func TestFixedImplementsGovernor(t *testing.T) {
+	var _ sim.Governor = (*Fixed)(nil)
+}

@@ -1,0 +1,276 @@
+// Package governor reimplements the six Linux cpufreq governors the paper
+// compares against: performance, powersave, userspace, ondemand,
+// conservative, and interactive — plus schedutil as a modern extension.
+//
+// Each governor follows the decision rule of its kernel counterpart,
+// transplanted onto the simulator's per-period observation callback. The
+// tunables default to the kernel defaults (ondemand up_threshold 80%,
+// conservative ±20/80 with one-step moves, interactive go_hispeed_load 85%
+// with a min_sample_time hold, schedutil's 1.25 headroom).
+package governor
+
+import (
+	"fmt"
+	"math"
+
+	"rlpm/internal/sim"
+)
+
+// pickLevelAtLeast returns the lowest OPP index whose frequency is at least
+// targetHz, given the cluster's frequency table expressed through freqs.
+func pickLevelAtLeast(freqs []float64, targetHz float64) int {
+	for i, f := range freqs {
+		if f >= targetHz {
+			return i
+		}
+	}
+	return len(freqs) - 1
+}
+
+// Performance always runs at the highest OPP.
+type Performance struct{}
+
+// NewPerformance returns the performance governor.
+func NewPerformance() *Performance { return &Performance{} }
+
+// Name implements sim.Governor.
+func (*Performance) Name() string { return "performance" }
+
+// Reset implements sim.Governor.
+func (*Performance) Reset() {}
+
+// Decide implements sim.Governor.
+func (*Performance) Decide(obs []sim.Observation) []int {
+	out := make([]int, len(obs))
+	for i, o := range obs {
+		out[i] = o.NumLevels - 1
+	}
+	return out
+}
+
+// Powersave always runs at the lowest OPP.
+type Powersave struct{}
+
+// NewPowersave returns the powersave governor.
+func NewPowersave() *Powersave { return &Powersave{} }
+
+// Name implements sim.Governor.
+func (*Powersave) Name() string { return "powersave" }
+
+// Reset implements sim.Governor.
+func (*Powersave) Reset() {}
+
+// Decide implements sim.Governor.
+func (*Powersave) Decide(obs []sim.Observation) []int {
+	return make([]int, len(obs))
+}
+
+// Userspace pins a fixed fraction of the OPP table, the way a userspace
+// daemon pins scaling_setspeed. Fraction 0 is the lowest OPP, 1 the highest.
+type Userspace struct {
+	fraction float64
+}
+
+// NewUserspace returns a userspace governor pinned at the given fraction of
+// the table (kernel default behaviour is whatever the daemon asks; the
+// conventional evaluation setting is the middle of the table).
+func NewUserspace(fraction float64) (*Userspace, error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("governor: userspace fraction %v out of [0,1]", fraction)
+	}
+	return &Userspace{fraction: fraction}, nil
+}
+
+// Name implements sim.Governor.
+func (*Userspace) Name() string { return "userspace" }
+
+// Reset implements sim.Governor.
+func (*Userspace) Reset() {}
+
+// Decide implements sim.Governor.
+func (u *Userspace) Decide(obs []sim.Observation) []int {
+	out := make([]int, len(obs))
+	for i, o := range obs {
+		lvl := int(math.Round(u.fraction * float64(o.NumLevels-1)))
+		out[i] = lvl
+	}
+	return out
+}
+
+// Ondemand jumps to the maximum OPP when utilization exceeds up_threshold
+// and otherwise picks the lowest frequency that would keep utilization at
+// the threshold — the classic dbs_check_cpu logic.
+type Ondemand struct {
+	UpThreshold float64 // kernel default 0.80
+	freqs       [][]float64
+}
+
+// NewOndemand returns an ondemand governor with the kernel default
+// up_threshold of 80%.
+func NewOndemand() *Ondemand { return &Ondemand{UpThreshold: 0.80} }
+
+// Name implements sim.Governor.
+func (*Ondemand) Name() string { return "ondemand" }
+
+// Reset implements sim.Governor.
+func (g *Ondemand) Reset() {}
+
+// Decide implements sim.Governor.
+func (g *Ondemand) Decide(obs []sim.Observation) []int {
+	out := make([]int, len(obs))
+	for i, o := range obs {
+		if o.Utilization >= g.UpThreshold {
+			out[i] = o.NumLevels - 1
+			continue
+		}
+		// Scale down proportionally: the lowest f with
+		// util*f_cur/f <= threshold  ⇔  f >= util*f_cur/threshold.
+		curHz := freqOf(o)
+		target := o.Utilization * curHz / g.UpThreshold
+		out[i] = pickLevelAtLeast(freqTable(o), target)
+	}
+	return out
+}
+
+// Conservative moves one OPP step at a time: up when utilization exceeds
+// the up threshold, down when below the down threshold.
+type Conservative struct {
+	UpThreshold   float64 // kernel default 0.80
+	DownThreshold float64 // kernel default 0.20
+}
+
+// NewConservative returns a conservative governor with kernel defaults.
+func NewConservative() *Conservative {
+	return &Conservative{UpThreshold: 0.80, DownThreshold: 0.20}
+}
+
+// Name implements sim.Governor.
+func (*Conservative) Name() string { return "conservative" }
+
+// Reset implements sim.Governor.
+func (g *Conservative) Reset() {}
+
+// Decide implements sim.Governor.
+func (g *Conservative) Decide(obs []sim.Observation) []int {
+	out := make([]int, len(obs))
+	for i, o := range obs {
+		lvl := o.Level
+		switch {
+		case o.Utilization > g.UpThreshold && lvl < o.NumLevels-1:
+			lvl++
+		case o.Utilization < g.DownThreshold && lvl > 0:
+			lvl--
+		}
+		out[i] = lvl
+	}
+	return out
+}
+
+// Interactive implements the Android interactive governor: a burst of load
+// jumps straight to hispeed_freq, sustained load is served at
+// util/target_load, and the frequency is held for MinSampleTime before it
+// may drop.
+type Interactive struct {
+	GoHispeedLoad  float64 // default 0.85
+	HispeedFrac    float64 // hispeed_freq as fraction of table, default 0.75
+	TargetLoad     float64 // default 0.90
+	MinSampleTimeS float64 // default 0.08 (80 ms)
+
+	holdS []float64 // per-cluster remaining hold time
+	prev  []int     // per-cluster previous level
+}
+
+// NewInteractive returns an interactive governor with Android defaults.
+func NewInteractive() *Interactive {
+	return &Interactive{
+		GoHispeedLoad:  0.85,
+		HispeedFrac:    0.75,
+		TargetLoad:     0.90,
+		MinSampleTimeS: 0.08,
+	}
+}
+
+// Name implements sim.Governor.
+func (*Interactive) Name() string { return "interactive" }
+
+// Reset implements sim.Governor.
+func (g *Interactive) Reset() {
+	g.holdS = nil
+	g.prev = nil
+}
+
+// Decide implements sim.Governor.
+func (g *Interactive) Decide(obs []sim.Observation) []int {
+	if len(g.holdS) != len(obs) {
+		g.holdS = make([]float64, len(obs))
+		g.prev = make([]int, len(obs))
+		for i, o := range obs {
+			g.prev[i] = o.Level
+		}
+	}
+	out := make([]int, len(obs))
+	for i, o := range obs {
+		freqs := freqTable(o)
+		hispeed := int(math.Round(g.HispeedFrac * float64(o.NumLevels-1)))
+		var want int
+		if o.Utilization >= g.GoHispeedLoad {
+			want = hispeed
+			if o.Level > hispeed {
+				// Already above hispeed: evaluate against target load.
+				want = pickLevelAtLeast(freqs, o.Utilization*freqOf(o)/g.TargetLoad)
+			}
+		} else {
+			want = pickLevelAtLeast(freqs, o.Utilization*freqOf(o)/g.TargetLoad)
+		}
+		if want > g.prev[i] {
+			g.prev[i] = want
+			g.holdS[i] = g.MinSampleTimeS
+		} else if want < g.prev[i] {
+			g.holdS[i] -= o.PeriodS
+			if g.holdS[i] <= 0 {
+				g.prev[i] = want
+				g.holdS[i] = g.MinSampleTimeS
+			}
+		}
+		out[i] = g.prev[i]
+	}
+	return out
+}
+
+// Schedutil implements the mainline schedutil rule: next_freq = 1.25 ·
+// f_max · (scale-invariant utilization), clamped to the table.
+type Schedutil struct {
+	Headroom float64 // default 1.25
+}
+
+// NewSchedutil returns a schedutil governor with the mainline headroom.
+func NewSchedutil() *Schedutil { return &Schedutil{Headroom: 1.25} }
+
+// Name implements sim.Governor.
+func (*Schedutil) Name() string { return "schedutil" }
+
+// Reset implements sim.Governor.
+func (g *Schedutil) Reset() {}
+
+// Decide implements sim.Governor.
+func (g *Schedutil) Decide(obs []sim.Observation) []int {
+	out := make([]int, len(obs))
+	for i, o := range obs {
+		freqs := freqTable(o)
+		fmax := freqs[len(freqs)-1]
+		invariantUtil := o.Utilization * freqOf(o) / fmax
+		target := g.Headroom * fmax * invariantUtil
+		out[i] = pickLevelAtLeast(freqs, target)
+	}
+	return out
+}
+
+// freqOf returns the frequency of the observation's current level.
+func freqOf(o sim.Observation) float64 {
+	return o.FreqsHz[o.Level]
+}
+
+// freqTable returns the cluster's OPP frequency table from the observation.
+func freqTable(o sim.Observation) []float64 {
+	return o.FreqsHz
+}

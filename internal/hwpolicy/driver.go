@@ -1,0 +1,108 @@
+package hwpolicy
+
+import (
+	"fmt"
+	"time"
+
+	"rlpm/internal/bus"
+	"rlpm/internal/fixed"
+)
+
+// Driver is the CPU-side software that talks to the accelerator over the
+// bus — the "communication interface between the CPUs and the hardware of
+// the proposed policy" from the paper. One Step is one full decision
+// transaction: write state, write reward, doorbell, read action.
+type Driver struct {
+	bus   *bus.Bus
+	accel *Accel
+}
+
+// NewDriver wires an accelerator behind a bus with the given config.
+func NewDriver(cfg bus.Config, accel *Accel) (*Driver, error) {
+	if accel == nil {
+		return nil, fmt.Errorf("hwpolicy: nil accelerator")
+	}
+	b, err := bus.New(cfg, accel)
+	if err != nil {
+		return nil, err
+	}
+	return &Driver{bus: b, accel: accel}, nil
+}
+
+// Accel returns the device behind the driver.
+func (d *Driver) Accel() *Accel { return d.accel }
+
+// Configure programs the learning parameters into the device registers.
+func (d *Driver) Configure(alpha, gamma, epsilon float64, learn bool) error {
+	writes := []struct {
+		reg uint32
+		val uint32
+	}{
+		{RegAlpha, uint32(fixed.FromFloat(alpha).Raw())},
+		{RegGamma, uint32(fixed.FromFloat(gamma).Raw())},
+		{RegEpsilon, uint32(fixed.FromFloat(epsilon).Raw())},
+		{RegLearn, boolBit(learn)},
+	}
+	for _, w := range writes {
+		if err := d.bus.Write(w.reg, w.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Step runs one decision: returns the chosen action and the wall-clock
+// latency of the whole transaction (bus writes + compute + result read).
+func (d *Driver) Step(state int, reward float64) (action int, latency time.Duration, err error) {
+	if state < 0 || state >= d.accel.p.NumStates {
+		return 0, 0, fmt.Errorf("hwpolicy: state %d out of range [0,%d)", state, d.accel.p.NumStates)
+	}
+	start := d.bus.Now()
+	if err := d.bus.Write(RegState, uint32(state)); err != nil {
+		return 0, 0, err
+	}
+	if err := d.bus.Write(RegReward, uint32(fixed.FromFloat(reward).Raw())); err != nil {
+		return 0, 0, err
+	}
+	if err := d.bus.Write(RegCtrl, CtrlStep); err != nil {
+		return 0, 0, err
+	}
+	act, err := d.bus.Read(RegAction)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(act), d.bus.Now() - start, nil
+}
+
+// UploadTable pushes a software-trained table through the Q-access port,
+// word by word, exactly as the real driver initializes BRAM.
+func (d *Driver) UploadTable(table [][]float64) error {
+	if len(table) != d.accel.p.NumStates {
+		return fmt.Errorf("hwpolicy: table has %d states, accelerator sized for %d", len(table), d.accel.p.NumStates)
+	}
+	for s, row := range table {
+		if len(row) != d.accel.p.NumActions {
+			return fmt.Errorf("hwpolicy: table row %d has %d actions, want %d", s, len(row), d.accel.p.NumActions)
+		}
+		for x, v := range row {
+			idx := uint32(s*d.accel.p.NumActions + x)
+			if err := d.bus.Write(RegQAddr, idx); err != nil {
+				return err
+			}
+			if err := d.bus.Write(RegQData, uint32(fixed.FromFloat(v).Raw())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Bus exposes the underlying bus (for latency accounting in benches).
+func (d *Driver) Bus() *bus.Bus { return d.bus }

@@ -1,0 +1,165 @@
+package hwpolicy
+
+import (
+	"fmt"
+	"time"
+
+	"rlpm/internal/bus"
+	"rlpm/internal/core"
+	"rlpm/internal/sim"
+)
+
+// Governor runs the power management policy on the modeled hardware: one
+// accelerator per cluster behind an MMIO driver. It is a drop-in
+// sim.Governor, so the same simulation loop can run the software policy
+// (core.Policy) and the hardware policy and compare both quality and
+// decision latency.
+//
+// Exploration in hardware uses the LFSR at a fixed ε (the RTL has no decay
+// schedule); the usual deployment flow is to train in software, upload the
+// table, and run the accelerator in inference mode — exactly what
+// FromPolicy does.
+type Governor struct {
+	cfg     core.Config
+	busCfg  bus.Config
+	banks   int
+	epsilon float64
+	learn   bool
+
+	drivers    []*Driver
+	prevDemand []float64
+
+	decisions  uint64
+	totalLat   time.Duration
+	maxLat     time.Duration
+	pendingTab [][][]float64 // optional table to upload at lazy init
+}
+
+var _ sim.Governor = (*Governor)(nil)
+
+// NewGovernor builds a hardware-policy governor that learns online at the
+// fixed exploration rate cfg.EpsilonMin.
+func NewGovernor(cfg core.Config, busCfg bus.Config, banks int) (*Governor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := busCfg.Validate(); err != nil {
+		return nil, err
+	}
+	if banks < 1 {
+		return nil, fmt.Errorf("hwpolicy: need at least one BRAM bank")
+	}
+	return &Governor{
+		cfg:     cfg,
+		busCfg:  busCfg,
+		banks:   banks,
+		epsilon: cfg.EpsilonMin,
+		learn:   true,
+	}, nil
+}
+
+// FromPolicy builds a hardware governor pre-loaded with a software-trained
+// policy's tables and frozen to inference mode — the paper's deployment
+// flow. The policy must have been driven at least once so its agents (and
+// their table shapes) exist.
+func FromPolicy(p *core.Policy, cfg core.Config, busCfg bus.Config, banks int) (*Governor, error) {
+	snap, err := p.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	g, err := NewGovernor(cfg, busCfg, banks)
+	if err != nil {
+		return nil, err
+	}
+	g.learn = false
+	g.epsilon = 0
+	g.pendingTab = snap.Tables
+	return g, nil
+}
+
+// Name implements sim.Governor.
+func (*Governor) Name() string { return "rl-policy-hw" }
+
+// Decide implements sim.Governor: one MMIO decision transaction per
+// cluster per period.
+func (g *Governor) Decide(obs []sim.Observation) []int {
+	if g.drivers == nil {
+		g.init(obs)
+	}
+	if len(obs) != len(g.drivers) {
+		panic(fmt.Sprintf("hwpolicy: governor built for %d clusters, got %d observations", len(g.drivers), len(obs)))
+	}
+	out := make([]int, len(obs))
+	for i, o := range obs {
+		state := g.cfg.EncodeState(o, g.prevDemand[i])
+		g.prevDemand[i] = o.DemandRatio
+		reward := g.cfg.Reward(o)
+		action, lat, err := g.drivers[i].Step(state, reward)
+		if err != nil {
+			panic(fmt.Sprintf("hwpolicy: decision transaction failed: %v", err))
+		}
+		g.decisions++
+		g.totalLat += lat
+		if lat > g.maxLat {
+			g.maxLat = lat
+		}
+		out[i] = action
+	}
+	return out
+}
+
+func (g *Governor) init(obs []sim.Observation) {
+	g.drivers = make([]*Driver, len(obs))
+	g.prevDemand = make([]float64, len(obs))
+	for i, o := range obs {
+		p := Params{
+			NumStates:  g.cfg.State.States(o.NumLevels),
+			NumActions: o.NumLevels,
+			Banks:      g.banks,
+			LFSRSeed:   uint16(0xACE1 + 2*i + 1),
+		}
+		accel, err := New(p)
+		if err != nil {
+			panic(fmt.Sprintf("hwpolicy: sizing accelerator for cluster %d: %v", i, err))
+		}
+		d, err := NewDriver(g.busCfg, accel)
+		if err != nil {
+			panic(fmt.Sprintf("hwpolicy: wiring driver for cluster %d: %v", i, err))
+		}
+		if err := d.Configure(g.cfg.Alpha, g.cfg.Gamma, g.epsilon, g.learn); err != nil {
+			panic(fmt.Sprintf("hwpolicy: configuring cluster %d: %v", i, err))
+		}
+		if g.pendingTab != nil {
+			if err := d.UploadTable(g.pendingTab[i]); err != nil {
+				panic(fmt.Sprintf("hwpolicy: uploading table for cluster %d: %v", i, err))
+			}
+		}
+		g.drivers[i] = d
+	}
+	g.pendingTab = nil
+}
+
+// Reset implements sim.Governor: resets every accelerator and the latency
+// accounting.
+func (g *Governor) Reset() {
+	for i, d := range g.drivers {
+		if _, err := d.Accel().WriteReg(RegCtrl, CtrlReset); err != nil {
+			panic(fmt.Sprintf("hwpolicy: resetting cluster %d: %v", i, err))
+		}
+		d.Bus().ResetClock()
+		g.prevDemand[i] = 0
+	}
+	g.decisions, g.totalLat, g.maxLat = 0, 0, 0
+}
+
+// Drivers exposes the per-cluster drivers (nil before the first Decide).
+func (g *Governor) Drivers() []*Driver { return g.drivers }
+
+// LatencyStats reports decision-transaction latency over the governor's
+// lifetime.
+func (g *Governor) LatencyStats() (decisions uint64, mean, max time.Duration) {
+	if g.decisions == 0 {
+		return 0, 0, 0
+	}
+	return g.decisions, g.totalLat / time.Duration(g.decisions), g.maxLat
+}

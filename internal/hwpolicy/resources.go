@@ -1,0 +1,72 @@
+package hwpolicy
+
+import "fmt"
+
+// Resources estimates the FPGA utilization of the accelerator — the
+// journal extension's implementation-cost table. The estimates follow
+// standard Xilinx 7-series costing:
+//
+//   - BRAM36: the Q-table, 32-bit words, one 36Kb block per 1024 words per
+//     bank (each bank needs its own port).
+//   - DSP48: one slice for the α·(target−Q) multiply, one for γ·max.
+//   - LUTs/FFs: comparator tree (one 32-bit compare+mux per node), the
+//     register file, LFSR, and control FSM.
+type Resources struct {
+	BRAM36 int
+	DSP48  int
+	LUT    int
+	FF     int
+	// FmaxMHz is the estimated achievable fabric clock: the comparator
+	// tree is combinational across its depth, so deeper trees close at
+	// lower frequency.
+	FmaxMHz float64
+}
+
+// EstimateResources sizes the accelerator for the given parameters.
+func EstimateResources(p Params) (Resources, error) {
+	if err := p.Validate(); err != nil {
+		return Resources{}, err
+	}
+	words := p.NumStates * p.NumActions
+	wordsPerBank := (words + p.Banks - 1) / p.Banks
+	bramPerBank := (wordsPerBank + 1023) / 1024
+	if bramPerBank < 1 {
+		bramPerBank = 1
+	}
+
+	treeNodes := p.NumActions - 1
+	if treeNodes < 1 {
+		treeNodes = 1
+	}
+	const (
+		lutPerTreeNode = 48 // 32-bit compare + index/value mux
+		ffPerTreeNode  = 40
+		lutControl     = 420 // FSM, register file, AXI-Lite shim
+		ffControl      = 510
+		lutLFSR        = 20
+		ffLFSR         = 16
+		lutMAC         = 180 // saturation, operand muxing around the DSPs
+		ffMAC          = 140
+	)
+
+	depth := treeDepth(p.NumActions)
+	// Closure model: 250 MHz for a trivial tree, −18 MHz per extra level.
+	fmax := 250.0 - 18.0*float64(depth-1)
+	if fmax < 50 {
+		fmax = 50
+	}
+
+	return Resources{
+		BRAM36:  bramPerBank * p.Banks,
+		DSP48:   2,
+		LUT:     lutControl + lutLFSR + lutMAC + treeNodes*lutPerTreeNode,
+		FF:      ffControl + ffLFSR + ffMAC + treeNodes*ffPerTreeNode,
+		FmaxMHz: fmax,
+	}, nil
+}
+
+// String formats the estimate as a table row.
+func (r Resources) String() string {
+	return fmt.Sprintf("BRAM36=%d DSP48=%d LUT=%d FF=%d Fmax=%.0fMHz",
+		r.BRAM36, r.DSP48, r.LUT, r.FF, r.FmaxMHz)
+}

@@ -1,0 +1,143 @@
+// Package qos defines the quality-of-service metric the paper optimizes.
+//
+// Following the paper's framing (and the companion paper's definition of
+// "just enough processing speed to process the requested amount of work"),
+// per-period *service ratio* is completed work over demanded work, capped
+// at 1. A period with no demand is fully satisfied by definition. A
+// *violation* is a critical period (one carrying a user-visible deadline)
+// whose service ratio falls below the violation threshold — this is the
+// "compromised user satisfaction" the policy must avoid.
+//
+// Useful QoS distinguishes deadline work from best-effort work: a
+// non-critical period contributes its service ratio, while a critical
+// period contributes its service ratio only if it met the threshold — a
+// frame that missed its deadline is dropped and delivers no quality, no
+// matter how much of it was computed. The headline metric is energy per
+// unit of useful QoS: total energy divided by accumulated useful QoS, in
+// joules per fully-served period.
+package qos
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultViolationThreshold is the service ratio below which a critical
+// period counts as a QoS violation. 0.95 mirrors the common "no more than
+// 5% of a frame budget missed" criterion in mobile DVFS studies.
+const DefaultViolationThreshold = 0.95
+
+// PeriodQoS returns the service ratio for one period: min(1,
+// completed/demanded), or 1 when nothing was demanded. Negative inputs are
+// a programming error and panic.
+func PeriodQoS(demanded, completed float64) float64 {
+	if demanded < 0 || completed < 0 {
+		panic(fmt.Sprintf("qos: negative work (demanded=%v completed=%v)", demanded, completed))
+	}
+	if demanded == 0 {
+		return 1
+	}
+	q := completed / demanded
+	if q > 1 {
+		q = 1
+	}
+	return q
+}
+
+// Tracker accumulates QoS and energy over a run. The zero value is ready
+// to use with the default violation threshold; use NewTracker to override.
+type Tracker struct {
+	threshold float64
+
+	periods         int
+	criticalPeriods int
+	violations      int
+	totalService    float64 // raw service ratios
+	totalQoS        float64 // useful QoS (violated critical periods drop to 0)
+	minQoS          float64
+	totalEnergyJ    float64
+}
+
+// NewTracker returns a Tracker with the given violation threshold in (0,1].
+func NewTracker(threshold float64) (*Tracker, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("qos: violation threshold %v out of (0,1]", threshold)
+	}
+	return &Tracker{threshold: threshold, minQoS: math.Inf(1)}, nil
+}
+
+func (t *Tracker) thresholdOrDefault() float64 {
+	if t.threshold == 0 {
+		return DefaultViolationThreshold
+	}
+	return t.threshold
+}
+
+// Record adds one period. Returns that period's service ratio.
+func (t *Tracker) Record(demanded, completed, energyJ float64, critical bool) float64 {
+	if energyJ < 0 {
+		panic(fmt.Sprintf("qos: negative energy %v", energyJ))
+	}
+	q := PeriodQoS(demanded, completed)
+	t.periods++
+	t.totalService += q
+	t.totalEnergyJ += energyJ
+	if t.periods == 1 || q < t.minQoS {
+		t.minQoS = q
+	}
+	useful := q
+	if critical {
+		t.criticalPeriods++
+		if q < t.thresholdOrDefault() {
+			t.violations++
+			useful = 0 // the frame missed its deadline: dropped
+		}
+	}
+	t.totalQoS += useful
+	return q
+}
+
+// Summary is the digest of a run.
+type Summary struct {
+	Periods         int
+	CriticalPeriods int
+	Violations      int
+	MeanService     float64 // average raw service ratio
+	MeanQoS         float64 // average useful QoS (deadline misses count 0)
+	MinQoS          float64 // minimum raw service ratio
+	TotalQoS        float64 // sum of useful QoS ("served periods")
+	TotalEnergyJ    float64
+	EnergyPerQoS    float64 // J per fully-served period — the paper's metric
+	ViolationRate   float64 // violations / critical periods
+}
+
+// Summary returns the current digest.
+func (t *Tracker) Summary() Summary {
+	s := Summary{
+		Periods:         t.periods,
+		CriticalPeriods: t.criticalPeriods,
+		Violations:      t.violations,
+		TotalQoS:        t.totalQoS,
+		TotalEnergyJ:    t.totalEnergyJ,
+	}
+	if t.periods > 0 {
+		s.MeanService = t.totalService / float64(t.periods)
+		s.MeanQoS = t.totalQoS / float64(t.periods)
+		s.MinQoS = t.minQoS
+	}
+	if t.totalQoS > 0 {
+		s.EnergyPerQoS = t.totalEnergyJ / t.totalQoS
+	} else if t.totalEnergyJ > 0 {
+		s.EnergyPerQoS = math.Inf(1)
+	}
+	if t.criticalPeriods > 0 {
+		s.ViolationRate = float64(t.violations) / float64(t.criticalPeriods)
+	}
+	return s
+}
+
+// Reset clears all accumulators, keeping the threshold.
+func (t *Tracker) Reset() {
+	th := t.threshold
+	*t = Tracker{threshold: th, minQoS: math.Inf(1)}
+}

@@ -1,0 +1,177 @@
+package qos
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriodQoS(t *testing.T) {
+	cases := []struct{ d, c, want float64 }{
+		{0, 0, 1},
+		{0, 100, 1},
+		{100, 100, 1},
+		{100, 150, 1}, // over-service caps at 1
+		{100, 50, 0.5},
+		{100, 0, 0},
+	}
+	for _, cse := range cases {
+		if got := PeriodQoS(cse.d, cse.c); got != cse.want {
+			t.Errorf("PeriodQoS(%v,%v) = %v, want %v", cse.d, cse.c, got, cse.want)
+		}
+	}
+}
+
+func TestPeriodQoSPanicsOnNegative(t *testing.T) {
+	for _, args := range [][2]float64{{-1, 0}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PeriodQoS(%v,%v) did not panic", args[0], args[1])
+				}
+			}()
+			PeriodQoS(args[0], args[1])
+		}()
+	}
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	for _, th := range []float64{0, -0.1, 1.01} {
+		if _, err := NewTracker(th); err == nil {
+			t.Errorf("threshold %v accepted", th)
+		}
+	}
+	if _, err := NewTracker(0.9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroValueTrackerUsesDefaultThreshold(t *testing.T) {
+	var tr Tracker
+	tr.Record(100, 94, 1, true) // 0.94 < 0.95 default
+	tr.Record(100, 96, 1, true) // 0.96 >= 0.95
+	s := tr.Summary()
+	if s.Violations != 1 || s.CriticalPeriods != 2 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestTrackerAccumulates(t *testing.T) {
+	tr, _ := NewTracker(0.9)
+	tr.Record(100, 100, 2, true) // QoS 1
+	tr.Record(100, 50, 3, false) // QoS 0.5, non-critical: no violation
+	tr.Record(100, 80, 5, true)  // QoS 0.8 < 0.9: violation
+	tr.Record(0, 0, 1, false)    // idle: QoS 1
+	s := tr.Summary()
+	if s.Periods != 4 {
+		t.Errorf("Periods = %d", s.Periods)
+	}
+	if s.CriticalPeriods != 2 || s.Violations != 1 {
+		t.Errorf("critical/violations = %d/%d", s.CriticalPeriods, s.Violations)
+	}
+	// Useful QoS drops the violated critical period (0.8) to zero:
+	// 1 + 0.5 + 0 + 1 = 2.5; raw service sums to 3.3.
+	if s.TotalQoS != 2.5 {
+		t.Errorf("TotalQoS = %v", s.TotalQoS)
+	}
+	if s.TotalEnergyJ != 11 {
+		t.Errorf("TotalEnergyJ = %v", s.TotalEnergyJ)
+	}
+	if math.Abs(s.EnergyPerQoS-11/2.5) > 1e-12 {
+		t.Errorf("EnergyPerQoS = %v", s.EnergyPerQoS)
+	}
+	if math.Abs(s.MeanQoS-2.5/4) > 1e-12 {
+		t.Errorf("MeanQoS = %v", s.MeanQoS)
+	}
+	if math.Abs(s.MeanService-3.3/4) > 1e-12 {
+		t.Errorf("MeanService = %v", s.MeanService)
+	}
+	if s.MinQoS != 0.5 {
+		t.Errorf("MinQoS = %v", s.MinQoS)
+	}
+	if s.ViolationRate != 0.5 {
+		t.Errorf("ViolationRate = %v", s.ViolationRate)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	var tr Tracker
+	s := tr.Summary()
+	if s.Periods != 0 || s.MeanQoS != 0 || s.EnergyPerQoS != 0 || s.ViolationRate != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestZeroQoSWithEnergyIsInf(t *testing.T) {
+	var tr Tracker
+	tr.Record(100, 0, 5, false)
+	s := tr.Summary()
+	if !math.IsInf(s.EnergyPerQoS, 1) {
+		t.Fatalf("EnergyPerQoS = %v, want +Inf", s.EnergyPerQoS)
+	}
+}
+
+func TestRecordReturnsQoS(t *testing.T) {
+	var tr Tracker
+	if got := tr.Record(200, 100, 1, false); got != 0.5 {
+		t.Fatalf("Record returned %v", got)
+	}
+}
+
+func TestRecordPanicsOnNegativeEnergy(t *testing.T) {
+	var tr Tracker
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative energy did not panic")
+		}
+	}()
+	tr.Record(1, 1, -1, false)
+}
+
+func TestReset(t *testing.T) {
+	tr, _ := NewTracker(0.8)
+	tr.Record(100, 10, 4, true)
+	tr.Reset()
+	s := tr.Summary()
+	if s.Periods != 0 || s.TotalEnergyJ != 0 || s.Violations != 0 {
+		t.Fatalf("Reset left %+v", s)
+	}
+	// Threshold survives: 0.85 >= 0.8 is not a violation.
+	tr.Record(100, 85, 1, true)
+	if got := tr.Summary().Violations; got != 0 {
+		t.Fatalf("threshold lost after Reset: violations=%d", got)
+	}
+}
+
+// Property: QoS per period is always in [0,1] and the tracker's mean stays
+// in [0,1].
+func TestQoSBoundsProperty(t *testing.T) {
+	f := func(pairs []struct{ D, C uint32 }) bool {
+		var tr Tracker
+		for _, p := range pairs {
+			q := tr.Record(float64(p.D), float64(p.C), 0.1, p.D%2 == 0)
+			if q < 0 || q > 1 {
+				return false
+			}
+		}
+		s := tr.Summary()
+		return s.MeanQoS >= 0 && s.MeanQoS <= 1 && s.Violations <= s.CriticalPeriods
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: energy per QoS is monotone in energy for fixed QoS stream.
+func TestEnergyPerQoSMonotoneProperty(t *testing.T) {
+	f := func(e1, e2 uint16) bool {
+		lo, hi := float64(e1), float64(e1)+float64(e2)+1
+		var a, b Tracker
+		a.Record(100, 90, lo, false)
+		b.Record(100, 90, hi, false)
+		return a.Summary().EnergyPerQoS < b.Summary().EnergyPerQoS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package replay records workload demand traces and plays them back as
+// scenarios.
+//
+// The paper's evaluation runs real applications; offline we generate
+// scenarios stochastically (internal/workload), but a downstream user with
+// real per-period demand traces (e.g. extracted from ftrace/perfetto on a
+// device) can load them here and evaluate every governor on the exact
+// recorded workload. The repository also uses replay to freeze a generated
+// scenario into a byte-identical regression fixture.
+package replay
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+// Period is one recorded control period.
+type Period struct {
+	Demands  []soc.Demand
+	Critical bool
+	Phase    string
+}
+
+// Trace is a recorded demand sequence.
+type Trace struct {
+	Name     string
+	Clusters int
+	Periods  []Period
+}
+
+// Record runs scenario scen for n periods of dtS and captures its demand
+// stream.
+func Record(scen workload.Scenario, n int, dtS float64, seed uint64) (*Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("replay: non-positive period count %d", n)
+	}
+	if dtS <= 0 {
+		return nil, fmt.Errorf("replay: non-positive period %v", dtS)
+	}
+	scen.Reset(seed)
+	t := &Trace{Name: scen.Name()}
+	for i := 0; i < n; i++ {
+		p := scen.Next(dtS)
+		if i == 0 {
+			t.Clusters = len(p.Demands)
+		} else if len(p.Demands) != t.Clusters {
+			return nil, fmt.Errorf("replay: cluster count changed mid-trace at period %d", i)
+		}
+		t.Periods = append(t.Periods, Period{
+			Demands:  append([]soc.Demand(nil), p.Demands...),
+			Critical: p.Critical,
+			Phase:    p.Phase,
+		})
+	}
+	return t, nil
+}
+
+// Validate checks structural invariants.
+func (t *Trace) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("replay: trace has no name")
+	}
+	if t.Clusters < 1 {
+		return fmt.Errorf("replay: trace has %d clusters", t.Clusters)
+	}
+	if len(t.Periods) == 0 {
+		return fmt.Errorf("replay: trace has no periods")
+	}
+	for i, p := range t.Periods {
+		if len(p.Demands) != t.Clusters {
+			return fmt.Errorf("replay: period %d has %d demands, want %d", i, len(p.Demands), t.Clusters)
+		}
+		for c, d := range p.Demands {
+			if d.Cycles < 0 || d.Parallelism < 0 {
+				return fmt.Errorf("replay: period %d cluster %d negative demand", i, c)
+			}
+			if d.Cycles > 0 && d.Parallelism == 0 {
+				return fmt.Errorf("replay: period %d cluster %d demands cycles with no threads", i, c)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV serializes the trace. Format:
+//
+//	# name=<name> clusters=<n>
+//	critical,phase,cycles0,par0[,cycles1,par1...]
+//	...
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# name=%s clusters=%d\n", t.Name, t.Clusters); err != nil {
+		return err
+	}
+	header := []string{"critical", "phase"}
+	for c := 0; c < t.Clusters; c++ {
+		header = append(header, fmt.Sprintf("cycles%d", c), fmt.Sprintf("par%d", c))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, p := range t.Periods {
+		fields := make([]string, 0, 2+2*t.Clusters)
+		crit := "0"
+		if p.Critical {
+			crit = "1"
+		}
+		fields = append(fields, crit, p.Phase)
+		for _, d := range p.Demands {
+			fields = append(fields,
+				strconv.FormatFloat(d.Cycles, 'g', -1, 64),
+				strconv.Itoa(d.Parallelism))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("replay: empty input")
+	}
+	head := sc.Text()
+	t := &Trace{}
+	if _, err := fmt.Sscanf(head, "# name=%s", &t.Name); err != nil {
+		return nil, fmt.Errorf("replay: bad header %q", head)
+	}
+	// The name token may carry the clusters suffix if unspaced; parse
+	// clusters from the full header explicitly.
+	if idx := strings.Index(head, "clusters="); idx >= 0 {
+		n, err := strconv.Atoi(strings.TrimSpace(head[idx+len("clusters="):]))
+		if err != nil {
+			return nil, fmt.Errorf("replay: bad clusters in header %q", head)
+		}
+		t.Clusters = n
+	} else {
+		return nil, fmt.Errorf("replay: header %q missing clusters", head)
+	}
+	t.Name = strings.TrimSpace(strings.TrimSuffix(t.Name, ","))
+	if !sc.Scan() {
+		return nil, fmt.Errorf("replay: missing column header")
+	}
+	wantCols := 2 + 2*t.Clusters
+	line := 2
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		fields := strings.Split(raw, ",")
+		if len(fields) != wantCols {
+			return nil, fmt.Errorf("replay: line %d has %d fields, want %d", line, len(fields), wantCols)
+		}
+		p := Period{Critical: fields[0] == "1", Phase: fields[1]}
+		for c := 0; c < t.Clusters; c++ {
+			cycles, err := strconv.ParseFloat(fields[2+2*c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("replay: line %d cycles%d: %w", line, c, err)
+			}
+			par, err := strconv.Atoi(fields[3+2*c])
+			if err != nil {
+				return nil, fmt.Errorf("replay: line %d par%d: %w", line, c, err)
+			}
+			p.Demands = append(p.Demands, soc.Demand{Cycles: cycles, Parallelism: par})
+		}
+		t.Periods = append(t.Periods, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// scenario replays a trace, looping when it reaches the end.
+type scenario struct {
+	trace *Trace
+	pos   int
+}
+
+// Scenario wraps the trace as a workload.Scenario. Reset rewinds to the
+// start (the seed is ignored: a recorded trace is already deterministic).
+// Playback loops, so runs longer than the trace repeat it.
+func (t *Trace) Scenario() (workload.Scenario, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &scenario{trace: t}, nil
+}
+
+func (s *scenario) Name() string { return s.trace.Name + "-replay" }
+
+func (s *scenario) Reset(uint64) { s.pos = 0 }
+
+func (s *scenario) Next(dtS float64) workload.Period {
+	if dtS <= 0 {
+		panic("replay: non-positive control period")
+	}
+	p := s.trace.Periods[s.pos]
+	s.pos = (s.pos + 1) % len(s.trace.Periods)
+	return workload.Period{
+		Demands:  append([]soc.Demand(nil), p.Demands...),
+		Critical: p.Critical,
+		Phase:    p.Phase,
+	}
+}

@@ -1,0 +1,266 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+func recordedTrace(t *testing.T, n int) *Trace {
+	t.Helper()
+	spec, err := workload.ByName("gaming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := workload.New(spec, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(scen, n, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRecordBasics(t *testing.T) {
+	tr := recordedTrace(t, 100)
+	if tr.Name != "gaming" || tr.Clusters != 2 || len(tr.Periods) != 100 {
+		t.Fatalf("trace shape: %s %d %d", tr.Name, tr.Clusters, len(tr.Periods))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	spec, _ := workload.ByName("idle")
+	scen, _ := workload.New(spec, 2, 1)
+	if _, err := Record(scen, 0, 0.05, 1); err == nil {
+		t.Fatal("zero periods accepted")
+	}
+	if _, err := Record(scen, 10, 0, 1); err == nil {
+		t.Fatal("zero dt accepted")
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	good := recordedTrace(t, 5)
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"no name", func(tr *Trace) { tr.Name = "" }},
+		{"no clusters", func(tr *Trace) { tr.Clusters = 0 }},
+		{"no periods", func(tr *Trace) { tr.Periods = nil }},
+		{"wrong demand count", func(tr *Trace) { tr.Periods[2].Demands = tr.Periods[2].Demands[:1] }},
+		{"negative cycles", func(tr *Trace) { tr.Periods[1].Demands[0].Cycles = -1 }},
+		{"cycles no threads", func(tr *Trace) {
+			tr.Periods[1].Demands[0] = soc.Demand{Cycles: 5, Parallelism: 0}
+		}},
+	}
+	for _, c := range cases {
+		tr := recordedTrace(t, 5)
+		c.mutate(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+		_ = good
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := recordedTrace(t, 200)
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Clusters != tr.Clusters || len(got.Periods) != len(tr.Periods) {
+		t.Fatalf("round trip shape: %+v", got)
+	}
+	for i := range tr.Periods {
+		a, bb := tr.Periods[i], got.Periods[i]
+		if a.Critical != bb.Critical || a.Phase != bb.Phase {
+			t.Fatalf("period %d metadata differs", i)
+		}
+		for c := range a.Demands {
+			if a.Demands[c] != bb.Demands[c] {
+				t.Fatalf("period %d cluster %d demand differs: %v vs %v", i, c, a.Demands[c], bb.Demands[c])
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"# name=x\nheader\n", // missing clusters
+		"# name=x clusters=2\ncritical,phase,cycles0,par0,cycles1,par1\n1,play,100\n",      // short row
+		"# name=x clusters=2\ncritical,phase,cycles0,par0,cycles1,par1\n1,play,a,1,2,1\n",  // bad float
+		"# name=x clusters=2\ncritical,phase,cycles0,par0,cycles1,par1\n1,play,10,x,2,1\n", // bad int
+		"# name=x clusters=2\ncritical,phase,cycles0,par0,cycles1,par1\n1,play,10,0,2,1\n", // cycles w/o threads
+		"# name=x clusters=bad\ncritical,phase\n",                                          // bad clusters
+		"# name=x clusters=2\n", // no column header
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestScenarioReplaysExactly(t *testing.T) {
+	tr := recordedTrace(t, 150)
+	scen, err := tr.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		p := scen.Next(0.05)
+		want := tr.Periods[i]
+		if p.Critical != want.Critical || p.Phase != want.Phase {
+			t.Fatalf("period %d metadata differs", i)
+		}
+		for c := range want.Demands {
+			if p.Demands[c] != want.Demands[c] {
+				t.Fatalf("period %d demand differs", i)
+			}
+		}
+	}
+}
+
+func TestScenarioLoops(t *testing.T) {
+	tr := recordedTrace(t, 10)
+	scen, _ := tr.Scenario()
+	for i := 0; i < 10; i++ {
+		scen.Next(0.05)
+	}
+	p := scen.Next(0.05) // wrapped
+	want := tr.Periods[0]
+	if p.Phase != want.Phase || p.Demands[0] != want.Demands[0] {
+		t.Fatal("replay did not loop to the start")
+	}
+}
+
+func TestScenarioResetRewinds(t *testing.T) {
+	tr := recordedTrace(t, 20)
+	scen, _ := tr.Scenario()
+	first := scen.Next(0.05)
+	for i := 0; i < 7; i++ {
+		scen.Next(0.05)
+	}
+	scen.Reset(12345) // seed ignored
+	again := scen.Next(0.05)
+	if first.Phase != again.Phase || first.Demands[1] != again.Demands[1] {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestScenarioName(t *testing.T) {
+	tr := recordedTrace(t, 5)
+	scen, _ := tr.Scenario()
+	if scen.Name() != "gaming-replay" {
+		t.Fatalf("Name = %q", scen.Name())
+	}
+}
+
+func TestScenarioPanicsOnBadDt(t *testing.T) {
+	tr := recordedTrace(t, 5)
+	scen, _ := tr.Scenario()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dt=0 did not panic")
+		}
+	}()
+	scen.Next(0)
+}
+
+func TestReplayDrivesSimulationIdentically(t *testing.T) {
+	// A replayed trace must produce the same simulation outcome as the
+	// live scenario it was recorded from.
+	spec, _ := workload.ByName("video")
+	live, _ := workload.New(spec, 2, 4)
+	const periods = 400
+	tr, err := Record(live, periods, 0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayScen, _ := tr.Scenario()
+
+	run := func(scen workload.Scenario) float64 {
+		chip, err := soc.NewChip(soc.DefaultChipSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(chip, scen, &pin{level: 4}, sim.Config{
+			PeriodS: 0.05, DurationS: float64(periods) * 0.05, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.QoS.TotalEnergyJ
+	}
+	if a, b := run(live), run(replayScen); a != b {
+		t.Fatalf("replay diverged from live: %v vs %v", a, b)
+	}
+}
+
+type pin struct{ level int }
+
+func (g *pin) Name() string { return "pin" }
+func (g *pin) Reset()       {}
+func (g *pin) Decide(obs []sim.Observation) []int {
+	out := make([]int, len(obs))
+	for i := range out {
+		out[i] = g.level
+	}
+	return out
+}
+
+// Property: any recorded trace survives a CSV round trip bit-identically.
+func TestCSVRoundTripProperty(t *testing.T) {
+	specs := workload.AllSpecs()
+	f := func(seed uint64, which uint8, nRaw uint8) bool {
+		spec := specs[int(which)%len(specs)]
+		scen, err := workload.New(spec, 2, seed)
+		if err != nil {
+			return false
+		}
+		n := int(nRaw%50) + 1
+		tr, err := Record(scen, n, 0.05, seed)
+		if err != nil {
+			return false
+		}
+		var b strings.Builder
+		if err := tr.WriteCSV(&b); err != nil {
+			return false
+		}
+		got, err := ReadCSV(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		if got.Name != tr.Name || len(got.Periods) != len(tr.Periods) {
+			return false
+		}
+		for i := range tr.Periods {
+			for c := range tr.Periods[i].Demands {
+				if got.Periods[i].Demands[c] != tr.Periods[i].Demands[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package sched models the big.LITTLE task scheduler that sits between
+// the applications and the clusters.
+//
+// The generator scenarios in internal/workload hardwire which cluster each
+// demand stream runs on. Real systems don't: an HMP/EAS-style scheduler
+// watches per-task load and migrates tasks between the LITTLE and big
+// clusters with hysteresis. This package reproduces that layer — periods
+// are decomposed into per-thread tasks, the scheduler places each task,
+// and the result is fed to the chip as per-cluster demands. The governor
+// under test then manages frequencies on top of scheduler-produced load,
+// exactly as on a device.
+package sched
+
+import (
+	"fmt"
+
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+// Task is one runnable thread's demand for a control period.
+type Task struct {
+	// ID is stable across periods for threads of the same stream index,
+	// so migration hysteresis has an identity to attach to.
+	ID int
+	// Cycles this task wants to execute this period, expressed in the
+	// cycles of its origin cluster.
+	Cycles float64
+	// Origin is the cluster the demand was calibrated for; migrating the
+	// task converts its cycle count by the clusters' IPC ratio.
+	Origin int
+}
+
+// Decompose splits a workload period's per-cluster demands into per-thread
+// tasks: each cluster's cycle demand divides evenly over its parallelism.
+// Task IDs encode (origin cluster, thread index) so they are stable.
+func Decompose(p workload.Period) []Task {
+	var tasks []Task
+	for c, d := range p.Demands {
+		if d.Parallelism == 0 || d.Cycles == 0 {
+			continue
+		}
+		per := d.Cycles / float64(d.Parallelism)
+		for i := 0; i < d.Parallelism; i++ {
+			tasks = append(tasks, Task{ID: c*64 + i, Cycles: per, Origin: c})
+		}
+	}
+	return tasks
+}
+
+// ClusterCap describes one cluster's placement-relevant capacity.
+type ClusterCap struct {
+	MaxFreqHz float64
+	Cores     int
+	// IPC is the cluster's relative work per cycle (see soc.ClusterSpec).
+	IPC float64
+}
+
+// CapsOf extracts placement capacities from a chip.
+func CapsOf(chip *soc.Chip) []ClusterCap {
+	caps := make([]ClusterCap, chip.NumClusters())
+	for i := range caps {
+		cl := chip.Cluster(i)
+		caps[i] = ClusterCap{
+			MaxFreqHz: cl.OPPAt(cl.NumLevels() - 1).FreqHz,
+			Cores:     cl.Spec().NumCores,
+			IPC:       cl.Spec().IPC,
+		}
+	}
+	return caps
+}
+
+// convert re-expresses a task's cycle demand in the cycles of the cluster
+// it is placed on: work is cycles·IPC_origin, so cycles on the target are
+// work / IPC_target.
+func convert(t Task, caps []ClusterCap, target int) float64 {
+	if t.Origin == target || len(caps) == 0 {
+		return t.Cycles
+	}
+	return t.Cycles * caps[t.Origin].IPC / caps[target].IPC
+}
+
+// Scheduler places tasks onto clusters for one period.
+type Scheduler interface {
+	Name() string
+	// Assign returns one demand per cluster in caps. dtS is the period.
+	Assign(tasks []Task, caps []ClusterCap, dtS float64) []soc.Demand
+	// Reset clears migration state.
+	Reset()
+}
+
+// HMP is the heterogeneous multi-processing scheduler: a task migrates up
+// to the big cluster when its required speed exceeds UpRatio of a LITTLE
+// core at maximum frequency, and back down when it falls below DownRatio —
+// the classic up/down-migration thresholds with hysteresis. The defaults
+// (60/25) migrate tasks up well before they would saturate a LITTLE core,
+// leaving DVFS headroom, which is how shipping HMP tunings behave. Within a
+// cluster, tasks pack onto cores up to the core count; overflow tasks of
+// the LITTLE cluster spill upward (and vice versa when big is full).
+//
+// HMP assumes caps[0] is the LITTLE cluster and caps[1] the big cluster.
+type HMP struct {
+	UpRatio   float64 // default 0.60
+	DownRatio float64 // default 0.25
+	placement map[int]int
+}
+
+// NewHMP returns an HMP scheduler with 60/25 thresholds.
+func NewHMP() *HMP {
+	return &HMP{UpRatio: 0.60, DownRatio: 0.25, placement: map[int]int{}}
+}
+
+// Name implements Scheduler.
+func (*HMP) Name() string { return "hmp" }
+
+// Reset implements Scheduler.
+func (h *HMP) Reset() { h.placement = map[int]int{} }
+
+// Assign implements Scheduler.
+func (h *HMP) Assign(tasks []Task, caps []ClusterCap, dtS float64) []soc.Demand {
+	if len(caps) != 2 {
+		panic(fmt.Sprintf("sched: HMP requires exactly 2 clusters, got %d", len(caps)))
+	}
+	if dtS <= 0 {
+		panic("sched: non-positive period")
+	}
+	littleCoreCap := caps[0].MaxFreqHz * dtS
+
+	demands := make([]soc.Demand, 2)
+	slots := []int{caps[0].Cores, caps[1].Cores}
+
+	place := func(t Task, cluster int) {
+		// Spill to the other cluster when full; if both are full, keep
+		// the preferred cluster (the demand just oversubscribes it).
+		if slots[cluster] == 0 && slots[1-cluster] > 0 {
+			cluster = 1 - cluster
+		}
+		if slots[cluster] > 0 {
+			slots[cluster]--
+		}
+		demands[cluster].Cycles += convert(t, caps, cluster)
+		demands[cluster].Parallelism++
+		h.placement[t.ID] = cluster
+	}
+
+	for _, t := range tasks {
+		// Fraction of a max-speed LITTLE core this task needs.
+		required := convert(t, caps, 0) / littleCoreCap
+		prev, seen := h.placement[t.ID]
+		var want int
+		switch {
+		case required >= h.UpRatio:
+			want = 1
+		case required <= h.DownRatio:
+			want = 0
+		case seen:
+			want = prev // hysteresis band: stay put
+		default:
+			want = 0 // new mid-load tasks start small
+		}
+		place(t, want)
+	}
+	return demands
+}
+
+// RoundRobin is the naive baseline scheduler: tasks alternate clusters
+// with no load awareness. It exists to show in the ablation what HMP's
+// placement buys.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns the baseline scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Scheduler.
+func (*RoundRobin) Name() string { return "roundrobin" }
+
+// Reset implements Scheduler.
+func (r *RoundRobin) Reset() { r.next = 0 }
+
+// Assign implements Scheduler.
+func (r *RoundRobin) Assign(tasks []Task, caps []ClusterCap, dtS float64) []soc.Demand {
+	if dtS <= 0 {
+		panic("sched: non-positive period")
+	}
+	demands := make([]soc.Demand, len(caps))
+	for _, t := range tasks {
+		c := r.next % len(caps)
+		r.next++
+		demands[c].Cycles += convert(t, caps, c)
+		demands[c].Parallelism++
+	}
+	return demands
+}
+
+// Scenario wraps a workload scenario so that its demands flow through a
+// scheduler before reaching the chip: decompose into tasks, place, emit.
+type Scenario struct {
+	inner workload.Scenario
+	sched Scheduler
+	caps  []ClusterCap
+}
+
+// NewScenario builds the scheduler-mediated scenario. caps must describe
+// the chip the simulation will run on.
+func NewScenario(inner workload.Scenario, s Scheduler, caps []ClusterCap) (*Scenario, error) {
+	if inner == nil || s == nil {
+		return nil, fmt.Errorf("sched: nil scenario or scheduler")
+	}
+	if len(caps) == 0 {
+		return nil, fmt.Errorf("sched: no cluster capacities")
+	}
+	for i, c := range caps {
+		if c.MaxFreqHz <= 0 || c.Cores <= 0 {
+			return nil, fmt.Errorf("sched: invalid capacity for cluster %d: %+v", i, c)
+		}
+	}
+	return &Scenario{inner: inner, sched: s, caps: caps}, nil
+}
+
+// Name implements workload.Scenario.
+func (s *Scenario) Name() string { return s.inner.Name() + "+" + s.sched.Name() }
+
+// Reset implements workload.Scenario.
+func (s *Scenario) Reset(seed uint64) {
+	s.inner.Reset(seed)
+	s.sched.Reset()
+}
+
+// Next implements workload.Scenario.
+func (s *Scenario) Next(dtS float64) workload.Period {
+	p := s.inner.Next(dtS)
+	tasks := Decompose(p)
+	return workload.Period{
+		Demands:  s.sched.Assign(tasks, s.caps, dtS),
+		Critical: p.Critical,
+		Phase:    p.Phase,
+	}
+}

@@ -1,0 +1,322 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+func defaultCaps(t *testing.T) []ClusterCap {
+	t.Helper()
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CapsOf(chip)
+}
+
+func TestCapsOf(t *testing.T) {
+	caps := defaultCaps(t)
+	if len(caps) != 2 {
+		t.Fatalf("caps = %d", len(caps))
+	}
+	if caps[0].MaxFreqHz != 1800e6 || caps[0].Cores != 4 {
+		t.Fatalf("little caps %+v", caps[0])
+	}
+	if caps[1].MaxFreqHz != 2300e6 || caps[1].Cores != 4 {
+		t.Fatalf("big caps %+v", caps[1])
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	p := workload.Period{
+		Demands: []soc.Demand{
+			{Cycles: 100, Parallelism: 2},
+			{Cycles: 300, Parallelism: 3},
+		},
+	}
+	tasks := Decompose(p)
+	if len(tasks) != 5 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	if tasks[0].Cycles != 50 || tasks[2].Cycles != 100 {
+		t.Fatalf("per-task cycles wrong: %+v", tasks)
+	}
+	// IDs stable and distinct per (cluster, index).
+	seen := map[int]bool{}
+	for _, task := range tasks {
+		if seen[task.ID] {
+			t.Fatalf("duplicate task ID %d", task.ID)
+		}
+		seen[task.ID] = true
+	}
+}
+
+func TestDecomposeSkipsIdle(t *testing.T) {
+	p := workload.Period{Demands: []soc.Demand{{}, {Cycles: 0, Parallelism: 3}}}
+	if got := Decompose(p); len(got) != 0 {
+		t.Fatalf("idle decompose = %v", got)
+	}
+}
+
+func TestHMPPlacesLightTasksLittle(t *testing.T) {
+	h := NewHMP()
+	caps := defaultCaps(t)
+	// 10e6 cycles per 50 ms = 200 MHz required — far below 60% of an
+	// 1800 MHz LITTLE core.
+	tasks := []Task{{ID: 1, Cycles: 10e6}, {ID: 2, Cycles: 5e6}}
+	d := h.Assign(tasks, caps, 0.05)
+	if d[0].Parallelism != 2 || d[1].Parallelism != 0 {
+		t.Fatalf("light tasks not on LITTLE: %+v", d)
+	}
+	if d[0].Cycles != 15e6 {
+		t.Fatalf("cycles = %v", d[0].Cycles)
+	}
+}
+
+func TestHMPPlacesHeavyTasksBig(t *testing.T) {
+	h := NewHMP()
+	caps := defaultCaps(t)
+	// 80e6 cycles per 50 ms = 1.6 GHz required — ≥ 60% of 1.8 GHz.
+	tasks := []Task{{ID: 1, Cycles: 80e6}}
+	d := h.Assign(tasks, caps, 0.05)
+	if d[1].Parallelism != 1 || d[0].Parallelism != 0 {
+		t.Fatalf("heavy task not on big: %+v", d)
+	}
+}
+
+func TestHMPHysteresis(t *testing.T) {
+	h := NewHMP()
+	caps := defaultCaps(t)
+	heavy := []Task{{ID: 7, Cycles: 80e6}}
+	_ = h.Assign(heavy, caps, 0.05) // migrates up
+
+	// Mid-band load (between 25% and 60% of LITTLE max): stays on big.
+	mid := []Task{{ID: 7, Cycles: 45e6}} // 0.9 GHz = 50% of LITTLE max
+	d := h.Assign(mid, caps, 0.05)
+	if d[1].Parallelism != 1 {
+		t.Fatalf("hysteresis broken, task moved down: %+v", d)
+	}
+
+	// Below the down threshold: migrates back.
+	light := []Task{{ID: 7, Cycles: 20e6}} // 400 MHz = 22% < 25%
+	d = h.Assign(light, caps, 0.05)
+	if d[0].Parallelism != 1 {
+		t.Fatalf("down-migration broken: %+v", d)
+	}
+
+	// Mid-band again: now stays on LITTLE.
+	d = h.Assign(mid, caps, 0.05)
+	if d[0].Parallelism != 1 {
+		t.Fatalf("hysteresis after down-migration broken: %+v", d)
+	}
+}
+
+func TestHMPNewMidTasksStartLittle(t *testing.T) {
+	h := NewHMP()
+	caps := defaultCaps(t)
+	d := h.Assign([]Task{{ID: 42, Cycles: 45e6}}, caps, 0.05)
+	if d[0].Parallelism != 1 {
+		t.Fatalf("new mid-load task not on LITTLE: %+v", d)
+	}
+}
+
+func TestHMPSpillsWhenFull(t *testing.T) {
+	h := NewHMP()
+	caps := defaultCaps(t)
+	// Six light tasks, four LITTLE cores: two must spill to big.
+	var tasks []Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, Task{ID: i, Cycles: 5e6})
+	}
+	d := h.Assign(tasks, caps, 0.05)
+	if d[0].Parallelism != 4 || d[1].Parallelism != 2 {
+		t.Fatalf("spill wrong: %+v", d)
+	}
+}
+
+func TestHMPConservesWork(t *testing.T) {
+	h := NewHMP()
+	caps := defaultCaps(t)
+	// Little-origin tasks: 10e6, 90e6, 45e6, 2e6. The 90e6 task (100% of
+	// a max-speed LITTLE core) migrates up and its cycle count converts
+	// by the IPC ratio; work (cycles·IPC) is conserved.
+	tasks := []Task{{ID: 1, Cycles: 10e6}, {ID: 2, Cycles: 90e6}, {ID: 3, Cycles: 45e6}, {ID: 4, Cycles: 2e6}}
+	d := h.Assign(tasks, caps, 0.05)
+	var work float64
+	var par int
+	for c, dem := range d {
+		work += dem.Cycles * caps[c].IPC
+		par += dem.Parallelism
+	}
+	wantWork := 147e6 * caps[0].IPC
+	if diff := work - wantWork; diff > 1 || diff < -1 || par != 4 {
+		t.Fatalf("work not conserved: %v (want %v), %d tasks", work, wantWork, par)
+	}
+	if d[0].Cycles != 57e6 {
+		t.Fatalf("little cycles = %v, want 57e6", d[0].Cycles)
+	}
+	wantBig := 90e6 * caps[0].IPC / caps[1].IPC
+	if diff := d[1].Cycles - wantBig; diff > 1 || diff < -1 {
+		t.Fatalf("big cycles = %v, want %v", d[1].Cycles, wantBig)
+	}
+}
+
+func TestHMPPanicsOnBadInput(t *testing.T) {
+	h := NewHMP()
+	caps := defaultCaps(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("3-cluster caps accepted")
+			}
+		}()
+		h.Assign(nil, append(caps, caps[0]), 0.05)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("dt=0 accepted")
+			}
+		}()
+		h.Assign(nil, caps, 0)
+	}()
+}
+
+func TestHMPResetClearsPlacement(t *testing.T) {
+	h := NewHMP()
+	caps := defaultCaps(t)
+	_ = h.Assign([]Task{{ID: 7, Cycles: 80e6}}, caps, 0.05) // up
+	h.Reset()
+	// Mid-band after reset: treated as new → LITTLE.
+	d := h.Assign([]Task{{ID: 7, Cycles: 45e6}}, caps, 0.05)
+	if d[0].Parallelism != 1 {
+		t.Fatalf("placement survived Reset: %+v", d)
+	}
+}
+
+func TestRoundRobinAlternates(t *testing.T) {
+	r := NewRoundRobin()
+	caps := defaultCaps(t)
+	tasks := []Task{{ID: 1, Cycles: 10}, {ID: 2, Cycles: 10}, {ID: 3, Cycles: 10}, {ID: 4, Cycles: 10}}
+	d := r.Assign(tasks, caps, 0.05)
+	if d[0].Parallelism != 2 || d[1].Parallelism != 2 {
+		t.Fatalf("round robin uneven: %+v", d)
+	}
+	r.Reset()
+	d = r.Assign(tasks[:1], caps, 0.05)
+	if d[0].Parallelism != 1 {
+		t.Fatalf("reset did not restart rotation: %+v", d)
+	}
+}
+
+func TestNewScenarioValidation(t *testing.T) {
+	spec, _ := workload.ByName("video")
+	inner, _ := workload.New(spec, 2, 1)
+	caps := defaultCaps(t)
+	if _, err := NewScenario(nil, NewHMP(), caps); err == nil {
+		t.Error("nil scenario accepted")
+	}
+	if _, err := NewScenario(inner, nil, caps); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := NewScenario(inner, NewHMP(), nil); err == nil {
+		t.Error("nil caps accepted")
+	}
+	if _, err := NewScenario(inner, NewHMP(), []ClusterCap{{0, 4, 1}, {1e9, 4, 1.7}}); err == nil {
+		t.Error("zero-frequency cap accepted")
+	}
+}
+
+func TestScenarioThroughSimulation(t *testing.T) {
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := workload.ByName("gaming")
+	inner, _ := workload.New(spec, 2, 1)
+	scen, err := NewScenario(inner, NewHMP(), CapsOf(chip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scen.Name() != "gaming+hmp" {
+		t.Fatalf("Name = %q", scen.Name())
+	}
+	res, err := sim.Run(chip, scen, fixedGov{}, sim.Config{PeriodS: 0.05, DurationS: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QoS.Periods != 200 || res.QoS.TotalEnergyJ <= 0 {
+		t.Fatalf("scheduled run degenerate: %+v", res.QoS)
+	}
+}
+
+func TestHMPMoreEfficientThanRoundRobin(t *testing.T) {
+	// Load-aware placement keeps light work on the efficient cluster;
+	// blind alternation burns big-cluster energy on it. On the light
+	// "mixed" workload HMP must finish with less energy per useful QoS.
+	run := func(s Scheduler) (eq, q float64) {
+		chip, _ := soc.NewChip(soc.DefaultChipSpec())
+		spec, _ := workload.ByName("mixed")
+		inner, _ := workload.New(spec, 2, 1)
+		scen, err := NewScenario(inner, s, CapsOf(chip))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(chip, scen, fixedGov{}, sim.Config{PeriodS: 0.05, DurationS: 60, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.QoS.EnergyPerQoS, res.QoS.MeanQoS
+	}
+	hmpEQ, hmpQ := run(NewHMP())
+	rrEQ, rrQ := run(NewRoundRobin())
+	if hmpEQ >= rrEQ {
+		t.Fatalf("HMP energy/QoS %v >= round-robin %v", hmpEQ, rrEQ)
+	}
+	if hmpQ < rrQ-0.05 {
+		t.Fatalf("HMP gave up too much QoS: %v vs %v", hmpQ, rrQ)
+	}
+}
+
+type fixedGov struct{}
+
+func (fixedGov) Name() string { return "fixed-mid" }
+func (fixedGov) Reset()       {}
+func (fixedGov) Decide(obs []sim.Observation) []int {
+	out := make([]int, len(obs))
+	for i, o := range obs {
+		out[i] = o.NumLevels / 2
+	}
+	return out
+}
+
+// Property: HMP conserves total work and task count for any task set
+// (equal IPCs, so cycles are work).
+func TestHMPConservationProperty(t *testing.T) {
+	caps := []ClusterCap{{MaxFreqHz: 1.8e9, Cores: 4, IPC: 1}, {MaxFreqHz: 2.3e9, Cores: 4, IPC: 1}}
+	f := func(raw []uint32) bool {
+		h := NewHMP()
+		var tasks []Task
+		var want float64
+		for i, v := range raw {
+			c := float64(v % 200e6)
+			tasks = append(tasks, Task{ID: i, Cycles: c})
+			want += c
+		}
+		d := h.Assign(tasks, caps, 0.05)
+		var got float64
+		par := 0
+		for _, dem := range d {
+			got += dem.Cycles
+			par += dem.Parallelism
+		}
+		return got == want && par == len(tasks)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package sim runs the closed control loop: scenario → chip → governor.
+//
+// Each control period the scenario presents per-cluster cycle demands, the
+// chip executes them at the current OPPs, the QoS tracker scores the
+// service ratio, and the governor observes the outcome and sets the OPPs
+// for the next period — exactly the cadence of a cpufreq governor's
+// periodic callback. Both the six baseline governors and the RL policy
+// implement the same Governor interface, so the comparison in Table 1 is
+// apples to apples.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"rlpm/internal/qos"
+	"rlpm/internal/rng"
+	"rlpm/internal/soc"
+	"rlpm/internal/trace"
+	"rlpm/internal/workload"
+)
+
+// Observation is what a governor sees about one cluster after a period.
+type Observation struct {
+	// Utilization is the busiest-core utilization: completed cycles over
+	// the capacity of the cores the workload could use, in [0,1].
+	Utilization float64
+	// DemandRatio is demanded cycles over the capacity of the cores the
+	// workload could use at the period's frequency — the speedup factor
+	// the cluster would have needed to serve the demand fully. May exceed
+	// 1 when oversubscribed; 0 when idle.
+	DemandRatio float64
+	// QoS is the chip-wide service ratio of the period, in [0,1].
+	QoS float64
+	// ClusterQoS is this cluster's own service ratio (1 when it had no
+	// demand) — the per-agent credit-assignment signal.
+	ClusterQoS float64
+	// Critical reports whether the period carried a deadline.
+	Critical bool
+	// Level is the OPP index in effect during the period.
+	Level int
+	// NumLevels is the size of the cluster's OPP table.
+	NumLevels int
+	// FreqsHz is the cluster's OPP frequency table (ascending, shared
+	// slice — governors must not mutate it).
+	FreqsHz []float64
+	// EnergyJ is the whole-chip energy of the period (clusters + uncore).
+	EnergyJ float64
+	// ClusterEnergyJ is this cluster's energy plus an equal share of the
+	// uncore energy — the attribution the policy's reward uses so each
+	// cluster's agent sees the consequences of its own level choice.
+	ClusterEnergyJ float64
+	// TempC is the cluster junction temperature.
+	TempC float64
+	// Throttled reports whether the thermal governor capped the level.
+	Throttled bool
+	// PeriodS is the control period length.
+	PeriodS float64
+}
+
+// Governor decides the next OPP level for every cluster.
+//
+// Decide receives one Observation per cluster describing the period that
+// just ended and returns the OPP level to use for the next period for each
+// cluster. Implementations may learn online inside Decide.
+type Governor interface {
+	Name() string
+	Decide(obs []Observation) []int
+	// Reset returns the governor to its initial state (clears learned
+	// state for learning governors).
+	Reset()
+}
+
+// Config parameterizes a run.
+type Config struct {
+	PeriodS   float64 // control period, e.g. 0.05
+	DurationS float64 // total simulated time
+	Seed      uint64  // scenario seed
+	// ViolationThreshold overrides qos.DefaultViolationThreshold when > 0.
+	ViolationThreshold float64
+	// ObsNoiseCV adds multiplicative log-normal noise (with this
+	// coefficient of variation) to the Utilization and DemandRatio every
+	// governor observes — modeling the sampling noise of real cpufreq
+	// accounting, which sees scheduler tick quantization, idle-state
+	// bookkeeping skew, and aliasing. Zero (the default) disables it.
+	// Ground-truth energy/QoS accounting is never perturbed.
+	ObsNoiseCV float64
+	// Recorder, when non-nil, receives one row per period with columns
+	// time plus, per cluster i: level_i, util_i; plus power, qos.
+	Recorder *trace.Recorder
+}
+
+// Validate checks the config.
+func (c Config) Validate() error {
+	if c.PeriodS <= 0 {
+		return fmt.Errorf("sim: non-positive period %v", c.PeriodS)
+	}
+	if c.DurationS < c.PeriodS {
+		return fmt.Errorf("sim: duration %v shorter than one period %v", c.DurationS, c.PeriodS)
+	}
+	if c.ViolationThreshold < 0 || c.ViolationThreshold > 1 {
+		return fmt.Errorf("sim: violation threshold %v out of [0,1]", c.ViolationThreshold)
+	}
+	if c.ObsNoiseCV < 0 {
+		return fmt.Errorf("sim: negative observation noise %v", c.ObsNoiseCV)
+	}
+	return nil
+}
+
+// RecorderColumns returns the trace column set Run expects for a chip with
+// n clusters. Pass them to trace.NewRecorder when supplying Config.Recorder.
+func RecorderColumns(n int) []string {
+	cols := make([]string, 0, 2*n+3)
+	for i := 0; i < n; i++ {
+		cols = append(cols, fmt.Sprintf("level%d", i))
+	}
+	for i := 0; i < n; i++ {
+		cols = append(cols, fmt.Sprintf("util%d", i))
+	}
+	return append(cols, "power", "qos", "critical")
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Governor string
+	Scenario string
+	QoS      qos.Summary
+	// Decisions counts governor invocations (one per period).
+	Decisions int
+	// Switches counts DVFS transitions across all clusters — the metric
+	// behind the transition-cost ablation (jumpy governors pay more).
+	Switches uint64
+}
+
+// Run simulates scenario scen on chip under governor gov. The chip and
+// scenario are reset first so runs are independent; the governor is NOT
+// reset, allowing pre-trained policies to be evaluated (call gov.Reset
+// yourself for a cold start).
+func Run(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	chip.Reset()
+	scen.Reset(cfg.Seed)
+
+	threshold := cfg.ViolationThreshold
+	if threshold == 0 {
+		threshold = qos.DefaultViolationThreshold
+	}
+	tracker, err := qos.NewTracker(threshold)
+	if err != nil {
+		return Result{}, err
+	}
+
+	n := chip.NumClusters()
+	freqs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		cl := chip.Cluster(i)
+		freqs[i] = make([]float64, cl.NumLevels())
+		for l := range freqs[i] {
+			freqs[i][l] = cl.OPPAt(l).FreqHz
+		}
+	}
+	obs := make([]Observation, n)
+	for i := 0; i < n; i++ {
+		cl := chip.Cluster(i)
+		obs[i] = Observation{
+			Level:     cl.Level(),
+			NumLevels: cl.NumLevels(),
+			FreqsHz:   freqs[i],
+			QoS:       1,
+			TempC:     cl.TempC(),
+			PeriodS:   cfg.PeriodS,
+		}
+	}
+
+	// Observation-noise stream: deterministic, independent of the
+	// workload's streams so enabling noise never perturbs the demands.
+	var noise *rng.Rand
+	var noiseSigma float64
+	if cfg.ObsNoiseCV > 0 {
+		noise = rng.NewStream(cfg.Seed, 0xB055)
+		sigma2 := math.Log(1 + cfg.ObsNoiseCV*cfg.ObsNoiseCV)
+		noiseSigma = math.Sqrt(sigma2)
+	}
+	perturb := func(v float64) float64 {
+		if noise == nil {
+			return v
+		}
+		return v * noise.LogNorm(-noiseSigma*noiseSigma/2, noiseSigma)
+	}
+
+	steps := int(cfg.DurationS / cfg.PeriodS)
+	res := Result{Governor: gov.Name(), Scenario: scen.Name()}
+	for step := 0; step < steps; step++ {
+		// Governor sets levels based on the previous period's observations.
+		levels := gov.Decide(obs)
+		if len(levels) != n {
+			return Result{}, fmt.Errorf("sim: governor %s returned %d levels for %d clusters", gov.Name(), len(levels), n)
+		}
+		for i, lvl := range levels {
+			chip.Cluster(i).SetLevel(lvl)
+		}
+		res.Decisions++
+
+		period := scen.Next(cfg.PeriodS)
+		if len(period.Demands) != n {
+			return Result{}, fmt.Errorf("sim: scenario %s emitted %d demands for %d clusters", scen.Name(), len(period.Demands), n)
+		}
+		chipRes, err := chip.Step(period.Demands, cfg.PeriodS)
+		if err != nil {
+			return Result{}, err
+		}
+
+		var demanded, completed float64
+		for i, d := range period.Demands {
+			demanded += d.Cycles
+			completed += chipRes.Clusters[i].CompletedCycles
+		}
+		q := tracker.Record(demanded, completed, chipRes.EnergyJ, period.Critical)
+
+		uncoreShare := chipRes.UncorePowerW * cfg.PeriodS / float64(n)
+		for i := range obs {
+			cr := chipRes.Clusters[i]
+			dr := 0.0
+			if cr.CapacityCycles > 0 {
+				dr = period.Demands[i].Cycles / cr.CapacityCycles
+			}
+			util := cr.Utilization
+			if noise != nil {
+				util = perturb(util)
+				if util > 1 {
+					util = 1
+				}
+				dr = perturb(dr)
+			}
+			obs[i] = Observation{
+				Utilization:    util,
+				DemandRatio:    dr,
+				QoS:            q,
+				ClusterQoS:     qos.PeriodQoS(period.Demands[i].Cycles, cr.CompletedCycles),
+				Critical:       period.Critical,
+				Level:          chip.Cluster(i).Level(),
+				NumLevels:      chip.Cluster(i).NumLevels(),
+				FreqsHz:        freqs[i],
+				EnergyJ:        chipRes.EnergyJ,
+				ClusterEnergyJ: cr.EnergyJ + uncoreShare,
+				TempC:          cr.TempC,
+				Throttled:      cr.Throttled,
+				PeriodS:        cfg.PeriodS,
+			}
+		}
+
+		if cfg.Recorder != nil {
+			row := make(map[string]float64, 2*n+3)
+			for i := 0; i < n; i++ {
+				row[fmt.Sprintf("level%d", i)] = float64(chipRes.Clusters[i].Level)
+				row[fmt.Sprintf("util%d", i)] = chipRes.Clusters[i].Utilization
+			}
+			var power float64
+			for _, cr := range chipRes.Clusters {
+				power += cr.PowerW()
+			}
+			power += chipRes.UncorePowerW
+			row["power"] = power
+			row["qos"] = q
+			if period.Critical {
+				row["critical"] = 1
+			} else {
+				row["critical"] = 0
+			}
+			if err := cfg.Recorder.Record(float64(step)*cfg.PeriodS, row); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	res.QoS = tracker.Summary()
+	for i := 0; i < n; i++ {
+		res.Switches += chip.Cluster(i).Switches()
+	}
+	return res, nil
+}
+
+// RunEpisodes runs the same (chip, scenario, governor) tuple for episodes
+// consecutive episodes with per-episode seeds derived from cfg.Seed,
+// returning every episode's result in order. The governor persists across
+// episodes — this is the paper's online-learning setting where the policy
+// keeps adapting across scenario repetitions.
+func RunEpisodes(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config, episodes int) ([]Result, error) {
+	if episodes <= 0 {
+		return nil, fmt.Errorf("sim: non-positive episode count %d", episodes)
+	}
+	out := make([]Result, 0, episodes)
+	for ep := 0; ep < episodes; ep++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(ep)*0x9e3779b9
+		r, err := Run(chip, scen, gov, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"rlpm/internal/soc"
+	"rlpm/internal/trace"
+	"rlpm/internal/workload"
+)
+
+// fixedGovernor pins every cluster at one level and counts invocations.
+type fixedGovernor struct {
+	level int
+	calls int
+}
+
+func (g *fixedGovernor) Name() string { return "fixed" }
+func (g *fixedGovernor) Reset()       { g.calls = 0 }
+func (g *fixedGovernor) Decide(obs []Observation) []int {
+	g.calls++
+	out := make([]int, len(obs))
+	for i := range out {
+		out[i] = g.level
+	}
+	return out
+}
+
+// badGovernor returns the wrong number of levels.
+type badGovernor struct{}
+
+func (badGovernor) Name() string                 { return "bad" }
+func (badGovernor) Reset()                       {}
+func (badGovernor) Decide(o []Observation) []int { return make([]int, len(o)+1) }
+
+func testChip(t *testing.T) *soc.Chip {
+	t.Helper()
+	ch, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func testScenario(t *testing.T, name string) workload.Scenario {
+	t.Helper()
+	spec, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := workload.New(spec, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{PeriodS: 0.05, DurationS: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{PeriodS: 0, DurationS: 10},
+		{PeriodS: 0.05, DurationS: 0.01},
+		{PeriodS: 0.05, DurationS: 10, ViolationThreshold: -1},
+		{PeriodS: 0.05, DurationS: 10, ViolationThreshold: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	ch := testChip(t)
+	scen := testScenario(t, "video")
+	gov := &fixedGovernor{level: 4}
+	res, err := Run(ch, scen, gov, Config{PeriodS: 0.05, DurationS: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Governor != "fixed" || res.Scenario != "video" {
+		t.Fatalf("labels: %+v", res)
+	}
+	wantPeriods := int(10 / 0.05)
+	if res.QoS.Periods != wantPeriods || res.Decisions != wantPeriods {
+		t.Fatalf("periods=%d decisions=%d, want %d", res.QoS.Periods, res.Decisions, wantPeriods)
+	}
+	if res.QoS.TotalEnergyJ <= 0 {
+		t.Fatal("no energy accumulated")
+	}
+	if res.QoS.MeanQoS <= 0 || res.QoS.MeanQoS > 1 {
+		t.Fatalf("MeanQoS = %v", res.QoS.MeanQoS)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{PeriodS: 0.05, DurationS: 20, Seed: 42}
+	a, err := Run(testChip(t), testScenario(t, "gaming"), &fixedGovernor{level: 5}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testChip(t), testScenario(t, "gaming"), &fixedGovernor{level: 5}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.QoS != b.QoS {
+		t.Fatalf("non-deterministic: %+v vs %+v", a.QoS, b.QoS)
+	}
+}
+
+func TestRunPerformanceBeatsPowersaveOnQoS(t *testing.T) {
+	cfg := Config{PeriodS: 0.05, DurationS: 30, Seed: 7}
+	hi, err := Run(testChip(t), testScenario(t, "gaming"), &fixedGovernor{level: 99}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Run(testChip(t), testScenario(t, "gaming"), &fixedGovernor{level: 0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.QoS.MeanQoS <= lo.QoS.MeanQoS {
+		t.Fatalf("max-freq QoS %v <= min-freq QoS %v", hi.QoS.MeanQoS, lo.QoS.MeanQoS)
+	}
+	if hi.QoS.TotalEnergyJ <= lo.QoS.TotalEnergyJ {
+		t.Fatalf("max-freq energy %v <= min-freq energy %v", hi.QoS.TotalEnergyJ, lo.QoS.TotalEnergyJ)
+	}
+}
+
+func TestRunRejectsBadGovernor(t *testing.T) {
+	if _, err := Run(testChip(t), testScenario(t, "idle"), badGovernor{}, Config{PeriodS: 0.05, DurationS: 1}); err == nil {
+		t.Fatal("mismatched level count accepted")
+	}
+}
+
+func TestRunRejectsScenarioClusterMismatch(t *testing.T) {
+	// A 1-cluster scenario against the 2-cluster chip must error.
+	spec, _ := workload.ByName("idle")
+	scen, err := workload.New(spec, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(testChip(t), scen, &fixedGovernor{}, Config{PeriodS: 0.05, DurationS: 1}); err == nil {
+		t.Fatal("cluster mismatch accepted")
+	}
+}
+
+func TestRunRecordsTrace(t *testing.T) {
+	ch := testChip(t)
+	rec, err := trace.NewRecorder(RecorderColumns(ch.NumClusters())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{PeriodS: 0.05, DurationS: 2, Seed: 3, Recorder: rec}
+	if _, err := Run(ch, testScenario(t, "browsing"), &fixedGovernor{level: 3}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 40 {
+		t.Fatalf("trace rows = %d, want 40", rec.Len())
+	}
+	lv, err := rec.Series("level0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range lv {
+		if v != 3 {
+			t.Fatalf("recorded level %v, want 3", v)
+		}
+	}
+	p, _ := rec.Series("power")
+	for _, v := range p {
+		if v <= 0 {
+			t.Fatalf("non-positive power %v in trace", v)
+		}
+	}
+}
+
+func TestObservationsCarryFreqTable(t *testing.T) {
+	ch := testChip(t)
+	var captured []Observation
+	gov := &probeGovernor{probe: func(obs []Observation) {
+		captured = append([]Observation(nil), obs...)
+	}}
+	if _, err := Run(ch, testScenario(t, "video"), gov, Config{PeriodS: 0.05, DurationS: 0.5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(captured) != 2 {
+		t.Fatalf("captured %d observations", len(captured))
+	}
+	if len(captured[0].FreqsHz) != 8 || len(captured[1].FreqsHz) != 9 {
+		t.Fatalf("freq table sizes %d/%d", len(captured[0].FreqsHz), len(captured[1].FreqsHz))
+	}
+	if captured[0].FreqsHz[0] != 400e6 || captured[1].FreqsHz[8] != 2300e6 {
+		t.Fatal("freq tables have wrong endpoints")
+	}
+	if captured[0].PeriodS != 0.05 {
+		t.Fatalf("PeriodS = %v", captured[0].PeriodS)
+	}
+}
+
+type probeGovernor struct {
+	probe func([]Observation)
+}
+
+func (g *probeGovernor) Name() string { return "probe" }
+func (g *probeGovernor) Reset()       {}
+func (g *probeGovernor) Decide(obs []Observation) []int {
+	g.probe(obs)
+	return make([]int, len(obs))
+}
+
+func TestRunEpisodes(t *testing.T) {
+	ch := testChip(t)
+	gov := &fixedGovernor{level: 4}
+	results, err := RunEpisodes(ch, testScenario(t, "mixed"), gov, Config{PeriodS: 0.05, DurationS: 5, Seed: 9}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("episodes = %d", len(results))
+	}
+	// Different seeds per episode: energies should not all be identical.
+	allSame := true
+	for _, r := range results[1:] {
+		if math.Abs(r.QoS.TotalEnergyJ-results[0].QoS.TotalEnergyJ) > 1e-9 {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("all episodes identical; per-episode seeding broken")
+	}
+	if _, err := RunEpisodes(ch, testScenario(t, "mixed"), gov, Config{PeriodS: 0.05, DurationS: 5}, 0); err == nil {
+		t.Fatal("zero episodes accepted")
+	}
+}
+
+func TestRunResetsChipBetweenRuns(t *testing.T) {
+	ch := testChip(t)
+	cfg := Config{PeriodS: 0.05, DurationS: 5, Seed: 2}
+	first, _ := Run(ch, testScenario(t, "camera"), &fixedGovernor{level: 8}, cfg)
+	second, _ := Run(ch, testScenario(t, "camera"), &fixedGovernor{level: 8}, cfg)
+	if first.QoS.TotalEnergyJ != second.QoS.TotalEnergyJ {
+		t.Fatalf("chip state leaked across runs: %v vs %v", first.QoS.TotalEnergyJ, second.QoS.TotalEnergyJ)
+	}
+}
+
+func BenchmarkRunGaming10s(b *testing.B) {
+	ch, _ := soc.NewChip(soc.DefaultChipSpec())
+	spec, _ := workload.ByName("gaming")
+	scen, _ := workload.New(spec, 2, 1)
+	gov := &fixedGovernor{level: 5}
+	cfg := Config{PeriodS: 0.05, DurationS: 10, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ch, scen, gov, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package soc
+
+// Default specs model an Exynos/Snapdragon-class mobile big.LITTLE MPSoC —
+// the platform class the paper evaluates on. The OPP tables follow the
+// published cpufreq tables of Cortex-A53/A73-class clusters; capacitance
+// and leakage are calibrated so that full-tilt big-cluster power lands near
+// 4–5 W and the idle platform floor near 0.5 W, matching typical published
+// mobile power breakdowns.
+
+// MHz converts megahertz to Hz.
+func MHz(f float64) float64 { return f * 1e6 }
+
+// LittleClusterSpec returns the default LITTLE (efficiency) cluster:
+// 4 in-order cores, 8 OPPs from 400 MHz to 1.8 GHz.
+func LittleClusterSpec() ClusterSpec {
+	return ClusterSpec{
+		Name:     "little",
+		NumCores: 4,
+		OPPs: []OPP{
+			{MHz(400), 0.575},
+			{MHz(600), 0.600},
+			{MHz(800), 0.650},
+			{MHz(1000), 0.700},
+			{MHz(1200), 0.750},
+			{MHz(1400), 0.800},
+			{MHz(1600), 0.875},
+			{MHz(1800), 0.950},
+		},
+		CeffF:          0.22e-9,
+		LeakA0:         0.012,
+		LeakDoubleC:    20,
+		SwitchLatencyS: 100e-6,
+		SwitchEnergyJ:  0.3e-3,
+		IPC:            1.0,
+	}
+}
+
+// BigClusterSpec returns the default big (performance) cluster: 4
+// out-of-order cores, 9 OPPs from 600 MHz to 2.3 GHz.
+func BigClusterSpec() ClusterSpec {
+	return ClusterSpec{
+		Name:     "big",
+		NumCores: 4,
+		OPPs: []OPP{
+			{MHz(600), 0.600},
+			{MHz(800), 0.650},
+			{MHz(1000), 0.700},
+			{MHz(1200), 0.750},
+			{MHz(1400), 0.800},
+			{MHz(1600), 0.850},
+			{MHz(1800), 0.900},
+			{MHz(2000), 0.950},
+			{MHz(2300), 1.050},
+		},
+		CeffF:          0.50e-9,
+		LeakA0:         0.040,
+		LeakDoubleC:    20,
+		SwitchLatencyS: 150e-6,
+		SwitchEnergyJ:  0.6e-3,
+		IPC:            1.7,
+	}
+}
+
+// DefaultThermal returns the default thermal model: ~12 s time constant,
+// throttling at 85 °C down to a mid-table OPP.
+func DefaultThermal() ThermalSpec {
+	return ThermalSpec{
+		AmbientC:   30,
+		RthCPerW:   8,
+		CthJPerC:   1.5,
+		ThrottleC:  85,
+		ThrottleLv: 3,
+	}
+}
+
+// DefaultChipSpec returns the full default MPSoC: LITTLE + big clusters,
+// shared thermal spec, and the platform uncore floor.
+func DefaultChipSpec() ChipSpec {
+	return ChipSpec{
+		Clusters:    []ClusterSpec{LittleClusterSpec(), BigClusterSpec()},
+		Thermal:     DefaultThermal(),
+		UncoreIdleW: 0.25,
+		UncoreBusyW: 0.55,
+	}
+}
+
+// SymmetricChipSpec returns a symmetric 8-core single-cluster variant, used
+// to mirror the companion paper's symmetric-multicore evaluation.
+func SymmetricChipSpec() ChipSpec {
+	spec := LittleClusterSpec()
+	spec.Name = "symm"
+	spec.NumCores = 8
+	spec.CeffF = 0.30e-9
+	return ChipSpec{
+		Clusters:    []ClusterSpec{spec},
+		Thermal:     DefaultThermal(),
+		UncoreIdleW: 0.25,
+		UncoreBusyW: 0.55,
+	}
+}
+
+// GPUClusterSpec returns a mobile GPU modeled as a third DVFS domain:
+// 8 shader cores with a 5-point OPP table. Its effective capacitance is
+// higher than the CPU clusters' (wide SIMD datapaths switch more charge
+// per clock), which is why GPU frequency scaling dominates gaming power.
+func GPUClusterSpec() ClusterSpec {
+	return ClusterSpec{
+		Name:     "gpu",
+		NumCores: 8,
+		OPPs: []OPP{
+			{MHz(250), 0.600},
+			{MHz(400), 0.650},
+			{MHz(550), 0.700},
+			{MHz(700), 0.800},
+			{MHz(850), 0.900},
+		},
+		CeffF:          1.10e-9,
+		LeakA0:         0.030,
+		LeakDoubleC:    20,
+		SwitchLatencyS: 200e-6,
+		SwitchEnergyJ:  0.8e-3,
+		IPC:            1.0,
+	}
+}
+
+// GPUChipSpec returns the three-domain MPSoC: LITTLE + big CPU clusters
+// plus the GPU, each with independent DVFS — the extended platform the
+// gaming evaluation uses.
+func GPUChipSpec() ChipSpec {
+	return ChipSpec{
+		Clusters:    []ClusterSpec{LittleClusterSpec(), BigClusterSpec(), GPUClusterSpec()},
+		Thermal:     DefaultThermal(),
+		UncoreIdleW: 0.25,
+		UncoreBusyW: 0.55,
+	}
+}

@@ -1,0 +1,196 @@
+package soc
+
+import (
+	"math"
+	"testing"
+)
+
+// switchSpec returns a little-cluster spec with pronounced switch costs so
+// the effects are easy to assert.
+func switchSpec() ClusterSpec {
+	s := LittleClusterSpec()
+	s.SwitchLatencyS = 5e-3 // 10% of a 50 ms period
+	s.SwitchEnergyJ = 10e-3
+	return s
+}
+
+func TestSwitchCostValidation(t *testing.T) {
+	s := LittleClusterSpec()
+	s.SwitchLatencyS = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative switch latency accepted")
+	}
+	s = LittleClusterSpec()
+	s.SwitchEnergyJ = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative switch energy accepted")
+	}
+}
+
+func TestFirstStepIsNotASwitch(t *testing.T) {
+	c, err := NewCluster(switchSpec(), DefaultThermal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetLevel(5)
+	r, err := c.Step(Demand{Cycles: 1e6, Parallelism: 1}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Switched {
+		t.Fatal("first step counted as a switch")
+	}
+	if c.Switches() != 0 {
+		t.Fatalf("switch counter = %d", c.Switches())
+	}
+}
+
+func TestLevelChangeCostsCapacityAndEnergy(t *testing.T) {
+	mk := func() *Cluster {
+		c, err := NewCluster(switchSpec(), DefaultThermal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	demand := Demand{Cycles: 1e12, Parallelism: 4}
+	const dt = 0.05
+
+	// Steady cluster at level 3.
+	steady := mk()
+	steady.SetLevel(3)
+	_, _ = steady.Step(demand, dt)
+	rs, _ := steady.Step(demand, dt)
+
+	// Switching cluster: level 2 then level 3.
+	switching := mk()
+	switching.SetLevel(2)
+	_, _ = switching.Step(demand, dt)
+	switching.SetLevel(3)
+	rw, _ := switching.Step(demand, dt)
+
+	if !rw.Switched {
+		t.Fatal("level change not flagged")
+	}
+	if switching.Switches() != 1 {
+		t.Fatalf("switch counter = %d", switching.Switches())
+	}
+	// 10% of the period stalls: capacity drops by exactly that fraction.
+	wantCap := rs.CapacityCycles * (1 - 5e-3/dt)
+	if math.Abs(rw.CapacityCycles-wantCap) > 1 {
+		t.Fatalf("switch capacity = %v, want %v", rw.CapacityCycles, wantCap)
+	}
+	// Energy includes the transition overhead; compare at equal completed
+	// work fraction is awkward, so check the explicit overhead bound: the
+	// switching period must cost at least SwitchEnergyJ minus the energy
+	// saved by the stalled cycles.
+	if rw.EnergyJ <= rs.EnergyJ*(1-5e-3/dt) {
+		t.Fatalf("switch energy %v suspiciously low vs steady %v", rw.EnergyJ, rs.EnergyJ)
+	}
+}
+
+func TestRepeatedSameLevelDoesNotSwitch(t *testing.T) {
+	c, _ := NewCluster(switchSpec(), DefaultThermal())
+	c.SetLevel(4)
+	for i := 0; i < 10; i++ {
+		r, err := c.Step(Demand{Cycles: 1e6, Parallelism: 1}, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Switched {
+			t.Fatalf("step %d flagged a switch without a level change", i)
+		}
+	}
+	if c.Switches() != 0 {
+		t.Fatalf("switch counter = %d", c.Switches())
+	}
+}
+
+func TestThermalThrottleTransitionCountsAsSwitch(t *testing.T) {
+	th := DefaultThermal()
+	th.ThrottleC = 35 // trip quickly
+	spec := BigClusterSpec()
+	spec.SwitchLatencyS = 1e-3
+	c, err := NewCluster(spec, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetLevel(c.NumLevels() - 1)
+	demand := Demand{Cycles: 1e12, Parallelism: 4}
+	sawThrottleSwitch := false
+	for i := 0; i < 3000; i++ {
+		r, err := c.Step(demand, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Throttled && r.Switched {
+			sawThrottleSwitch = true
+			break
+		}
+	}
+	if !sawThrottleSwitch {
+		t.Fatal("throttle engagement never registered as a DVFS transition")
+	}
+}
+
+func TestSwitchLatencyClampedToPeriod(t *testing.T) {
+	s := LittleClusterSpec()
+	s.SwitchLatencyS = 1 // longer than the period
+	c, err := NewCluster(s, DefaultThermal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetLevel(0)
+	_, _ = c.Step(Demand{Cycles: 1e6, Parallelism: 1}, 0.05)
+	c.SetLevel(5)
+	r, err := c.Step(Demand{Cycles: 1e6, Parallelism: 1}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CapacityCycles != 0 {
+		t.Fatalf("capacity = %v, want 0 for a full-period stall", r.CapacityCycles)
+	}
+	if r.CompletedCycles != 0 || r.Utilization != 0 {
+		t.Fatalf("work done during full stall: %+v", r)
+	}
+}
+
+func TestResetClearsSwitchState(t *testing.T) {
+	c, _ := NewCluster(switchSpec(), DefaultThermal())
+	c.SetLevel(0)
+	_, _ = c.Step(Demand{}, 0.05)
+	c.SetLevel(5)
+	_, _ = c.Step(Demand{}, 0.05)
+	if c.Switches() != 1 {
+		t.Fatalf("switches = %d", c.Switches())
+	}
+	c.Reset()
+	if c.Switches() != 0 {
+		t.Fatal("Reset did not clear the switch counter")
+	}
+	// After reset the first step must again be free.
+	c.SetLevel(7)
+	r, _ := c.Step(Demand{}, 0.05)
+	if r.Switched {
+		t.Fatal("first step after Reset counted as a switch")
+	}
+}
+
+func TestZeroCostSwitchesAreFree(t *testing.T) {
+	s := LittleClusterSpec()
+	s.SwitchLatencyS = 0
+	s.SwitchEnergyJ = 0
+	c, _ := NewCluster(s, DefaultThermal())
+	demand := Demand{Cycles: 1e12, Parallelism: 4}
+	c.SetLevel(0)
+	_, _ = c.Step(demand, 0.05)
+	c.SetLevel(3)
+	r, _ := c.Step(demand, 0.05)
+	if !r.Switched {
+		t.Fatal("switch not flagged")
+	}
+	wantCap := s.OPPs[3].FreqHz * 0.05 * 4
+	if r.CapacityCycles != wantCap {
+		t.Fatalf("zero-cost switch lost capacity: %v vs %v", r.CapacityCycles, wantCap)
+	}
+}

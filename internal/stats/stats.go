@@ -1,0 +1,322 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: means, geometric means, percentiles, confidence intervals,
+// histograms, and online (Welford) accumulators.
+//
+// Everything here is deliberately dependency-free and deterministic so that
+// table rows regenerate identically across runs.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrEmpty is returned by reductions over empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Sum returns the sum of xs (0 for empty input).
+func Sum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+// Requires at least two samples.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// GeoMean returns the geometric mean. All values must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: GeoMean requires positive values, got %v", x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Min returns the minimum of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks (the "R-7" definition used by numpy).
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of [0,100]", p)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// under a normal approximation (1.96 * sem). Requires >= 2 samples.
+func CI95(xs []float64) (float64, error) {
+	sd, err := StdDev(xs)
+	if err != nil {
+		return 0, err
+	}
+	return 1.96 * sd / math.Sqrt(float64(len(xs))), nil
+}
+
+// Ratio returns a/b, guarding the degenerate denominators that arise when a
+// scenario accrues zero QoS (returns +Inf for positive a, 0 for a==0).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(sign(a))
+	}
+	return a / b
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Improvement returns the relative improvement of "proposed" over
+// "baseline" in percent: 100*(baseline-proposed)/baseline. Positive means
+// proposed is lower (better, for costs like energy-per-QoS).
+func Improvement(baseline, proposed float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (baseline - proposed) / baseline
+}
+
+// Online is a Welford accumulator for streaming mean/variance with
+// min/max tracking. The zero value is ready to use.
+type Online struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates x.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of samples seen.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean (0 for no samples).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the unbiased running variance (0 for fewer than two
+// samples).
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the running standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest sample (0 for no samples).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest sample (0 for no samples).
+func (o *Online) Max() float64 { return o.max }
+
+// Merge folds other into o (parallel Welford merge).
+func (o *Online) Merge(other *Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *other
+		return
+	}
+	n := o.n + other.n
+	d := other.mean - o.mean
+	mean := o.mean + d*float64(other.n)/float64(n)
+	m2 := o.m2 + other.m2 + d*d*float64(o.n)*float64(other.n)/float64(n)
+	if other.min < o.min {
+		o.min = other.min
+	}
+	if other.max > o.max {
+		o.max = other.max
+	}
+	o.n, o.mean, o.m2 = n, mean, m2
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Out-of-range samples
+// clamp into the edge bins so nothing is silently dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo,hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bin count, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram needs lo < hi, got [%v,%v)", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records x.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	idx := int(float64(bins) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Mode returns the center of the most populated bin (lowest index wins
+// ties).
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Sparkline renders the histogram as a compact unicode bar string, used in
+// pmbench's figure output.
+func (h *Histogram) Sparkline() string {
+	if h.total == 0 {
+		return strings.Repeat(" ", len(h.Counts))
+	}
+	ticks := []rune(" ▁▂▃▄▅▆▇█")
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for _, c := range h.Counts {
+		idx := 0
+		if maxC > 0 {
+			idx = c * (len(ticks) - 1) / maxC
+		}
+		b.WriteRune(ticks[idx])
+	}
+	return b.String()
+}

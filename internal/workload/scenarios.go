@@ -1,0 +1,255 @@
+package workload
+
+import "fmt"
+
+// The seven evaluation scenarios. Demand magnitudes are in cycles per
+// second and are sized against the default chip's capacity bands
+// (LITTLE: 1.6–7.2 Gcycle/s across its OPP range at 4 cores;
+// big: 2.4–9.2 Gcycle/s) so that every scenario is feasible at high OPPs
+// and infeasible at the lowest ones — the regime where governor choice
+// matters.
+
+// IdleSpec: mostly background sync with rare notification bursts.
+func IdleSpec() Spec {
+	return Spec{
+		Name:    "idle",
+		Initial: "background",
+		Phases: []PhaseSpec{
+			{
+				Name:     "background",
+				MeanDurS: 20,
+				Little:   DemandSpec{MeanCPS: 0.15e9, CV: 0.080, Parallelism: 1},
+				Big:      DemandSpec{},
+				Next:     map[string]float64{"notification": 1},
+			},
+			{
+				Name:     "notification",
+				MeanDurS: 0.4,
+				Little:   DemandSpec{MeanCPS: 1.2e9, CV: 0.12, Parallelism: 2},
+				Big:      DemandSpec{},
+				Critical: true,
+				Next:     map[string]float64{"background": 1},
+			},
+		},
+	}
+}
+
+// BrowsingSpec: read (light) / scroll (render-critical) / page load (burst).
+func BrowsingSpec() Spec {
+	return Spec{
+		Name:    "browsing",
+		Initial: "read",
+		Phases: []PhaseSpec{
+			{
+				Name:     "read",
+				MeanDurS: 6,
+				Little:   DemandSpec{MeanCPS: 0.6e9, CV: 0.15, Parallelism: 2},
+				Big:      DemandSpec{MeanCPS: 0.2e9, CV: 0.15, Parallelism: 1},
+				Next:     map[string]float64{"scroll": 3, "load": 1},
+			},
+			{
+				Name:     "scroll",
+				MeanDurS: 2,
+				Little:   DemandSpec{MeanCPS: 1.4e9, CV: 0.12, Parallelism: 2},
+				Big:      DemandSpec{MeanCPS: 2.6e9, CV: 0.14, Parallelism: 2, BurstProb: 0.05, BurstMult: 1.25},
+				GPU:      DemandSpec{MeanCPS: 1.2e9, CV: 0.12, Parallelism: 8},
+				Critical: true,
+				Next:     map[string]float64{"read": 2, "load": 1},
+			},
+			{
+				Name:     "load",
+				MeanDurS: 1.2,
+				Little:   DemandSpec{MeanCPS: 1.8e9, CV: 0.15, Parallelism: 3},
+				Big:      DemandSpec{MeanCPS: 5.2e9, CV: 0.15, Parallelism: 4, BurstProb: 0.08, BurstMult: 1.2},
+				Critical: true,
+				Next:     map[string]float64{"read": 1},
+			},
+		},
+	}
+}
+
+// VideoSpec: steady 30 fps decode (mostly LITTLE + fixed-function assist)
+// with occasional seeks.
+func VideoSpec() Spec {
+	return Spec{
+		Name:    "video",
+		Initial: "play",
+		Phases: []PhaseSpec{
+			{
+				Name:     "play",
+				MeanDurS: 30,
+				Little:   DemandSpec{MeanCPS: 1.1e9, CV: 0.05, Parallelism: 2},
+				Big:      DemandSpec{MeanCPS: 1.0e9, CV: 0.06, Parallelism: 1},
+				GPU:      DemandSpec{MeanCPS: 1.0e9, CV: 0.06, Parallelism: 8},
+				Critical: true,
+				Next:     map[string]float64{"seek": 1},
+			},
+			{
+				Name:     "seek",
+				MeanDurS: 0.5,
+				Little:   DemandSpec{MeanCPS: 1.6e9, CV: 0.12, Parallelism: 2},
+				Big:      DemandSpec{MeanCPS: 3.8e9, CV: 0.12, Parallelism: 3},
+				Critical: true,
+				Next:     map[string]float64{"play": 1},
+			},
+		},
+	}
+}
+
+// GamingSpec: menu / 60 fps play / cutscene; play is the hard sustained
+// phase with high variance.
+func GamingSpec() Spec {
+	return Spec{
+		Name:    "gaming",
+		Initial: "menu",
+		Phases: []PhaseSpec{
+			{
+				Name:     "menu",
+				MeanDurS: 4,
+				Little:   DemandSpec{MeanCPS: 0.8e9, CV: 0.10, Parallelism: 2},
+				Big:      DemandSpec{MeanCPS: 1.0e9, CV: 0.10, Parallelism: 1},
+				GPU:      DemandSpec{MeanCPS: 0.8e9, CV: 0.10, Parallelism: 8},
+				Next:     map[string]float64{"play": 1},
+			},
+			{
+				Name:     "play",
+				MeanDurS: 25,
+				Little:   DemandSpec{MeanCPS: 1.8e9, CV: 0.120, Parallelism: 3},
+				Big:      DemandSpec{MeanCPS: 5.6e9, CV: 0.14, Parallelism: 4, BurstProb: 0.06, BurstMult: 1.25},
+				GPU:      DemandSpec{MeanCPS: 4.6e9, CV: 0.14, Parallelism: 8, BurstProb: 0.06, BurstMult: 1.2},
+				Critical: true,
+				Next:     map[string]float64{"cutscene": 1, "menu": 1},
+			},
+			{
+				Name:     "cutscene",
+				MeanDurS: 6,
+				Little:   DemandSpec{MeanCPS: 1.2e9, CV: 0.06, Parallelism: 2},
+				Big:      DemandSpec{MeanCPS: 3.0e9, CV: 0.06, Parallelism: 2},
+				GPU:      DemandSpec{MeanCPS: 2.8e9, CV: 0.08, Parallelism: 8},
+				Critical: true,
+				Next:     map[string]float64{"play": 1},
+			},
+		},
+	}
+}
+
+// CameraSpec: viewfinder / record (sustained critical) / still capture
+// (short burst).
+func CameraSpec() Spec {
+	return Spec{
+		Name:    "camera",
+		Initial: "viewfinder",
+		Phases: []PhaseSpec{
+			{
+				Name:     "viewfinder",
+				MeanDurS: 5,
+				Little:   DemandSpec{MeanCPS: 1.5e9, CV: 0.08, Parallelism: 2},
+				Big:      DemandSpec{MeanCPS: 2.2e9, CV: 0.08, Parallelism: 2},
+				GPU:      DemandSpec{MeanCPS: 1.4e9, CV: 0.08, Parallelism: 8},
+				Critical: true,
+				Next:     map[string]float64{"record": 2, "capture": 1},
+			},
+			{
+				Name:     "record",
+				MeanDurS: 12,
+				Little:   DemandSpec{MeanCPS: 2.0e9, CV: 0.06, Parallelism: 3},
+				Big:      DemandSpec{MeanCPS: 4.4e9, CV: 0.08, Parallelism: 3},
+				GPU:      DemandSpec{MeanCPS: 1.8e9, CV: 0.08, Parallelism: 8},
+				Critical: true,
+				Next:     map[string]float64{"viewfinder": 1},
+			},
+			{
+				Name:     "capture",
+				MeanDurS: 0.6,
+				Little:   DemandSpec{MeanCPS: 2.4e9, CV: 0.12, Parallelism: 3},
+				Big:      DemandSpec{MeanCPS: 7.0e9, CV: 0.12, Parallelism: 4},
+				Critical: true,
+				Next:     map[string]float64{"viewfinder": 1},
+			},
+		},
+	}
+}
+
+// AppLaunchSpec: repeated cold launches (heavy burst) followed by light use.
+func AppLaunchSpec() Spec {
+	return Spec{
+		Name:    "applaunch",
+		Initial: "launch",
+		Phases: []PhaseSpec{
+			{
+				Name:     "launch",
+				MeanDurS: 1.5,
+				Little:   DemandSpec{MeanCPS: 2.2e9, CV: 0.12, Parallelism: 4},
+				Big:      DemandSpec{MeanCPS: 6.8e9, CV: 0.12, Parallelism: 4},
+				Critical: true,
+				Next:     map[string]float64{"use": 1},
+			},
+			{
+				Name:     "use",
+				MeanDurS: 8,
+				Little:   DemandSpec{MeanCPS: 0.9e9, CV: 0.15, Parallelism: 2},
+				Big:      DemandSpec{MeanCPS: 0.8e9, CV: 0.080, Parallelism: 1},
+				Next:     map[string]float64{"launch": 1},
+			},
+		},
+	}
+}
+
+// MixedSpec: music playback with periodic navigation re-routing — the
+// "background + periodic critical work" pattern.
+func MixedSpec() Spec {
+	return Spec{
+		Name:    "mixed",
+		Initial: "music",
+		Phases: []PhaseSpec{
+			{
+				Name:     "music",
+				MeanDurS: 7,
+				Little:   DemandSpec{MeanCPS: 0.5e9, CV: 0.08, Parallelism: 1},
+				Big:      DemandSpec{},
+				Next:     map[string]float64{"navigate": 1},
+			},
+			{
+				Name:     "navigate",
+				MeanDurS: 3,
+				Little:   DemandSpec{MeanCPS: 1.0e9, CV: 0.10, Parallelism: 2},
+				Big:      DemandSpec{MeanCPS: 2.4e9, CV: 0.12, Parallelism: 2, BurstProb: 0.05, BurstMult: 1.3},
+				Critical: true,
+				Next:     map[string]float64{"music": 1},
+			},
+		},
+	}
+}
+
+// AllSpecs returns every evaluation scenario in table order.
+func AllSpecs() []Spec {
+	return []Spec{
+		IdleSpec(),
+		BrowsingSpec(),
+		VideoSpec(),
+		GamingSpec(),
+		CameraSpec(),
+		AppLaunchSpec(),
+		MixedSpec(),
+	}
+}
+
+// ByName returns the scenario spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range AllSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown scenario %q", name)
+}
+
+// Names lists all scenario names in table order.
+func Names() []string {
+	specs := AllSpecs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+// Package workload generates the mobile user scenarios the governors are
+// evaluated on.
+//
+// The paper evaluates its policy on "diverse scenarios" running on a mobile
+// device (the companion paper names the classes: web browsing, video
+// playback, gaming, camera, app launch, and idle/background). Real Android
+// traces are not available offline, so each scenario is a phase-structured
+// stochastic generator: a small Markov chain over phases (e.g. gaming =
+// menu → play → cutscene), each phase emitting per-control-period cycle
+// demands for the LITTLE and big clusters from a log-normal distribution
+// with occasional bursts. Seeded generation makes every experiment
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rlpm/internal/rng"
+	"rlpm/internal/soc"
+)
+
+// Period is the demand a scenario presents for one DVFS control period.
+type Period struct {
+	// Demands holds one entry per chip cluster (LITTLE first, then big for
+	// the default chip; a single merged entry for symmetric chips).
+	Demands []soc.Demand
+	// Critical marks periods whose demand carries a user-visible deadline
+	// (frame rendering, shutter-to-shot); only these can register QoS
+	// violations.
+	Critical bool
+	// Phase is the generating phase name, for traces.
+	Phase string
+}
+
+// Scenario produces a stream of Periods.
+type Scenario interface {
+	// Name identifies the scenario in tables.
+	Name() string
+	// Next returns the demand for the next control period of length dtS.
+	Next(dtS float64) Period
+	// Reset restarts the scenario from its initial phase with a new seed.
+	Reset(seed uint64)
+}
+
+// DemandSpec describes one cluster's per-period demand inside a phase, in
+// units of cycles per second (so the generator scales with the control
+// period).
+type DemandSpec struct {
+	MeanCPS     float64 // mean demanded cycles per second
+	CV          float64 // coefficient of variation of the log-normal draw
+	Parallelism int     // runnable threads
+	BurstProb   float64 // per-period probability of a burst
+	BurstMult   float64 // demand multiplier during a burst
+}
+
+// PhaseSpec is one phase of a scenario.
+type PhaseSpec struct {
+	Name string
+	// MeanDurS is the mean phase duration; actual durations are
+	// exponentially distributed (memoryless phase changes).
+	MeanDurS float64
+	Little   DemandSpec
+	Big      DemandSpec
+	// GPU demand only materializes on GPU-equipped chips (3-cluster
+	// scenarios); on CPU-only chips the GPU work is assumed to run on
+	// unmodeled fixed-function hardware.
+	GPU      DemandSpec
+	Critical bool
+	// Next maps successor phase names to transition weights. Empty means
+	// uniform over all phases except self.
+	Next map[string]float64
+}
+
+// Spec is a full scenario description.
+type Spec struct {
+	Name    string
+	Initial string
+	Phases  []PhaseSpec
+}
+
+// Validate checks structural invariants.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: scenario has no name")
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("workload: scenario %s has no phases", s.Name)
+	}
+	names := map[string]bool{}
+	for _, p := range s.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("workload: scenario %s has unnamed phase", s.Name)
+		}
+		if names[p.Name] {
+			return fmt.Errorf("workload: scenario %s duplicate phase %q", s.Name, p.Name)
+		}
+		names[p.Name] = true
+		if p.MeanDurS <= 0 {
+			return fmt.Errorf("workload: scenario %s phase %s non-positive duration", s.Name, p.Name)
+		}
+		for _, d := range []DemandSpec{p.Little, p.Big, p.GPU} {
+			if d.MeanCPS < 0 || d.CV < 0 || d.Parallelism < 0 || d.BurstProb < 0 || d.BurstProb > 1 || d.BurstMult < 0 {
+				return fmt.Errorf("workload: scenario %s phase %s bad demand spec", s.Name, p.Name)
+			}
+			if d.MeanCPS > 0 && d.Parallelism == 0 {
+				return fmt.Errorf("workload: scenario %s phase %s demands cycles with zero parallelism", s.Name, p.Name)
+			}
+		}
+	}
+	if !names[s.Initial] {
+		return fmt.Errorf("workload: scenario %s initial phase %q unknown", s.Name, s.Initial)
+	}
+	for _, p := range s.Phases {
+		for succ := range p.Next {
+			if !names[succ] {
+				return fmt.Errorf("workload: scenario %s phase %s transitions to unknown %q", s.Name, p.Name, succ)
+			}
+		}
+	}
+	return nil
+}
+
+// generator is the Scenario implementation over a Spec.
+type generator struct {
+	spec      Spec
+	clusters  int // 1 (merged) or 2 (little,big)
+	seed      uint64
+	r         *rng.Rand
+	phaseIdx  int
+	remainS   float64
+	phaseByNm map[string]int
+}
+
+// New builds a Scenario from spec for a chip with the given number of
+// clusters: 1 (symmetric chip: little+big demand merged onto the single
+// cluster), 2 (big.LITTLE), or 3 (big.LITTLE + GPU domain).
+func New(spec Spec, clusters int, seed uint64) (Scenario, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if clusters < 1 || clusters > 3 {
+		return nil, fmt.Errorf("workload: unsupported cluster count %d", clusters)
+	}
+	g := &generator{spec: spec, clusters: clusters, phaseByNm: map[string]int{}}
+	for i, p := range spec.Phases {
+		g.phaseByNm[p.Name] = i
+	}
+	g.Reset(seed)
+	return g, nil
+}
+
+func (g *generator) Name() string { return g.spec.Name }
+
+func (g *generator) Reset(seed uint64) {
+	g.seed = seed
+	g.r = rng.NewStream(seed, hashName(g.spec.Name))
+	g.phaseIdx = g.phaseByNm[g.spec.Initial]
+	g.remainS = g.r.Exp(1 / g.spec.Phases[g.phaseIdx].MeanDurS)
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Next implements Scenario.
+func (g *generator) Next(dtS float64) Period {
+	if dtS <= 0 {
+		panic("workload: non-positive control period")
+	}
+	phase := g.spec.Phases[g.phaseIdx]
+
+	little := g.draw(phase.Little, dtS)
+	big := g.draw(phase.Big, dtS)
+	p := Period{Critical: phase.Critical, Phase: phase.Name}
+	switch g.clusters {
+	case 3:
+		p.Demands = []soc.Demand{little, big, g.draw(phase.GPU, dtS)}
+	case 2:
+		p.Demands = []soc.Demand{little, big}
+	default:
+		merged := soc.Demand{
+			Cycles:      little.Cycles + big.Cycles,
+			Parallelism: little.Parallelism + big.Parallelism,
+		}
+		p.Demands = []soc.Demand{merged}
+	}
+
+	// Advance phase clock and transition when it expires.
+	g.remainS -= dtS
+	if g.remainS <= 0 {
+		g.transition()
+	}
+	return p
+}
+
+func (g *generator) draw(d DemandSpec, dtS float64) soc.Demand {
+	if d.MeanCPS == 0 {
+		return soc.Demand{}
+	}
+	mean := d.MeanCPS * dtS
+	cycles := mean
+	if d.CV > 0 {
+		// Log-normal with the requested mean and CV:
+		// sigma² = ln(1+CV²), mu = ln(mean) − sigma²/2.
+		sigma2 := math.Log(1 + d.CV*d.CV)
+		mu := math.Log(mean) - sigma2/2
+		cycles = g.r.LogNorm(mu, math.Sqrt(sigma2))
+	}
+	if d.BurstProb > 0 && g.r.Bernoulli(d.BurstProb) {
+		cycles *= d.BurstMult
+	}
+	return soc.Demand{Cycles: cycles, Parallelism: d.Parallelism}
+}
+
+func (g *generator) transition() {
+	phase := g.spec.Phases[g.phaseIdx]
+	var next int
+	if len(phase.Next) == 0 {
+		// Uniform over other phases (or self-loop for single-phase specs).
+		if len(g.spec.Phases) == 1 {
+			next = g.phaseIdx
+		} else {
+			next = g.r.Intn(len(g.spec.Phases) - 1)
+			if next >= g.phaseIdx {
+				next++
+			}
+		}
+	} else {
+		// Deterministic iteration order: sort successor names.
+		names := make([]string, 0, len(phase.Next))
+		for n := range phase.Next {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		weights := make([]float64, len(names))
+		for i, n := range names {
+			weights[i] = phase.Next[n]
+		}
+		next = g.phaseByNm[names[g.r.Choice(weights)]]
+	}
+	g.phaseIdx = next
+	g.remainS = g.r.Exp(1 / g.spec.Phases[next].MeanDurS)
+}

@@ -1,0 +1,336 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, s := range AllSpecs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestSpecValidateRejectsBad(t *testing.T) {
+	base := func() Spec { return GamingSpec() }
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }},
+		{"no phases", func(s *Spec) { s.Phases = nil }},
+		{"unknown initial", func(s *Spec) { s.Initial = "nope" }},
+		{"unnamed phase", func(s *Spec) { s.Phases[0].Name = "" }},
+		{"dup phase", func(s *Spec) { s.Phases[1].Name = s.Phases[0].Name }},
+		{"zero duration", func(s *Spec) { s.Phases[0].MeanDurS = 0 }},
+		{"neg mean", func(s *Spec) { s.Phases[0].Little.MeanCPS = -1 }},
+		{"bad burst prob", func(s *Spec) { s.Phases[0].Big.BurstProb = 2 }},
+		{"cycles no parallelism", func(s *Spec) {
+			s.Phases[0].Little.MeanCPS = 1e9
+			s.Phases[0].Little.Parallelism = 0
+		}},
+		{"unknown successor", func(s *Spec) { s.Phases[0].Next = map[string]float64{"ghost": 1} }},
+	}
+	for _, c := range cases {
+		s := base()
+		c.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("gaming")
+	if err != nil || s.Name != "gaming" {
+		t.Fatalf("ByName(gaming) = %v, %v", s.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestNamesMatchesSpecs(t *testing.T) {
+	names := Names()
+	specs := AllSpecs()
+	if len(names) != len(specs) {
+		t.Fatalf("%d names vs %d specs", len(names), len(specs))
+	}
+	if len(names) != 7 {
+		t.Fatalf("expected the paper's 7 scenarios, got %d", len(names))
+	}
+	for i := range names {
+		if names[i] != specs[i].Name {
+			t.Fatalf("order mismatch at %d", i)
+		}
+	}
+}
+
+func TestNewRejectsBadClusterCount(t *testing.T) {
+	for _, n := range []int{0, 4, -1} {
+		if _, err := New(VideoSpec(), n, 1); err == nil {
+			t.Errorf("clusters=%d accepted", n)
+		}
+	}
+}
+
+func TestNewRejectsInvalidSpec(t *testing.T) {
+	s := VideoSpec()
+	s.Initial = "ghost"
+	if _, err := New(s, 2, 1); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := New(GamingSpec(), 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(GamingSpec(), 2, 42)
+	for i := 0; i < 2000; i++ {
+		pa, pb := a.Next(0.05), b.Next(0.05)
+		if pa.Phase != pb.Phase || pa.Critical != pb.Critical {
+			t.Fatalf("period %d metadata diverged", i)
+		}
+		for c := range pa.Demands {
+			if pa.Demands[c] != pb.Demands[c] {
+				t.Fatalf("period %d cluster %d demand diverged", i, c)
+			}
+		}
+	}
+}
+
+func TestResetReproduces(t *testing.T) {
+	g, _ := New(BrowsingSpec(), 2, 7)
+	var first []float64
+	for i := 0; i < 500; i++ {
+		first = append(first, g.Next(0.05).Demands[1].Cycles)
+	}
+	g.Reset(7)
+	for i := 0; i < 500; i++ {
+		if got := g.Next(0.05).Demands[1].Cycles; got != first[i] {
+			t.Fatalf("period %d after Reset: %v != %v", i, got, first[i])
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, _ := New(GamingSpec(), 2, 1)
+	b, _ := New(GamingSpec(), 2, 2)
+	identical := 0
+	for i := 0; i < 200; i++ {
+		if a.Next(0.05).Demands[1].Cycles == b.Next(0.05).Demands[1].Cycles {
+			identical++
+		}
+	}
+	if identical > 100 {
+		t.Fatalf("different seeds produced %d/200 identical draws", identical)
+	}
+}
+
+func TestMergedClustersConserveDemand(t *testing.T) {
+	// With the same seed, the 1-cluster view must carry the sum of the
+	// 2-cluster demands period by period.
+	two, _ := New(CameraSpec(), 2, 99)
+	one, _ := New(CameraSpec(), 1, 99)
+	for i := 0; i < 1000; i++ {
+		p2 := two.Next(0.05)
+		p1 := one.Next(0.05)
+		sum := p2.Demands[0].Cycles + p2.Demands[1].Cycles
+		if math.Abs(p1.Demands[0].Cycles-sum) > 1e-6 {
+			t.Fatalf("period %d: merged %v != sum %v", i, p1.Demands[0].Cycles, sum)
+		}
+		par := p2.Demands[0].Parallelism + p2.Demands[1].Parallelism
+		if p1.Demands[0].Parallelism != par {
+			t.Fatalf("period %d: merged parallelism %d != %d", i, p1.Demands[0].Parallelism, par)
+		}
+	}
+}
+
+func TestAllPhasesReachable(t *testing.T) {
+	// Long runs must visit every phase of every scenario.
+	for _, spec := range AllSpecs() {
+		g, err := New(spec, 2, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for i := 0; i < 60000; i++ { // 50 simulated minutes
+			seen[g.Next(0.05).Phase] = true
+		}
+		for _, p := range spec.Phases {
+			if !seen[p.Name] {
+				t.Errorf("%s: phase %s never reached", spec.Name, p.Name)
+			}
+		}
+	}
+}
+
+func TestDemandMeansApproximateSpec(t *testing.T) {
+	// Per-phase sample means should track the spec (within 15% over a
+	// long run); guards the log-normal parameterization.
+	spec := GamingSpec()
+	g, _ := New(spec, 2, 11)
+	sums := map[string][2]float64{}
+	counts := map[string]int{}
+	const dt = 0.05
+	for i := 0; i < 200000; i++ {
+		p := g.Next(dt)
+		s := sums[p.Phase]
+		s[0] += p.Demands[0].Cycles
+		s[1] += p.Demands[1].Cycles
+		sums[p.Phase] = s
+		counts[p.Phase]++
+	}
+	for _, ph := range spec.Phases {
+		n := counts[ph.Name]
+		if n < 1000 {
+			continue // not enough visits for a tight mean
+		}
+		meanLittle := sums[ph.Name][0] / float64(n) / dt
+		// Burst inflates the mean by (1 + p*(mult-1)).
+		want := ph.Little.MeanCPS * (1 + ph.Little.BurstProb*(ph.Little.BurstMult-1))
+		if want > 0 && math.Abs(meanLittle-want)/want > 0.15 {
+			t.Errorf("%s little mean %.3g, want %.3g", ph.Name, meanLittle, want)
+		}
+	}
+}
+
+func TestCriticalPhasesEmitCriticalPeriods(t *testing.T) {
+	g, _ := New(VideoSpec(), 2, 3)
+	sawCritical := false
+	for i := 0; i < 1000; i++ {
+		p := g.Next(0.05)
+		if p.Phase == "play" && !p.Critical {
+			t.Fatal("play phase not critical")
+		}
+		sawCritical = sawCritical || p.Critical
+	}
+	if !sawCritical {
+		t.Fatal("no critical periods in video scenario")
+	}
+}
+
+func TestNextPanicsOnBadDt(t *testing.T) {
+	g, _ := New(IdleSpec(), 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dt=0 did not panic")
+		}
+	}()
+	g.Next(0)
+}
+
+// Property: demands are always non-negative with parallelism implied by
+// cycles, for every scenario and seed.
+func TestDemandInvariantProperty(t *testing.T) {
+	specs := AllSpecs()
+	f := func(seed uint64, which uint8, steps uint8) bool {
+		spec := specs[int(which)%len(specs)]
+		g, err := New(spec, 2, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(steps)+1; i++ {
+			p := g.Next(0.05)
+			if len(p.Demands) != 2 {
+				return false
+			}
+			for _, d := range p.Demands {
+				if d.Cycles < 0 || d.Parallelism < 0 {
+					return false
+				}
+				if d.Cycles > 0 && d.Parallelism == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioDemandWithinChipReach(t *testing.T) {
+	// Mean demand of every phase must be below the chip's max capacity —
+	// otherwise no governor could ever meet QoS and the comparison is
+	// degenerate.
+	const littleMax = 1.8e9 * 4
+	const bigMax = 2.3e9 * 4
+	for _, spec := range AllSpecs() {
+		for _, ph := range spec.Phases {
+			if ph.Little.MeanCPS >= littleMax {
+				t.Errorf("%s/%s little demand %g exceeds capacity", spec.Name, ph.Name, ph.Little.MeanCPS)
+			}
+			if ph.Big.MeanCPS >= bigMax {
+				t.Errorf("%s/%s big demand %g exceeds capacity", spec.Name, ph.Name, ph.Big.MeanCPS)
+			}
+		}
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	g, _ := New(GamingSpec(), 2, 1)
+	for i := 0; i < b.N; i++ {
+		g.Next(0.05)
+	}
+}
+
+func TestThreeClusterScenarioEmitsGPUDemand(t *testing.T) {
+	g, err := New(GamingSpec(), 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawGPU := false
+	for i := 0; i < 2000; i++ {
+		p := g.Next(0.05)
+		if len(p.Demands) != 3 {
+			t.Fatalf("period %d has %d demands", i, len(p.Demands))
+		}
+		if p.Demands[2].Cycles > 0 {
+			sawGPU = true
+			if p.Demands[2].Parallelism == 0 {
+				t.Fatal("GPU demand without shader threads")
+			}
+		}
+	}
+	if !sawGPU {
+		t.Fatal("gaming never produced GPU work")
+	}
+}
+
+func TestTwoClusterViewUnchangedByGPUSpec(t *testing.T) {
+	// The GPU field must not perturb the CPU demand streams of 1- and
+	// 2-cluster scenarios: same seed, same CPU draws regardless.
+	withGPU := GamingSpec()
+	without := GamingSpec()
+	for i := range without.Phases {
+		without.Phases[i].GPU = DemandSpec{}
+	}
+	a, _ := New(withGPU, 2, 9)
+	b, _ := New(without, 2, 9)
+	for i := 0; i < 1000; i++ {
+		pa, pb := a.Next(0.05), b.Next(0.05)
+		if pa.Demands[0] != pb.Demands[0] || pa.Demands[1] != pb.Demands[1] {
+			t.Fatalf("period %d CPU demands differ with/without GPU spec", i)
+		}
+	}
+}
+
+func TestGPUDemandWithinGPUCapacity(t *testing.T) {
+	// GPU phase demands must be below the GPU's max capacity
+	// (850 MHz × 8 cores = 6.8 Gcycle/s) so the comparison is feasible.
+	const gpuMax = 850e6 * 8
+	for _, spec := range AllSpecs() {
+		for _, ph := range spec.Phases {
+			if ph.GPU.MeanCPS >= gpuMax {
+				t.Errorf("%s/%s GPU demand %g exceeds capacity", spec.Name, ph.Name, ph.GPU.MeanCPS)
+			}
+		}
+	}
+}
