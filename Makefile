@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build vet test race bench golden
+
+# check is the full CI gate: vet, build, the default test suite (unit +
+# determinism + golden), and the race-detector pass over the concurrent
+# packages (the experiment engine, the bench cells it runs, and the
+# simulator they share).
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/bench/... ./internal/sim/...
+
+# bench regenerates the full evaluation through the testing harness.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# golden re-blesses testdata/*.golden after an intentional model change.
+golden:
+	$(GO) test ./internal/bench -run TestGoldenOutput -update

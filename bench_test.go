@@ -15,6 +15,9 @@ import (
 func quickOpts() bench.Options {
 	o := bench.DefaultOptions()
 	o.Quick = true
+	// Parallel stays 0: each experiment fans its evaluation cells out over
+	// GOMAXPROCS workers via internal/bench/engine, with output identical
+	// to the serial path.
 	return o
 }
 

@@ -12,13 +12,17 @@
 //	pmbench -exp a1..a6        # ablations (state bins, precision, lambda, switch cost, algorithm, obs noise)
 //	pmbench -exp oracle        # best-static-pin reference
 //	pmbench -exp life          # battery-life projection per governor
-//	pmbench -exp a5            # TD algorithm ablation
 //	pmbench -exp symm          # symmetric 8-core chip evaluation
 //	pmbench -exp gpu           # three-domain (LITTLE+big+GPU) evaluation
 //	pmbench -exp seeds         # Table 1 replicated over 5 seeds (mean ± CI)
 //	pmbench -exp all           # everything, in order
 //	pmbench -quick             # ~10x shorter runs for smoke testing
+//	pmbench -parallel 8        # engine worker count (0 = GOMAXPROCS, 1 = serial)
 //	pmbench -csv fig2.csv      # also write the figure series as CSV (f2/f4)
+//
+// Output is byte-identical at every -parallel setting: evaluation cells
+// fan out over internal/bench/engine but merge in canonical order, and
+// each cell owns its deterministic RNG streams.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"rlpm/internal/bench"
@@ -33,17 +38,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: t1,t2,t3,f2,f3,f4,a1,a2,a3,a4,a5,a6,oracle,life,symm,gpu,seeds,all")
-		quick   = flag.Bool("quick", false, "shrink runs ~10x for smoke testing")
-		csvPath = flag.String("csv", "", "write figure series (f2/f4) as CSV to this path")
-		dur     = flag.Float64("duration", 0, "override evaluated seconds per scenario")
-		eps     = flag.Int("episodes", 0, "override RL training episodes")
-		seed    = flag.Uint64("seed", 0, "override scenario/exploration seed")
+		exp      = flag.String("exp", "all", "experiment id: "+strings.Join(bench.ExperimentIDs(), ",")+",all")
+		quick    = flag.Bool("quick", false, "shrink runs ~10x for smoke testing")
+		csvPath  = flag.String("csv", "", "write figure series (f2/f4) as CSV to this path")
+		dur      = flag.Float64("duration", 0, "override evaluated seconds per scenario")
+		eps      = flag.Int("episodes", 0, "override RL training episodes")
+		seed     = flag.Uint64("seed", 0, "override scenario/exploration seed")
+		parallel = flag.Int("parallel", 0, "experiment-engine workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
 	opt.Quick = *quick
+	opt.Parallel = *parallel
 	if *dur > 0 {
 		opt.DurationS = *dur
 	}
@@ -63,7 +70,7 @@ func main() {
 func run(exp string, opt bench.Options, csvPath string, w io.Writer) error {
 	ids := []string{exp}
 	if exp == "all" {
-		ids = []string{"t1", "t2", "t3", "f2", "f3", "f4", "a1", "a2", "a3", "a4", "a5", "a6", "oracle", "life", "symm", "gpu", "seeds"}
+		ids = bench.ExperimentIDs()
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -76,129 +83,26 @@ func run(exp string, opt bench.Options, csvPath string, w io.Writer) error {
 }
 
 func runOne(id string, opt bench.Options, csvPath string, w io.Writer) error {
-	writeCSV := func(f interface{ WriteCSV(io.Writer) error }) error {
-		if csvPath == "" {
-			return nil
-		}
-		out, err := os.Create(csvPath)
-		if err != nil {
-			return err
-		}
-		defer out.Close()
-		return f.WriteCSV(out)
+	e, err := bench.ExperimentByID(id)
+	if err != nil {
+		return err
 	}
-
-	switch id {
-	case "t1":
-		t, err := bench.RunTable1(opt)
-		if err != nil {
-			return err
-		}
-		t.WriteText(w)
-	case "t2":
-		t, err := bench.RunTable2(opt)
-		if err != nil {
-			return err
-		}
-		t.WriteText(w)
-	case "t3":
-		t, err := bench.RunTable3(opt)
-		if err != nil {
-			return err
-		}
-		t.WriteText(w)
-	case "f2":
-		f, err := bench.RunFig2(opt)
-		if err != nil {
-			return err
-		}
-		f.WriteText(w)
-		if err := writeCSV(f); err != nil {
-			return err
-		}
-	case "f3":
-		f, err := bench.RunFig3(opt)
-		if err != nil {
-			return err
-		}
-		f.WriteText(w)
-	case "f4":
-		f, err := bench.RunFig4(opt)
-		if err != nil {
-			return err
-		}
-		f.WriteText(w)
-		if err := writeCSV(f); err != nil {
-			return err
-		}
-	case "a1":
-		a, err := bench.RunAblationStateBins(opt)
-		if err != nil {
-			return err
-		}
-		a.WriteText(w)
-	case "a2":
-		a, err := bench.RunAblationPrecision(opt)
-		if err != nil {
-			return err
-		}
-		a.WriteText(w)
-	case "a3":
-		a, err := bench.RunAblationLambda(opt)
-		if err != nil {
-			return err
-		}
-		a.WriteText(w)
-	case "a4":
-		a, err := bench.RunAblationSwitchCost(opt)
-		if err != nil {
-			return err
-		}
-		a.WriteText(w)
-	case "oracle":
-		o, err := bench.RunOracleStatic(opt)
-		if err != nil {
-			return err
-		}
-		o.WriteText(w)
-	case "life":
-		l, err := bench.RunBatteryLife(opt)
-		if err != nil {
-			return err
-		}
-		l.WriteText(w)
-	case "a5":
-		a, err := bench.RunAblationAlgorithm(opt)
-		if err != nil {
-			return err
-		}
-		a.WriteText(w)
-	case "symm":
-		s, err := bench.RunSymmetric(opt)
-		if err != nil {
-			return err
-		}
-		s.WriteText(w)
-	case "gpu":
-		g, err := bench.RunGPUDomain(opt)
-		if err != nil {
-			return err
-		}
-		g.WriteText(w)
-	case "a6":
-		a, err := bench.RunAblationObsNoise(opt)
-		if err != nil {
-			return err
-		}
-		a.WriteText(w)
-	case "seeds":
-		s, err := bench.RunTable1Seeds(opt, 5)
-		if err != nil {
-			return err
-		}
-		s.WriteText(w)
-	default:
-		return fmt.Errorf("unknown experiment %q", id)
+	res, err := e.Run(opt)
+	if err != nil {
+		return err
 	}
-	return nil
+	res.WriteText(w)
+	if csvPath == "" {
+		return nil
+	}
+	f, ok := res.(bench.CSVWriter)
+	if !ok {
+		return nil
+	}
+	out, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return f.WriteCSV(out)
 }

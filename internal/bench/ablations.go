@@ -36,27 +36,34 @@ func RunAblationStateBins(opt Options) (*AblationStateBins, error) {
 		{LoadBins: 8, QoSBins: 4, TrendBins: 3}, // the design point
 		{LoadBins: 16, QoSBins: 8, TrendBins: 3},
 	}
-	out := &AblationStateBins{}
-	for _, sc := range configs {
+	scenarios := []string{"gaming", "video"}
+	// One engine cell per (state config, scenario): each trains its own
+	// policy and evaluates it frozen.
+	cells, err := mapCells(opt, len(configs)*len(scenarios), func(i int) (float64, error) {
+		sc := configs[i/len(scenarios)]
+		scenario := scenarios[i%len(scenarios)]
 		cfg := coreConfig()
 		cfg.State = sc
-		row := StateBinsRow{Load: sc.LoadBins, QoS: sc.QoSBins, Trend: sc.TrendBins, States: sc.States(9)}
-		for _, scenario := range []string{"gaming", "video"} {
-			p, err := trainedPolicy(scenario, opt, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("bench: A1 %v on %s: %w", sc, scenario, err)
-			}
-			res, err := evalGovernor(scenario, p, opt)
-			if err != nil {
-				return nil, err
-			}
-			if scenario == "gaming" {
-				row.GamingEQ = res.QoS.EnergyPerQoS
-			} else {
-				row.VideoEQ = res.QoS.EnergyPerQoS
-			}
+		p, err := trainedPolicy(scenario, opt, cfg)
+		if err != nil {
+			return 0, fmt.Errorf("bench: A1 %v on %s: %w", sc, scenario, err)
 		}
-		out.Rows = append(out.Rows, row)
+		res, err := evalGovernor(scenario, p, opt)
+		if err != nil {
+			return 0, err
+		}
+		return res.QoS.EnergyPerQoS, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationStateBins{}
+	for ci, sc := range configs {
+		out.Rows = append(out.Rows, StateBinsRow{
+			Load: sc.LoadBins, QoS: sc.QoSBins, Trend: sc.TrendBins, States: sc.States(9),
+			GamingEQ: cells[ci*len(scenarios)],
+			VideoEQ:  cells[ci*len(scenarios)+1],
+		})
 	}
 	return out, nil
 }
@@ -86,29 +93,33 @@ type LambdaRow struct {
 	ViolationRate float64
 }
 
-// RunAblationLambda executes the sweep.
+// RunAblationLambda executes the sweep, one engine cell per λ.
 func RunAblationLambda(opt Options) (*AblationLambda, error) {
 	opt = opt.normalized()
-	out := &AblationLambda{}
-	for _, lambda := range []float64{0, 0.5, 1.5, 3.0, 6.0, 12.0} {
+	lambdas := []float64{0, 0.5, 1.5, 3.0, 6.0, 12.0}
+	rows, err := mapCells(opt, len(lambdas), func(i int) (LambdaRow, error) {
+		lambda := lambdas[i]
 		cfg := coreConfig()
 		cfg.LambdaViolation = lambda
 		p, err := trainedPolicy("gaming", opt, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("bench: A3 λ=%v: %w", lambda, err)
+			return LambdaRow{}, fmt.Errorf("bench: A3 λ=%v: %w", lambda, err)
 		}
 		res, err := evalGovernor("gaming", p, opt)
 		if err != nil {
-			return nil, err
+			return LambdaRow{}, err
 		}
-		out.Rows = append(out.Rows, LambdaRow{
+		return LambdaRow{
 			Lambda:        lambda,
 			EnergyPerQoS:  res.QoS.EnergyPerQoS,
 			EnergyJ:       res.QoS.TotalEnergyJ,
 			ViolationRate: res.QoS.ViolationRate,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationLambda{Rows: rows}, nil
 }
 
 // WriteText renders the sweep.
@@ -149,34 +160,54 @@ func RunOracleStatic(opt Options) (*OracleStatic, error) {
 	littleLevels := chipProbe.Cluster(0).NumLevels()
 	bigLevels := chipProbe.Cluster(1).NumLevels()
 
+	// Flatten to one engine cell per (scenario, pin) plus one RL cell per
+	// scenario; the best pin is selected during the ordered merge, walking
+	// pins in the same (little-major, big-minor) order as the serial
+	// search so ties resolve identically.
+	names := scenarioNames()
+	pins := littleLevels * bigLevels
+	perScen := pins + 1
+	cells, err := mapCells(opt, len(names)*perScen, func(i int) (float64, error) {
+		sc := names[i/perScen]
+		ci := i % perScen
+		if ci == pins {
+			p, err := trainedPolicy(sc, opt, coreConfig())
+			if err != nil {
+				return 0, err
+			}
+			res, err := evalGovernor(sc, p, opt)
+			if err != nil {
+				return 0, err
+			}
+			return res.QoS.EnergyPerQoS, nil
+		}
+		g, err := governor.NewFixed([]int{ci / bigLevels, ci % bigLevels})
+		if err != nil {
+			return 0, err
+		}
+		res, err := evalGovernor(sc, g, opt)
+		if err != nil {
+			return 0, err
+		}
+		return res.QoS.EnergyPerQoS, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	out := &OracleStatic{}
-	for _, sc := range scenarioNames() {
+	for si, sc := range names {
 		best := OracleRow{Scenario: sc, EnergyPerQoS: inf()}
 		for l := 0; l < littleLevels; l++ {
 			for b := 0; b < bigLevels; b++ {
-				g, err := governor.NewFixed([]int{l, b})
-				if err != nil {
-					return nil, err
-				}
-				res, err := evalGovernor(sc, g, opt)
-				if err != nil {
-					return nil, err
-				}
-				if res.QoS.EnergyPerQoS < best.EnergyPerQoS {
+				eq := cells[si*perScen+l*bigLevels+b]
+				if eq < best.EnergyPerQoS {
 					best.LittleLevel, best.BigLevel = l, b
-					best.EnergyPerQoS = res.QoS.EnergyPerQoS
+					best.EnergyPerQoS = eq
 				}
 			}
 		}
-		p, err := trainedPolicy(sc, opt, coreConfig())
-		if err != nil {
-			return nil, err
-		}
-		res, err := evalGovernor(sc, p, opt)
-		if err != nil {
-			return nil, err
-		}
-		best.RLEnergyEQ = res.QoS.EnergyPerQoS
+		best.RLEnergyEQ = cells[si*perScen+pins]
 		if best.EnergyPerQoS > 0 {
 			best.GapPct = 100 * (best.RLEnergyEQ - best.EnergyPerQoS) / best.EnergyPerQoS
 		}
@@ -221,27 +252,29 @@ func RunAblationPrecision(opt Options) (*AblationPrecision, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &AblationPrecision{}
-
-	swRes, err := evalGovernor(scenario, p, opt)
+	// The three precision deployments derive from the one trained policy:
+	// build each governor serially (they snapshot/copy p's tables), then
+	// fan the independent evaluations out. Each evaluation drives its own
+	// governor instance, so no Q-table state is shared across cells.
+	deployments := []struct {
+		name string
+		gov  sim.Governor
+	}{
+		{"float64 (software)", p},
+		{"Q16.16 (hardware)", hwFromPolicy(p)},
+		{"Q12.4 (coarse)", quantizePolicy(p, 4)}, // keep 4 fractional bits
+	}
+	rows, err := mapCells(opt, len(deployments), func(i int) (PrecisionRow, error) {
+		res, err := evalGovernor(scenario, deployments[i].gov, opt)
+		if err != nil {
+			return PrecisionRow{}, err
+		}
+		return PrecisionRow{deployments[i].name, res.QoS.EnergyPerQoS, res.QoS.MeanQoS}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out.Rows = append(out.Rows, PrecisionRow{"float64 (software)", swRes.QoS.EnergyPerQoS, swRes.QoS.MeanQoS})
-
-	hwRes, err := evalGovernor(scenario, hwFromPolicy(p), opt)
-	if err != nil {
-		return nil, err
-	}
-	out.Rows = append(out.Rows, PrecisionRow{"Q16.16 (hardware)", hwRes.QoS.EnergyPerQoS, hwRes.QoS.MeanQoS})
-
-	coarse := quantizePolicy(p, 4) // keep 4 fractional bits
-	coarseRes, err := evalGovernor(scenario, coarse, opt)
-	if err != nil {
-		return nil, err
-	}
-	out.Rows = append(out.Rows, PrecisionRow{"Q12.4 (coarse)", coarseRes.QoS.EnergyPerQoS, coarseRes.QoS.MeanQoS})
-	return out, nil
+	return &AblationPrecision{Rows: rows}, nil
 }
 
 // WriteText renders the comparison.

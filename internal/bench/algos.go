@@ -6,6 +6,7 @@ import (
 
 	"rlpm/internal/core"
 	"rlpm/internal/governor"
+	"rlpm/internal/qos"
 	"rlpm/internal/sim"
 	"rlpm/internal/soc"
 	"rlpm/internal/workload"
@@ -28,32 +29,40 @@ type AlgorithmRow struct {
 	TablesPerAgnt int // memory cost in Q-tables (the HW argument)
 }
 
-// RunAblationAlgorithm executes the comparison.
+// RunAblationAlgorithm executes the comparison, one engine cell per
+// (algorithm, scenario) train-and-evaluate pair.
 func RunAblationAlgorithm(opt Options) (*AblationAlgorithm, error) {
 	opt = opt.normalized()
-	out := &AblationAlgorithm{}
-	for _, algo := range []core.Algorithm{core.QLearning, core.SARSA, core.DoubleQ} {
+	algos := []core.Algorithm{core.QLearning, core.SARSA, core.DoubleQ}
+	scenarios := []string{"gaming", "video"}
+	cells, err := mapCells(opt, len(algos)*len(scenarios), func(i int) (qos.Summary, error) {
+		algo := algos[i/len(scenarios)]
+		scenario := scenarios[i%len(scenarios)]
 		cfg := coreConfig()
 		cfg.Algorithm = algo
+		p, err := trainedPolicy(scenario, opt, cfg)
+		if err != nil {
+			return qos.Summary{}, fmt.Errorf("bench: A5 %s on %s: %w", algo, scenario, err)
+		}
+		res, err := evalGovernor(scenario, p, opt)
+		if err != nil {
+			return qos.Summary{}, err
+		}
+		return res.QoS, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationAlgorithm{}
+	for ai, algo := range algos {
 		row := AlgorithmRow{Algorithm: algo, TablesPerAgnt: 1}
 		if algo == core.DoubleQ {
 			row.TablesPerAgnt = 2
 		}
-		for _, scenario := range []string{"gaming", "video"} {
-			p, err := trainedPolicy(scenario, opt, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("bench: A5 %s on %s: %w", algo, scenario, err)
-			}
-			res, err := evalGovernor(scenario, p, opt)
-			if err != nil {
-				return nil, err
-			}
-			if scenario == "gaming" {
-				row.GamingEQ, row.GamingViol = res.QoS.EnergyPerQoS, res.QoS.ViolationRate
-			} else {
-				row.VideoEQ, row.VideoViol = res.QoS.EnergyPerQoS, res.QoS.ViolationRate
-			}
-		}
+		gaming := cells[ai*len(scenarios)]
+		video := cells[ai*len(scenarios)+1]
+		row.GamingEQ, row.GamingViol = gaming.EnergyPerQoS, gaming.ViolationRate
+		row.VideoEQ, row.VideoViol = video.EnergyPerQoS, video.ViolationRate
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
@@ -91,10 +100,8 @@ func RunSymmetric(opt Options) (*Symmetric, error) {
 		EnergyPerQoS:  map[string]map[string]float64{},
 		ViolationRate: map[string]map[string]float64{},
 	}
-	baselines := baselineGovernors()
-	for _, g := range baselines {
-		out.Governors = append(out.Governors, g.Name())
-	}
+	baseNames := governor.BaselineNames()
+	out.Governors = append(out.Governors, baseNames...)
 	out.Governors = append(out.Governors, "rl-policy")
 	out.Scenarios = scenarioNames()
 
@@ -106,59 +113,73 @@ func RunSymmetric(opt Options) (*Symmetric, error) {
 		}
 		return workload.New(spec, 1, opt.Seed)
 	}
-
-	var imps []float64
-	for _, sc := range out.Scenarios {
-		out.EnergyPerQoS[sc] = map[string]float64{}
-		out.ViolationRate[sc] = map[string]float64{}
-		run := func(gov sim.Governor) (sim.Result, error) {
-			chip, err := mk()
-			if err != nil {
-				return sim.Result{}, err
-			}
-			scen, err := mkScen(sc)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			return sim.Run(chip, scen, gov, opt.simConfig())
-		}
-		for _, name := range governor.BaselineNames() {
-			g, err := governor.New(name)
-			if err != nil {
-				return nil, err
-			}
-			res, err := run(g)
-			if err != nil {
-				return nil, fmt.Errorf("bench: symm %s/%s: %w", sc, name, err)
-			}
-			out.EnergyPerQoS[sc][name] = res.QoS.EnergyPerQoS
-			out.ViolationRate[sc][name] = res.QoS.ViolationRate
-		}
-		// RL: train on the symmetric chip, then evaluate frozen.
+	run := func(sc string, gov sim.Governor) (sim.Result, error) {
 		chip, err := mk()
 		if err != nil {
-			return nil, err
+			return sim.Result{}, err
 		}
 		scen, err := mkScen(sc)
 		if err != nil {
-			return nil, err
+			return sim.Result{}, err
 		}
-		p, err := core.NewPolicy(coreConfig())
+		return sim.Run(chip, scen, gov, opt.simConfig())
+	}
+
+	// One engine cell per (scenario, governor), RL cell last per scenario.
+	nGov := len(baseNames) + 1
+	cells, err := mapCells(opt, len(out.Scenarios)*nGov, func(i int) (qos.Summary, error) {
+		sc := out.Scenarios[i/nGov]
+		gi := i % nGov
+		if gi == len(baseNames) {
+			// RL: train on the symmetric chip, then evaluate frozen.
+			chip, err := mk()
+			if err != nil {
+				return qos.Summary{}, err
+			}
+			scen, err := mkScen(sc)
+			if err != nil {
+				return qos.Summary{}, err
+			}
+			p, err := core.NewPolicy(coreConfig())
+			if err != nil {
+				return qos.Summary{}, err
+			}
+			if _, err := core.Train(chip, scen, p, opt.simConfig(), opt.TrainEpisodes); err != nil {
+				return qos.Summary{}, err
+			}
+			p.SetLearning(false)
+			res, err := run(sc, p)
+			if err != nil {
+				return qos.Summary{}, err
+			}
+			return res.QoS, nil
+		}
+		g, err := governor.New(baseNames[gi])
 		if err != nil {
-			return nil, err
+			return qos.Summary{}, err
 		}
-		if _, err := core.Train(chip, scen, p, opt.simConfig(), opt.TrainEpisodes); err != nil {
-			return nil, err
-		}
-		p.SetLearning(false)
-		res, err := run(p)
+		res, err := run(sc, g)
 		if err != nil {
-			return nil, err
+			return qos.Summary{}, fmt.Errorf("bench: symm %s/%s: %w", sc, baseNames[gi], err)
 		}
-		out.EnergyPerQoS[sc]["rl-policy"] = res.QoS.EnergyPerQoS
-		out.ViolationRate[sc]["rl-policy"] = res.QoS.ViolationRate
-		for _, name := range governor.BaselineNames() {
-			imps = append(imps, improvementPct(out.EnergyPerQoS[sc][name], res.QoS.EnergyPerQoS))
+		return res.QoS, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var imps []float64
+	for si, sc := range out.Scenarios {
+		out.EnergyPerQoS[sc] = map[string]float64{}
+		out.ViolationRate[sc] = map[string]float64{}
+		for gi, gov := range out.Governors {
+			s := cells[si*nGov+gi]
+			out.EnergyPerQoS[sc][gov] = s.EnergyPerQoS
+			out.ViolationRate[sc][gov] = s.ViolationRate
+		}
+		rl := cells[si*nGov+len(baseNames)]
+		for _, name := range baseNames {
+			imps = append(imps, improvementPct(out.EnergyPerQoS[sc][name], rl.EnergyPerQoS))
 		}
 	}
 	var sum float64

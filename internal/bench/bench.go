@@ -13,9 +13,9 @@ import (
 	"io"
 	"math"
 
+	"rlpm/internal/bench/engine"
 	"rlpm/internal/bus"
 	"rlpm/internal/core"
-	"rlpm/internal/governor"
 	"rlpm/internal/hwpolicy"
 	"rlpm/internal/sim"
 	"rlpm/internal/soc"
@@ -35,6 +35,11 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks durations/episodes ~10× for smoke tests.
 	Quick bool
+	// Parallel is the worker count the experiment engine fans evaluation
+	// cells out over. 0 (the default) selects runtime.GOMAXPROCS; 1 forces
+	// the serial path. Results are byte-identical at any setting: every
+	// cell owns its RNG streams and results merge in canonical order.
+	Parallel int
 }
 
 // DefaultOptions returns the evaluation configuration used in
@@ -150,9 +155,6 @@ func fmtEQ(v float64) string {
 	return fmt.Sprintf("%7.4f", v)
 }
 
-// baselineGovernors builds the paper's six baselines.
-func baselineGovernors() []sim.Governor { return governor.Baselines() }
-
 // scenarioNames returns the evaluation scenarios in table order.
 func scenarioNames() []string { return workload.Names() }
 
@@ -170,6 +172,14 @@ func hwFromPolicy(p *core.Policy) sim.Governor {
 		panic(err) // callers pass trained policies; shapes always match
 	}
 	return g
+}
+
+// mapCells fans n evaluation cells out over opt.Parallel workers via the
+// experiment engine and returns the per-cell results in canonical index
+// order. Each cell must construct its own chip/scenario/governor — the
+// engine guarantees ordered merge, the cell guarantees isolation.
+func mapCells[T any](opt Options, n int, fn func(int) (T, error)) ([]T, error) {
+	return engine.Map(opt.Parallel, n, fn)
 }
 
 // writeRule draws a separator line.

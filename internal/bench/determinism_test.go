@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderExperiment runs experiment e at the given engine parallelism and
+// returns its rendered text.
+func renderExperiment(t *testing.T, e Experiment, parallel int) []byte {
+	t.Helper()
+	opt := quickOpt()
+	opt.Parallel = parallel
+	r, err := e.Run(opt)
+	if err != nil {
+		t.Fatalf("%s at parallel=%d: %v", e.ID, parallel, err)
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	return buf.Bytes()
+}
+
+// TestExperimentsDeterministicAcrossParallelism is the engine's central
+// guarantee: every experiment renders byte-identical output whether its
+// evaluation cells run serially or fan out over 8 workers. Each cell owns
+// its RNG streams (engine.CellSeed / rng.NewStream) and results merge in
+// canonical index order, so scheduling cannot leak into the output.
+func TestExperimentsDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick evaluation twice")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			serial := renderExperiment(t, e, 1)
+			parallel := renderExperiment(t, e, 8)
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("%s: parallel=8 output differs from parallel=1\n--- serial ---\n%s\n--- parallel ---\n%s",
+					e.ID, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestExperimentsDeterministicAcrossRuns guards against hidden global
+// state: running the same experiment twice in one process must render the
+// same bytes (map-iteration ordering, package-level RNGs, and cached
+// mutable singletons would all show up here).
+func TestExperimentsDeterministicAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick evaluation twice")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			first := renderExperiment(t, e, 4)
+			second := renderExperiment(t, e, 4)
+			if !bytes.Equal(first, second) {
+				t.Errorf("%s: two identical runs rendered different bytes", e.ID)
+			}
+		})
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 17 {
+		t.Fatalf("expected 17 experiments, got %d: %v", len(ids), ids)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate experiment id %q", id)
+		}
+		seen[id] = true
+		e, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatalf("ExperimentByID(%q): %v", id, err)
+		}
+		if e.ID != id || e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete: %+v", id, e)
+		}
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Fatal("unknown id did not error")
+	}
+}

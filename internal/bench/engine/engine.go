@@ -1,0 +1,152 @@
+// Package engine fans experiment cells out over a bounded worker pool
+// while keeping the results — and therefore every rendered table and
+// figure — byte-identical to a serial run.
+//
+// The experiment harness is embarrassingly parallel: each evaluation cell
+// (governor × scenario × seed × ablation variant) constructs its own chip,
+// scenario generator, and governor, and shares no mutable state with any
+// other cell. The engine exploits that by dispatching cell indices to
+// workers through a shared queue (workers pull the next cell as soon as
+// they finish one, so load balances dynamically regardless of per-cell
+// cost) and merging results back in canonical submission order.
+//
+// Determinism contract:
+//
+//   - Each cell derives all randomness from its own deterministic RNG
+//     streams (internal/rng streams keyed by the experiment seed and the
+//     cell's identity — see CellSeed), never from shared generator state,
+//     so execution order cannot perturb any cell's result.
+//   - Map returns results indexed exactly like the input, so downstream
+//     merge/render code iterates in the same canonical order as the
+//     serial path.
+//   - Consequently Map(1, n, fn) and Map(k, n, fn) produce identical
+//     result slices; the determinism suite in internal/bench asserts this
+//     end-to-end for every experiment id.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rlpm/internal/rng"
+)
+
+// Parallelism resolves a worker-count request: values <= 0 select
+// runtime.GOMAXPROCS(0) (the default), anything else is returned as-is.
+func Parallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// CellSeed derives a deterministic RNG seed for one evaluation cell from
+// the experiment seed and the cell's identity string. Distinct cell ids
+// yield statistically independent streams (splitmix64 finalizer over an
+// FNV-1a hash of the id), so adding or reordering cells never perturbs
+// another cell's randomness.
+func CellSeed(seed uint64, cellID string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	for i := 0; i < len(cellID); i++ {
+		h ^= uint64(cellID[i])
+		h *= 1099511628211
+	}
+	return rng.Mix64(rng.Mix64(seed) ^ rng.Mix64(h^0xd1b54a32d192ed03))
+}
+
+// Map runs fn(0), …, fn(n-1) on up to parallel workers and returns the
+// results in index order. parallel <= 0 means GOMAXPROCS. fn must be safe
+// to call concurrently from multiple goroutines with distinct indices.
+//
+// On failure Map returns the error of the lowest-indexed failing cell
+// (matching what a serial loop would have surfaced first); cells not yet
+// dispatched when the first error is observed are skipped.
+func Map[T any](parallel, n int, fn func(int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("engine: negative cell count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	workers := Parallelism(parallel)
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	if workers == 1 {
+		// Serial fast path: no goroutines, so the engine itself cannot
+		// reorder anything — this is the reference the determinism suite
+		// compares parallel runs against.
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break // stop dispatching; in-flight cells drain below
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Cell is one named unit of experiment work whose result is captured by
+// the closure itself (for callers that want heterogeneous cells without
+// a common result type).
+type Cell struct {
+	// ID names the cell in canonical form, e.g. "t1/gaming/ondemand";
+	// it labels errors and can key CellSeed.
+	ID  string
+	Run func() error
+}
+
+// Run executes the cells on up to parallel workers. Cells must be
+// mutually independent; each cell's Run typically writes its result into
+// a distinct, pre-allocated slot so the caller can merge in canonical
+// order afterwards. Error selection follows Map.
+func Run(parallel int, cells []Cell) error {
+	_, err := Map(parallel, len(cells), func(i int) (struct{}, error) {
+		if err := cells[i].Run(); err != nil {
+			return struct{}{}, fmt.Errorf("%s: %w", cells[i].ID, err)
+		}
+		return struct{}{}, nil
+	})
+	return err
+}

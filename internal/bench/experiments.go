@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Renderable is what every experiment produces: a table or figure that
+// renders itself as text. Figures additionally implement CSVWriter.
+type Renderable interface {
+	WriteText(io.Writer)
+}
+
+// CSVWriter is implemented by figure results that can emit their series
+// for plotting (Fig2, Fig4).
+type CSVWriter interface {
+	WriteCSV(io.Writer) error
+}
+
+// Experiment is one entry of the evaluation: an id (the -exp selector in
+// cmd/pmbench), a human title, and the runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (Renderable, error)
+}
+
+// Experiments returns the full evaluation in canonical order — the order
+// `pmbench -exp all` runs and EXPERIMENTS.md documents. Every experiment
+// fans its evaluation cells out over the engine according to
+// Options.Parallel, and every one is deterministic in (Options, id):
+// the determinism suite asserts parallel == serial output for each entry.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"t1", "Table 1: energy/QoS vs six governors", func(o Options) (Renderable, error) { return RunTable1(o) }},
+		{"t2", "Table 2: SW vs HW decision latency", func(o Options) (Renderable, error) { return RunTable2(o) }},
+		{"t3", "Table 3: FPGA resource estimates", func(o Options) (Renderable, error) { return RunTable3(o) }},
+		{"f2", "Fig. 2: learning convergence", func(o Options) (Renderable, error) { return RunFig2(o) }},
+		{"f3", "Fig. 3: energy & QoS bars", func(o Options) (Renderable, error) { return RunFig3(o) }},
+		{"f4", "Fig. 4: trace summary", func(o Options) (Renderable, error) { return RunFig4(o) }},
+		{"a1", "Ablation A1: state-space granularity", func(o Options) (Renderable, error) { return RunAblationStateBins(o) }},
+		{"a2", "Ablation A2: Q-table precision", func(o Options) (Renderable, error) { return RunAblationPrecision(o) }},
+		{"a3", "Ablation A3: violation penalty λ", func(o Options) (Renderable, error) { return RunAblationLambda(o) }},
+		{"a4", "Ablation A4: DVFS transition cost", func(o Options) (Renderable, error) { return RunAblationSwitchCost(o) }},
+		{"a5", "Ablation A5: TD algorithm", func(o Options) (Renderable, error) { return RunAblationAlgorithm(o) }},
+		{"a6", "Ablation A6: observation noise", func(o Options) (Renderable, error) { return RunAblationObsNoise(o) }},
+		{"oracle", "Oracle: best static OPP pin", func(o Options) (Renderable, error) { return RunOracleStatic(o) }},
+		{"life", "Battery-life projection", func(o Options) (Renderable, error) { return RunBatteryLife(o) }},
+		{"symm", "Symmetric 8-core chip evaluation", func(o Options) (Renderable, error) { return RunSymmetric(o) }},
+		{"gpu", "Three-domain (LITTLE+big+GPU) evaluation", func(o Options) (Renderable, error) { return RunGPUDomain(o) }},
+		{"seeds", "Table 1 over 5 seeds (mean ± CI)", func(o Options) (Renderable, error) { return RunTable1Seeds(o, 5) }},
+	}
+}
+
+// ExperimentIDs returns the ids in canonical order.
+func ExperimentIDs() []string {
+	exps := Experiments()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ExperimentByID looks an experiment up by its id.
+func ExperimentByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}

@@ -6,6 +6,7 @@ import (
 
 	"rlpm/internal/core"
 	"rlpm/internal/governor"
+	"rlpm/internal/qos"
 	"rlpm/internal/sim"
 	"rlpm/internal/stats"
 	"rlpm/internal/trace"
@@ -115,41 +116,55 @@ type Fig3 struct {
 	MeanQoS   map[string]map[string]float64
 }
 
-// RunFig3 executes the experiment.
+// RunFig3 executes the experiment: one engine cell per (scenario,
+// governor), merged in canonical order.
 func RunFig3(opt Options) (*Fig3, error) {
 	opt = opt.normalized()
 	f := &Fig3{
 		EnergyJ: map[string]map[string]float64{},
 		MeanQoS: map[string]map[string]float64{},
 	}
-	baselines := baselineGovernors()
-	for _, g := range baselines {
-		f.Governors = append(f.Governors, g.Name())
-	}
+	baseNames := governor.BaselineNames()
+	f.Governors = append(f.Governors, baseNames...)
 	f.Governors = append(f.Governors, "rl-policy")
 	f.Scenarios = scenarioNames()
-	for _, sc := range f.Scenarios {
+
+	nGov := len(baseNames) + 1
+	cells, err := mapCells(opt, len(f.Scenarios)*nGov, func(i int) (qos.Summary, error) {
+		sc := f.Scenarios[i/nGov]
+		gi := i % nGov
+		if gi == len(baseNames) {
+			p, err := trainedPolicy(sc, opt, coreConfig())
+			if err != nil {
+				return qos.Summary{}, err
+			}
+			res, err := evalGovernor(sc, p, opt)
+			if err != nil {
+				return qos.Summary{}, err
+			}
+			return res.QoS, nil
+		}
+		g, err := governor.New(baseNames[gi])
+		if err != nil {
+			return qos.Summary{}, err
+		}
+		res, err := evalGovernor(sc, g, opt)
+		if err != nil {
+			return qos.Summary{}, err
+		}
+		return res.QoS, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sc := range f.Scenarios {
 		f.EnergyJ[sc] = map[string]float64{}
 		f.MeanQoS[sc] = map[string]float64{}
-		for _, g := range baselines {
-			g.Reset()
-			res, err := evalGovernor(sc, g, opt)
-			if err != nil {
-				return nil, err
-			}
-			f.EnergyJ[sc][g.Name()] = res.QoS.TotalEnergyJ
-			f.MeanQoS[sc][g.Name()] = res.QoS.MeanQoS
+		for gi, gov := range f.Governors {
+			s := cells[si*nGov+gi]
+			f.EnergyJ[sc][gov] = s.TotalEnergyJ
+			f.MeanQoS[sc][gov] = s.MeanQoS
 		}
-		p, err := trainedPolicy(sc, opt, coreConfig())
-		if err != nil {
-			return nil, err
-		}
-		res, err := evalGovernor(sc, p, opt)
-		if err != nil {
-			return nil, err
-		}
-		f.EnergyJ[sc]["rl-policy"] = res.QoS.TotalEnergyJ
-		f.MeanQoS[sc]["rl-policy"] = res.QoS.MeanQoS
 	}
 	return f, nil
 }
@@ -224,21 +239,30 @@ func RunFig4(opt Options) (*Fig4, error) {
 	if err != nil {
 		return nil, err
 	}
-	rlRec, err := runWith(p)
+	// The two traced runs are independent cells (each builds its own chip,
+	// scenario, and recorder) — fan them out.
+	recs, err := mapCells(opt, 2, func(i int) (*trace.Recorder, error) {
+		if i == 0 {
+			return runWith(p)
+		}
+		return runWith(governor.NewOndemand())
+	})
 	if err != nil {
 		return nil, err
 	}
-	odRec, err := runWith(governor.NewOndemand())
-	if err != nil {
-		return nil, err
-	}
-	return &Fig4{Scenario: scenario, RL: rlRec, Ondemand: odRec}, nil
+	return &Fig4{Scenario: scenario, RL: recs[0], Ondemand: recs[1]}, nil
 }
 
 // WriteText summarizes both traces (full series go to CSV).
 func (f *Fig4) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "Fig. 4: %s trace summary (use pmtrace for the full CSV)\n", f.Scenario)
-	for label, rec := range map[string]*trace.Recorder{"rl-policy": f.RL, "ondemand": f.Ondemand} {
+	// Fixed order (a map here would render the two governors in random
+	// order run to run, breaking golden/determinism comparisons).
+	for _, entry := range []struct {
+		label string
+		rec   *trace.Recorder
+	}{{"rl-policy", f.RL}, {"ondemand", f.Ondemand}} {
+		label, rec := entry.label, entry.rec
 		power, err := rec.Series("power")
 		if err != nil {
 			fmt.Fprintf(w, "  %s: %v\n", label, err)

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/*.golden from current output")
+
+// goldenExperiments are the experiments pinned byte-for-byte. Tables only:
+// they are pure functions of (Options, seed), so any drift is a real
+// behavior change — either a bug or an intentional model change that must
+// be re-blessed with -update.
+var goldenExperiments = []string{"t1", "t2", "t3"}
+
+// TestGoldenOutput locks the rendered quick-mode tables against
+// testdata/<id>_quick.golden. Regenerate with:
+//
+//	go test ./internal/bench -run TestGoldenOutput -update
+func TestGoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario run")
+	}
+	for _, id := range goldenExperiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := ExperimentByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderExperiment(t, e, 0)
+			path := filepath.Join("testdata", id+"_quick.golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s output drifted from %s\n--- got ---\n%s\n--- want ---\n%s",
+					id, path, got, want)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"rlpm/internal/core"
 	"rlpm/internal/governor"
+	"rlpm/internal/qos"
 	"rlpm/internal/sim"
 	"rlpm/internal/soc"
 	"rlpm/internal/workload"
@@ -36,9 +37,8 @@ func RunGPUDomain(opt Options) (*GPUDomain, error) {
 		EnergyPerQoS:  map[string]map[string]float64{},
 		ViolationRate: map[string]map[string]float64{},
 	}
-	for _, n := range governor.BaselineNames() {
-		out.Governors = append(out.Governors, n)
-	}
+	baseNames := governor.BaselineNames()
+	out.Governors = append(out.Governors, baseNames...)
 	out.Governors = append(out.Governors, "rl-policy")
 
 	mkChip := func() (*soc.Chip, error) { return soc.NewChip(soc.GPUChipSpec()) }
@@ -49,58 +49,72 @@ func RunGPUDomain(opt Options) (*GPUDomain, error) {
 		}
 		return workload.New(spec, 3, opt.Seed)
 	}
-
-	var imps []float64
-	for _, sc := range out.Scenarios {
-		out.EnergyPerQoS[sc] = map[string]float64{}
-		out.ViolationRate[sc] = map[string]float64{}
-		run := func(gov sim.Governor) (sim.Result, error) {
-			chip, err := mkChip()
-			if err != nil {
-				return sim.Result{}, err
-			}
-			scen, err := mkScen(sc)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			return sim.Run(chip, scen, gov, opt.simConfig())
-		}
-		for _, name := range governor.BaselineNames() {
-			g, err := governor.New(name)
-			if err != nil {
-				return nil, err
-			}
-			res, err := run(g)
-			if err != nil {
-				return nil, fmt.Errorf("bench: gpu %s/%s: %w", sc, name, err)
-			}
-			out.EnergyPerQoS[sc][name] = res.QoS.EnergyPerQoS
-			out.ViolationRate[sc][name] = res.QoS.ViolationRate
-		}
+	run := func(sc string, gov sim.Governor) (sim.Result, error) {
 		chip, err := mkChip()
 		if err != nil {
-			return nil, err
+			return sim.Result{}, err
 		}
 		scen, err := mkScen(sc)
 		if err != nil {
-			return nil, err
+			return sim.Result{}, err
 		}
-		p, err := core.NewPolicy(coreConfig())
+		return sim.Run(chip, scen, gov, opt.simConfig())
+	}
+
+	// One engine cell per (scenario, governor), RL cell last per scenario.
+	nGov := len(baseNames) + 1
+	cells, err := mapCells(opt, len(out.Scenarios)*nGov, func(i int) (qos.Summary, error) {
+		sc := out.Scenarios[i/nGov]
+		gi := i % nGov
+		if gi == len(baseNames) {
+			chip, err := mkChip()
+			if err != nil {
+				return qos.Summary{}, err
+			}
+			scen, err := mkScen(sc)
+			if err != nil {
+				return qos.Summary{}, err
+			}
+			p, err := core.NewPolicy(coreConfig())
+			if err != nil {
+				return qos.Summary{}, err
+			}
+			if _, err := core.Train(chip, scen, p, opt.simConfig(), opt.TrainEpisodes); err != nil {
+				return qos.Summary{}, err
+			}
+			p.SetLearning(false)
+			res, err := run(sc, p)
+			if err != nil {
+				return qos.Summary{}, err
+			}
+			return res.QoS, nil
+		}
+		g, err := governor.New(baseNames[gi])
 		if err != nil {
-			return nil, err
+			return qos.Summary{}, err
 		}
-		if _, err := core.Train(chip, scen, p, opt.simConfig(), opt.TrainEpisodes); err != nil {
-			return nil, err
-		}
-		p.SetLearning(false)
-		res, err := run(p)
+		res, err := run(sc, g)
 		if err != nil {
-			return nil, err
+			return qos.Summary{}, fmt.Errorf("bench: gpu %s/%s: %w", sc, baseNames[gi], err)
 		}
-		out.EnergyPerQoS[sc]["rl-policy"] = res.QoS.EnergyPerQoS
-		out.ViolationRate[sc]["rl-policy"] = res.QoS.ViolationRate
-		for _, name := range governor.BaselineNames() {
-			imps = append(imps, improvementPct(out.EnergyPerQoS[sc][name], res.QoS.EnergyPerQoS))
+		return res.QoS, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var imps []float64
+	for si, sc := range out.Scenarios {
+		out.EnergyPerQoS[sc] = map[string]float64{}
+		out.ViolationRate[sc] = map[string]float64{}
+		for gi, gov := range out.Governors {
+			s := cells[si*nGov+gi]
+			out.EnergyPerQoS[sc][gov] = s.EnergyPerQoS
+			out.ViolationRate[sc][gov] = s.ViolationRate
+		}
+		rl := cells[si*nGov+len(baseNames)]
+		for _, name := range baseNames {
+			imps = append(imps, improvementPct(out.EnergyPerQoS[sc][name], rl.EnergyPerQoS))
 		}
 	}
 	var sum float64

@@ -6,6 +6,7 @@ import (
 
 	"rlpm/internal/core"
 	"rlpm/internal/governor"
+	"rlpm/internal/qos"
 	"rlpm/internal/sim"
 )
 
@@ -37,54 +38,67 @@ func noiseGovernorNames() []string {
 func RunAblationObsNoise(opt Options) (*AblationObsNoise, error) {
 	opt = opt.normalized()
 	const scenario = "gaming"
+	cvs := []float64{0, 0.15, 0.30, 0.50}
+	govNames := noiseGovernorNames()
+	// One engine cell per (noise level, governor).
+	cells, err := mapCells(opt, len(cvs)*len(govNames), func(i int) (qos.Summary, error) {
+		cv := cvs[i/len(govNames)]
+		name := govNames[i%len(govNames)]
+		simCfg := opt.simConfig()
+		simCfg.ObsNoiseCV = cv
+		chip, err := newChip()
+		if err != nil {
+			return qos.Summary{}, err
+		}
+		scen, err := newScenario(scenario, opt.Seed)
+		if err != nil {
+			return qos.Summary{}, err
+		}
+		var gov sim.Governor
+		if name == "rl-policy" {
+			// The policy trains under the same noise it is evaluated
+			// with — online learning sees what the deployment sees.
+			p, err := core.NewPolicy(coreConfig())
+			if err != nil {
+				return qos.Summary{}, err
+			}
+			trainCfg := simCfg
+			for ep := 0; ep < opt.TrainEpisodes; ep++ {
+				c := trainCfg
+				c.Seed = trainCfg.Seed + uint64(ep)*0x9e3779b9
+				if _, err := sim.Run(chip, scen, p, c); err != nil {
+					return qos.Summary{}, err
+				}
+			}
+			p.SetLearning(false)
+			gov = p
+		} else {
+			gov, err = governor.New(name)
+			if err != nil {
+				return qos.Summary{}, err
+			}
+		}
+		res, err := sim.Run(chip, scen, gov, simCfg)
+		if err != nil {
+			return qos.Summary{}, fmt.Errorf("bench: A6 %s at cv=%v: %w", name, cv, err)
+		}
+		return res.QoS, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	out := &AblationObsNoise{}
-	for _, cv := range []float64{0, 0.15, 0.30, 0.50} {
+	for ci, cv := range cvs {
 		row := NoiseRow{
 			NoiseCV:       cv,
 			EnergyPerQoS:  map[string]float64{},
 			ViolationRate: map[string]float64{},
 		}
-		simCfg := opt.simConfig()
-		simCfg.ObsNoiseCV = cv
-		for _, name := range noiseGovernorNames() {
-			chip, err := newChip()
-			if err != nil {
-				return nil, err
-			}
-			scen, err := newScenario(scenario, opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			var gov sim.Governor
-			if name == "rl-policy" {
-				// The policy trains under the same noise it is evaluated
-				// with — online learning sees what the deployment sees.
-				p, err := core.NewPolicy(coreConfig())
-				if err != nil {
-					return nil, err
-				}
-				trainCfg := simCfg
-				for ep := 0; ep < opt.TrainEpisodes; ep++ {
-					c := trainCfg
-					c.Seed = trainCfg.Seed + uint64(ep)*0x9e3779b9
-					if _, err := sim.Run(chip, scen, p, c); err != nil {
-						return nil, err
-					}
-				}
-				p.SetLearning(false)
-				gov = p
-			} else {
-				gov, err = governor.New(name)
-				if err != nil {
-					return nil, err
-				}
-			}
-			res, err := sim.Run(chip, scen, gov, simCfg)
-			if err != nil {
-				return nil, fmt.Errorf("bench: A6 %s at cv=%v: %w", name, cv, err)
-			}
-			row.EnergyPerQoS[name] = res.QoS.EnergyPerQoS
-			row.ViolationRate[name] = res.QoS.ViolationRate
+		for gi, name := range govNames {
+			s := cells[ci*len(govNames)+gi]
+			row.EnergyPerQoS[name] = s.EnergyPerQoS
+			row.ViolationRate[name] = s.ViolationRate
 		}
 		out.Rows = append(out.Rows, row)
 	}

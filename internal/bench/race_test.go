@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"testing"
+
+	"rlpm/internal/governor"
+	"rlpm/internal/sim"
+)
+
+// freqGuard wraps a governor and fails the test if the wrapped governor —
+// or anything else — mutates the shared FreqsHz slices the simulator hands
+// out. Observations alias the chip's OPP tables (one backing array per
+// cluster, reused every period), so a single in-place write would corrupt
+// every later period and every concurrently running cell.
+type freqGuard struct {
+	t     *testing.T
+	inner sim.Governor
+	seen  map[*float64][]float64 // backing array -> first-seen contents
+}
+
+func newFreqGuard(t *testing.T, inner sim.Governor) *freqGuard {
+	return &freqGuard{t: t, inner: inner, seen: map[*float64][]float64{}}
+}
+
+func (g *freqGuard) Name() string { return g.inner.Name() }
+func (g *freqGuard) Reset()       { g.inner.Reset() }
+
+func (g *freqGuard) check(obs []sim.Observation, when string) {
+	for ci, o := range obs {
+		if len(o.FreqsHz) == 0 {
+			continue
+		}
+		key := &o.FreqsHz[0]
+		prev, ok := g.seen[key]
+		if !ok {
+			g.seen[key] = append([]float64(nil), o.FreqsHz...)
+			continue
+		}
+		for i := range o.FreqsHz {
+			if o.FreqsHz[i] != prev[i] {
+				g.t.Errorf("%s: cluster %d FreqsHz[%d] mutated %s Decide: %v -> %v",
+					g.inner.Name(), ci, i, when, prev[i], o.FreqsHz[i])
+			}
+		}
+	}
+}
+
+func (g *freqGuard) Decide(obs []sim.Observation) []int {
+	g.check(obs, "before")
+	levels := g.inner.Decide(obs)
+	g.check(obs, "inside")
+	return levels
+}
+
+// TestGovernorsDoNotMutateSharedInputs drives every baseline governor, the
+// trained RL policy, and its hardware deployment through a real simulation
+// behind freqGuard. The FreqsHz tables in Observation are shared slices
+// (see sim.Observation); parallel cells rely on no governor writing them.
+func TestGovernorsDoNotMutateSharedInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulated runs")
+	}
+	opt := quickOpt().normalized()
+
+	govs := map[string]sim.Governor{}
+	for _, name := range governor.BaselineNames() {
+		g, err := governor.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		govs[name] = g
+	}
+	p, err := trainedPolicy("gaming", opt, coreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	govs["rl-policy"] = p
+	govs["hw-policy"] = hwFromPolicy(p)
+
+	for name, gov := range govs {
+		name, gov := name, gov
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := evalGovernor("gaming", newFreqGuard(t, gov), opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestParallelCellStress floods the engine with many small simulation
+// cells at high parallelism — far more cells than workers, stateful
+// governors included — and asserts that cells with identical inputs
+// produce identical results. Run under `go test -race` this doubles as
+// the data-race probe for the bench package's cell bodies.
+func TestParallelCellStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many simulated runs")
+	}
+	opt := quickOpt().normalized()
+	opt.Parallel = 16
+	names := governor.BaselineNames()
+	const repeats = 8
+	n := repeats * len(names)
+	results, err := mapCells(opt, n, func(i int) (float64, error) {
+		gov, err := governor.New(names[i%len(names)])
+		if err != nil {
+			return 0, err
+		}
+		res, err := evalGovernor("mixed", gov, opt)
+		if err != nil {
+			return 0, err
+		}
+		return res.QoS.EnergyPerQoS, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		want := results[i%len(names)]
+		if v != want {
+			t.Errorf("cell %d (%s) = %v, first identical cell = %v — identical inputs diverged under contention",
+				i, names[i%len(names)], v, want)
+		}
+	}
+}
+
+// TestTable1CellsIndependentOfOrdering is the regression test for the
+// shared-governor bug: Table 1 used to reuse one governor instance across
+// scenarios, so a stateful governor (interactive keeps holdS/prev between
+// Decide calls and sim.Run deliberately does not Reset) carried state from
+// whatever scenario happened to run before. Every cell now constructs a
+// fresh instance, so the (gaming, interactive) cell must match an isolated
+// fresh-instance run exactly.
+func TestTable1CellsIndependentOfOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario run")
+	}
+	opt := quickOpt()
+	tab, err := RunTable1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov, err := governor.New("interactive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := evalGovernor("gaming", gov, opt.normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tab.EnergyPerQoS["gaming"]["interactive"], res.QoS.EnergyPerQoS; got != want {
+		t.Errorf("Table1 gaming/interactive = %v, isolated fresh-instance run = %v — cell leaked state from another cell",
+			got, want)
+	}
+}

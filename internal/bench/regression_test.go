@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFig4RenderOrderDeterministic is the regression test for the Fig. 4
+// map-iteration bug: WriteText used to range over a
+// map[string]*trace.Recorder, so the rl-policy and ondemand lines came out
+// in whatever order the runtime hashed that run — different bytes from the
+// same result. The render now walks an ordered slice; repeated renders
+// must be byte-identical with rl-policy first.
+func TestFig4RenderOrderDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the RL policy")
+	}
+	f, err := RunFig4(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	f.WriteText(&first)
+	// Map iteration order varies between range statements, not just
+	// processes — re-rendering the same value many times is an effective
+	// probe even in a single test binary.
+	for i := 0; i < 16; i++ {
+		var again bytes.Buffer
+		f.WriteText(&again)
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("render %d differs from render 0:\n%s\nvs\n%s", i+1, &first, &again)
+		}
+	}
+	out := first.String()
+	rl := strings.Index(out, "rl-policy")
+	od := strings.Index(out, "ondemand")
+	if rl < 0 || od < 0 {
+		t.Fatalf("expected both governor lines in output:\n%s", out)
+	}
+	if rl > od {
+		t.Errorf("rl-policy line must render before ondemand:\n%s", out)
+	}
+}

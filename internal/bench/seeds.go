@@ -32,22 +32,33 @@ func RunTable1Seeds(opt Options, n int) (*Table1Seeds, error) {
 		return nil, fmt.Errorf("bench: seed replication needs at least 2 seeds, got %d", n)
 	}
 	opt = opt.normalized()
-	out := &Table1Seeds{}
-	for i := 0; i < n; i++ {
+	// One engine cell per seed replication; each replication's RunTable1
+	// fans its own cells out in turn. Pools don't share workers, but every
+	// cell is CPU-bound and the Go scheduler multiplexes them over
+	// GOMAXPROCS, so nesting costs only idle goroutines. Every replication
+	// is fully determined by its seed, so the merge order below fixes the
+	// output regardless of scheduling.
+	tables, err := mapCells(opt, n, func(i int) (*Table1, error) {
 		o := opt
 		o.Seed = opt.Seed + uint64(i)
 		t, err := RunTable1(o)
 		if err != nil {
 			return nil, fmt.Errorf("bench: seed %d: %w", o.Seed, err)
 		}
-		out.Seeds = append(out.Seeds, o.Seed)
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Table1Seeds{}
+	for i, t := range tables {
+		out.Seeds = append(out.Seeds, opt.Seed+uint64(i))
 		out.Unconstrained = append(out.Unconstrained, t.AvgImprovementPct)
 		out.Constrained = append(out.Constrained, t.AvgConstrainedPct)
 		if t.ProposedMaxViolationRate > out.WorstRLViolation {
 			out.WorstRLViolation = t.ProposedMaxViolationRate
 		}
 	}
-	var err error
 	if out.MeanUnconstrained, err = stats.Mean(out.Unconstrained); err != nil {
 		return nil, err
 	}

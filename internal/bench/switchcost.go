@@ -47,56 +47,66 @@ func RunAblationSwitchCost(opt Options) (*AblationSwitchCost, error) {
 		{500, 1.5},
 		{2000, 6.0},
 	}
+	govNames := switchGovernorNames()
+	// One engine cell per (sweep point, governor); each builds its own
+	// cost-adjusted chip and scenario.
+	cells, err := mapCells(opt, len(sweep)*len(govNames), func(i int) (sim.Result, error) {
+		pt := sweep[i/len(govNames)]
+		name := govNames[i%len(govNames)]
+		spec := soc.DefaultChipSpec()
+		for c := range spec.Clusters {
+			spec.Clusters[c].SwitchLatencyS = pt.latencyUS * 1e-6
+			spec.Clusters[c].SwitchEnergyJ = pt.energyMJ * 1e-3
+		}
+		chip, err := soc.NewChip(spec)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		wspec, err := workload.ByName(scenario)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		scen, err := workload.New(wspec, chip.NumClusters(), opt.Seed)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		var gov sim.Governor
+		if name == "rl-policy" {
+			p, err := core.NewPolicy(coreConfig())
+			if err != nil {
+				return sim.Result{}, err
+			}
+			if _, err := core.Train(chip, scen, p, opt.simConfig(), opt.TrainEpisodes); err != nil {
+				return sim.Result{}, err
+			}
+			p.SetLearning(false)
+			gov = p
+		} else {
+			gov, err = governor.New(name)
+			if err != nil {
+				return sim.Result{}, err
+			}
+		}
+		res, err := sim.Run(chip, scen, gov, opt.simConfig())
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("bench: A4 %s at %vµs: %w", name, pt.latencyUS, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	out := &AblationSwitchCost{}
-	for _, pt := range sweep {
+	for pi, pt := range sweep {
 		row := SwitchCostRow{
 			LatencyUS:    pt.latencyUS,
 			EnergyMJ:     pt.energyMJ,
 			EnergyPerQoS: map[string]float64{},
 			Switches:     map[string]uint64{},
 		}
-		mkChip := func() (*soc.Chip, error) {
-			spec := soc.DefaultChipSpec()
-			for i := range spec.Clusters {
-				spec.Clusters[i].SwitchLatencyS = pt.latencyUS * 1e-6
-				spec.Clusters[i].SwitchEnergyJ = pt.energyMJ * 1e-3
-			}
-			return soc.NewChip(spec)
-		}
-		for _, name := range switchGovernorNames() {
-			chip, err := mkChip()
-			if err != nil {
-				return nil, err
-			}
-			wspec, err := workload.ByName(scenario)
-			if err != nil {
-				return nil, err
-			}
-			scen, err := workload.New(wspec, chip.NumClusters(), opt.Seed)
-			if err != nil {
-				return nil, err
-			}
-			var gov sim.Governor
-			if name == "rl-policy" {
-				p, err := core.NewPolicy(coreConfig())
-				if err != nil {
-					return nil, err
-				}
-				if _, err := core.Train(chip, scen, p, opt.simConfig(), opt.TrainEpisodes); err != nil {
-					return nil, err
-				}
-				p.SetLearning(false)
-				gov = p
-			} else {
-				gov, err = governor.New(name)
-				if err != nil {
-					return nil, err
-				}
-			}
-			res, err := sim.Run(chip, scen, gov, opt.simConfig())
-			if err != nil {
-				return nil, fmt.Errorf("bench: A4 %s at %vµs: %w", name, pt.latencyUS, err)
-			}
+		for gi, name := range govNames {
+			res := cells[pi*len(govNames)+gi]
 			row.EnergyPerQoS[name] = res.QoS.EnergyPerQoS
 			row.Switches[name] = res.Switches
 		}

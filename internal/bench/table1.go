@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"rlpm/internal/governor"
 	"rlpm/internal/qos"
 	"rlpm/internal/stats"
 )
@@ -43,7 +44,11 @@ type Table1 struct {
 	ProposedMaxViolationRate  float64 // the RL policy's own worst rate
 }
 
-// RunTable1 executes the experiment.
+// RunTable1 executes the experiment. Every (scenario, governor) cell —
+// including each scenario's train-then-evaluate RL cell — fans out over
+// the experiment engine; the merge below walks the cells in canonical
+// (scenario-major, governor-minor) order so the table is byte-identical
+// at any Options.Parallel.
 func RunTable1(opt Options) (*Table1, error) {
 	opt = opt.normalized()
 	t := &Table1{
@@ -55,65 +60,77 @@ func RunTable1(opt Options) (*Table1, error) {
 		PerGovernorConstrainedPct: map[string]float64{},
 		SatisfactionViolLimit:     0.10,
 	}
-	baselines := baselineGovernors()
-	for _, g := range baselines {
-		t.Governors = append(t.Governors, g.Name())
-	}
+	baseNames := governor.BaselineNames()
+	t.Governors = append(t.Governors, baseNames...)
 	t.Governors = append(t.Governors, "rl-policy")
 
 	scenarioNames := scenarios()
 	t.Scenarios = scenarioNames
 
+	// One cell per (scenario, governor) with the RL cell last per
+	// scenario; each cell builds a fresh governor instance so no mutable
+	// governor state (e.g. interactive's hold timers) crosses cells.
+	nGov := len(baseNames) + 1
+	cells, err := mapCells(opt, len(scenarioNames)*nGov, func(i int) (qos.Summary, error) {
+		sc := scenarioNames[i/nGov]
+		gi := i % nGov
+		if gi == len(baseNames) {
+			p, err := trainedPolicy(sc, opt, coreConfig())
+			if err != nil {
+				return qos.Summary{}, fmt.Errorf("bench: table1 training on %s: %w", sc, err)
+			}
+			res, err := evalGovernor(sc, p, opt)
+			if err != nil {
+				return qos.Summary{}, fmt.Errorf("bench: table1 %s/rl: %w", sc, err)
+			}
+			return res.QoS, nil
+		}
+		g, err := governor.New(baseNames[gi])
+		if err != nil {
+			return qos.Summary{}, err
+		}
+		res, err := evalGovernor(sc, g, opt)
+		if err != nil {
+			return qos.Summary{}, fmt.Errorf("bench: table1 %s/%s: %w", sc, g.Name(), err)
+		}
+		return res.QoS, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var allImps, allCons []float64
 	perGov := map[string][]float64{}
 	perGovCons := map[string][]float64{}
-	for _, sc := range scenarioNames {
+	for si, sc := range scenarioNames {
 		t.EnergyPerQoS[sc] = map[string]float64{}
 		t.MeanQoS[sc] = map[string]float64{}
 		t.ViolationRate[sc] = map[string]float64{}
 		t.ImprovementPct[sc] = map[string]float64{}
 
-		record := func(gov string, s qos.Summary) {
+		for gi, gov := range t.Governors {
+			s := cells[si*nGov+gi]
 			t.EnergyPerQoS[sc][gov] = s.EnergyPerQoS
 			t.MeanQoS[sc][gov] = s.MeanQoS
 			t.ViolationRate[sc][gov] = s.ViolationRate
 		}
 
-		for _, g := range baselines {
-			g.Reset()
-			res, err := evalGovernor(sc, g, opt)
-			if err != nil {
-				return nil, fmt.Errorf("bench: table1 %s/%s: %w", sc, g.Name(), err)
-			}
-			record(g.Name(), res.QoS)
+		rl := cells[si*nGov+len(baseNames)]
+		if rl.ViolationRate > t.ProposedMaxViolationRate {
+			t.ProposedMaxViolationRate = rl.ViolationRate
 		}
-
-		cfg := coreConfig()
-		p, err := trainedPolicy(sc, opt, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("bench: table1 training on %s: %w", sc, err)
-		}
-		res, err := evalGovernor(sc, p, opt)
-		if err != nil {
-			return nil, fmt.Errorf("bench: table1 %s/rl: %w", sc, err)
-		}
-		record("rl-policy", res.QoS)
-
-		if res.QoS.ViolationRate > t.ProposedMaxViolationRate {
-			t.ProposedMaxViolationRate = res.QoS.ViolationRate
-		}
-		for _, g := range baselines {
-			imp := improvementPct(t.EnergyPerQoS[sc][g.Name()], res.QoS.EnergyPerQoS)
-			t.ImprovementPct[sc][g.Name()] = imp
+		for _, g := range baseNames {
+			imp := improvementPct(t.EnergyPerQoS[sc][g], rl.EnergyPerQoS)
+			t.ImprovementPct[sc][g] = imp
 			allImps = append(allImps, imp)
-			perGov[g.Name()] = append(perGov[g.Name()], imp)
+			perGov[g] = append(perGov[g], imp)
 
 			cons := imp
-			if t.ViolationRate[sc][g.Name()] > t.SatisfactionViolLimit {
+			if t.ViolationRate[sc][g] > t.SatisfactionViolLimit {
 				cons = 100 // compromised satisfaction: the baseline fails the scenario
 			}
 			allCons = append(allCons, cons)
-			perGovCons[g.Name()] = append(perGovCons[g.Name()], cons)
+			perGovCons[g] = append(perGovCons[g], cons)
 		}
 	}
 	t.AvgImprovementPct, _ = stats.Mean(allImps)

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"rlpm/internal/bench/engine"
 	"rlpm/internal/bus"
 	"rlpm/internal/hwpolicy"
 )
@@ -41,78 +42,94 @@ type Table2 struct {
 	Sequential3 time.Duration
 }
 
-// RunTable2 executes the experiment.
+// RunTable2 executes the experiment. Its three analyses — the
+// single-transaction comparison, the closed-loop cross-check, and the
+// multi-channel extension — are independent cells and run on the engine.
 func RunTable2(opt Options) (*Table2, error) {
 	opt = opt.normalized()
 
-	accel, err := hwpolicy.New(hwpolicy.DefaultParams())
-	if err != nil {
-		return nil, err
-	}
-	driver, err := hwpolicy.NewDriver(bus.DefaultConfig(), accel)
-	if err != nil {
-		return nil, err
-	}
-	cmp, err := hwpolicy.Compare(hwpolicy.DefaultSWLatency(), driver)
-	if err != nil {
-		return nil, err
-	}
-
-	// Cross-check with a closed-loop run of the hardware governor.
-	gov, err := hwpolicy.NewGovernor(coreConfig(), bus.DefaultConfig(), hwpolicy.DefaultParams().Banks)
-	if err != nil {
-		return nil, err
-	}
-	chip, err := newChip()
-	if err != nil {
-		return nil, err
-	}
-	scen, err := newScenario("gaming", opt.Seed)
-	if err != nil {
-		return nil, err
-	}
-	cfg := opt.simConfig()
-	if cfg.DurationS > 30 {
-		cfg.DurationS = 30 // latency statistics converge quickly
-	}
-	if _, err := simRun(chip, scen, gov, cfg); err != nil {
-		return nil, err
-	}
-	decisions, mean, _ := gov.LatencyStats()
-
-	// Multi-channel extension: three domains in one conversation.
+	var (
+		cmp        hwpolicy.Comparison
+		decisions  uint64
+		mean       time.Duration
+		batched    time.Duration
+		sequential time.Duration
+	)
 	chParams := []hwpolicy.Params{
 		{NumStates: 768, NumActions: 8, Banks: 4, LFSRSeed: 0xACE1},
 		{NumStates: 864, NumActions: 9, Banks: 4, LFSRSeed: 0xACE3},
 		{NumStates: 480, NumActions: 5, Banks: 2, LFSRSeed: 0xACE5},
 	}
-	multi, err := hwpolicy.NewMulti(chParams)
-	if err != nil {
-		return nil, err
+	cells := []engine.Cell{
+		{ID: "t2/single-transaction", Run: func() error {
+			accel, err := hwpolicy.New(hwpolicy.DefaultParams())
+			if err != nil {
+				return err
+			}
+			driver, err := hwpolicy.NewDriver(bus.DefaultConfig(), accel)
+			if err != nil {
+				return err
+			}
+			cmp, err = hwpolicy.Compare(hwpolicy.DefaultSWLatency(), driver)
+			return err
+		}},
+		{ID: "t2/closed-loop", Run: func() error {
+			// Cross-check with a closed-loop run of the hardware governor.
+			gov, err := hwpolicy.NewGovernor(coreConfig(), bus.DefaultConfig(), hwpolicy.DefaultParams().Banks)
+			if err != nil {
+				return err
+			}
+			chip, err := newChip()
+			if err != nil {
+				return err
+			}
+			scen, err := newScenario("gaming", opt.Seed)
+			if err != nil {
+				return err
+			}
+			cfg := opt.simConfig()
+			if cfg.DurationS > 30 {
+				cfg.DurationS = 30 // latency statistics converge quickly
+			}
+			if _, err := simRun(chip, scen, gov, cfg); err != nil {
+				return err
+			}
+			decisions, mean, _ = gov.LatencyStats()
+			return nil
+		}},
+		{ID: "t2/multi-channel", Run: func() error {
+			// Multi-channel extension: three domains in one conversation.
+			multi, err := hwpolicy.NewMulti(chParams)
+			if err != nil {
+				return err
+			}
+			md, err := hwpolicy.NewMultiDriver(bus.DefaultConfig(), multi)
+			if err != nil {
+				return err
+			}
+			if _, batched, err = md.StepAll([]int{0, 0, 0}, []float64{0, 0, 0}); err != nil {
+				return err
+			}
+			for _, p := range chParams {
+				a, err := hwpolicy.New(p)
+				if err != nil {
+					return err
+				}
+				sd, err := hwpolicy.NewDriver(bus.DefaultConfig(), a)
+				if err != nil {
+					return err
+				}
+				_, lat, err := sd.Step(0, 0)
+				if err != nil {
+					return err
+				}
+				sequential += lat
+			}
+			return nil
+		}},
 	}
-	md, err := hwpolicy.NewMultiDriver(bus.DefaultConfig(), multi)
-	if err != nil {
+	if err := engine.Run(opt.Parallel, cells); err != nil {
 		return nil, err
-	}
-	_, batched, err := md.StepAll([]int{0, 0, 0}, []float64{0, 0, 0})
-	if err != nil {
-		return nil, err
-	}
-	var sequential time.Duration
-	for _, p := range chParams {
-		a, err := hwpolicy.New(p)
-		if err != nil {
-			return nil, err
-		}
-		sd, err := hwpolicy.NewDriver(bus.DefaultConfig(), a)
-		if err != nil {
-			return nil, err
-		}
-		_, lat, err := sd.Step(0, 0)
-		if err != nil {
-			return nil, err
-		}
-		sequential += lat
 	}
 
 	return &Table2{

@@ -23,9 +23,9 @@ type Table3Row struct {
 	Resources hwpolicy.Resources
 }
 
-// RunTable3 executes the sweep.
+// RunTable3 executes the sweep, one engine cell per accelerator sizing.
 func RunTable3(opt Options) (*Table3, error) {
-	_ = opt.normalized()
+	opt = opt.normalized()
 	sizings := []struct {
 		states, actions, banks int
 	}{
@@ -36,26 +36,29 @@ func RunTable3(opt Options) (*Table3, error) {
 		{4096, 16, 8},
 		{16384, 16, 8},
 	}
-	t := &Table3{}
-	for _, s := range sizings {
+	rows, err := mapCells(opt, len(sizings), func(i int) (Table3Row, error) {
+		s := sizings[i]
 		p := hwpolicy.Params{NumStates: s.states, NumActions: s.actions, Banks: s.banks, LFSRSeed: 1}
 		res, err := hwpolicy.EstimateResources(p)
 		if err != nil {
-			return nil, fmt.Errorf("bench: table3 sizing %+v: %w", s, err)
+			return Table3Row{}, fmt.Errorf("bench: table3 sizing %+v: %w", s, err)
 		}
 		accel, err := hwpolicy.New(p)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
-		t.Rows = append(t.Rows, Table3Row{
+		return Table3Row{
 			States:    s.states,
 			Actions:   s.actions,
 			Banks:     s.banks,
 			Cycles:    accel.StepCycles(),
 			Resources: res,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return t, nil
+	return &Table3{Rows: rows}, nil
 }
 
 // WriteText renders the table.
