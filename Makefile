@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench golden
+.PHONY: check build vet test race fuzz bench golden
 
 # check is the full CI gate: vet, build, the default test suite (unit +
 # determinism + golden), and the race-detector pass over the concurrent
@@ -18,7 +18,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/bench/... ./internal/sim/...
+	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/fault/... ./internal/hwpolicy/...
+
+# fuzz runs the register-file fuzz target for a short smoke window; raise
+# FUZZTIME for a longer campaign.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/hwpolicy -run '^$$' -fuzz FuzzAccelRegisterFile -fuzztime $(FUZZTIME)
 
 # bench regenerates the full evaluation through the testing harness.
 bench:

@@ -15,6 +15,7 @@
 //	pmbench -exp symm          # symmetric 8-core chip evaluation
 //	pmbench -exp gpu           # three-domain (LITTLE+big+GPU) evaluation
 //	pmbench -exp seeds         # Table 1 replicated over 5 seeds (mean ± CI)
+//	pmbench -exp faults        # fault injection: HW path robustness grid
 //	pmbench -exp all           # everything, in order
 //	pmbench -quick             # ~10x shorter runs for smoke testing
 //	pmbench -parallel 8        # engine worker count (0 = GOMAXPROCS, 1 = serial)

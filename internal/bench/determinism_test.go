@@ -66,8 +66,8 @@ func TestExperimentsDeterministicAcrossRuns(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 17 {
-		t.Fatalf("expected 17 experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 18 {
+		t.Fatalf("expected 18 experiments, got %d: %v", len(ids), ids)
 	}
 	seen := map[string]bool{}
 	for _, id := range ids {

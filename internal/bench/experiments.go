@@ -49,6 +49,7 @@ func Experiments() []Experiment {
 		{"symm", "Symmetric 8-core chip evaluation", func(o Options) (Renderable, error) { return RunSymmetric(o) }},
 		{"gpu", "Three-domain (LITTLE+big+GPU) evaluation", func(o Options) (Renderable, error) { return RunGPUDomain(o) }},
 		{"seeds", "Table 1 over 5 seeds (mean ± CI)", func(o Options) (Renderable, error) { return RunTable1Seeds(o, 5) }},
+		{"faults", "Faults: HW path under injected faults", func(o Options) (Renderable, error) { return RunFaults(o) }},
 	}
 }
 

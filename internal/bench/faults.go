@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rlpm/internal/bench/engine"
+	"rlpm/internal/fault"
+	"rlpm/internal/governor"
+	"rlpm/internal/hwpolicy"
+	"rlpm/internal/sim"
+)
+
+// FaultTable is the robustness evaluation: the hardware policy path under
+// injected faults, degrading gracefully, with the energy/QoS cost of
+// surviving quantified per fault class and rate.
+//
+// Grid: fault class (interconnect, Q BRAM, telemetry) × injection rate ×
+// stack. The "resilient" stack is the full ladder — watchdog-bounded
+// hardware policy → shadow software policy → ondemand — with BRAM parity
+// scrubbing enabled for the bram class; "ondemand" is the kernel baseline
+// behind the same telemetry filter, for reference. Rate 0 rows pin the
+// fault-free behaviour (identical to the plain hardware deployment).
+type FaultTable struct {
+	Rows []FaultRow
+}
+
+// FaultRow is one (class, rate, stack) evaluation cell on gaming.
+type FaultRow struct {
+	Class string  // "bus", "bram", "telemetry"
+	Rate  float64 // base injection rate
+	Stack string  // "resilient", "ondemand"
+
+	EnergyPerQoS  float64
+	ViolationRate float64
+
+	Injected uint64 // faults the injector actually delivered
+
+	// Resilient-stack health ledger (zero for the ondemand stack).
+	HWFaults   uint64
+	Retries    uint64
+	Demotions  uint64
+	Promotions uint64
+	Scrubs     uint64
+	PctHW      float64 // share of periods decided on each rung
+	PctSW      float64
+	PctOD      float64
+}
+
+// faultClasses returns the fault classes in table order.
+func faultClasses() []string { return []string{"bus", "bram", "telemetry"} }
+
+// faultRates returns the base injection rates in table order: clean,
+// a field-plausible transient rate the retries should absorb, and a
+// stress rate that forces the ladder to demote.
+func faultRates() []float64 { return []float64{0, 0.05, 0.30} }
+
+// faultStacks returns the evaluated stacks in table order.
+func faultStacks() []string { return []string{"resilient", "ondemand"} }
+
+// faultConfig maps a (class, base rate) pair onto the injector's per-site
+// rates. The scaling keeps one knob per row while exercising every site
+// of the class.
+func faultConfig(class string, rate float64, seed uint64) fault.Config {
+	c := fault.Config{Seed: seed}
+	switch class {
+	case "bus":
+		c.ReadErrorRate = rate
+		c.WriteErrorRate = rate / 2
+		c.ReadFlipRate = rate / 2
+		c.StallRate = rate
+		c.TimeoutRate = rate / 4
+	case "bram":
+		c.QFlipRate = rate
+	case "telemetry":
+		c.ObsStaleRate = rate
+		c.ObsDropRate = rate
+	}
+	return c
+}
+
+// RunFaults executes the robustness grid.
+func RunFaults(opt Options) (*FaultTable, error) {
+	opt = opt.normalized()
+	const scenario = "gaming"
+	classes, rates, stacks := faultClasses(), faultRates(), faultStacks()
+	n := len(classes) * len(rates) * len(stacks)
+
+	cells, err := mapCells(opt, n, func(i int) (FaultRow, error) {
+		class := classes[i/(len(rates)*len(stacks))]
+		rate := rates[(i/len(stacks))%len(rates)]
+		stack := stacks[i%len(stacks)]
+		cellID := fmt.Sprintf("faults/%s/%g/%s", class, rate, stack)
+
+		inj, err := fault.NewInjector(faultConfig(class, rate, engine.CellSeed(opt.Seed, cellID)))
+		if err != nil {
+			return FaultRow{}, fmt.Errorf("bench: %s: %w", cellID, err)
+		}
+
+		chip, err := newChip()
+		if err != nil {
+			return FaultRow{}, err
+		}
+		scen, err := newScenario(scenario, opt.Seed)
+		if err != nil {
+			return FaultRow{}, err
+		}
+
+		row := FaultRow{Class: class, Rate: rate, Stack: stack}
+		var gov sim.Governor
+		var res *hwpolicy.Resilient
+		switch stack {
+		case "resilient":
+			// Train clean (deployment trains in the lab, faults arrive in
+			// the field), then deploy onto the faulty hardware path.
+			p, err := trainedPolicy(scenario, opt, coreConfig())
+			if err != nil {
+				return FaultRow{}, err
+			}
+			rc := hwpolicy.DefaultResilientConfig()
+			rc.Scrub = class == "bram"
+			res, err = hwpolicy.NewResilient(p, rc, inj)
+			if err != nil {
+				return FaultRow{}, err
+			}
+			gov = res
+		default: // "ondemand"
+			gov = fault.Wrap(governor.NewOndemand(), inj)
+		}
+
+		r, err := sim.Run(chip, scen, gov, opt.simConfig())
+		if err != nil {
+			return FaultRow{}, fmt.Errorf("bench: %s: %w", cellID, err)
+		}
+		row.EnergyPerQoS = r.QoS.EnergyPerQoS
+		row.ViolationRate = r.QoS.ViolationRate
+		row.Injected = inj.Stats().Total()
+		if res != nil {
+			st := res.Stats()
+			row.HWFaults = st.HWFaults
+			row.Retries = st.Retries
+			row.Demotions = st.Demotions
+			row.Promotions = st.Promotions
+			row.Scrubs = res.Scrubs()
+			if st.Decisions > 0 {
+				row.PctHW = 100 * float64(st.PeriodsHW) / float64(st.Decisions)
+				row.PctSW = 100 * float64(st.PeriodsSW) / float64(st.Decisions)
+				row.PctOD = 100 * float64(st.PeriodsOD) / float64(st.Decisions)
+			}
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FaultTable{Rows: cells}, nil
+}
+
+// WriteText renders the robustness table.
+func (t *FaultTable) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Faults: hardware policy path under injected faults (gaming)")
+	fmt.Fprintln(w, "degradation ladder: HW policy -> SW policy -> ondemand; probation re-promotes")
+	writeRule(w, 118)
+	fmt.Fprintf(w, "%-10s %6s %-10s %9s %8s %8s %7s %7s %5s %5s %6s %6s %6s %6s\n",
+		"class", "rate", "stack", "E/QoS", "viol", "injected",
+		"hwfail", "retry", "dem", "pro", "scrub", "%hw", "%sw", "%od")
+	writeRule(w, 118)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-10s %6.2f %-10s %9s %8.4f %8d %7d %7d %5d %5d %6d %6.1f %6.1f %6.1f\n",
+			r.Class, r.Rate, r.Stack, fmtEQ(r.EnergyPerQoS), r.ViolationRate, r.Injected,
+			r.HWFaults, r.Retries, r.Demotions, r.Promotions, r.Scrubs,
+			r.PctHW, r.PctSW, r.PctOD)
+	}
+}

@@ -13,8 +13,9 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata/*.golden from cu
 // goldenExperiments are the experiments pinned byte-for-byte. Tables only:
 // they are pure functions of (Options, seed), so any drift is a real
 // behavior change — either a bug or an intentional model change that must
-// be re-blessed with -update.
-var goldenExperiments = []string{"t1", "t2", "t3"}
+// be re-blessed with -update. "faults" is pinned too: the fault injector
+// is fully seed-driven, so its table is as reproducible as the clean ones.
+var goldenExperiments = []string{"t1", "t2", "t3", "faults"}
 
 // TestGoldenOutput locks the rendered quick-mode tables against
 // testdata/<id>_quick.golden. Regenerate with:

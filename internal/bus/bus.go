@@ -11,9 +11,16 @@
 package bus
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"time"
 )
+
+// ErrDeviceTimeout is the sentinel wrapped by Read when a stalled device
+// holds the bus past the configured watchdog bound. Drivers detect it with
+// errors.Is and run their recovery path (Recover + retry/fallback).
+var ErrDeviceTimeout = errors.New("bus: device timeout")
 
 // Device is the accelerator side of the interface: a register file plus a
 // compute hook. Read/Write work in register words; Busy cycles model
@@ -39,6 +46,13 @@ type Config struct {
 	// ReadCycles is the bus-clock cost of one read round trip
 	// (address, data, response).
 	ReadCycles uint64
+	// WatchdogCycles bounds the read-stall (bus clock) a master will
+	// tolerate while the device is busy. A read that would stall longer
+	// charges exactly WatchdogCycles + ReadCycles and fails with
+	// ErrDeviceTimeout; the device stays busy until Recover is called.
+	// 0 disables the watchdog (reads stall indefinitely, the pre-fault
+	// behaviour).
+	WatchdogCycles uint64
 }
 
 // DefaultConfig returns the timing used in the evaluation: a 200 MHz
@@ -53,10 +67,15 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the config.
+// Validate checks the config. Clocks must be positive finite frequencies
+// (NaN and ±Inf would silently turn every transaction cost into NaN or
+// zero latency) and both transaction costs must be at least one cycle.
 func (c Config) Validate() error {
-	if c.BusClockHz <= 0 || c.DeviceClockHz <= 0 {
-		return fmt.Errorf("bus: clocks must be positive, got bus=%v dev=%v", c.BusClockHz, c.DeviceClockHz)
+	if !(c.BusClockHz > 0) || math.IsInf(c.BusClockHz, 0) {
+		return fmt.Errorf("bus: bus clock must be positive and finite, got %v", c.BusClockHz)
+	}
+	if !(c.DeviceClockHz > 0) || math.IsInf(c.DeviceClockHz, 0) {
+		return fmt.Errorf("bus: device clock must be positive and finite, got %v", c.DeviceClockHz)
 	}
 	if c.WriteCycles == 0 || c.ReadCycles == 0 {
 		return fmt.Errorf("bus: transaction costs must be at least one cycle")
@@ -77,6 +96,7 @@ type Bus struct {
 	nowS      float64
 
 	reads, writes, stallCycles uint64
+	timeouts, recoveries       uint64
 }
 
 // New creates a bus in front of dev.
@@ -124,11 +144,23 @@ func (b *Bus) Write(addr, val uint32) error {
 }
 
 // Read performs one register read round trip, stalling until any pending
-// computation has finished (result registers are not valid earlier).
+// computation has finished (result registers are not valid earlier). With
+// a watchdog configured, a stall longer than WatchdogCycles is abandoned:
+// the read charges the watchdog bound plus the round trip and fails with
+// an error wrapping ErrDeviceTimeout. The device remains busy — the
+// master must Recover (modeling a device reset line) before retrying.
 func (b *Bus) Read(addr uint32) (uint32, error) {
 	if b.busyUntil > b.nowS {
 		stallS := b.busyUntil - b.nowS
-		b.stallCycles += uint64(stallS*b.cfg.BusClockHz + 0.5)
+		stall := uint64(stallS*b.cfg.BusClockHz + 0.5)
+		if b.cfg.WatchdogCycles > 0 && stall > b.cfg.WatchdogCycles {
+			b.stallCycles += b.cfg.WatchdogCycles
+			b.nowS += (float64(b.cfg.WatchdogCycles) + float64(b.cfg.ReadCycles)) / b.cfg.BusClockHz
+			b.timeouts++
+			return 0, fmt.Errorf("bus: read %#x: stalled %d cycles past watchdog %d: %w",
+				addr, stall, b.cfg.WatchdogCycles, ErrDeviceTimeout)
+		}
+		b.stallCycles += stall
 		b.nowS = b.busyUntil
 	}
 	b.nowS += float64(b.cfg.ReadCycles) / b.cfg.BusClockHz
@@ -140,6 +172,29 @@ func (b *Bus) Read(addr uint32) (uint32, error) {
 	return v, nil
 }
 
+// Timeouts reports how many reads the watchdog abandoned.
+func (b *Bus) Timeouts() uint64 { return b.timeouts }
+
+// Recoveries reports how many times the master pulsed the recovery line.
+func (b *Bus) Recoveries() uint64 { return b.recoveries }
+
+// Recover models the master pulsing the device reset/abort line: whatever
+// computation wedged the device is abandoned and result reads no longer
+// stall on it. Register contents are untouched (a driver that needs a
+// clean device state issues its own control-register reset afterwards).
+func (b *Bus) Recover() {
+	if b.busyUntil > b.nowS {
+		b.busyUntil = b.nowS
+	}
+	b.recoveries++
+}
+
+// Idle burns cycles of bus clock without issuing a transaction — the
+// driver-side backoff delay between retries of a failed transaction.
+func (b *Bus) Idle(cycles uint64) {
+	b.nowS += float64(cycles) / b.cfg.BusClockHz
+}
+
 // ResetClock rewinds the wall clock and statistics without touching the
 // device — used between timed transactions when measuring per-decision
 // latency.
@@ -147,4 +202,5 @@ func (b *Bus) ResetClock() {
 	b.nowS = 0
 	b.busyUntil = 0
 	b.reads, b.writes, b.stallCycles = 0, 0, 0
+	b.timeouts, b.recoveries = 0, 0
 }

@@ -54,11 +54,86 @@ func TestConfigValidate(t *testing.T) {
 		{BusClockHz: 1, DeviceClockHz: 0, WriteCycles: 1, ReadCycles: 1},
 		{BusClockHz: 1, DeviceClockHz: 1, WriteCycles: 0, ReadCycles: 1},
 		{BusClockHz: 1, DeviceClockHz: 1, WriteCycles: 1, ReadCycles: 0},
+		// Regression: zero/negative/non-finite clocks would silently turn
+		// every transaction cost into a division by zero or NaN latency.
+		{BusClockHz: -200e6, DeviceClockHz: 100e6, WriteCycles: 1, ReadCycles: 1},
+		{BusClockHz: 200e6, DeviceClockHz: -100e6, WriteCycles: 1, ReadCycles: 1},
+		{BusClockHz: math.NaN(), DeviceClockHz: 100e6, WriteCycles: 1, ReadCycles: 1},
+		{BusClockHz: 200e6, DeviceClockHz: math.NaN(), WriteCycles: 1, ReadCycles: 1},
+		{BusClockHz: math.Inf(1), DeviceClockHz: 100e6, WriteCycles: 1, ReadCycles: 1},
+		{BusClockHz: 200e6, DeviceClockHz: math.Inf(1), WriteCycles: 1, ReadCycles: 1},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
-			t.Errorf("bad config %d accepted", i)
+			t.Errorf("bad config %d accepted: %+v", i, c)
 		}
+		if _, err := New(c, &regFile{}); err == nil {
+			t.Errorf("constructor accepted bad config %d: %+v", i, c)
+		}
+	}
+}
+
+func TestWatchdogBoundsStalledRead(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 100
+	dev := &regFile{}
+	b, err := New(cfg, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the device: busy far past the watchdog bound.
+	if err := b.Write(0xF, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	afterWrite := b.NowS()
+	_, err = b.Read(1)
+	if !errors.Is(err, ErrDeviceTimeout) {
+		t.Fatalf("stalled read error = %v, want ErrDeviceTimeout", err)
+	}
+	// The read charged exactly the watchdog bound plus the round trip —
+	// bounded, not the device's full busy time.
+	want := afterWrite + float64(cfg.WatchdogCycles+cfg.ReadCycles)/cfg.BusClockHz
+	if math.Abs(b.NowS()-want) > 1e-12 {
+		t.Fatalf("time after timed-out read = %v, want %v", b.NowS(), want)
+	}
+	if b.Timeouts() != 1 {
+		t.Fatalf("timeouts = %d, want 1", b.Timeouts())
+	}
+	// Still wedged: a retry without recovery times out again.
+	if _, err := b.Read(1); !errors.Is(err, ErrDeviceTimeout) {
+		t.Fatalf("retry without recovery = %v, want ErrDeviceTimeout", err)
+	}
+	// Recover clears the wedge; the next read completes un-stalled.
+	b.Recover()
+	if b.Recoveries() != 1 {
+		t.Fatalf("recoveries = %d, want 1", b.Recoveries())
+	}
+	before := b.NowS()
+	if _, err := b.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.NowS() - before; math.Abs(got-float64(cfg.ReadCycles)/cfg.BusClockHz) > 1e-15 {
+		t.Fatalf("read after recovery cost %v, want plain read", got)
+	}
+}
+
+func TestWatchdogToleratesShortStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 10000
+	b, _ := New(cfg, &regFile{})
+	_ = b.Write(0xF, 50) // well under the bound
+	if _, err := b.Read(1); err != nil {
+		t.Fatalf("short stall tripped the watchdog: %v", err)
+	}
+}
+
+func TestIdleAdvancesClock(t *testing.T) {
+	b, _ := newBus(t)
+	cfg := DefaultConfig()
+	b.Idle(100)
+	want := 100 / cfg.BusClockHz
+	if math.Abs(b.NowS()-want) > 1e-15 {
+		t.Fatalf("Idle(100) advanced to %v, want %v", b.NowS(), want)
 	}
 }
 

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"math"
+
+	"rlpm/internal/sim"
+)
+
+// Flags describes what happened to one cluster's telemetry in one period.
+type Flags struct {
+	// Stale: the sample registers were not refreshed; the previous
+	// period's values were delivered again. Silent on real hardware.
+	Stale bool
+	// Dropped: the telemetry read failed outright. Detectable on real
+	// hardware (the read errors), so the filter flags it; the delivered
+	// sample is the last good one (or a neutral idle sample at t=0).
+	Dropped bool
+}
+
+// ObsFilter perturbs the simulator's observation path into a governor:
+// stale samples, dropped reads, and sampling noise, per cluster per
+// period. Ground-truth energy/QoS accounting in the simulator is never
+// touched — only what governors see.
+type ObsFilter struct {
+	inj  *Injector
+	last []sim.Observation // last good telemetry delivered per cluster
+	good []bool            // whether last[i] ever held a good sample
+}
+
+// NewObsFilter builds a filter drawing from inj's telemetry stream.
+func NewObsFilter(inj *Injector) *ObsFilter {
+	return &ObsFilter{inj: inj}
+}
+
+// telemetry copies the sampled (sensor-sourced) fields of src into dst,
+// leaving structural fields (Level, NumLevels, FreqsHz, Critical,
+// PeriodS) intact — those come from the governor's own bookkeeping and
+// the scheduler, not from the telemetry path.
+func telemetry(dst *sim.Observation, src sim.Observation) {
+	dst.Utilization = src.Utilization
+	dst.DemandRatio = src.DemandRatio
+	dst.QoS = src.QoS
+	dst.ClusterQoS = src.ClusterQoS
+	dst.EnergyJ = src.EnergyJ
+	dst.ClusterEnergyJ = src.ClusterEnergyJ
+	dst.TempC = src.TempC
+}
+
+// idleTelemetry is what a governor sees before the first good sample
+// arrives: an idle, QoS-clean period.
+func idleTelemetry(dst *sim.Observation) {
+	dst.Utilization = 0
+	dst.DemandRatio = 0
+	dst.QoS = 1
+	dst.ClusterQoS = 1
+	dst.EnergyJ = 0
+	dst.ClusterEnergyJ = 0
+}
+
+// Apply filters one period of observations and returns the (possibly
+// perturbed) copy plus per-cluster fault flags. The input slice is never
+// mutated. Draw order per cluster is fixed (drop, stale, noise) and
+// zero-rate sites draw nothing, so a rate-free config returns the input
+// values bit-identically.
+func (f *ObsFilter) Apply(obs []sim.Observation) ([]sim.Observation, []Flags) {
+	in := f.inj
+	out := make([]sim.Observation, len(obs))
+	copy(out, obs)
+	flags := make([]Flags, len(obs))
+	if f.last == nil {
+		f.last = make([]sim.Observation, len(obs))
+		f.good = make([]bool, len(obs))
+	}
+
+	var noiseSigma float64
+	if in.cfg.ObsNoiseCV > 0 {
+		noiseSigma = math.Sqrt(math.Log(1 + in.cfg.ObsNoiseCV*in.cfg.ObsNoiseCV))
+	}
+
+	for i := range out {
+		switch {
+		case hit(in.obsR, in.cfg.ObsDropRate):
+			// Read failed: hold the last good sample (drivers latch the
+			// previous register contents) and tell the caller.
+			flags[i].Dropped = true
+			in.stats.DroppedObs++
+			if f.good[i] {
+				telemetry(&out[i], f.last[i])
+			} else {
+				idleTelemetry(&out[i])
+			}
+		case hit(in.obsR, in.cfg.ObsStaleRate):
+			// Sample registers not refreshed: silently re-deliver the
+			// previous values. f.last is NOT updated, so consecutive
+			// stales repeat the same aging sample.
+			flags[i].Stale = true
+			in.stats.StaleObs++
+			if f.good[i] {
+				telemetry(&out[i], f.last[i])
+			} else {
+				idleTelemetry(&out[i])
+			}
+		default:
+			if noiseSigma > 0 {
+				// Mean-one multiplicative log-normal, matching the
+				// simulator's own ObsNoiseCV model.
+				out[i].Utilization *= in.obsR.LogNorm(-noiseSigma*noiseSigma/2, noiseSigma)
+				if out[i].Utilization > 1 {
+					out[i].Utilization = 1
+				}
+				out[i].DemandRatio *= in.obsR.LogNorm(-noiseSigma*noiseSigma/2, noiseSigma)
+				in.stats.NoisyObs++
+			}
+			f.last[i] = out[i]
+			f.good[i] = true
+		}
+	}
+	return out, flags
+}
+
+// Reset clears the sample history (between episodes/runs).
+func (f *ObsFilter) Reset() {
+	f.last = nil
+	f.good = nil
+}
+
+// Governor wraps any sim.Governor behind an ObsFilter, so baseline
+// governors can be evaluated under telemetry faults without knowing about
+// them — they simply see the perturbed samples, the way a cpufreq
+// governor sees whatever the counters returned.
+type Governor struct {
+	inner  sim.Governor
+	filter *ObsFilter
+}
+
+var _ sim.Governor = (*Governor)(nil)
+
+// Wrap builds the wrapper.
+func Wrap(inner sim.Governor, inj *Injector) *Governor {
+	return &Governor{inner: inner, filter: NewObsFilter(inj)}
+}
+
+// Name implements sim.Governor (transparent: tables keep the inner name).
+func (g *Governor) Name() string { return g.inner.Name() }
+
+// Decide implements sim.Governor.
+func (g *Governor) Decide(obs []sim.Observation) []int {
+	fobs, _ := g.filter.Apply(obs)
+	return g.inner.Decide(fobs)
+}
+
+// Reset implements sim.Governor.
+func (g *Governor) Reset() {
+	g.filter.Reset()
+	g.inner.Reset()
+}

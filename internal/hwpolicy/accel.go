@@ -91,10 +91,21 @@ type Accel struct {
 	p Params
 	q []fixed.Q16 // flat [state*NumActions + action]
 
+	// parity is the per-word even-parity bit maintained alongside the Q
+	// BRAM when parityOn; scrubs counts words the datapath detected as
+	// corrupted and zeroed (an SEU scrub resets the cell to its reset
+	// value — the learner relearns it).
+	parityOn bool
+	parity   []uint8
+	scrubs   uint64
+
 	alpha, gamma, epsilon fixed.Q16
 	learn                 bool
 
 	lfsr uint16
+	// stuckMask/stuckVal model stuck-at faults on the exploration LFSR:
+	// bits in stuckMask are forced to stuckVal after every shift.
+	stuckMask, stuckVal uint16
 
 	stateReg  uint32
 	rewardReg fixed.Q16
@@ -144,7 +155,11 @@ func (a *Accel) StepCycles() uint64 {
 	const mac = 3       // multiply, accumulate, saturate
 	const writeback = 1 // BRAM write port
 	const sel = 1       // ε-greedy mux
-	return uint64(fetch + tree + mac + writeback + sel)
+	cycles := uint64(fetch + tree + mac + writeback + sel)
+	if a.parityOn {
+		cycles++ // parity check/scrub stage on the fetch path
+	}
+	return cycles
 }
 
 func treeDepth(n int) int {
@@ -177,8 +192,9 @@ func (a *Accel) ReadReg(addr uint32) (uint32, error) {
 		return a.qAddr, nil
 	case RegQData:
 		if int(a.qAddr) >= len(a.q) {
-			return 0, fmt.Errorf("hwpolicy: Q address %d out of range", a.qAddr)
+			return 0, fmt.Errorf("hwpolicy: Q address %d out of range: %w", a.qAddr, ErrOutOfRange)
 		}
+		a.checkWord(int(a.qAddr))
 		return uint32(a.q[a.qAddr].Raw()), nil
 	case RegLearn:
 		if a.learn {
@@ -186,7 +202,7 @@ func (a *Accel) ReadReg(addr uint32) (uint32, error) {
 		}
 		return 0, nil
 	default:
-		return 0, fmt.Errorf("hwpolicy: read of unmapped register %#x", addr)
+		return 0, fmt.Errorf("hwpolicy: read of unmapped register %#x: %w", addr, ErrBadRegister)
 	}
 }
 
@@ -202,11 +218,11 @@ func (a *Accel) WriteReg(addr, val uint32) (uint64, error) {
 			a.reset()
 			return 0, nil
 		default:
-			return 0, fmt.Errorf("hwpolicy: unknown control command %#x", val)
+			return 0, fmt.Errorf("hwpolicy: unknown control command %#x: %w", val, ErrBadCommand)
 		}
 	case RegState:
 		if int(val) >= a.p.NumStates {
-			return 0, fmt.Errorf("hwpolicy: state %d out of range [0,%d)", val, a.p.NumStates)
+			return 0, fmt.Errorf("hwpolicy: state %d out of range [0,%d): %w", val, a.p.NumStates, ErrOutOfRange)
 		}
 		a.stateReg = val
 		return 0, nil
@@ -224,37 +240,47 @@ func (a *Accel) WriteReg(addr, val uint32) (uint64, error) {
 		return 0, nil
 	case RegQAddr:
 		if int(val) >= len(a.q) {
-			return 0, fmt.Errorf("hwpolicy: Q address %d out of range", val)
+			return 0, fmt.Errorf("hwpolicy: Q address %d out of range: %w", val, ErrOutOfRange)
 		}
 		a.qAddr = val
 		return 0, nil
 	case RegQData:
 		if int(a.qAddr) >= len(a.q) {
-			return 0, fmt.Errorf("hwpolicy: Q address %d out of range", a.qAddr)
+			return 0, fmt.Errorf("hwpolicy: Q address %d out of range: %w", a.qAddr, ErrOutOfRange)
 		}
-		a.q[a.qAddr] = fixed.FromRaw(int32(val))
+		a.setQ(int(a.qAddr), fixed.FromRaw(int32(val)))
 		return 0, nil
 	case RegLearn:
 		a.learn = val&1 == 1
 		return 0, nil
 	case RegStatus, RegAction:
-		return 0, fmt.Errorf("hwpolicy: register %#x is read-only", addr)
+		return 0, fmt.Errorf("hwpolicy: register %#x is read-only: %w", addr, ErrBadRegister)
 	default:
-		return 0, fmt.Errorf("hwpolicy: write to unmapped register %#x", addr)
+		return 0, fmt.Errorf("hwpolicy: write to unmapped register %#x: %w", addr, ErrBadRegister)
 	}
 }
 
 // step is the hardware decision: argmax over the new state's row, MAC
 // update of the previous (state, action), ε-greedy select via LFSR.
 func (a *Accel) step() uint64 {
+	if a.parityOn {
+		// The row fetch passes every word through the parity checker; a
+		// mismatch scrubs the word back to reset value before the argmax
+		// sees it.
+		base := int(a.stateReg) * a.p.NumActions
+		for i := 0; i < a.p.NumActions; i++ {
+			a.checkWord(base + i)
+		}
+	}
 	row := a.row(a.stateReg)
 	bestIdx, bestVal := fixed.ArgMax(row)
 
 	if a.learn && a.hasPrev {
-		idx := a.prevState*uint32(a.p.NumActions) + a.prevAction
+		idx := int(a.prevState)*a.p.NumActions + int(a.prevAction)
+		a.checkWord(idx)
 		old := a.q[idx]
 		target := fixed.Add(a.rewardReg, fixed.Mul(a.gamma, bestVal))
-		a.q[idx] = fixed.Add(old, fixed.Mul(a.alpha, fixed.Sub(target, old)))
+		a.setQ(idx, fixed.Add(old, fixed.Mul(a.alpha, fixed.Sub(target, old))))
 	}
 
 	action := uint32(bestIdx)
@@ -279,11 +305,15 @@ func (a *Accel) step() uint64 {
 }
 
 // nextLFSR advances the 16-bit Fibonacci LFSR (taps 16,14,13,11 — maximal
-// length) and returns its state.
+// length) and returns its state. Stuck-at faults force the masked bits
+// after every shift, exactly as a shorted flip-flop would.
 func (a *Accel) nextLFSR() uint16 {
 	l := a.lfsr
 	bit := ((l >> 0) ^ (l >> 2) ^ (l >> 3) ^ (l >> 5)) & 1
 	l = (l >> 1) | (bit << 15)
+	if a.stuckMask != 0 {
+		l = (l &^ a.stuckMask) | (a.stuckVal & a.stuckMask)
+	}
 	a.lfsr = l
 	return l
 }
@@ -297,6 +327,10 @@ func (a *Accel) reset() {
 	for i := range a.q {
 		a.q[i] = 0
 	}
+	for i := range a.parity {
+		a.parity[i] = 0
+	}
+	a.scrubs = 0
 	a.lfsr = a.p.LFSRSeed
 	a.stateReg, a.rewardReg, a.actionReg, a.qAddr = 0, 0, 0, 0
 	a.prevState, a.prevAction, a.hasPrev = 0, 0, false
@@ -316,11 +350,83 @@ func (a *Accel) LoadTable(table [][]float64) error {
 			return fmt.Errorf("hwpolicy: table row %d has %d actions, accelerator sized for %d", s, len(rowVals), a.p.NumActions)
 		}
 		for x, v := range rowVals {
-			a.q[s*a.p.NumActions+x] = fixed.FromFloat(v)
+			a.setQ(s*a.p.NumActions+x, fixed.FromFloat(v))
 		}
 	}
 	a.status |= 1 << 1
 	return nil
+}
+
+// setQ writes one Q word through the BRAM write port, keeping the parity
+// plane in sync when parity protection is enabled.
+func (a *Accel) setQ(idx int, v fixed.Q16) {
+	a.q[idx] = v
+	if a.parityOn {
+		a.parity[idx] = wordParity(v)
+	}
+}
+
+// checkWord runs the parity checker over one Q word. On a mismatch the
+// word is scrubbed back to its reset value (zero) and the scrub counter
+// increments; without parity protection this is a no-op and corrupted
+// words flow into the datapath silently.
+func (a *Accel) checkWord(idx int) {
+	if !a.parityOn {
+		return
+	}
+	if wordParity(a.q[idx]) != a.parity[idx] {
+		a.q[idx] = 0
+		a.parity[idx] = 0
+		a.scrubs++
+	}
+}
+
+func wordParity(v fixed.Q16) uint8 {
+	return uint8(bits.OnesCount32(uint32(v.Raw())) & 1)
+}
+
+// EnableParity turns the per-word parity plane on or off. Enabling it
+// recomputes parity over the current table contents (the BRAM initializer
+// writes both planes together in the RTL).
+func (a *Accel) EnableParity(on bool) {
+	a.parityOn = on
+	if !on {
+		a.parity = nil
+		return
+	}
+	a.parity = make([]uint8, len(a.q))
+	for i, v := range a.q {
+		a.parity[i] = wordParity(v)
+	}
+}
+
+// ParityEnabled reports whether the Q BRAM is parity-protected.
+func (a *Accel) ParityEnabled() bool { return a.parityOn }
+
+// Scrubs returns how many corrupted Q words the parity checker scrubbed
+// since the last reset.
+func (a *Accel) Scrubs() uint64 { return a.scrubs }
+
+// QWords returns the number of words in the Q BRAM (the fault injector's
+// address space for single-event upsets). Part of fault.Corruptor.
+func (a *Accel) QWords() int { return len(a.q) }
+
+// CorruptQBit flips one bit of one Q word *without* updating the parity
+// plane — a single-event upset in the BRAM array. Out-of-range targets
+// are ignored (an SEU outside the array hits nothing). Part of
+// fault.Corruptor.
+func (a *Accel) CorruptQBit(word int, bit uint) {
+	if word < 0 || word >= len(a.q) || bit > 31 {
+		return
+	}
+	a.q[word] = fixed.FromRaw(a.q[word].Raw() ^ int32(uint32(1)<<bit))
+}
+
+// SetLFSRStuck forces the masked bits of the exploration LFSR to the
+// corresponding bits of val after every shift — a stuck-at fault on the
+// shift register. A zero mask clears the fault.
+func (a *Accel) SetLFSRStuck(mask, val uint16) {
+	a.stuckMask, a.stuckVal = mask, val
 }
 
 // Table returns the Q-table as floats (for inspection/differential tests).

@@ -57,7 +57,7 @@ func (m *MultiAccel) Channel(i int) *Accel { return m.channels[i] }
 func (m *MultiAccel) decode(addr uint32) (int, uint32, error) {
 	ch := int(addr / ChannelStride)
 	if ch >= len(m.channels) {
-		return 0, 0, fmt.Errorf("hwpolicy: address %#x beyond channel %d", addr, len(m.channels)-1)
+		return 0, 0, fmt.Errorf("hwpolicy: address %#x beyond channel %d: %w", addr, len(m.channels)-1, ErrBadRegister)
 	}
 	return ch, addr % ChannelStride, nil
 }
@@ -81,7 +81,7 @@ func (m *MultiAccel) ReadReg(addr uint32) (uint32, error) {
 func (m *MultiAccel) WriteReg(addr, val uint32) (uint64, error) {
 	if addr == GlobalCtrl {
 		if val != CtrlStep {
-			return 0, fmt.Errorf("hwpolicy: global control only accepts step, got %#x", val)
+			return 0, fmt.Errorf("hwpolicy: global control only accepts step, got %#x: %w", val, ErrBadCommand)
 		}
 		var maxCycles uint64
 		for i, ch := range m.channels {
@@ -159,7 +159,7 @@ func (d *MultiDriver) StepAll(states []int, rewards []float64) ([]int, time.Dura
 	start := d.bus.Now()
 	for c := 0; c < n; c++ {
 		if states[c] < 0 || states[c] >= d.accel.channels[c].Params().NumStates {
-			return nil, 0, fmt.Errorf("hwpolicy: channel %d state %d out of range", c, states[c])
+			return nil, 0, fmt.Errorf("hwpolicy: channel %d state %d out of range: %w", c, states[c], ErrOutOfRange)
 		}
 		base := uint32(c) * ChannelStride
 		if err := d.bus.Write(base+RegState, uint32(states[c])); err != nil {

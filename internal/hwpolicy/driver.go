@@ -19,10 +19,21 @@ type Driver struct {
 
 // NewDriver wires an accelerator behind a bus with the given config.
 func NewDriver(cfg bus.Config, accel *Accel) (*Driver, error) {
+	return NewDriverDevice(cfg, accel, accel)
+}
+
+// NewDriverDevice wires the driver to accel through an arbitrary bus-side
+// device view — normally the accelerator itself, but a fault-injection
+// wrapper (internal/fault.Device) can sit in between so the driver sees
+// the same errors, stalls, and corrupted reads real host software would.
+func NewDriverDevice(cfg bus.Config, accel *Accel, dev bus.Device) (*Driver, error) {
 	if accel == nil {
 		return nil, fmt.Errorf("hwpolicy: nil accelerator")
 	}
-	b, err := bus.New(cfg, accel)
+	if dev == nil {
+		dev = accel
+	}
+	b, err := bus.New(cfg, dev)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +73,7 @@ func boolBit(b bool) uint32 {
 // latency of the whole transaction (bus writes + compute + result read).
 func (d *Driver) Step(state int, reward float64) (action int, latency time.Duration, err error) {
 	if state < 0 || state >= d.accel.p.NumStates {
-		return 0, 0, fmt.Errorf("hwpolicy: state %d out of range [0,%d)", state, d.accel.p.NumStates)
+		return 0, 0, fmt.Errorf("hwpolicy: state %d out of range [0,%d): %w", state, d.accel.p.NumStates, ErrOutOfRange)
 	}
 	start := d.bus.Now()
 	if err := d.bus.Write(RegState, uint32(state)); err != nil {

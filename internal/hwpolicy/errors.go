@@ -1,0 +1,19 @@
+package hwpolicy
+
+import "errors"
+
+// Sentinel errors for the accelerator's register-file protocol. Every
+// error the device (and the driver in front of it) returns wraps one of
+// these, so callers can classify failures with errors.Is instead of
+// matching message strings — the resilient driver's retry/fallback logic
+// depends on that, and so does any host software porting against the RTL.
+var (
+	// ErrBadRegister marks an access to an unmapped register, or a write
+	// to a read-only one.
+	ErrBadRegister = errors.New("hwpolicy: bad register access")
+	// ErrBadCommand marks an unknown control-register command word.
+	ErrBadCommand = errors.New("hwpolicy: bad control command")
+	// ErrOutOfRange marks a state index or Q-table address outside the
+	// accelerator's configured geometry.
+	ErrOutOfRange = errors.New("hwpolicy: value out of range")
+)

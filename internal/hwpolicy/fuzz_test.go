@@ -1,0 +1,76 @@
+package hwpolicy
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzAccelRegisterFile hammers the accelerator's register file with
+// arbitrary (op, addr, value) transactions — the view a misbehaving or
+// malicious bus master has of the device. Invariants, regardless of input:
+//
+//   - no panic and no unbounded loop (the fuzzer enforces both);
+//   - every error is an error return, never a crash;
+//   - the status register only ever carries defined bits;
+//   - the action register always names a real action;
+//   - reported compute cycles stay within the datapath's static bound.
+func FuzzAccelRegisterFile(f *testing.F) {
+	// Seeds: a clean decision sequence, a reset, Q-port traffic, junk.
+	seed := func(ops ...uint64) []byte {
+		b := make([]byte, 0, 8*len(ops))
+		for _, op := range ops {
+			b = binary.LittleEndian.AppendUint64(b, op)
+		}
+		return b
+	}
+	enc := func(write bool, addr uint32, val uint32) uint64 {
+		v := uint64(val)<<16 | uint64(addr)<<1
+		if write {
+			v |= 1
+		}
+		return v
+	}
+	f.Add(seed(
+		enc(true, RegState, 3), enc(true, RegReward, 0x8000),
+		enc(true, RegCtrl, CtrlStep), enc(false, RegAction, 0),
+	))
+	f.Add(seed(enc(true, RegCtrl, CtrlReset), enc(false, RegStatus, 0)))
+	f.Add(seed(enc(true, RegQAddr, 7), enc(true, RegQData, 0xFFFF_FFFF), enc(false, RegQData, 0)))
+	f.Add([]byte{0xFF, 0x00, 0xAB, 0xCD, 0xEF, 0x01, 0x23, 0x45, 0x67})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accel, err := New(Params{NumStates: 16, NumActions: 4, Banks: 2, LFSRSeed: 0xACE1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxCycles := accel.StepCycles()
+		for len(data) >= 8 {
+			op := binary.LittleEndian.Uint64(data[:8])
+			data = data[8:]
+			write := op&1 != 0
+			addr := uint32(op>>1) & 0x7FFF
+			val := uint32(op >> 16)
+			if write {
+				cycles, err := accel.WriteReg(addr, val)
+				if err == nil && cycles > maxCycles {
+					t.Fatalf("write %#x=%#x reported %d cycles, static bound %d", addr, val, cycles, maxCycles)
+				}
+			} else {
+				v, err := accel.ReadReg(addr)
+				if err != nil {
+					continue
+				}
+				switch addr {
+				case RegStatus:
+					if v&^uint32(3) != 0 {
+						t.Fatalf("status carries undefined bits: %#x", v)
+					}
+				case RegAction:
+					if v >= 4 {
+						t.Fatalf("action register out of range: %d", v)
+					}
+				}
+			}
+		}
+	})
+}
