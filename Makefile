@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench golden
+.PHONY: check build vet test race fuzz bench bench-smoke experiments golden
 
 # check is the full CI gate: vet, build, the default test suite (unit +
 # determinism + golden), and the race-detector pass over the concurrent
@@ -26,8 +26,19 @@ FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/hwpolicy -run '^$$' -fuzz FuzzAccelRegisterFile -fuzztime $(FUZZTIME)
 
-# bench regenerates the full evaluation through the testing harness.
+# bench measures the hot-path benchmark suite and writes the results as
+# machine-readable JSON (the numbers cited in README's Performance table).
+BENCH_OUT ?= BENCH_pr3.json
 bench:
+	$(GO) run ./cmd/pmperf -out $(BENCH_OUT)
+
+# bench-smoke compiles and runs every benchmark exactly once — a fast CI
+# guard that the benchmark code itself stays green.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# experiments regenerates the full evaluation through the testing harness.
+experiments:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # golden re-blesses testdata/*.golden after an intentional model change.

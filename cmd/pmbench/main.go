@@ -20,6 +20,9 @@
 //	pmbench -quick             # ~10x shorter runs for smoke testing
 //	pmbench -parallel 8        # engine worker count (0 = GOMAXPROCS, 1 = serial)
 //	pmbench -csv fig2.csv      # also write the figure series as CSV (f2/f4)
+//	pmbench -cpuprofile cpu.pprof   # write a CPU profile of the run
+//	pmbench -memprofile mem.pprof   # write an allocation profile at exit
+//	pmbench -trace trace.out        # write a runtime execution trace
 //
 // Output is byte-identical at every -parallel setting: evaluation cells
 // fan out over internal/bench/engine but merge in canonical order, and
@@ -31,6 +34,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -46,8 +52,18 @@ func main() {
 		eps      = flag.Int("episodes", 0, "override RL training episodes")
 		seed     = flag.Uint64("seed", 0, "override scenario/exploration seed")
 		parallel = flag.Int("parallel", 0, "experiment-engine workers (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this path at exit")
+		trcPath  = flag.String("trace", "", "write a runtime execution trace to this path")
 	)
 	flag.Parse()
+
+	stopProfiling, err := startProfiling(*cpuProf, *memProf, *trcPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmbench:", err)
+		os.Exit(1)
+	}
+	defer stopProfiling()
 
 	opt := bench.DefaultOptions()
 	opt.Quick = *quick
@@ -63,9 +79,68 @@ func main() {
 	}
 
 	if err := run(*exp, opt, *csvPath, os.Stdout); err != nil {
+		stopProfiling()
 		fmt.Fprintln(os.Stderr, "pmbench:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiling wires the requested profilers up and returns an
+// idempotent stop function that flushes them.
+func startProfiling(cpuPath, memPath, tracePath string) (func(), error) {
+	var stops []func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			rtrace.Stop()
+			f.Close()
+		})
+	}
+	if memPath != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "pmbench:", err)
+			}
+		})
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		for _, s := range stops {
+			s()
+		}
+	}, nil
 }
 
 func run(exp string, opt bench.Options, csvPath string, w io.Writer) error {

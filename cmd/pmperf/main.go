@@ -1,0 +1,121 @@
+// Command pmperf runs the hot-path benchmark suite (internal/bench/perf.go)
+// through testing.Benchmark and writes the results as JSON, so CI and
+// PR descriptions can cite machine-readable numbers.
+//
+// Usage:
+//
+//	pmperf                      # run everything, write BENCH_pr3.json
+//	pmperf -out results.json    # choose the output path
+//	pmperf -engine=false        # skip the slow end-to-end engine benchmark
+//	pmperf -benchtime 2s        # per-benchmark measuring time
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"rlpm/internal/bench"
+)
+
+// result is one benchmark's measurement in the emitted JSON.
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type report struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_pr3.json", "output JSON path")
+		engine    = flag.Bool("engine", true, "include the end-to-end quick-evaluation benchmark")
+		benchtime = flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
+	)
+	flag.Parse()
+	setBenchtime(*benchtime)
+
+	cases := []struct {
+		name string
+		body func(*testing.B)
+	}{
+		{"ClusterStep", bench.BenchClusterStep},
+		{"ChipStepInto", bench.BenchChipStepInto},
+		{"AgentStep", bench.BenchAgentStep},
+	}
+	for _, g := range bench.PerfGovernors() {
+		cases = append(cases, struct {
+			name string
+			body func(*testing.B)
+		}{"SimRun/" + g, bench.BenchSimRun(g)})
+	}
+	if *engine {
+		cases = append(cases, struct {
+			name string
+			body func(*testing.B)
+		}{"EngineQuickAll", bench.BenchEngineQuickAll})
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}
+	for _, c := range cases {
+		fmt.Fprintf(os.Stderr, "pmperf: %s...\n", c.name)
+		r := testing.Benchmark(c.body)
+		res := result{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = map[string]float64{}
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "pmperf: %s: %.1f ns/op, %d allocs/op\n", c.name, res.NsPerOp, res.AllocsPerOp)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmperf:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "pmperf:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "pmperf:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pmperf: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// setBenchtime routes our -benchtime value into the testing package's flag
+// (testing.Benchmark reads it; the default is 1s).
+func setBenchtime(d time.Duration) {
+	// testing registers its flags lazily; Init makes them visible.
+	testing.Init()
+	if f := flag.Lookup("test.benchtime"); f != nil {
+		_ = f.Value.Set(d.String())
+	}
+}

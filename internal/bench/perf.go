@@ -1,0 +1,147 @@
+package bench
+
+// Hot-path benchmark bodies. They live in a non-test file so cmd/pmperf
+// can drive them through testing.Benchmark and emit machine-readable
+// results (BENCH_pr3.json); perf_test.go wraps the same bodies as ordinary
+// Benchmark* functions for `go test -bench`.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"rlpm/internal/core"
+	"rlpm/internal/governor"
+	"rlpm/internal/sim"
+	"rlpm/internal/soc"
+)
+
+// PerfGovernors are the governor names BenchSimRun covers: the built-in
+// cpufreq baselines plus the software RL policy.
+func PerfGovernors() []string {
+	return []string{"ondemand", "conservative", "interactive", "schedutil", "performance", "rl-policy"}
+}
+
+func perfGovernor(name string) (sim.Governor, error) {
+	switch name {
+	case "ondemand":
+		return governor.NewOndemand(), nil
+	case "conservative":
+		return governor.NewConservative(), nil
+	case "interactive":
+		return governor.NewInteractive(), nil
+	case "schedutil":
+		return governor.NewSchedutil(), nil
+	case "performance":
+		return governor.NewPerformance(), nil
+	case "rl-policy":
+		return core.MustPolicy(core.DefaultConfig()), nil
+	}
+	return nil, fmt.Errorf("bench: unknown perf governor %q", name)
+}
+
+// BenchClusterStep measures one cluster's physics step (power, thermal,
+// QoS bookkeeping) in isolation.
+func BenchClusterStep(b *testing.B) {
+	chip, err := newChip()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := chip.Cluster(1)
+	d := soc.Demand{Cycles: 50e6, Parallelism: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Step(d, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchChipStepInto measures a whole-chip step through the allocation-free
+// StepInto path, reusing one ChipStep across iterations the way the
+// simulation loop does.
+func BenchChipStepInto(b *testing.B) {
+	chip, err := newChip()
+	if err != nil {
+		b.Fatal(err)
+	}
+	demands := []soc.Demand{{Cycles: 20e6, Parallelism: 2}, {Cycles: 50e6, Parallelism: 4}}
+	var res soc.ChipStep
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := chip.StepInto(&res, demands, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchSimRun returns the benchmark body for a full closed-loop simulation
+// (workload → governor → chip) under the named governor. It reports the
+// derived ns/step metric alongside the stock ns/op (one op = one 60 s run,
+// 1200 control periods).
+func BenchSimRun(name string) func(b *testing.B) {
+	return func(b *testing.B) {
+		chip, err := newChip()
+		if err != nil {
+			b.Fatal(err)
+		}
+		scen, err := newScenario("gaming", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gov, err := perfGovernor(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sim.Config{PeriodS: 0.05, DurationS: 60, Seed: 1}
+		steps := int(cfg.DurationS / cfg.PeriodS)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(chip, scen, gov, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+	}
+}
+
+// BenchAgentStep measures one tabular Q-learning decision+update step.
+func BenchAgentStep(b *testing.B) {
+	a, err := core.NewAgent(core.DefaultConfig(), 9, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	freqs := []float64{4e8, 6e8, 8e8, 1e9, 1.2e9, 1.4e9, 1.6e9, 1.8e9, 2e9}
+	o := sim.Observation{
+		Utilization: 0.7, DemandRatio: 0.9, QoS: 0.97, ClusterQoS: 0.97,
+		Level: 4, NumLevels: 9, FreqsHz: freqs, EnergyJ: 0.1,
+		ClusterEnergyJ: 0.05, TempC: 45, PeriodS: 0.05,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Level = a.Step(o)
+	}
+}
+
+// BenchEngineQuickAll measures regenerating the entire evaluation (every
+// experiment, quick mode) through the parallel experiment engine — the
+// end-to-end cost a contributor pays per `make test` determinism check.
+func BenchEngineQuickAll(b *testing.B) {
+	opt := DefaultOptions()
+	opt.Quick = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range Experiments() {
+			r, err := e.Run(opt)
+			if err != nil {
+				b.Fatalf("%s: %v", e.ID, err)
+			}
+			r.WriteText(io.Discard)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package bench
+
+import "testing"
+
+// Hot-path benchmarks (bodies in perf.go, shared with cmd/pmperf).
+
+func BenchmarkClusterStep(b *testing.B)  { BenchClusterStep(b) }
+func BenchmarkChipStepInto(b *testing.B) { BenchChipStepInto(b) }
+func BenchmarkAgentStep(b *testing.B)    { BenchAgentStep(b) }
+
+func BenchmarkSimRun(b *testing.B) {
+	for _, name := range PerfGovernors() {
+		b.Run(name, BenchSimRun(name))
+	}
+}
+
+func BenchmarkEngineQuickAll(b *testing.B) { BenchEngineQuickAll(b) }

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"rlpm/internal/sim"
+)
+
+func allocObs() []sim.Observation {
+	little := []float64{400e6, 600e6, 800e6, 1000e6, 1200e6, 1400e6, 1600e6, 1800e6}
+	big := []float64{600e6, 800e6, 1000e6, 1200e6, 1400e6, 1600e6, 1800e6, 2000e6, 2300e6}
+	mk := func(freqs []float64) sim.Observation {
+		return sim.Observation{
+			Utilization: 0.7, DemandRatio: 0.9, QoS: 0.97, ClusterQoS: 0.97,
+			Level: 3, NumLevels: len(freqs), FreqsHz: freqs,
+			EnergyJ: 0.1, ClusterEnergyJ: 0.05, TempC: 45, PeriodS: 0.05,
+		}
+	}
+	return []sim.Observation{mk(little), mk(big)}
+}
+
+// TestAgentStepAllocFree pins one decide+learn step at zero allocations
+// for every TD algorithm (DoubleQ exercises the summed-table action
+// selection, which needs its own scratch buffer).
+func TestAgentStepAllocFree(t *testing.T) {
+	for _, algo := range []Algorithm{QLearning, SARSA, DoubleQ} {
+		t.Run(string(algo), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Algorithm = algo
+			a, err := NewAgent(cfg, 9, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := allocObs()[1]
+			o.Level = a.Step(o) // warm-up: lazy table growth happens here
+			allocs := testing.AllocsPerRun(200, func() {
+				o.Level = a.Step(o)
+			})
+			if allocs != 0 {
+				t.Fatalf("%s Agent.Step allocates %.1f times per step, want 0", algo, allocs)
+			}
+		})
+	}
+}
+
+// TestPolicyDecideIntoAllocFree pins the chip-level policy decision at
+// zero allocations after the lazy first call constructs the agents.
+func TestPolicyDecideIntoAllocFree(t *testing.T) {
+	p := MustPolicy(DefaultConfig())
+	obs := allocObs()
+	dst := make([]int, len(obs))
+	dst = p.DecideInto(dst, obs) // warm-up: agent construction
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = p.DecideInto(dst, obs)
+	})
+	if allocs != 0 {
+		t.Fatalf("Policy.DecideInto allocates %.1f times per call, want 0", allocs)
+	}
+}

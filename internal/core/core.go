@@ -243,6 +243,7 @@ type Agent struct {
 	algo      Algorithm
 	q         [][]float64 // q[state][action]
 	q2        [][]float64 // second table (Double Q-learning only)
+	sumBuf    []float64   // scratch row for Double Q action selection
 	eps       float64
 	r         *rng.Rand
 	learning  bool
@@ -275,6 +276,7 @@ func NewAgent(cfg Config, numLevels int, stream uint64) (*Agent, error) {
 		for i := range a.q2 {
 			a.q2[i] = make([]float64, numLevels)
 		}
+		a.sumBuf = make([]float64, numLevels)
 	}
 	a.eps = cfg.EpsilonStart
 	a.r = rng.NewStream(cfg.Seed, stream)
@@ -390,9 +392,10 @@ func (a *Agent) update(table [][]float64, target float64) {
 	a.lastTD = math.Abs(td)
 }
 
-// sumRow returns q[state]+q2[state] for Double Q action selection.
+// sumRow returns q[state]+q2[state] for Double Q action selection, written
+// into the agent's scratch row so the decision path stays allocation-free.
 func (a *Agent) sumRow(state int) []float64 {
-	row := make([]float64, a.numLevels)
+	row := a.sumBuf
 	for i := range row {
 		row[i] = a.q[state][i] + a.q2[state][i]
 	}

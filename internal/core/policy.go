@@ -14,7 +14,7 @@ type Policy struct {
 	agents []*Agent
 }
 
-var _ sim.Governor = (*Policy)(nil)
+var _ sim.InPlaceGovernor = (*Policy)(nil)
 
 // NewPolicy creates a policy; agents are instantiated lazily on the first
 // Decide call, when the cluster count and OPP table sizes are known.
@@ -39,6 +39,12 @@ func (*Policy) Name() string { return "rl-policy" }
 
 // Decide implements sim.Governor: one Q-learning step per cluster.
 func (p *Policy) Decide(obs []sim.Observation) []int {
+	return p.DecideInto(make([]int, len(obs)), obs)
+}
+
+// DecideInto implements sim.InPlaceGovernor: after the lazy first-call
+// agent construction, the decision path performs no allocation.
+func (p *Policy) DecideInto(dst []int, obs []sim.Observation) []int {
 	if p.agents == nil {
 		p.agents = make([]*Agent, len(obs))
 		for i, o := range obs {
@@ -52,11 +58,11 @@ func (p *Policy) Decide(obs []sim.Observation) []int {
 	if len(obs) != len(p.agents) {
 		panic(fmt.Sprintf("core: policy built for %d clusters, got %d observations", len(p.agents), len(obs)))
 	}
-	out := make([]int, len(obs))
+	dst = sim.FitLevels(dst, len(obs))
 	for i, o := range obs {
-		out[i] = p.agents[i].Step(o)
+		dst[i] = p.agents[i].Step(o)
 	}
-	return out
+	return dst
 }
 
 // Reset implements sim.Governor: clears all learned state.

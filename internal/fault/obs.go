@@ -25,6 +25,11 @@ type ObsFilter struct {
 	inj  *Injector
 	last []sim.Observation // last good telemetry delivered per cluster
 	good []bool            // whether last[i] ever held a good sample
+
+	// Reusable output buffers: Apply's returned slices are valid until the
+	// next Apply call, so the filter adds no per-period allocation.
+	out   []sim.Observation
+	flags []Flags
 }
 
 // NewObsFilter builds a filter drawing from inj's telemetry stream.
@@ -59,14 +64,21 @@ func idleTelemetry(dst *sim.Observation) {
 
 // Apply filters one period of observations and returns the (possibly
 // perturbed) copy plus per-cluster fault flags. The input slice is never
-// mutated. Draw order per cluster is fixed (drop, stale, noise) and
-// zero-rate sites draw nothing, so a rate-free config returns the input
-// values bit-identically.
+// mutated; the returned slices are reused by the next Apply call, so
+// callers must not retain them across periods. Draw order per cluster is
+// fixed (drop, stale, noise) and zero-rate sites draw nothing, so a
+// rate-free config returns the input values bit-identically.
 func (f *ObsFilter) Apply(obs []sim.Observation) ([]sim.Observation, []Flags) {
 	in := f.inj
-	out := make([]sim.Observation, len(obs))
+	if len(f.out) != len(obs) {
+		f.out = make([]sim.Observation, len(obs))
+		f.flags = make([]Flags, len(obs))
+	}
+	out, flags := f.out, f.flags
 	copy(out, obs)
-	flags := make([]Flags, len(obs))
+	for i := range flags {
+		flags[i] = Flags{}
+	}
 	if f.last == nil {
 		f.last = make([]sim.Observation, len(obs))
 		f.good = make([]bool, len(obs))
@@ -122,6 +134,8 @@ func (f *ObsFilter) Apply(obs []sim.Observation) ([]sim.Observation, []Flags) {
 func (f *ObsFilter) Reset() {
 	f.last = nil
 	f.good = nil
+	f.out = nil
+	f.flags = nil
 }
 
 // Governor wraps any sim.Governor behind an ObsFilter, so baseline
@@ -133,7 +147,7 @@ type Governor struct {
 	filter *ObsFilter
 }
 
-var _ sim.Governor = (*Governor)(nil)
+var _ sim.InPlaceGovernor = (*Governor)(nil)
 
 // Wrap builds the wrapper.
 func Wrap(inner sim.Governor, inj *Injector) *Governor {
@@ -147,6 +161,14 @@ func (g *Governor) Name() string { return g.inner.Name() }
 func (g *Governor) Decide(obs []sim.Observation) []int {
 	fobs, _ := g.filter.Apply(obs)
 	return g.inner.Decide(fobs)
+}
+
+// DecideInto implements sim.InPlaceGovernor, passing the simulator's fast
+// path through the telemetry filter to the inner governor (which falls
+// back to Decide when it has no fast path of its own).
+func (g *Governor) DecideInto(dst []int, obs []sim.Observation) []int {
+	fobs, _ := g.filter.Apply(obs)
+	return sim.DecideInto(g.inner, dst, fobs)
 }
 
 // Reset implements sim.Governor.

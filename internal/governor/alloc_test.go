@@ -1,0 +1,87 @@
+package governor
+
+import (
+	"testing"
+
+	"rlpm/internal/sim"
+)
+
+// TestDecideIntoAllocFree pins every built-in governor's in-place decision
+// path at zero allocations once the destination slice is sized.
+func TestDecideIntoAllocFree(t *testing.T) {
+	names := append(BaselineNames(), "schedutil")
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			g, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ip, ok := g.(sim.InPlaceGovernor)
+			if !ok {
+				t.Fatalf("%s does not implement sim.InPlaceGovernor", name)
+			}
+			obs := obsWith(0.6, 3)
+			dst := make([]int, len(obs))
+			// Warm-up: lets stateful governors size their history buffers.
+			dst = ip.DecideInto(dst, obs)
+			allocs := testing.AllocsPerRun(100, func() {
+				dst = ip.DecideInto(dst, obs)
+			})
+			if allocs != 0 {
+				t.Fatalf("%s.DecideInto allocates %.1f times per call, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// TestFixedDecideIntoAllocFree covers the Fixed pin governor separately
+// (it is constructed with explicit levels, not via the registry).
+func TestFixedDecideIntoAllocFree(t *testing.T) {
+	g, err := NewFixed([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := obsWith(0.5, 2)
+	dst := make([]int, len(obs))
+	dst = g.DecideInto(dst, obs)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = g.DecideInto(dst, obs)
+	})
+	if allocs != 0 {
+		t.Fatalf("Fixed.DecideInto allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestDecideIntoMatchesDecide asserts the fast path is observationally
+// identical to the allocating path for every built-in governor, across a
+// sweep of utilizations — the contract the simulator's byte-identical
+// goldens rest on.
+func TestDecideIntoMatchesDecide(t *testing.T) {
+	names := append(BaselineNames(), "schedutil")
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			ga, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ip := gb.(sim.InPlaceGovernor)
+			dst := make([]int, 2)
+			for step := 0; step <= 20; step++ {
+				util := float64(step) / 20
+				lvl := step % 8
+				obs := obsWith(util, lvl)
+				want := ga.Decide(obs)
+				dst = ip.DecideInto(dst, obs)
+				for i := range want {
+					if dst[i] != want[i] {
+						t.Fatalf("step %d: DecideInto=%v Decide=%v", step, dst, want)
+					}
+				}
+			}
+		})
+	}
+}

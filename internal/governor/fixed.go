@@ -39,8 +39,15 @@ func (g *Fixed) Reset() {}
 
 // Decide implements sim.Governor.
 func (g *Fixed) Decide(obs []sim.Observation) []int {
+	return g.DecideInto(make([]int, len(obs)), obs)
+}
+
+// DecideInto implements sim.InPlaceGovernor.
+func (g *Fixed) DecideInto(dst []int, obs []sim.Observation) []int {
 	if len(obs) != len(g.levels) {
 		panic(fmt.Sprintf("governor: fixed governor built for %d clusters, got %d", len(g.levels), len(obs)))
 	}
-	return append([]int(nil), g.levels...)
+	dst = sim.FitLevels(dst, len(obs))
+	copy(dst, g.levels)
+	return dst
 }

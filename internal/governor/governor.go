@@ -27,6 +27,20 @@ func pickLevelAtLeast(freqs []float64, targetHz float64) int {
 	return len(freqs) - 1
 }
 
+// Every governor in this package implements sim.InPlaceGovernor: Decide is
+// DecideInto over a fresh slice, and DecideInto performs no allocation, so
+// the simulator's hot loop runs the built-in governors allocation-free.
+var (
+	_ sim.InPlaceGovernor = (*Performance)(nil)
+	_ sim.InPlaceGovernor = (*Powersave)(nil)
+	_ sim.InPlaceGovernor = (*Userspace)(nil)
+	_ sim.InPlaceGovernor = (*Ondemand)(nil)
+	_ sim.InPlaceGovernor = (*Conservative)(nil)
+	_ sim.InPlaceGovernor = (*Interactive)(nil)
+	_ sim.InPlaceGovernor = (*Schedutil)(nil)
+	_ sim.InPlaceGovernor = (*Fixed)(nil)
+)
+
 // Performance always runs at the highest OPP.
 type Performance struct{}
 
@@ -40,12 +54,17 @@ func (*Performance) Name() string { return "performance" }
 func (*Performance) Reset() {}
 
 // Decide implements sim.Governor.
-func (*Performance) Decide(obs []sim.Observation) []int {
-	out := make([]int, len(obs))
+func (g *Performance) Decide(obs []sim.Observation) []int {
+	return g.DecideInto(make([]int, len(obs)), obs)
+}
+
+// DecideInto implements sim.InPlaceGovernor.
+func (*Performance) DecideInto(dst []int, obs []sim.Observation) []int {
+	dst = sim.FitLevels(dst, len(obs))
 	for i, o := range obs {
-		out[i] = o.NumLevels - 1
+		dst[i] = o.NumLevels - 1
 	}
-	return out
+	return dst
 }
 
 // Powersave always runs at the lowest OPP.
@@ -61,8 +80,17 @@ func (*Powersave) Name() string { return "powersave" }
 func (*Powersave) Reset() {}
 
 // Decide implements sim.Governor.
-func (*Powersave) Decide(obs []sim.Observation) []int {
-	return make([]int, len(obs))
+func (g *Powersave) Decide(obs []sim.Observation) []int {
+	return g.DecideInto(make([]int, len(obs)), obs)
+}
+
+// DecideInto implements sim.InPlaceGovernor.
+func (*Powersave) DecideInto(dst []int, obs []sim.Observation) []int {
+	dst = sim.FitLevels(dst, len(obs))
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
 }
 
 // Userspace pins a fixed fraction of the OPP table, the way a userspace
@@ -89,12 +117,16 @@ func (*Userspace) Reset() {}
 
 // Decide implements sim.Governor.
 func (u *Userspace) Decide(obs []sim.Observation) []int {
-	out := make([]int, len(obs))
+	return u.DecideInto(make([]int, len(obs)), obs)
+}
+
+// DecideInto implements sim.InPlaceGovernor.
+func (u *Userspace) DecideInto(dst []int, obs []sim.Observation) []int {
+	dst = sim.FitLevels(dst, len(obs))
 	for i, o := range obs {
-		lvl := int(math.Round(u.fraction * float64(o.NumLevels-1)))
-		out[i] = lvl
+		dst[i] = int(math.Round(u.fraction * float64(o.NumLevels-1)))
 	}
-	return out
+	return dst
 }
 
 // Ondemand jumps to the maximum OPP when utilization exceeds up_threshold
@@ -102,7 +134,6 @@ func (u *Userspace) Decide(obs []sim.Observation) []int {
 // the threshold — the classic dbs_check_cpu logic.
 type Ondemand struct {
 	UpThreshold float64 // kernel default 0.80
-	freqs       [][]float64
 }
 
 // NewOndemand returns an ondemand governor with the kernel default
@@ -117,19 +148,24 @@ func (g *Ondemand) Reset() {}
 
 // Decide implements sim.Governor.
 func (g *Ondemand) Decide(obs []sim.Observation) []int {
-	out := make([]int, len(obs))
+	return g.DecideInto(make([]int, len(obs)), obs)
+}
+
+// DecideInto implements sim.InPlaceGovernor.
+func (g *Ondemand) DecideInto(dst []int, obs []sim.Observation) []int {
+	dst = sim.FitLevels(dst, len(obs))
 	for i, o := range obs {
 		if o.Utilization >= g.UpThreshold {
-			out[i] = o.NumLevels - 1
+			dst[i] = o.NumLevels - 1
 			continue
 		}
 		// Scale down proportionally: the lowest f with
 		// util*f_cur/f <= threshold  ⇔  f >= util*f_cur/threshold.
 		curHz := freqOf(o)
 		target := o.Utilization * curHz / g.UpThreshold
-		out[i] = pickLevelAtLeast(freqTable(o), target)
+		dst[i] = pickLevelAtLeast(freqTable(o), target)
 	}
-	return out
+	return dst
 }
 
 // Conservative moves one OPP step at a time: up when utilization exceeds
@@ -152,7 +188,12 @@ func (g *Conservative) Reset() {}
 
 // Decide implements sim.Governor.
 func (g *Conservative) Decide(obs []sim.Observation) []int {
-	out := make([]int, len(obs))
+	return g.DecideInto(make([]int, len(obs)), obs)
+}
+
+// DecideInto implements sim.InPlaceGovernor.
+func (g *Conservative) DecideInto(dst []int, obs []sim.Observation) []int {
+	dst = sim.FitLevels(dst, len(obs))
 	for i, o := range obs {
 		lvl := o.Level
 		switch {
@@ -161,9 +202,9 @@ func (g *Conservative) Decide(obs []sim.Observation) []int {
 		case o.Utilization < g.DownThreshold && lvl > 0:
 			lvl--
 		}
-		out[i] = lvl
+		dst[i] = lvl
 	}
-	return out
+	return dst
 }
 
 // Interactive implements the Android interactive governor: a burst of load
@@ -201,6 +242,11 @@ func (g *Interactive) Reset() {
 
 // Decide implements sim.Governor.
 func (g *Interactive) Decide(obs []sim.Observation) []int {
+	return g.DecideInto(make([]int, len(obs)), obs)
+}
+
+// DecideInto implements sim.InPlaceGovernor.
+func (g *Interactive) DecideInto(dst []int, obs []sim.Observation) []int {
 	if len(g.holdS) != len(obs) {
 		g.holdS = make([]float64, len(obs))
 		g.prev = make([]int, len(obs))
@@ -208,7 +254,7 @@ func (g *Interactive) Decide(obs []sim.Observation) []int {
 			g.prev[i] = o.Level
 		}
 	}
-	out := make([]int, len(obs))
+	dst = sim.FitLevels(dst, len(obs))
 	for i, o := range obs {
 		freqs := freqTable(o)
 		hispeed := int(math.Round(g.HispeedFrac * float64(o.NumLevels-1)))
@@ -232,9 +278,9 @@ func (g *Interactive) Decide(obs []sim.Observation) []int {
 				g.holdS[i] = g.MinSampleTimeS
 			}
 		}
-		out[i] = g.prev[i]
+		dst[i] = g.prev[i]
 	}
-	return out
+	return dst
 }
 
 // Schedutil implements the mainline schedutil rule: next_freq = 1.25 ·
@@ -254,15 +300,20 @@ func (g *Schedutil) Reset() {}
 
 // Decide implements sim.Governor.
 func (g *Schedutil) Decide(obs []sim.Observation) []int {
-	out := make([]int, len(obs))
+	return g.DecideInto(make([]int, len(obs)), obs)
+}
+
+// DecideInto implements sim.InPlaceGovernor.
+func (g *Schedutil) DecideInto(dst []int, obs []sim.Observation) []int {
+	dst = sim.FitLevels(dst, len(obs))
 	for i, o := range obs {
 		freqs := freqTable(o)
 		fmax := freqs[len(freqs)-1]
 		invariantUtil := o.Utilization * freqOf(o) / fmax
 		target := g.Headroom * fmax * invariantUtil
-		out[i] = pickLevelAtLeast(freqs, target)
+		dst[i] = pickLevelAtLeast(freqs, target)
 	}
-	return out
+	return dst
 }
 
 // freqOf returns the frequency of the observation's current level.

@@ -35,7 +35,7 @@ type Governor struct {
 	pendingTab [][][]float64 // optional table to upload at lazy init
 }
 
-var _ sim.Governor = (*Governor)(nil)
+var _ sim.InPlaceGovernor = (*Governor)(nil)
 
 // NewGovernor builds a hardware-policy governor that learns online at the
 // fixed exploration rate cfg.EpsilonMin.
@@ -83,13 +83,18 @@ func (*Governor) Name() string { return "rl-policy-hw" }
 // Decide implements sim.Governor: one MMIO decision transaction per
 // cluster per period.
 func (g *Governor) Decide(obs []sim.Observation) []int {
+	return g.DecideInto(make([]int, len(obs)), obs)
+}
+
+// DecideInto implements sim.InPlaceGovernor.
+func (g *Governor) DecideInto(dst []int, obs []sim.Observation) []int {
 	if g.drivers == nil {
 		g.init(obs)
 	}
 	if len(obs) != len(g.drivers) {
 		panic(fmt.Sprintf("hwpolicy: governor built for %d clusters, got %d observations", len(g.drivers), len(obs)))
 	}
-	out := make([]int, len(obs))
+	out := sim.FitLevels(dst, len(obs))
 	for i, o := range obs {
 		state := g.cfg.EncodeState(o, g.prevDemand[i])
 		g.prevDemand[i] = o.DemandRatio

@@ -39,8 +39,8 @@ type Resilient struct {
 	rc  ResilientConfig
 	inj *fault.Injector
 
-	sw     *core.Policy  // shadow software policy (rung 1)
-	od     sim.Governor  // ondemand fallback (rung 2)
+	sw     *core.Policy // shadow software policy (rung 1)
+	od     sim.Governor // ondemand fallback (rung 2)
 	filter *fault.ObsFilter
 
 	drivers    []*Driver

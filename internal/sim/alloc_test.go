@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// inPlaceStub is a minimal InPlaceGovernor so the sim package can pin its
+// own loop's allocation behavior without importing the governor package
+// (which imports sim).
+type inPlaceStub struct{ level int }
+
+func (g *inPlaceStub) Name() string { return "stub" }
+func (g *inPlaceStub) Reset()       {}
+func (g *inPlaceStub) Decide(obs []Observation) []int {
+	return g.DecideInto(make([]int, len(obs)), obs)
+}
+func (g *inPlaceStub) DecideInto(dst []int, obs []Observation) []int {
+	dst = FitLevels(dst, len(obs))
+	for i := range dst {
+		dst[i] = g.level
+	}
+	return dst
+}
+
+// TestRunSteadyStateAllocFree proves the simulation loop allocates nothing
+// per step: a run of 2N steps must allocate exactly as much as a run of N
+// steps (all allocation is per-run setup, none is per-period). Recorder is
+// nil, matching the training/evaluation hot path.
+func TestRunSteadyStateAllocFree(t *testing.T) {
+	ch := testChip(t)
+	scen := testScenario(t, "gaming")
+	gov := &inPlaceStub{level: 3}
+
+	allocsFor := func(durS float64) float64 {
+		cfg := Config{PeriodS: 0.05, DurationS: durS, Seed: 1}
+		// Warm-up run so lazy init (agents, buffers) is excluded.
+		if _, err := Run(ch, scen, gov, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Run(ch, scen, gov, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	short := allocsFor(10) // 200 steps
+	long := allocsFor(20)  // 400 steps
+	if long != short {
+		t.Fatalf("per-step allocation detected: %v allocs at 200 steps vs %v at 400", short, long)
+	}
+}
+
+// TestRunEpisodesReusesState proves episode loops share one set of
+// buffers: E episodes must not allocate E times the single-run overhead.
+func TestRunEpisodesReusesState(t *testing.T) {
+	ch := testChip(t)
+	scen := testScenario(t, "gaming")
+	gov := &inPlaceStub{level: 3}
+	cfg := Config{PeriodS: 0.05, DurationS: 5, Seed: 1}
+
+	if _, err := RunEpisodes(ch, scen, gov, cfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	two := testing.AllocsPerRun(5, func() {
+		if _, err := RunEpisodes(ch, scen, gov, cfg, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	four := testing.AllocsPerRun(5, func() {
+		if _, err := RunEpisodes(ch, scen, gov, cfg, 4); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Doubling the episode count adds only the per-episode result structs
+	// (the results slice + stats), not a fresh set of run buffers. Allow
+	// a small per-episode bookkeeping margin.
+	if four-two > 8 {
+		t.Fatalf("RunEpisodes re-allocates run state per episode: 2 episodes = %v allocs, 4 episodes = %v", two, four)
+	}
+}

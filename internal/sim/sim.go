@@ -12,6 +12,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"rlpm/internal/qos"
 	"rlpm/internal/rng"
@@ -71,6 +72,38 @@ type Governor interface {
 	Reset()
 }
 
+// InPlaceGovernor is the optional allocation-free decision path. DecideInto
+// writes one level per observation into dst — whose length equals len(obs)
+// — and returns the slice it filled (dst, unless the implementation had to
+// grow it). Implementations must produce exactly the levels Decide would,
+// and must not retain dst. Run uses this path when available, so a
+// steady-state simulation step performs no per-period allocation; external
+// governors that only implement Decide keep working through the fallback.
+type InPlaceGovernor interface {
+	Governor
+	DecideInto(dst []int, obs []Observation) []int
+}
+
+// DecideInto invokes gov's allocation-free path when it implements
+// InPlaceGovernor and falls back to Decide otherwise. Wrapper governors
+// (fault filters, instrumentation shims) use it to pass the fast path
+// through to their inner governor.
+func DecideInto(gov Governor, dst []int, obs []Observation) []int {
+	if ip, ok := gov.(InPlaceGovernor); ok {
+		return ip.DecideInto(dst, obs)
+	}
+	return gov.Decide(obs)
+}
+
+// FitLevels returns dst resized to n levels, reallocating only when the
+// capacity is short — the shared first line of every DecideInto.
+func FitLevels(dst []int, n int) []int {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]int, n)
+}
+
 // Config parameterizes a run.
 type Config struct {
 	PeriodS   float64 // control period, e.g. 0.05
@@ -109,16 +142,22 @@ func (c Config) Validate() error {
 
 // RecorderColumns returns the trace column set Run expects for a chip with
 // n clusters. Pass them to trace.NewRecorder when supplying Config.Recorder.
+// It is the single source of the recorder schema: Run resolves its column
+// positions against this same list, so the names can never drift apart.
 func RecorderColumns(n int) []string {
 	cols := make([]string, 0, 2*n+3)
 	for i := 0; i < n; i++ {
-		cols = append(cols, fmt.Sprintf("level%d", i))
+		cols = append(cols, levelColumn(i))
 	}
 	for i := 0; i < n; i++ {
-		cols = append(cols, fmt.Sprintf("util%d", i))
+		cols = append(cols, utilColumn(i))
 	}
 	return append(cols, "power", "qos", "critical")
 }
+
+// levelColumn and utilColumn name the per-cluster recorder columns.
+func levelColumn(i int) string { return "level" + strconv.Itoa(i) }
+func utilColumn(i int) string  { return "util" + strconv.Itoa(i) }
 
 // Result is the outcome of a run.
 type Result struct {
@@ -132,11 +171,74 @@ type Result struct {
 	Switches uint64
 }
 
+// runState holds every buffer the control loop reuses across steps — and,
+// for RunEpisodes, across episodes: the per-cluster frequency tables (built
+// once per chip), the observation and level slices, the chip step result,
+// and the recorder's columnar row. A runState belongs to one goroutine.
+type runState struct {
+	freqs   [][]float64
+	obs     []Observation
+	levels  []int
+	chipRes soc.ChipStep
+
+	recorder *trace.Recorder
+	recCols  []int     // recorder position of each RecorderColumns entry
+	recRow   []float64 // reusable columnar row, in recorder column order
+}
+
+// newRunState builds the reusable buffers for chip.
+func newRunState(chip *soc.Chip) *runState {
+	n := chip.NumClusters()
+	st := &runState{
+		freqs:  make([][]float64, n),
+		obs:    make([]Observation, n),
+		levels: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		cl := chip.Cluster(i)
+		f := make([]float64, cl.NumLevels())
+		for l := range f {
+			f[l] = cl.OPPAt(l).FreqHz
+		}
+		st.freqs[i] = f
+	}
+	return st
+}
+
+// bindRecorder resolves the schema columns of RecorderColumns(n) against
+// rec's registered columns, erroring on any mismatch — the same strictness
+// the map-based path had, paid once per run instead of once per period.
+func (st *runState) bindRecorder(rec *trace.Recorder, n int) error {
+	if st.recorder == rec && st.recCols != nil {
+		return nil
+	}
+	schema := RecorderColumns(n)
+	if got := len(rec.Columns()); got != len(schema) {
+		return fmt.Errorf("sim: recorder has %d columns, Run records %d", got, len(schema))
+	}
+	st.recCols = make([]int, len(schema))
+	for j, name := range schema {
+		i, ok := rec.ColumnIndex(name)
+		if !ok {
+			return fmt.Errorf("sim: recorder is missing column %q", name)
+		}
+		st.recCols[j] = i
+	}
+	st.recorder = rec
+	st.recRow = make([]float64, len(schema))
+	return nil
+}
+
 // Run simulates scenario scen on chip under governor gov. The chip and
 // scenario are reset first so runs are independent; the governor is NOT
 // reset, allowing pre-trained policies to be evaluated (call gov.Reset
 // yourself for a cold start).
 func Run(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config) (Result, error) {
+	return run(chip, scen, gov, cfg, newRunState(chip))
+}
+
+// run is the control loop proper, over caller-provided reusable state.
+func run(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config, st *runState) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -153,15 +255,8 @@ func Run(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config) (Resu
 	}
 
 	n := chip.NumClusters()
-	freqs := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		cl := chip.Cluster(i)
-		freqs[i] = make([]float64, cl.NumLevels())
-		for l := range freqs[i] {
-			freqs[i][l] = cl.OPPAt(l).FreqHz
-		}
-	}
-	obs := make([]Observation, n)
+	freqs := st.freqs
+	obs := st.obs
 	for i := 0; i < n; i++ {
 		cl := chip.Cluster(i)
 		obs[i] = Observation{
@@ -171,6 +266,11 @@ func Run(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config) (Resu
 			QoS:       1,
 			TempC:     cl.TempC(),
 			PeriodS:   cfg.PeriodS,
+		}
+	}
+	if cfg.Recorder != nil {
+		if err := st.bindRecorder(cfg.Recorder, n); err != nil {
+			return Result{}, err
 		}
 	}
 
@@ -183,18 +283,21 @@ func Run(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config) (Resu
 		sigma2 := math.Log(1 + cfg.ObsNoiseCV*cfg.ObsNoiseCV)
 		noiseSigma = math.Sqrt(sigma2)
 	}
-	perturb := func(v float64) float64 {
-		if noise == nil {
-			return v
-		}
-		return v * noise.LogNorm(-noiseSigma*noiseSigma/2, noiseSigma)
-	}
+
+	// The governor's in-place path is resolved once, not per period.
+	inPlace, fastDecide := gov.(InPlaceGovernor)
 
 	steps := int(cfg.DurationS / cfg.PeriodS)
 	res := Result{Governor: gov.Name(), Scenario: scen.Name()}
 	for step := 0; step < steps; step++ {
 		// Governor sets levels based on the previous period's observations.
-		levels := gov.Decide(obs)
+		var levels []int
+		if fastDecide {
+			levels = inPlace.DecideInto(st.levels, obs)
+			st.levels = levels
+		} else {
+			levels = gov.Decide(obs)
+		}
 		if len(levels) != n {
 			return Result{}, fmt.Errorf("sim: governor %s returned %d levels for %d clusters", gov.Name(), len(levels), n)
 		}
@@ -207,10 +310,10 @@ func Run(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config) (Resu
 		if len(period.Demands) != n {
 			return Result{}, fmt.Errorf("sim: scenario %s emitted %d demands for %d clusters", scen.Name(), len(period.Demands), n)
 		}
-		chipRes, err := chip.Step(period.Demands, cfg.PeriodS)
-		if err != nil {
+		if err := chip.StepInto(&st.chipRes, period.Demands, cfg.PeriodS); err != nil {
 			return Result{}, err
 		}
+		chipRes := &st.chipRes
 
 		var demanded, completed float64
 		for i, d := range period.Demands {
@@ -228,11 +331,11 @@ func Run(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config) (Resu
 			}
 			util := cr.Utilization
 			if noise != nil {
-				util = perturb(util)
+				util *= noise.LogNorm(-noiseSigma*noiseSigma/2, noiseSigma)
 				if util > 1 {
 					util = 1
 				}
-				dr = perturb(dr)
+				dr *= noise.LogNorm(-noiseSigma*noiseSigma/2, noiseSigma)
 			}
 			obs[i] = Observation{
 				Utilization:    util,
@@ -252,24 +355,27 @@ func Run(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config) (Resu
 		}
 
 		if cfg.Recorder != nil {
-			row := make(map[string]float64, 2*n+3)
+			// Columnar row in RecorderColumns order: level_i, util_i,
+			// power, qos, critical — routed through the position map that
+			// bindRecorder resolved once.
+			row, cols := st.recRow, st.recCols
 			for i := 0; i < n; i++ {
-				row[fmt.Sprintf("level%d", i)] = float64(chipRes.Clusters[i].Level)
-				row[fmt.Sprintf("util%d", i)] = chipRes.Clusters[i].Utilization
+				row[cols[i]] = float64(chipRes.Clusters[i].Level)
+				row[cols[n+i]] = chipRes.Clusters[i].Utilization
 			}
 			var power float64
 			for _, cr := range chipRes.Clusters {
 				power += cr.PowerW()
 			}
 			power += chipRes.UncorePowerW
-			row["power"] = power
-			row["qos"] = q
+			row[cols[2*n]] = power
+			row[cols[2*n+1]] = q
 			if period.Critical {
-				row["critical"] = 1
+				row[cols[2*n+2]] = 1
 			} else {
-				row["critical"] = 0
+				row[cols[2*n+2]] = 0
 			}
-			if err := cfg.Recorder.Record(float64(step)*cfg.PeriodS, row); err != nil {
+			if err := cfg.Recorder.RecordRow(float64(step)*cfg.PeriodS, row); err != nil {
 				return Result{}, err
 			}
 		}
@@ -285,16 +391,19 @@ func Run(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config) (Resu
 // consecutive episodes with per-episode seeds derived from cfg.Seed,
 // returning every episode's result in order. The governor persists across
 // episodes — this is the paper's online-learning setting where the policy
-// keeps adapting across scenario repetitions.
+// keeps adapting across scenario repetitions. The per-cluster frequency
+// tables and the loop buffers are built once for the (chip, cfg) pair and
+// reused across all episodes.
 func RunEpisodes(chip *soc.Chip, scen workload.Scenario, gov Governor, cfg Config, episodes int) ([]Result, error) {
 	if episodes <= 0 {
 		return nil, fmt.Errorf("sim: non-positive episode count %d", episodes)
 	}
+	st := newRunState(chip)
 	out := make([]Result, 0, episodes)
 	for ep := 0; ep < episodes; ep++ {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(ep)*0x9e3779b9
-		r, err := Run(chip, scen, gov, c)
+		r, err := run(chip, scen, gov, c, st)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,45 @@
+package soc
+
+import "testing"
+
+// TestStepIntoAllocFree pins the steady-state chip step at zero
+// allocations: after the first call sizes the reusable ChipStep, every
+// subsequent StepInto must run without touching the heap.
+func TestStepIntoAllocFree(t *testing.T) {
+	ch, err := NewChip(DefaultChipSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := []Demand{{Cycles: 20e6, Parallelism: 2}, {Cycles: 50e6, Parallelism: 4}}
+	var res ChipStep
+	if err := ch.StepInto(&res, demands, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := ch.StepInto(&res, demands, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Chip.StepInto allocates %.1f times per step, want 0", allocs)
+	}
+}
+
+// TestClusterStepAllocFree pins the single-cluster step at zero
+// allocations.
+func TestClusterStepAllocFree(t *testing.T) {
+	ch, err := NewChip(DefaultChipSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ch.Cluster(0)
+	d := Demand{Cycles: 20e6, Parallelism: 2}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := cl.Step(d, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Cluster.Step allocates %.1f times per step, want 0", allocs)
+	}
+}

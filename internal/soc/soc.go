@@ -137,6 +137,19 @@ type Cluster struct {
 	prevEffLevel int    // effective level of the previous period
 	hasPrev      bool   // false until the first Step
 	switches     uint64 // DVFS transitions performed
+
+	// Invariants of the spec, hoisted out of the per-period Step. The
+	// multiplication order inside each coefficient matches the original
+	// inline expressions exactly, so results stay bit-identical.
+	dynCoefW []float64 // per OPP: CeffF·V·V·f — dynamic power per busy core
+	leakVA   []float64 // per OPP: V·LeakA0 — leakage volt-amps per core
+	coresF   float64   // float64(NumCores)
+	tauS     float64   // thermal time constant Rth·Cth
+
+	// One-entry decay cache: dt is fixed within a run, so the thermal
+	// factor exp(-dt/tau) is recomputed only when dt changes.
+	cachedDtS   float64
+	cachedDecay float64
 }
 
 // NewCluster builds a cluster at the lowest OPP and ambient temperature.
@@ -150,7 +163,16 @@ func NewCluster(spec ClusterSpec, thermal ThermalSpec) (*Cluster, error) {
 	if thermal.ThrottleLv < 0 || thermal.ThrottleLv >= len(spec.OPPs) {
 		return nil, fmt.Errorf("soc: cluster %s throttle level %d out of range", spec.Name, thermal.ThrottleLv)
 	}
-	return &Cluster{spec: spec, thermal: thermal, tempC: thermal.AmbientC}, nil
+	c := &Cluster{spec: spec, thermal: thermal, tempC: thermal.AmbientC}
+	c.dynCoefW = make([]float64, len(spec.OPPs))
+	c.leakVA = make([]float64, len(spec.OPPs))
+	for i, o := range spec.OPPs {
+		c.dynCoefW[i] = spec.CeffF * o.VoltV * o.VoltV * o.FreqHz
+		c.leakVA[i] = o.VoltV * spec.LeakA0
+	}
+	c.coresF = float64(spec.NumCores)
+	c.tauS = thermal.RthCPerW * thermal.CthJPerC
+	return c, nil
 }
 
 // Spec returns the static spec.
@@ -202,10 +224,19 @@ func (c *Cluster) effectiveLevel() (int, bool) {
 	return c.level, false
 }
 
-// leakPowerW returns per-cluster leakage at voltage v and temperature t.
-func (c *Cluster) leakPowerW(v, t float64) float64 {
+// leakPowerW returns per-cluster leakage at OPP level lvl and temperature t.
+func (c *Cluster) leakPowerW(lvl int, t float64) float64 {
 	scale := math.Exp2((t - c.thermal.AmbientC) / c.spec.LeakDoubleC)
-	return v * c.spec.LeakA0 * scale * float64(c.spec.NumCores)
+	return c.leakVA[lvl] * scale * c.coresF
+}
+
+// decayFactor returns exp(-dt/tau), cached for the run's fixed dt.
+func (c *Cluster) decayFactor(dt float64) float64 {
+	if dt != c.cachedDtS {
+		c.cachedDtS = dt
+		c.cachedDecay = math.Exp(-dt / c.tauS)
+	}
+	return c.cachedDecay
 }
 
 // Step advances the cluster by dt seconds under demand d and returns what
@@ -256,15 +287,14 @@ func (c *Cluster) Step(d Demand, dt float64) (StepResult, error) {
 	if opp.FreqHz > 0 {
 		busyCores = completed / (opp.FreqHz * dt)
 	}
-	dyn := c.spec.CeffF * opp.VoltV * opp.VoltV * opp.FreqHz * busyCores
-	leak := c.leakPowerW(opp.VoltV, c.tempC)
+	dyn := c.dynCoefW[lvl] * busyCores
+	leak := c.leakPowerW(lvl, c.tempC)
 	power := dyn + leak + switchEnergy/dt
 
 	// First-order RC: dT/dt = (P·Rth + Tamb − T) / (Rth·Cth), integrated
 	// exactly over the period for the constant-power step.
-	tau := c.thermal.RthCPerW * c.thermal.CthJPerC
 	tInf := c.thermal.AmbientC + power*c.thermal.RthCPerW
-	c.tempC = tInf + (c.tempC-tInf)*math.Exp(-dt/tau)
+	c.tempC = tInf + (c.tempC-tInf)*c.decayFactor(dt)
 
 	return StepResult{
 		CompletedCycles: completed,
@@ -337,28 +367,46 @@ type ChipStep struct {
 }
 
 // Step advances every cluster by dt under the given per-cluster demands.
+// It allocates a fresh Clusters slice per call; hot loops should hold a
+// ChipStep and use StepInto instead.
 func (ch *Chip) Step(demands []Demand, dt float64) (ChipStep, error) {
-	if len(demands) != len(ch.clusters) {
-		return ChipStep{}, fmt.Errorf("soc: %d demands for %d clusters", len(demands), len(ch.clusters))
+	var out ChipStep
+	if err := ch.StepInto(&out, demands, dt); err != nil {
+		return ChipStep{}, err
 	}
-	out := ChipStep{Clusters: make([]StepResult, len(ch.clusters))}
+	return out, nil
+}
+
+// StepInto is Step writing into a caller-owned result: dst.Clusters is
+// reused when its capacity suffices, so a steady-state control loop that
+// keeps one ChipStep across periods performs no allocation per step. On
+// error dst is left unchanged apart from a possible Clusters resize.
+func (ch *Chip) StepInto(dst *ChipStep, demands []Demand, dt float64) error {
+	if len(demands) != len(ch.clusters) {
+		return fmt.Errorf("soc: %d demands for %d clusters", len(demands), len(ch.clusters))
+	}
+	if cap(dst.Clusters) >= len(ch.clusters) {
+		dst.Clusters = dst.Clusters[:len(ch.clusters)]
+	} else {
+		dst.Clusters = make([]StepResult, len(ch.clusters))
+	}
 	var utilSum float64
 	var clusterEnergy float64
 	for i, cl := range ch.clusters {
 		r, err := cl.Step(demands[i], dt)
 		if err != nil {
-			return ChipStep{}, err
+			return err
 		}
-		out.Clusters[i] = r
+		dst.Clusters[i] = r
 		utilSum += r.Utilization
 		clusterEnergy += r.EnergyJ
 	}
 	meanUtil := utilSum / float64(len(ch.clusters))
-	out.UncorePowerW = ch.uncoreIdleW + ch.uncoreBusyW*meanUtil
-	out.EnergyJ = clusterEnergy + out.UncorePowerW*dt
-	ch.totalEnergyJ += out.EnergyJ
+	dst.UncorePowerW = ch.uncoreIdleW + ch.uncoreBusyW*meanUtil
+	dst.EnergyJ = clusterEnergy + dst.UncorePowerW*dt
+	ch.totalEnergyJ += dst.EnergyJ
 	ch.totalTimeS += dt
-	return out, nil
+	return nil
 }
 
 // TotalEnergyJ returns the accumulated energy since construction/Reset.

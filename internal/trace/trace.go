@@ -77,6 +77,27 @@ func (r *Recorder) Record(t float64, vals map[string]float64) error {
 	return nil
 }
 
+// RecordRow appends one row at time t with vals given in registered column
+// order (the order passed to NewRecorder). It is the allocation-lean
+// counterpart of Record for hot loops: the caller keeps one reusable slice
+// and the Recorder copies it, so no map or per-column lookup is involved.
+func (r *Recorder) RecordRow(t float64, vals []float64) error {
+	if len(vals) != len(r.cols) {
+		return fmt.Errorf("trace: row has %d values for %d columns at t=%v", len(vals), len(r.cols), t)
+	}
+	row := make([]float64, len(vals))
+	copy(row, vals)
+	r.times = append(r.times, t)
+	r.samples = append(r.samples, row)
+	return nil
+}
+
+// ColumnIndex returns the position of col in the registered column order.
+func (r *Recorder) ColumnIndex(col string) (int, bool) {
+	i, ok := r.colIdx[col]
+	return i, ok
+}
+
 // Len returns the number of recorded rows.
 func (r *Recorder) Len() int { return len(r.times) }
 

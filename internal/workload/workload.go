@@ -25,6 +25,9 @@ import (
 type Period struct {
 	// Demands holds one entry per chip cluster (LITTLE first, then big for
 	// the default chip; a single merged entry for symmetric chips).
+	// Generators may reuse the backing array between Next calls, so
+	// callers that retain a Period past the next call must copy it (the
+	// replay recorder does).
 	Demands []soc.Demand
 	// Critical marks periods whose demand carries a user-visible deadline
 	// (frame rendering, shutter-to-shot); only these can register QoS
@@ -131,6 +134,21 @@ type generator struct {
 	phaseIdx  int
 	remainS   float64
 	phaseByNm map[string]int
+
+	// plans holds each phase's successor table (sorted names resolved to
+	// indices and weights), precomputed at New so a phase transition draws
+	// from the same distribution without rebuilding and re-sorting it.
+	plans []phasePlan
+
+	// demandBuf backs Period.Demands: each Next reuses it, so the steady
+	// state of the generator performs no allocation.
+	demandBuf [3]soc.Demand
+}
+
+// phasePlan is one phase's precomputed transition table.
+type phasePlan struct {
+	succIdx []int // successor phase indices, in sorted-name order
+	weights []float64
 }
 
 // New builds a Scenario from spec for a chip with the given number of
@@ -146,6 +164,25 @@ func New(spec Spec, clusters int, seed uint64) (Scenario, error) {
 	g := &generator{spec: spec, clusters: clusters, phaseByNm: map[string]int{}}
 	for i, p := range spec.Phases {
 		g.phaseByNm[p.Name] = i
+	}
+	g.plans = make([]phasePlan, len(spec.Phases))
+	for i, p := range spec.Phases {
+		if len(p.Next) == 0 {
+			continue
+		}
+		// Deterministic draw order: successors sorted by name, exactly as
+		// the previous per-transition rebuild did.
+		names := make([]string, 0, len(p.Next))
+		for n := range p.Next {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		plan := phasePlan{succIdx: make([]int, len(names)), weights: make([]float64, len(names))}
+		for j, n := range names {
+			plan.succIdx[j] = g.phaseByNm[n]
+			plan.weights[j] = p.Next[n]
+		}
+		g.plans[i] = plan
 	}
 	g.Reset(seed)
 	return g, nil
@@ -181,15 +218,17 @@ func (g *generator) Next(dtS float64) Period {
 	p := Period{Critical: phase.Critical, Phase: phase.Name}
 	switch g.clusters {
 	case 3:
-		p.Demands = []soc.Demand{little, big, g.draw(phase.GPU, dtS)}
+		g.demandBuf[0], g.demandBuf[1], g.demandBuf[2] = little, big, g.draw(phase.GPU, dtS)
+		p.Demands = g.demandBuf[:3]
 	case 2:
-		p.Demands = []soc.Demand{little, big}
+		g.demandBuf[0], g.demandBuf[1] = little, big
+		p.Demands = g.demandBuf[:2]
 	default:
-		merged := soc.Demand{
+		g.demandBuf[0] = soc.Demand{
 			Cycles:      little.Cycles + big.Cycles,
 			Parallelism: little.Parallelism + big.Parallelism,
 		}
-		p.Demands = []soc.Demand{merged}
+		p.Demands = g.demandBuf[:1]
 	}
 
 	// Advance phase clock and transition when it expires.
@@ -220,9 +259,9 @@ func (g *generator) draw(d DemandSpec, dtS float64) soc.Demand {
 }
 
 func (g *generator) transition() {
-	phase := g.spec.Phases[g.phaseIdx]
+	plan := g.plans[g.phaseIdx]
 	var next int
-	if len(phase.Next) == 0 {
+	if len(plan.succIdx) == 0 {
 		// Uniform over other phases (or self-loop for single-phase specs).
 		if len(g.spec.Phases) == 1 {
 			next = g.phaseIdx
@@ -233,17 +272,7 @@ func (g *generator) transition() {
 			}
 		}
 	} else {
-		// Deterministic iteration order: sort successor names.
-		names := make([]string, 0, len(phase.Next))
-		for n := range phase.Next {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		weights := make([]float64, len(names))
-		for i, n := range names {
-			weights[i] = phase.Next[n]
-		}
-		next = g.phaseByNm[names[g.r.Choice(weights)]]
+		next = plan.succIdx[g.r.Choice(plan.weights)]
 	}
 	g.phaseIdx = next
 	g.remainS = g.r.Exp(1 / g.spec.Phases[next].MeanDurS)
