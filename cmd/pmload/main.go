@@ -1,0 +1,157 @@
+// Command pmload drives a fleet of simulated devices against a pmserve
+// instance and reports decision throughput and latency quantiles.
+//
+// Two modes:
+//
+//   - -addr http://host:port targets a running pmserve (the CI smoke job);
+//   - without -addr it self-hosts: trains a policy, serves it on a loopback
+//     listener, and load-tests its own server — the one-command form of the
+//     `serve` experiment that produces BENCH_pr4.json.
+//
+// Usage:
+//
+//	pmload -devices 50 -duration 2s -out BENCH_pr4.json
+//	pmload -addr http://127.0.0.1:7421 -devices 1000 -duration 5s
+//
+// Exit status is non-zero when any device observed an error or when no
+// decisions were served — the acceptance gate the smoke job relies on.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rlpm/internal/bench"
+	"rlpm/internal/serve"
+)
+
+// report is the BENCH_pr4.json document.
+type report struct {
+	GeneratedAt string             `json:"generated_at"`
+	Mode        string             `json:"mode"`
+	Scenario    string             `json:"scenario"`
+	Runs        []bench.ServeResult `json:"runs"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "target server URL; empty self-hosts a freshly trained server")
+		devices  = flag.Int("devices", 50, "simulated device count")
+		duration = flag.Duration("duration", 2*time.Second, "load window")
+		scenario = flag.String("scenario", "gaming", "workload scenario each device runs")
+		seed     = flag.Uint64("seed", 1, "base seed for per-device workload/exploration streams")
+		epsilon  = flag.Float64("epsilon", 0, "per-session exploration rate")
+		backends = flag.String("backends", "sw", "self-hosted mode: comma-free backend list as repeated runs, 'sw', 'hw', or 'both'")
+		out      = flag.String("out", "", "write the JSON report here (e.g. BENCH_pr4.json)")
+		quick    = flag.Bool("quick", true, "self-hosted mode: quick training")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scenario:    *scenario,
+	}
+	var err error
+	if *addr != "" {
+		rep.Mode = "remote"
+		rep.Runs, err = runRemote(ctx, *addr, *devices, *duration, *scenario, *seed, *epsilon)
+	} else {
+		rep.Mode = "self-hosted"
+		rep.Runs, err = runSelfHosted(ctx, *backends, *devices, *duration, *scenario, *seed, *epsilon, *quick)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmload:", err)
+		os.Exit(1)
+	}
+
+	var decisions, errs uint64
+	for i := range rep.Runs {
+		rep.Runs[i].WriteText(os.Stdout)
+		decisions += rep.Runs[i].Report.Decisions
+		errs += rep.Runs[i].Report.Errors
+	}
+	if *out != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmload:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pmload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if decisions == 0 {
+		fmt.Fprintln(os.Stderr, "pmload: no decisions served")
+		os.Exit(1)
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "pmload: %d device errors\n", errs)
+		os.Exit(1)
+	}
+}
+
+// runRemote load-tests an already-running server.
+func runRemote(ctx context.Context, addr string, devices int, duration time.Duration, scenario string, seed uint64, epsilon float64) ([]bench.ServeResult, error) {
+	lr, err := serve.RunLoad(ctx, serve.LoadConfig{
+		BaseURL:  addr,
+		Devices:  devices,
+		Duration: duration,
+		Scenario: scenario,
+		Seed:     seed,
+		Epsilon:  epsilon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	backend := "remote"
+	if lr.Server != nil && lr.Server.Backend != "" {
+		backend = lr.Server.Backend
+	}
+	return []bench.ServeResult{{Backend: backend, Report: *lr}}, nil
+}
+
+// runSelfHosted trains, serves, and load-tests each requested backend in
+// turn — the HW-vs-SW serving A/B when "both" is asked for.
+func runSelfHosted(ctx context.Context, backends string, devices int, duration time.Duration, scenario string, seed uint64, epsilon float64, quick bool) ([]bench.ServeResult, error) {
+	var list []string
+	switch backends {
+	case "", "sw":
+		list = []string{"sw"}
+	case "hw":
+		list = []string{"hw"}
+	case "both":
+		list = []string{"sw", "hw"}
+	default:
+		return nil, fmt.Errorf("unknown -backends %q (want sw, hw, or both)", backends)
+	}
+	opt := bench.DefaultOptions()
+	opt.Quick = quick
+	opt.Seed = seed
+	var runs []bench.ServeResult
+	for _, b := range list {
+		r, err := bench.RunServe(ctx, bench.ServeOptions{
+			Options:  opt,
+			Devices:  devices,
+			Duration: duration,
+			Backend:  b,
+			Epsilon:  epsilon,
+			Scenario: scenario,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("backend %s: %w", b, err)
+		}
+		runs = append(runs, *r)
+	}
+	return runs, nil
+}

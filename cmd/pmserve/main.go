@@ -1,0 +1,205 @@
+// Command pmserve hosts a trained power-management policy as an HTTP/JSON
+// decision server: many per-device sessions, batched lookups against one
+// shared frozen Q-table set, and versioned/checksummed checkpointing.
+//
+// Startup resolves the model in this order:
+//
+//  1. -checkpoint <path> pointing at an existing file loads it (the file's
+//     recorded state configuration is authoritative);
+//  2. otherwise a fresh policy is trained on -scenario for -episodes
+//     episodes and, when -checkpoint is set, saved there.
+//
+// Usage:
+//
+//	pmserve                                  # train quickly, serve on :7421
+//	pmserve -checkpoint policy.ckpt          # load (or train+save) a checkpoint
+//	pmserve -backend hw                      # serve through the modeled accelerator
+//	pmserve -backend hw -fault-read-err 1e-3 # ...with injected bus faults
+//
+// Endpoints: POST /v1/sessions, POST /v1/sessions/{id}/decide,
+// POST /v1/sessions/{id}/reward, DELETE /v1/sessions/{id},
+// POST /v1/checkpoint, GET /metrics, GET /healthz.
+//
+// SIGINT/SIGTERM drain the listener and exit 0 — the clean-shutdown
+// contract the CI smoke job asserts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rlpm/internal/bench"
+	"rlpm/internal/core"
+	"rlpm/internal/fault"
+	"rlpm/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7421", "listen address")
+		checkpoint = flag.String("checkpoint", "", "checkpoint path: loaded when present, written by POST /v1/checkpoint (and after training)")
+		scenario   = flag.String("scenario", "gaming", "training scenario when no checkpoint is loaded")
+		episodes   = flag.Int("episodes", 0, "training episodes (0 = quick default)")
+		quick      = flag.Bool("quick", true, "train with the ~10x-shrunk quick settings")
+		backendFl  = flag.String("backend", "sw", "serving backend: sw (table walk) or hw (modeled accelerator)")
+		maxBatch   = flag.Int("batch", 256, "max lookups coalesced per backend call")
+		linger     = flag.Duration("linger", 0, "batch linger window (0 = opportunistic coalescing only)")
+		seed       = flag.Uint64("seed", 1, "training seed")
+
+		faultReadErr  = flag.Float64("fault-read-err", 0, "hw backend: injected bus read error rate")
+		faultWriteErr = flag.Float64("fault-write-err", 0, "hw backend: injected bus write error rate")
+		faultTimeout  = flag.Float64("fault-timeout", 0, "hw backend: injected device-wedge rate")
+		faultSeed     = flag.Uint64("fault-seed", 7, "hw backend: fault injection seed")
+	)
+	flag.Parse()
+
+	srv, err := buildServer(serverParams{
+		checkpoint: *checkpoint, scenario: *scenario, episodes: *episodes,
+		quick: *quick, backend: *backendFl, maxBatch: *maxBatch, linger: *linger,
+		seed: *seed, faultReadErr: *faultReadErr, faultWriteErr: *faultWriteErr,
+		faultTimeout: *faultTimeout, faultSeed: *faultSeed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmserve:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmserve:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "pmserve: serving %d clusters on http://%s (backend %s)\n",
+		srv.Model().Clusters(), ln.Addr(), *backendFl)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "pmserve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "pmserve: shutdown:", err)
+			os.Exit(1)
+		}
+		<-errCh
+	}
+	m := srv.MetricsSnapshot()
+	fmt.Fprintf(os.Stderr, "pmserve: served %d decisions (%d lookups, %d batches, mean occupancy %.1f) to %d sessions; exiting\n",
+		m.Decisions, m.LookupsServed, m.Batches, m.MeanBatchOccupancy, m.SessionsCreated)
+}
+
+type serverParams struct {
+	checkpoint, scenario, backend           string
+	episodes, maxBatch                      int
+	quick                                   bool
+	linger                                  time.Duration
+	seed, faultSeed                         uint64
+	faultReadErr, faultWriteErr, faultTimeout float64
+}
+
+// buildServer resolves the model (checkpoint or fresh training) and wires
+// the chosen backend.
+func buildServer(p serverParams) (*serve.Server, error) {
+	var model *serve.Model
+	if p.checkpoint != "" {
+		if _, err := os.Stat(p.checkpoint); err == nil {
+			m, err := serve.LoadModel(p.checkpoint, core.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			model = m
+			fmt.Fprintf(os.Stderr, "pmserve: loaded checkpoint %s\n", p.checkpoint)
+		}
+	}
+	if model == nil {
+		opt := bench.DefaultOptions()
+		opt.Quick = p.quick
+		opt.Seed = p.seed
+		if p.episodes > 0 {
+			opt.TrainEpisodes = p.episodes
+			opt.Quick = false
+		}
+		fmt.Fprintf(os.Stderr, "pmserve: training on %q (%d episodes, quick=%v)...\n", p.scenario, opt.TrainEpisodes, opt.Quick)
+		srv, err := bench.NewServeServer(bench.ServeOptions{
+			Options: opt, Scenario: p.scenario, Backend: p.backend,
+			MaxBatch: p.maxBatch, Linger: p.linger, CheckpointPath: p.checkpoint,
+			Fault: faultConfig(p),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if p.checkpoint != "" {
+			if n, err := serve.SaveCheckpoint(p.checkpoint, srv.Model().Snapshot()); err != nil {
+				srv.Close()
+				return nil, err
+			} else {
+				srv.MarkCheckpoint(time.Now())
+				fmt.Fprintf(os.Stderr, "pmserve: saved fresh checkpoint %s (%d bytes)\n", p.checkpoint, n)
+			}
+		}
+		return srv, nil
+	}
+
+	var backend serve.Backend
+	switch p.backend {
+	case "", "sw":
+		backend = serve.NewSWBackend(model)
+	case "hw":
+		hwCfg := serve.DefaultHWBackendConfig()
+		if fc := faultConfig(p); fc != nil {
+			inj, err := fault.NewInjector(*fc)
+			if err != nil {
+				return nil, err
+			}
+			hwCfg.Injector = inj
+		}
+		var err error
+		backend, err = serve.NewHWBackend(model, hwCfg)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown backend %q", p.backend)
+	}
+	srv, err := serve.New(model, backend, serve.Config{
+		MaxBatch: p.maxBatch, Linger: p.linger, CheckpointPath: p.checkpoint,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.MarkCheckpoint(time.Now())
+	return srv, nil
+}
+
+// faultConfig assembles the injector config from the fault flags; nil when
+// every rate is zero.
+func faultConfig(p serverParams) *fault.Config {
+	if p.faultReadErr == 0 && p.faultWriteErr == 0 && p.faultTimeout == 0 {
+		return nil
+	}
+	return &fault.Config{
+		Seed:           p.faultSeed,
+		ReadErrorRate:  p.faultReadErr,
+		WriteErrorRate: p.faultWriteErr,
+		TimeoutRate:    p.faultTimeout,
+	}
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"rlpm/internal/fault"
+	"rlpm/internal/serve"
+)
+
+// ServeOptions parameterizes the `serve` experiment: train a policy, host
+// it behind cmd/pmserve's HTTP stack on a loopback listener, and drive it
+// with a fleet of simulated devices, reporting decision latency and
+// throughput. Unlike the table/figure experiments this one measures
+// wall-clock behaviour of a concurrent server, so it is reported through
+// BENCH_pr4.json (cmd/pmload, `make bench-serve`) rather than the
+// deterministic golden registry.
+type ServeOptions struct {
+	Options
+	// Devices is the simulated fleet size.
+	Devices int
+	// Duration is the wall-clock load window.
+	Duration time.Duration
+	// Backend selects the serving arm of the A/B: "sw" (in-memory table
+	// walk) or "hw" (modeled accelerator behind the MMIO driver).
+	Backend string
+	// MaxBatch and Linger tune the server's lookup coalescing.
+	MaxBatch int
+	Linger   time.Duration
+	// Epsilon is the per-session exploration rate devices request.
+	Epsilon float64
+	// Scenario is the workload every device runs (default "gaming").
+	Scenario string
+	// Fault optionally wraps the hw backend with the PR-2 injector so the
+	// retry/degradation path serves under load.
+	Fault *fault.Config
+	// CheckpointPath, when set, is where the hosted server persists its
+	// model on POST /v1/checkpoint.
+	CheckpointPath string
+}
+
+// ServeResult is the load report plus the server-side metrics snapshot.
+type ServeResult struct {
+	Backend string           `json:"backend"`
+	Report  serve.LoadReport `json:"report"`
+}
+
+// WriteText implements Renderable for ad-hoc printing.
+func (r *ServeResult) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "serve: backend=%s devices=%d decisions=%d errors=%d %.0f dec/s p50=%.0fns p99=%.0fns\n",
+		r.Backend, r.Report.Devices, r.Report.Decisions, r.Report.Errors,
+		r.Report.DecisionsPerSec, r.Report.LatencyNs.P50, r.Report.LatencyNs.P99)
+}
+
+// NewServeServer trains a policy on opt's settings and assembles a
+// serve.Server around it — the exact construction cmd/pmserve performs,
+// shared so the experiment, the smoke tests, and the self-hosted load
+// generator measure the same stack.
+func NewServeServer(o ServeOptions) (*serve.Server, error) {
+	opt := o.Options.normalized()
+	scen := o.Scenario
+	if scen == "" {
+		scen = "gaming"
+	}
+	p, err := trainedPolicy(scen, opt, coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	model, err := serve.ModelFromPolicy(p, coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	var backend serve.Backend
+	switch o.Backend {
+	case "", "sw":
+		backend = serve.NewSWBackend(model)
+	case "hw":
+		hwCfg := serve.DefaultHWBackendConfig()
+		if o.Fault != nil {
+			inj, err := fault.NewInjector(*o.Fault)
+			if err != nil {
+				return nil, err
+			}
+			hwCfg.Injector = inj
+		}
+		backend, err = serve.NewHWBackend(model, hwCfg)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown serve backend %q", o.Backend)
+	}
+	return serve.New(model, backend, serve.Config{
+		MaxBatch:       o.MaxBatch,
+		Linger:         o.Linger,
+		CheckpointPath: o.CheckpointPath,
+	})
+}
+
+// RunServe hosts a freshly trained server on a loopback listener and runs
+// the load generator against it — the self-contained form of the serve
+// experiment.
+func RunServe(ctx context.Context, o ServeOptions) (*ServeResult, error) {
+	if o.Devices == 0 {
+		o.Devices = 50
+	}
+	if o.Duration == 0 {
+		o.Duration = 2 * time.Second
+	}
+	srv, err := NewServeServer(o)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	defer func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shCtx)
+		<-done
+	}()
+
+	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
+		BaseURL:  "http://" + ln.Addr().String(),
+		Devices:  o.Devices,
+		Duration: o.Duration,
+		Scenario: o.Scenario,
+		Seed:     o.Seed,
+		Epsilon:  o.Epsilon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	backend := o.Backend
+	if backend == "" {
+		backend = "sw"
+	}
+	return &ServeResult{Backend: backend, Report: *rep}, nil
+}

@@ -1,0 +1,107 @@
+package qos
+
+import (
+	"math"
+	"testing"
+)
+
+// Single-sample edge cases: a tracker that saw exactly one period must
+// report that period, not an aggregate artifact.
+func TestTrackerSinglePeriod(t *testing.T) {
+	var tr Tracker
+	q := tr.Record(10, 8, 0.5, false)
+	if q != 0.8 {
+		t.Fatalf("service ratio %v, want 0.8", q)
+	}
+	s := tr.Summary()
+	if s.Periods != 1 || s.MeanService != 0.8 || s.MeanQoS != 0.8 || s.MinQoS != 0.8 {
+		t.Fatalf("single-period summary %+v", s)
+	}
+	if s.EnergyPerQoS != 0.5/0.8 {
+		t.Fatalf("energy per QoS %v, want %v", s.EnergyPerQoS, 0.5/0.8)
+	}
+}
+
+func TestTrackerSingleViolatedPeriod(t *testing.T) {
+	var tr Tracker
+	tr.Record(10, 1, 2.0, true) // q=0.1 < 0.95: violated critical period
+	s := tr.Summary()
+	if s.Violations != 1 || s.ViolationRate != 1 {
+		t.Fatalf("summary %+v, want one violation at rate 1", s)
+	}
+	if s.TotalQoS != 0 || s.MeanQoS != 0 {
+		t.Fatalf("violated period leaked useful QoS: %+v", s)
+	}
+	if !math.IsInf(s.EnergyPerQoS, 1) {
+		t.Fatalf("energy with zero useful QoS should be +Inf J/QoS, got %v", s.EnergyPerQoS)
+	}
+	if s.MinQoS != 0.1 {
+		t.Fatalf("min raw service ratio %v, want 0.1", s.MinQoS)
+	}
+}
+
+// The violation comparison is strict: exactly meeting the threshold is not
+// a violation.
+func TestThresholdBoundaryIsNotViolation(t *testing.T) {
+	tr, err := NewTracker(0.9)
+	if err != nil {
+		t.Fatalf("NewTracker: %v", err)
+	}
+	tr.Record(100, 90, 1, true) // q = 0.9 == threshold
+	if s := tr.Summary(); s.Violations != 0 {
+		t.Fatalf("q == threshold counted as a violation: %+v", s)
+	}
+	tr.Record(100, 89.999, 1, true) // just below
+	if s := tr.Summary(); s.Violations != 1 {
+		t.Fatalf("q just below threshold not counted: %+v", s)
+	}
+}
+
+// Zero-demand periods are fully satisfied by definition — even critical
+// ones, even with zero completed work.
+func TestZeroDemandPeriods(t *testing.T) {
+	var tr Tracker
+	if q := tr.Record(0, 0, 0, true); q != 1 {
+		t.Fatalf("idle critical period scored %v, want 1", q)
+	}
+	if q := tr.Record(0, 123, 0, false); q != 1 {
+		t.Fatalf("spurious completion with no demand scored %v, want 1", q)
+	}
+	s := tr.Summary()
+	if s.Violations != 0 || s.TotalQoS != 2 || s.MinQoS != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+// Over-completion is capped: finishing more than demanded is full service,
+// not bonus QoS that could mask violations elsewhere.
+func TestOverCompletionCapped(t *testing.T) {
+	var tr Tracker
+	tr.Record(10, 25, 1, false)
+	tr.Record(10, 0, 1, false)
+	s := tr.Summary()
+	if s.TotalQoS != 1 {
+		t.Fatalf("total useful QoS %v, want 1 (capped 1 + 0)", s.TotalQoS)
+	}
+	if s.MeanService != 0.5 {
+		t.Fatalf("mean service %v, want 0.5", s.MeanService)
+	}
+}
+
+func TestResetClearsSinglePeriodState(t *testing.T) {
+	tr, err := NewTracker(0.5)
+	if err != nil {
+		t.Fatalf("NewTracker: %v", err)
+	}
+	tr.Record(10, 1, 5, true)
+	tr.Reset()
+	s := tr.Summary()
+	if s.Periods != 0 || s.Violations != 0 || s.TotalEnergyJ != 0 || s.MinQoS != 0 {
+		t.Fatalf("summary after reset %+v", s)
+	}
+	// Threshold survives the reset.
+	tr.Record(10, 4, 1, true) // q=0.4 < 0.5
+	if s := tr.Summary(); s.Violations != 1 {
+		t.Fatalf("threshold lost across Reset: %+v", s)
+	}
+}

@@ -1,0 +1,87 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"rlpm/internal/soc"
+)
+
+// Empty-trace edge cases: a trace with no periods must be rejected at every
+// boundary — validation, serialization, playback, and parsing.
+func TestEmptyTraceRejectedEverywhere(t *testing.T) {
+	empty := &Trace{Name: "empty", Clusters: 1}
+	if err := empty.Validate(); err == nil {
+		t.Error("Validate accepted a trace with no periods")
+	}
+	var sb strings.Builder
+	if err := empty.WriteCSV(&sb); err == nil {
+		t.Error("WriteCSV serialized a trace with no periods")
+	}
+	if _, err := empty.Scenario(); err == nil {
+		t.Error("Scenario built a playback over no periods")
+	}
+}
+
+func TestReadCSVEmptyInputs(t *testing.T) {
+	cases := map[string]string{
+		"zero bytes":       "",
+		"header only":      "# name=x clusters=1\n",
+		"no data rows":     "# name=x clusters=1\ncritical,phase,cycles0,par0\n",
+		"only blank lines": "# name=x clusters=1\ncritical,phase,cycles0,par0\n\n\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ReadCSV accepted input with no periods", name)
+		}
+	}
+}
+
+func TestSinglePeriodTrace(t *testing.T) {
+	tr := &Trace{
+		Name:     "one",
+		Clusters: 2,
+		Periods: []Period{{
+			Demands:  []soc.Demand{{Cycles: 1e6, Parallelism: 1}, {Cycles: 0, Parallelism: 0}},
+			Critical: true,
+			Phase:    "burst",
+		}},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(back.Periods) != 1 || back.Clusters != 2 {
+		t.Fatalf("round trip produced %d periods, %d clusters", len(back.Periods), back.Clusters)
+	}
+
+	// A one-period trace loops that period forever.
+	scen, err := tr.Scenario()
+	if err != nil {
+		t.Fatalf("Scenario: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		p := scen.Next(0.05)
+		if !p.Critical || p.Phase != "burst" || p.Demands[0].Cycles != 1e6 {
+			t.Fatalf("loop iteration %d replayed %+v", i, p)
+		}
+	}
+}
+
+func TestReadCSVRejectsNegativeDemand(t *testing.T) {
+	input := "# name=x clusters=1\ncritical,phase,cycles0,par0\n0,p,-5,1\n"
+	if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+		t.Fatal("negative cycles passed validation")
+	}
+	input = "# name=x clusters=1\ncritical,phase,cycles0,par0\n0,p,5,0\n"
+	if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+		t.Fatal("cycles with zero parallelism passed validation")
+	}
+}

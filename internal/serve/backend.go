@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"rlpm/internal/bus"
+	"rlpm/internal/fault"
+	"rlpm/internal/hwpolicy"
+)
+
+// Lookup is one greedy Q-table query: which cluster's table, which state.
+type Lookup struct {
+	Cluster int
+	State   int
+}
+
+// Backend resolves batches of greedy lookups against the frozen policy.
+// Decide is only ever called from the server's single batch worker, so
+// implementations need no internal synchronization on the decision path
+// (metrics counters read by /metrics still use atomics).
+type Backend interface {
+	Name() string
+	// Decide writes the greedy action for lookups[i] into out[i];
+	// len(out) == len(lookups).
+	Decide(lookups []Lookup, out []int) error
+}
+
+// SWBackend serves lookups by walking the in-memory float64 tables — the
+// software arm of the HW-vs-SW serving A/B.
+type SWBackend struct {
+	m *Model
+}
+
+// NewSWBackend builds the software backend over model.
+func NewSWBackend(m *Model) *SWBackend { return &SWBackend{m: m} }
+
+// Name implements Backend.
+func (*SWBackend) Name() string { return "sw" }
+
+// Decide implements Backend. It cannot fail: the session layer validates
+// cluster/state ranges before queueing.
+func (b *SWBackend) Decide(lookups []Lookup, out []int) error {
+	for i, l := range lookups {
+		out[i] = b.m.Greedy(l.Cluster, l.State)
+	}
+	return nil
+}
+
+// HWBackendConfig parameterizes the hardware serving backend.
+type HWBackendConfig struct {
+	// Bus is the interconnect timing. Set WatchdogCycles when injecting
+	// wedges, or a stuck device stalls serving for its full busy time.
+	Bus bus.Config
+	// Banks is the accelerator BRAM banking.
+	Banks int
+	// Retries is how many times a failed decision transaction is retried
+	// (after a bus recovery pulse and doubling backoff) before the lookup
+	// degrades to the software table walk.
+	Retries int
+	// BackoffCycles is the bus-clock idle before the first retry.
+	BackoffCycles uint64
+	// Injector, when non-nil, wraps every accelerator with the fault
+	// injector so serving exercises the retry/degradation path.
+	Injector *fault.Injector
+}
+
+// DefaultHWBackendConfig mirrors hwpolicy's resilient deployment defaults.
+func DefaultHWBackendConfig() HWBackendConfig {
+	busCfg := bus.DefaultConfig()
+	busCfg.WatchdogCycles = 4096
+	return HWBackendConfig{
+		Bus:           busCfg,
+		Banks:         hwpolicy.DefaultParams().Banks,
+		Retries:       2,
+		BackoffCycles: 64,
+	}
+}
+
+// HWBackend serves lookups through the modeled accelerator: one inference-
+// mode channel per cluster behind an MMIO driver, the serving counterpart
+// of hwpolicy/batch.go's multi-channel design. Every transaction is
+// retried with recovery/backoff on failure and degrades to the shared
+// software tables when the hardware stays faulty, so an injected fault
+// costs accuracy of the latency model, never availability.
+type HWBackend struct {
+	cfg     HWBackendConfig
+	sw      *SWBackend // degradation target
+	drivers []*hwpolicy.Driver
+
+	decisions atomic.Uint64
+	retries   atomic.Uint64
+	degraded  atomic.Uint64
+	busLatNs  atomic.Int64
+}
+
+// NewHWBackend uploads the model's tables into per-cluster accelerators.
+// An upload that keeps failing under injected faults leaves that cluster's
+// driver nil: its lookups serve from software, counted as degraded.
+func NewHWBackend(m *Model, cfg HWBackendConfig) (*HWBackend, error) {
+	if err := cfg.Bus.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Banks < 1 {
+		return nil, fmt.Errorf("serve: need at least one BRAM bank")
+	}
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("serve: negative retry count %d", cfg.Retries)
+	}
+	b := &HWBackend{cfg: cfg, sw: NewSWBackend(m)}
+	b.drivers = make([]*hwpolicy.Driver, len(m.levels))
+	mc := m.Config()
+	for c, levels := range m.levels {
+		p := hwpolicy.Params{
+			NumStates:  mc.State.States(levels),
+			NumActions: levels,
+			Banks:      cfg.Banks,
+			LFSRSeed:   uint16(0xACE1 + 2*c + 1),
+		}
+		accel, err := hwpolicy.New(p)
+		if err != nil {
+			return nil, fmt.Errorf("serve: sizing accelerator for cluster %d: %w", c, err)
+		}
+		var dev bus.Device = accel
+		if cfg.Injector != nil {
+			dev = fault.NewDevice(accel, accel, cfg.Injector)
+		}
+		d, err := hwpolicy.NewDriverDevice(cfg.Bus, accel, dev)
+		if err != nil {
+			return nil, fmt.Errorf("serve: wiring driver for cluster %d: %w", c, err)
+		}
+		// Inference mode: no learning, no hardware exploration —
+		// device-local ε lives in the session layer.
+		if err := b.retrying(d, func() error { return d.Configure(mc.Alpha, mc.Gamma, 0, false) }); err != nil {
+			b.degraded.Add(1)
+			continue // serve this cluster from software
+		}
+		if err := b.retrying(d, func() error { return d.UploadTable(m.tables[c]) }); err != nil {
+			b.degraded.Add(1)
+			continue
+		}
+		b.drivers[c] = d
+	}
+	return b, nil
+}
+
+// Name implements Backend.
+func (*HWBackend) Name() string { return "hw" }
+
+// Decide implements Backend: one MMIO decision transaction per lookup,
+// with retry/backoff and software degradation.
+func (b *HWBackend) Decide(lookups []Lookup, out []int) error {
+	for i, l := range lookups {
+		var d *hwpolicy.Driver
+		if l.Cluster < len(b.drivers) {
+			d = b.drivers[l.Cluster]
+		}
+		if d == nil {
+			out[i] = b.sw.m.Greedy(l.Cluster, l.State)
+			b.degraded.Add(1)
+			continue
+		}
+		var action int
+		var lat time.Duration
+		err := b.retrying(d, func() error {
+			a, l2, e := d.Step(l.State, 0)
+			if e != nil {
+				return e
+			}
+			action, lat = a, l2
+			return nil
+		})
+		if err != nil || action < 0 || action >= b.sw.m.levels[l.Cluster] {
+			// Transaction failed all retries, or a fault corrupted the
+			// action read: the shared software tables answer instead.
+			out[i] = b.sw.m.Greedy(l.Cluster, l.State)
+			b.degraded.Add(1)
+			continue
+		}
+		out[i] = action
+		b.decisions.Add(1)
+		b.busLatNs.Add(lat.Nanoseconds())
+	}
+	return nil
+}
+
+// retrying runs op with the recovery/backoff discipline hwpolicy.Resilient
+// uses: recovery pulse, doubling idle, bounded attempts.
+func (b *HWBackend) retrying(d *hwpolicy.Driver, op func() error) error {
+	var err error
+	for attempt := 0; attempt <= b.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			b.retries.Add(1)
+			d.Bus().Recover()
+			d.Bus().Idle(b.cfg.BackoffCycles << uint(attempt-1))
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	d.Bus().Recover()
+	return err
+}
+
+func (b *HWBackend) statsSnapshot() *HWStats {
+	st := &HWStats{
+		Decisions: b.decisions.Load(),
+		Retries:   b.retries.Load(),
+		Degraded:  b.degraded.Load(),
+	}
+	if st.Decisions > 0 {
+		st.MeanLatNs = float64(b.busLatNs.Load()) / float64(st.Decisions)
+	}
+	return st
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// batchReq is one session's exploitation lookups awaiting a shared batch.
+type batchReq struct {
+	lookups []Lookup
+	out     []int
+	done    chan error
+}
+
+// batcher coalesces concurrent decide requests into batched backend calls,
+// the software mirror of hwpolicy's multi-channel doorbell: many waiters,
+// one conversation with the expensive resource. A single worker goroutine
+// owns the backend, so backends need no internal locking.
+type batcher struct {
+	backend   Backend
+	ch        chan *batchReq
+	maxBatch  int           // max lookups per backend call
+	linger    time.Duration // wait for co-travellers after the first arrival
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closeMu   sync.RWMutex
+	closed    bool
+
+	batches atomic.Uint64
+	lookups atomic.Uint64
+	maxOcc  atomic.Uint64
+}
+
+func newBatcher(backend Backend, maxBatch int, linger time.Duration) *batcher {
+	b := &batcher{
+		backend:  backend,
+		ch:       make(chan *batchReq, 4*maxBatch),
+		maxBatch: maxBatch,
+		linger:   linger,
+		quit:     make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// Do submits lookups and blocks until the worker has resolved them into
+// out. Safe for concurrent use.
+func (b *batcher) Do(lookups []Lookup, out []int) error {
+	req := &batchReq{lookups: lookups, out: out, done: make(chan error, 1)}
+	// The read lock is held across the channel send: Close flips closed
+	// under the write lock, so once Close proceeds no sender can be
+	// mid-send and the worker's final drain empties the channel for good.
+	b.closeMu.RLock()
+	if b.closed {
+		b.closeMu.RUnlock()
+		return ErrServerClosed
+	}
+	b.ch <- req
+	b.closeMu.RUnlock()
+	return <-req.done
+}
+
+// Close stops the worker; queued requests fail with ErrServerClosed.
+func (b *batcher) Close() {
+	b.closeMu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.quit)
+	}
+	b.closeMu.Unlock()
+	b.wg.Wait()
+}
+
+func (b *batcher) stats() (batches, lookups, maxOcc uint64) {
+	return b.batches.Load(), b.lookups.Load(), b.maxOcc.Load()
+}
+
+func (b *batcher) run() {
+	defer b.wg.Done()
+	var (
+		reqs    []*batchReq
+		flat    []Lookup
+		actions []int
+		held    *batchReq // accepted off the channel but over this batch's cap
+	)
+	for {
+		var first *batchReq
+		if held != nil {
+			first, held = held, nil
+		} else {
+			select {
+			case first = <-b.ch:
+			case <-b.quit:
+				b.drain()
+				return
+			}
+		}
+		reqs = append(reqs[:0], first)
+		total := len(first.lookups)
+
+		// accept admits r to the current batch unless its lookups would
+		// push the batch past the cap; an overflowing request is held back
+		// as the seed of the next batch (requests are indivisible — one
+		// session's lookups never split across backend calls).
+		accept := func(r *batchReq) bool {
+			if total+len(r.lookups) > b.maxBatch {
+				held = r
+				return false
+			}
+			reqs = append(reqs, r)
+			total += len(r.lookups)
+			return true
+		}
+
+		// Linger phase: wait a bounded time for co-travellers so light
+		// load can still amortize a batch. Skipped when linger is 0.
+		if b.linger > 0 && total < b.maxBatch {
+			deadline := time.NewTimer(b.linger)
+		lingering:
+			for total < b.maxBatch {
+				select {
+				case r := <-b.ch:
+					if !accept(r) {
+						break lingering
+					}
+				case <-deadline.C:
+					break lingering
+				case <-b.quit:
+					break lingering
+				}
+			}
+			deadline.Stop()
+		}
+		// Opportunistic phase: grab whatever is already queued, up to the
+		// cap, without waiting.
+	grabbing:
+		for held == nil && total < b.maxBatch {
+			select {
+			case r := <-b.ch:
+				if !accept(r) {
+					break grabbing
+				}
+			default:
+				break grabbing
+			}
+		}
+
+		flat = flat[:0]
+		for _, r := range reqs {
+			flat = append(flat, r.lookups...)
+		}
+		if cap(actions) < len(flat) {
+			actions = make([]int, len(flat))
+		}
+		actions = actions[:len(flat)]
+		err := b.backend.Decide(flat, actions)
+		off := 0
+		for _, r := range reqs {
+			if err == nil {
+				copy(r.out, actions[off:off+len(r.lookups)])
+			}
+			off += len(r.lookups)
+			r.done <- err
+		}
+		b.batches.Add(1)
+		b.lookups.Add(uint64(total))
+		if occ := uint64(total); occ > b.maxOcc.Load() {
+			b.maxOcc.Store(occ)
+		}
+	}
+}
+
+// drain fails everything still queued at shutdown. Safe because Close
+// guarantees no sender is mid-send once quit is closed.
+func (b *batcher) drain() {
+	for {
+		select {
+		case r := <-b.ch:
+			r.done <- ErrServerClosed
+		default:
+			return
+		}
+	}
+}

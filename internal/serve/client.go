@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the Go client for a pmserve instance — the library cmd/pmload,
+// the load generator, and the tests drive the server through, so every
+// consumer exercises the same wire path a real device agent would.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://127.0.0.1:7421").
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// do issues one JSON request and decodes the JSON answer into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Healthz checks server liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	var h HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return err
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("serve: health status %q", h.Status)
+	}
+	return nil
+}
+
+// WaitHealthy polls /healthz until the server answers or the deadline
+// passes — the startup barrier load tests use instead of sleeps.
+func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		if last = c.Healthz(ctx); last == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return fmt.Errorf("serve: server not healthy after %v: %w", timeout, last)
+}
+
+// Metrics fetches the server's observable state.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// SaveCheckpoint asks the server to persist its model.
+func (c *Client) SaveCheckpoint(ctx context.Context) (CheckpointResponse, error) {
+	var cr CheckpointResponse
+	err := c.do(ctx, http.MethodPost, "/v1/checkpoint", nil, &cr)
+	return cr, err
+}
+
+// RemoteSession is a device session held over the wire.
+type RemoteSession struct {
+	c *Client
+	// ID is the server-assigned session identifier.
+	ID string
+	// Clusters and NumLevels describe the served chip.
+	Clusters  int
+	NumLevels []int
+}
+
+// CreateSession opens a device session.
+func (c *Client) CreateSession(ctx context.Context, opts SessionOptions) (*RemoteSession, error) {
+	var resp CreateSessionResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", opts, &resp); err != nil {
+		return nil, err
+	}
+	return &RemoteSession{c: c, ID: resp.ID, Clusters: resp.Clusters, NumLevels: resp.NumLevels}, nil
+}
+
+// Decide serves one control period.
+func (s *RemoteSession) Decide(ctx context.Context, obs []Observation) ([]int, error) {
+	var resp DecideResponse
+	if err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+s.ID+"/decide", DecideRequest{Observations: obs}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Levels, nil
+}
+
+// Reward reports a device-computed reward.
+func (s *RemoteSession) Reward(ctx context.Context, r float64) (SessionStats, error) {
+	var st SessionStats
+	err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+s.ID+"/reward", RewardRequest{Reward: r}, &st)
+	return st, err
+}
+
+// Close ends the session and returns its final ledger.
+func (s *RemoteSession) Close(ctx context.Context) (SessionStats, error) {
+	var st SessionStats
+	err := s.c.do(ctx, http.MethodDelete, "/v1/sessions/"+s.ID, nil, &st)
+	return st, err
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Wire types shared by the handlers and the Go client.
+
+// CreateSessionResponse answers POST /v1/sessions.
+type CreateSessionResponse struct {
+	ID        string `json:"id"`
+	Clusters  int    `json:"clusters"`
+	NumLevels []int  `json:"num_levels"`
+}
+
+// DecideRequest carries one control period's observations.
+type DecideRequest struct {
+	Observations []Observation `json:"observations"`
+}
+
+// DecideResponse carries the chosen OPP level per cluster.
+type DecideResponse struct {
+	Levels []int `json:"levels"`
+}
+
+// RewardRequest reports a device-computed reward.
+type RewardRequest struct {
+	Reward float64 `json:"reward"`
+}
+
+// CheckpointResponse answers POST /v1/checkpoint.
+type CheckpointResponse struct {
+	Path    string `json:"path"`
+	Bytes   int64  `json:"bytes"`
+	SavedAt string `json:"saved_at"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status  string  `json:"status"`
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/sessions              create a device session
+//	POST   /v1/sessions/{id}/decide  serve one control period's decision
+//	POST   /v1/sessions/{id}/reward  record a device-reported reward
+//	DELETE /v1/sessions/{id}         close the session, return its ledger
+//	POST   /v1/checkpoint            persist the model to the configured path
+//	GET    /metrics                  observable server state (JSON)
+//	GET    /healthz                  liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/decide", s.handleDecide)
+	mux.HandleFunc("POST /v1/sessions/{id}/reward", s.handleReward)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNoSession):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrSessionClosed):
+		status = http.StatusGone
+	case errors.Is(err, ErrServerClosed):
+		status = http.StatusServiceUnavailable
+	}
+	s.httpErrors.Add(1)
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) writeBadRequest(w http.ResponseWriter, err error) {
+	s.httpErrors.Add(1)
+	s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var opts SessionOptions
+	if err := decodeBody(r, &opts); err != nil {
+		s.writeBadRequest(w, err)
+		return
+	}
+	sess, err := s.CreateSession(opts)
+	if err != nil {
+		if errors.Is(err, ErrServerClosed) {
+			s.writeError(w, err)
+		} else {
+			s.writeBadRequest(w, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, CreateSessionResponse{
+		ID:        sess.ID(),
+		Clusters:  s.model.Clusters(),
+		NumLevels: s.model.NumLevels(),
+	})
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Session(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req DecideRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeBadRequest(w, err)
+		return
+	}
+	levels, err := sess.Decide(req.Observations)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrServerClosed):
+			s.writeError(w, err)
+		default:
+			s.writeBadRequest(w, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, DecideResponse{Levels: levels})
+}
+
+func (s *Server) handleReward(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Session(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req RewardRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeBadRequest(w, err)
+		return
+	}
+	st, err := sess.Reward(req.Reward)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	st, err := s.CloseSession(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.CheckpointPath == "" {
+		s.writeError(w, fmt.Errorf("serve: no checkpoint path configured"))
+		return
+	}
+	n, err := SaveCheckpoint(s.cfg.CheckpointPath, s.model.Snapshot())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	now := time.Now()
+	s.MarkCheckpoint(now)
+	s.writeJSON(w, http.StatusOK, CheckpointResponse{
+		Path:    s.cfg.CheckpointPath,
+		Bytes:   n,
+		SavedAt: now.UTC().Format(time.RFC3339),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", UptimeS: time.Since(s.start).Seconds()})
+}
+
+// decodeBody parses a JSON request body into v. An absent body decodes to
+// the zero value (create-session with defaults); malformed JSON errors.
+func decodeBody(r *http.Request, v any) error {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil || errors.Is(err, io.EOF) {
+		return nil
+	}
+	return fmt.Errorf("serve: bad request body: %w", err)
+}

@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rlpm/internal/qos"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+// LoadConfig parameterizes a load-generation run: N simulated devices,
+// each running its own chip model and workload scenario locally and asking
+// the server for every OPP decision — the fleet-shaped traffic the serving
+// subsystem exists for.
+type LoadConfig struct {
+	// BaseURL targets the server (e.g. "http://127.0.0.1:7421").
+	BaseURL string
+	// Devices is the concurrent device count.
+	Devices int
+	// Duration is the wall-clock run length.
+	Duration time.Duration
+	// PeriodS is each device's simulated DVFS control period (default 50 ms
+	// of simulated time; the wire round trip is what's actually measured).
+	PeriodS float64
+	// Scenario is the workload every device runs (default "gaming");
+	// per-device seeds decorrelate the demand streams.
+	Scenario string
+	// Seed derives per-device scenario and exploration seeds.
+	Seed uint64
+	// Epsilon is the per-session exploration rate (default 0: greedy).
+	Epsilon float64
+	// RewardEvery posts a device-computed reward every that many periods;
+	// 0 disables reward traffic (default 50).
+	RewardEvery int
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.PeriodS == 0 {
+		c.PeriodS = 0.05
+	}
+	if c.Scenario == "" {
+		c.Scenario = "gaming"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RewardEvery == 0 {
+		c.RewardEvery = 50
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c LoadConfig) Validate() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("serve: load config needs a base URL")
+	}
+	if c.Devices < 1 {
+		return fmt.Errorf("serve: need at least one device, got %d", c.Devices)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("serve: non-positive duration %v", c.Duration)
+	}
+	if c.PeriodS < 0 || c.Epsilon < 0 || c.Epsilon > 1 {
+		return fmt.Errorf("serve: bad period %v or epsilon %v", c.PeriodS, c.Epsilon)
+	}
+	return nil
+}
+
+// LatencyQuantiles summarizes client-observed decision latency in
+// nanoseconds.
+type LatencyQuantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// LoadReport is the outcome of a load run.
+type LoadReport struct {
+	Devices         int              `json:"devices"`
+	DurationS       float64          `json:"duration_s"`
+	Decisions       uint64           `json:"decisions"`
+	Errors          uint64           `json:"errors"`
+	DecisionsPerSec float64          `json:"decisions_per_sec"`
+	LatencyNs       LatencyQuantiles `json:"latency_ns"`
+	// Server is the target's /metrics snapshot taken after the run.
+	Server *Metrics `json:"server,omitempty"`
+}
+
+// deviceStats is one device goroutine's ledger.
+type deviceStats struct {
+	decisions uint64
+	errors    uint64
+	latencies []int64
+}
+
+// RunLoad drives cfg.Devices simulated devices against the server until
+// cfg.Duration elapses, then closes every session and reports aggregate
+// throughput and latency quantiles. It first waits for the server to pass
+// /healthz, so callers can start server and load generator concurrently.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := workload.ByName(cfg.Scenario); err != nil {
+		return nil, err
+	}
+	client := NewClient(cfg.BaseURL)
+	if err := client.WaitHealthy(ctx, 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	stats := make([]deviceStats, cfg.Devices)
+	var wg sync.WaitGroup
+	for d := 0; d < cfg.Devices; d++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			stats[idx] = runDevice(ctx, client, cfg, idx, deadline)
+		}(d)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{Devices: cfg.Devices, DurationS: elapsed.Seconds()}
+	var all []int64
+	for _, st := range stats {
+		rep.Decisions += st.decisions
+		rep.Errors += st.errors
+		all = append(all, st.latencies...)
+	}
+	if elapsed > 0 {
+		rep.DecisionsPerSec = float64(rep.Decisions) / elapsed.Seconds()
+	}
+	rep.LatencyNs = quantiles(all)
+	if m, err := client.Metrics(ctx); err == nil {
+		rep.Server = &m
+	}
+	return rep, nil
+}
+
+// runDevice is one simulated device's life: local chip + scenario, every
+// control period's decision fetched from the server, periodic reward
+// reports, session closed at the end. Errors abort the device and are
+// counted; they never panic the fleet.
+func runDevice(ctx context.Context, client *Client, cfg LoadConfig, idx int, deadline time.Time) deviceStats {
+	var st deviceStats
+	fail := func(error) deviceStats { st.errors++; return st }
+
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		return fail(err)
+	}
+	spec, err := workload.ByName(cfg.Scenario)
+	if err != nil {
+		return fail(err)
+	}
+	seed := cfg.Seed + uint64(idx)*0x9e3779b9
+	scen, err := workload.New(spec, chip.NumClusters(), seed)
+	if err != nil {
+		return fail(err)
+	}
+	chip.Reset()
+	scen.Reset(seed)
+
+	sess, err := client.CreateSession(ctx, SessionOptions{Epsilon: cfg.Epsilon, Seed: seed})
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		closeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if _, err := sess.Close(closeCtx); err != nil {
+			st.errors++
+		}
+	}()
+	if sess.Clusters != chip.NumClusters() {
+		return fail(fmt.Errorf("server chip has %d clusters, device has %d", sess.Clusters, chip.NumClusters()))
+	}
+
+	n := chip.NumClusters()
+	obs := make([]Observation, n)
+	for i := range obs {
+		obs[i] = Observation{QoS: 1, ClusterQoS: 1, Level: chip.Cluster(i).Level()}
+	}
+	var chipRes soc.ChipStep
+	period := 0
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		t0 := time.Now()
+		levels, err := sess.Decide(ctx, obs)
+		if err != nil {
+			return fail(err)
+		}
+		st.decisions++
+		st.latencies = append(st.latencies, time.Since(t0).Nanoseconds())
+		if len(levels) != n {
+			return fail(fmt.Errorf("server returned %d levels for %d clusters", len(levels), n))
+		}
+		for i, lvl := range levels {
+			chip.Cluster(i).SetLevel(lvl)
+		}
+		p := scen.Next(cfg.PeriodS)
+		if err := chip.StepInto(&chipRes, p.Demands, cfg.PeriodS); err != nil {
+			return fail(err)
+		}
+		var demanded, completed float64
+		for i, d := range p.Demands {
+			demanded += d.Cycles
+			completed += chipRes.Clusters[i].CompletedCycles
+		}
+		q := qos.PeriodQoS(demanded, completed)
+		for i := range obs {
+			cr := chipRes.Clusters[i]
+			dr := 0.0
+			if cr.CapacityCycles > 0 {
+				dr = p.Demands[i].Cycles / cr.CapacityCycles
+			}
+			obs[i] = Observation{
+				Utilization: cr.Utilization,
+				DemandRatio: dr,
+				QoS:         q,
+				ClusterQoS:  qos.PeriodQoS(p.Demands[i].Cycles, cr.CompletedCycles),
+				Critical:    p.Critical,
+				Level:       chip.Cluster(i).Level(),
+			}
+		}
+		period++
+		if cfg.RewardEvery > 0 && period%cfg.RewardEvery == 0 {
+			if _, err := sess.Reward(ctx, -chipRes.EnergyJ); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	return st
+}
+
+// quantiles computes latency quantiles over raw nanosecond samples.
+func quantiles(ns []int64) LatencyQuantiles {
+	if len(ns) == 0 {
+		return LatencyQuantiles{}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ns)-1))
+		return float64(ns[i])
+	}
+	return LatencyQuantiles{
+		P50: at(0.50),
+		P90: at(0.90),
+		P99: at(0.99),
+		Max: float64(ns[len(ns)-1]),
+	}
+}

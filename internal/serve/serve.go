@@ -1,0 +1,543 @@
+// Package serve is the fleet-scale decision-serving subsystem: it hosts a
+// trained power-management policy as a shared, frozen resource and serves
+// OPP decisions to many managed devices over HTTP/JSON.
+//
+// The journal extension's headline is that the policy's decision latency is
+// what makes it deployable; this package turns the single-process
+// reproduction into a client/server inference stack shaped like a
+// production deployment:
+//
+//   - a Model is an immutable Q-table set (one table per DVFS domain)
+//     built from a core.Snapshot — trained in software, loaded from a
+//     checkpoint, or both;
+//   - each managed device owns a Session with device-local exploration
+//     state (ε schedule, RNG stream, demand-trend history), so serving a
+//     fleet never entangles one device's stochastic behaviour with
+//     another's;
+//   - concurrent decide requests are coalesced into batched lookups
+//     against the shared model, mirroring internal/hwpolicy/batch.go's
+//     multi-channel design: the expensive resource (the accelerator's MMIO
+//     conversation, or simply cache-warm table walks) is driven by one
+//     consumer at maximal occupancy instead of by every request
+//     individually;
+//   - the backend is an A/B flag: the software table walk and the modeled
+//     hardware accelerator (optionally wrapped with internal/fault's
+//     injector) serve the same API, so HW-vs-SW serving latency is one
+//     command-line switch apart;
+//   - trained tables persist through the versioned, checksummed checkpoint
+//     codec (core.EncodeCheckpoint) with atomic write-rename, so a server
+//     restart resumes the exact frozen policy.
+//
+// Observable state — sessions, decisions served, batch occupancy,
+// checkpoint age — is exported via /metrics and /healthz, so load tests
+// assert on counters instead of sleeps.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlpm/internal/core"
+	"rlpm/internal/rng"
+	"rlpm/internal/sim"
+)
+
+// ErrServerClosed is returned by decision paths once the server has shut
+// down.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// ErrSessionClosed is returned when a request addresses a closed session.
+var ErrSessionClosed = errors.New("serve: session closed")
+
+// ErrNoSession is returned when a request addresses an unknown session id.
+var ErrNoSession = errors.New("serve: no such session")
+
+// Model is the shared frozen policy: per-cluster Q-tables plus the state
+// encoding they were trained with. A Model is immutable after construction
+// and safe for concurrent readers.
+type Model struct {
+	cfg    core.Config
+	levels []int         // per-cluster OPP counts
+	tables [][][]float64 // [cluster][state][action], deep-copied
+}
+
+// NewModel builds a Model from a snapshot. cfg supplies the state encoding
+// and must match the snapshot's recorded StateConfig; table shapes are
+// validated against it.
+func NewModel(cfg core.Config, snap core.Snapshot) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if snap.State != cfg.State {
+		return nil, fmt.Errorf("serve: snapshot state config %+v != serving config %+v", snap.State, cfg.State)
+	}
+	if len(snap.Tables) == 0 {
+		return nil, fmt.Errorf("serve: snapshot has no tables")
+	}
+	m := &Model{cfg: cfg}
+	for c, t := range snap.Tables {
+		if len(t) == 0 || len(t[0]) == 0 {
+			return nil, fmt.Errorf("serve: cluster %d table is empty", c)
+		}
+		actions := len(t[0])
+		if len(t) != cfg.State.States(actions) {
+			return nil, fmt.Errorf("serve: cluster %d table has %d states, config needs %d for %d actions",
+				c, len(t), cfg.State.States(actions), actions)
+		}
+		cp := make([][]float64, len(t))
+		for i, row := range t {
+			if len(row) != actions {
+				return nil, fmt.Errorf("serve: cluster %d row %d has %d actions, row 0 has %d", c, i, len(row), actions)
+			}
+			cp[i] = append([]float64(nil), row...)
+		}
+		m.tables = append(m.tables, cp)
+		m.levels = append(m.levels, actions)
+	}
+	return m, nil
+}
+
+// ModelFromPolicy freezes a trained software policy into a serving model.
+func ModelFromPolicy(p *core.Policy, cfg core.Config) (*Model, error) {
+	snap, err := p.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return NewModel(cfg, snap)
+}
+
+// Clusters returns the number of DVFS domains the model decides for.
+func (m *Model) Clusters() int { return len(m.levels) }
+
+// NumLevels returns a copy of the per-cluster OPP counts.
+func (m *Model) NumLevels() []int { return append([]int(nil), m.levels...) }
+
+// Config returns the serving configuration (state encoding, reward terms).
+func (m *Model) Config() core.Config { return m.cfg }
+
+// Snapshot exports the model as a deep-copied snapshot, ready for
+// checkpointing.
+func (m *Model) Snapshot() core.Snapshot {
+	s := core.Snapshot{State: m.cfg.State}
+	for _, t := range m.tables {
+		cp := make([][]float64, len(t))
+		for i, row := range t {
+			cp[i] = append([]float64(nil), row...)
+		}
+		s.Tables = append(s.Tables, cp)
+	}
+	return s
+}
+
+// Greedy returns the argmax action for (cluster, state); ties break low,
+// matching core.Agent and the hardware comparator tree.
+func (m *Model) Greedy(cluster, state int) int {
+	row := m.tables[cluster][state]
+	best, idx := row[0], 0
+	for i := 1; i < len(row); i++ {
+		if row[i] > best {
+			best, idx = row[i], i
+		}
+	}
+	return idx
+}
+
+// Observation is the wire form of one cluster's telemetry for one control
+// period — the subset of sim.Observation a remote device reports.
+type Observation struct {
+	Utilization float64 `json:"utilization"`
+	DemandRatio float64 `json:"demand_ratio"`
+	QoS         float64 `json:"qos"`
+	ClusterQoS  float64 `json:"cluster_qos"`
+	Critical    bool    `json:"critical"`
+	Level       int     `json:"level"`
+}
+
+// SessionOptions parameterize a device session at creation.
+type SessionOptions struct {
+	// Epsilon is the device-local exploration rate. 0 (the default) serves
+	// pure greedy decisions — the deployment mode.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// EpsilonMin floors the decayed exploration rate.
+	EpsilonMin float64 `json:"epsilon_min,omitempty"`
+	// EpsilonDecay multiplies ε after every decision; 0 means no decay.
+	EpsilonDecay float64 `json:"epsilon_decay,omitempty"`
+	// Seed drives the session's exploration stream.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+func (o SessionOptions) validate() error {
+	if o.Epsilon < 0 || o.Epsilon > 1 {
+		return fmt.Errorf("serve: epsilon %v out of [0,1]", o.Epsilon)
+	}
+	if o.EpsilonMin < 0 || o.EpsilonMin > o.Epsilon {
+		return fmt.Errorf("serve: epsilon floor %v out of [0,%v]", o.EpsilonMin, o.Epsilon)
+	}
+	if o.EpsilonDecay < 0 || o.EpsilonDecay > 1 {
+		return fmt.Errorf("serve: epsilon decay %v out of [0,1]", o.EpsilonDecay)
+	}
+	return nil
+}
+
+// SessionStats is the per-session ledger returned by reward and close.
+type SessionStats struct {
+	ID         string  `json:"id"`
+	Decisions  uint64  `json:"decisions"`
+	Rewards    uint64  `json:"rewards"`
+	MeanReward float64 `json:"mean_reward"`
+	Epsilon    float64 `json:"epsilon"`
+}
+
+// Session is one managed device's serving state. All exploration state is
+// device-local; the Q-tables are shared and frozen. Methods serialize on
+// the session's own mutex, so one device's request stream is totally
+// ordered while different devices proceed concurrently.
+type Session struct {
+	id  string
+	srv *Server
+
+	mu         sync.Mutex
+	closed     bool
+	eps        float64
+	epsMin     float64
+	epsDecay   float64
+	r          *rng.Rand
+	prevDemand []float64
+
+	decisions  uint64
+	rewards    uint64
+	rewardSum  float64
+	simObs     []sim.Observation // scratch: wire → encoder form
+	lookups    []Lookup          // scratch: exploit lookups of one decide
+	lookupsIdx []int             // scratch: cluster index of each lookup
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Decide serves one control period: encodes each cluster's observation
+// into the discrete state (using the session-local demand-trend history),
+// explores with the session-local ε/RNG, and resolves all exploitation
+// lookups through the server's shared batch path. The returned slice is
+// freshly allocated.
+func (s *Session) Decide(obs []Observation) ([]int, error) {
+	m := s.srv.model
+	if len(obs) != m.Clusters() {
+		return nil, fmt.Errorf("serve: %d observations for %d clusters", len(obs), m.Clusters())
+	}
+	for i, o := range obs {
+		if o.Level < 0 || o.Level >= m.levels[i] {
+			return nil, fmt.Errorf("serve: cluster %d level %d out of [0,%d)", i, o.Level, m.levels[i])
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+
+	levels := make([]int, len(obs))
+	s.lookups = s.lookups[:0]
+	s.lookupsIdx = s.lookupsIdx[:0]
+	for i, o := range obs {
+		so := sim.Observation{
+			Utilization: o.Utilization,
+			DemandRatio: o.DemandRatio,
+			QoS:         o.QoS,
+			ClusterQoS:  o.ClusterQoS,
+			Critical:    o.Critical,
+			Level:       o.Level,
+			NumLevels:   m.levels[i],
+		}
+		state := m.cfg.EncodeState(so, s.prevDemand[i])
+		s.prevDemand[i] = o.DemandRatio
+		if s.eps > 0 && s.r.Float64() < s.eps {
+			levels[i] = s.r.Intn(m.levels[i])
+			s.srv.explorations.Add(1)
+			continue
+		}
+		s.lookups = append(s.lookups, Lookup{Cluster: i, State: state})
+		s.lookupsIdx = append(s.lookupsIdx, i)
+	}
+	if len(s.lookups) > 0 {
+		out := make([]int, len(s.lookups))
+		if err := s.srv.batch.Do(s.lookups, out); err != nil {
+			return nil, err
+		}
+		for j, a := range out {
+			levels[s.lookupsIdx[j]] = a
+		}
+	}
+	if s.eps > 0 && s.epsDecay > 0 {
+		s.eps *= s.epsDecay
+		if s.eps < s.epsMin {
+			s.eps = s.epsMin
+		}
+	}
+	s.decisions++
+	s.srv.decisions.Add(1)
+	s.srv.lookupsServed.Add(uint64(len(s.lookups)))
+	return levels, nil
+}
+
+// Reward records a device-reported reward for the session. The policy is
+// frozen — rewards feed the session ledger (and fleet-level monitoring),
+// not the tables.
+func (s *Session) Reward(r float64) (SessionStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return SessionStats{}, ErrSessionClosed
+	}
+	s.rewards++
+	s.rewardSum += r
+	s.srv.rewards.Add(1)
+	return s.statsLocked(), nil
+}
+
+// Stats returns the session ledger.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Session) statsLocked() SessionStats {
+	st := SessionStats{ID: s.id, Decisions: s.decisions, Rewards: s.rewards, Epsilon: s.eps}
+	if s.rewards > 0 {
+		st.MeanReward = s.rewardSum / float64(s.rewards)
+	}
+	return st
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxBatch caps the lookups coalesced into one backend call
+	// (default 256). A single request larger than the cap still serves as
+	// its own batch — one session's lookups never split across calls.
+	MaxBatch int
+	// Linger is how long the batcher waits for co-travellers after the
+	// first lookup of a batch before dispatching. 0 (the default) grabs
+	// whatever is already queued and dispatches immediately — no added
+	// latency, opportunistic coalescing under load.
+	Linger time.Duration
+	// CheckpointPath, when non-empty, is where POST /v1/checkpoint
+	// persists the model.
+	CheckpointPath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("serve: negative MaxBatch %d", c.MaxBatch)
+	}
+	if c.Linger < 0 {
+		return fmt.Errorf("serve: negative Linger %v", c.Linger)
+	}
+	return nil
+}
+
+// Server hosts sessions over a shared model and backend. Create one with
+// New, expose it with Handler, and Close it to release the batch worker.
+type Server struct {
+	cfg     Config
+	model   *Model
+	backend Backend
+	batch   *batcher
+	start   time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   uint64
+	closed   bool
+
+	decisions       atomic.Uint64 // decide calls served
+	lookupsServed   atomic.Uint64 // individual table lookups
+	explorations    atomic.Uint64 // decisions taken by device-local exploration
+	rewards         atomic.Uint64
+	sessionsCreated atomic.Uint64
+	sessionsClosed  atomic.Uint64
+	httpErrors      atomic.Uint64
+
+	ckptMu   sync.Mutex
+	ckptTime time.Time // zero until a checkpoint is loaded or saved
+}
+
+// New builds a server over model and backend. backend defaults to the
+// software table walk when nil.
+func New(model *Model, backend Backend, cfg Config) (*Server, error) {
+	if model == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if backend == nil {
+		backend = NewSWBackend(model)
+	}
+	s := &Server{
+		cfg:      cfg,
+		model:    model,
+		backend:  backend,
+		start:    time.Now(),
+		sessions: make(map[string]*Session),
+	}
+	s.batch = newBatcher(backend, cfg.MaxBatch, cfg.Linger)
+	return s, nil
+}
+
+// Model returns the served model.
+func (s *Server) Model() *Model { return s.model }
+
+// Close shuts the batch worker down; in-flight decides drain with
+// ErrServerClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.batch.Close()
+}
+
+// MarkCheckpoint records a checkpoint load/save instant for the
+// checkpoint-age metric.
+func (s *Server) MarkCheckpoint(at time.Time) {
+	s.ckptMu.Lock()
+	s.ckptTime = at
+	s.ckptMu.Unlock()
+}
+
+// CreateSession registers a new device session.
+func (s *Server) CreateSession(opts SessionOptions) (*Session, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrServerClosed
+	}
+	s.nextID++
+	sess := &Session{
+		id:         fmt.Sprintf("s-%06d", s.nextID),
+		srv:        s,
+		eps:        opts.Epsilon,
+		epsMin:     opts.EpsilonMin,
+		epsDecay:   opts.EpsilonDecay,
+		r:          rng.New(opts.Seed),
+		prevDemand: make([]float64, s.model.Clusters()),
+	}
+	s.sessions[sess.id] = sess
+	s.sessionsCreated.Add(1)
+	return sess, nil
+}
+
+// Session looks a live session up by id.
+func (s *Server) Session(id string) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	return sess, nil
+}
+
+// CloseSession ends a session and returns its final ledger.
+func (s *Server) CloseSession(id string) (SessionStats, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return SessionStats{}, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	sess.mu.Lock()
+	sess.closed = true
+	st := sess.statsLocked()
+	sess.mu.Unlock()
+	s.sessionsClosed.Add(1)
+	return st, nil
+}
+
+// HWStats reports the hardware backend's health ledger in Metrics; nil for
+// the software backend.
+type HWStats struct {
+	Decisions uint64 `json:"decisions"`
+	Retries   uint64 `json:"retries"`
+	Degraded  uint64 `json:"degraded"`
+	MeanLatNs float64 `json:"mean_latency_ns"`
+}
+
+// Metrics is the server's observable state, served at /metrics.
+type Metrics struct {
+	UptimeS            float64  `json:"uptime_s"`
+	Backend            string   `json:"backend"`
+	Clusters           int      `json:"clusters"`
+	Sessions           int      `json:"sessions"`
+	SessionsCreated    uint64   `json:"sessions_created"`
+	SessionsClosed     uint64   `json:"sessions_closed"`
+	Decisions          uint64   `json:"decisions"`
+	LookupsServed      uint64   `json:"lookups_served"`
+	Explorations       uint64   `json:"explorations"`
+	Rewards            uint64   `json:"rewards"`
+	Batches            uint64   `json:"batches"`
+	MeanBatchOccupancy float64  `json:"mean_batch_occupancy"`
+	MaxBatchOccupancy  uint64   `json:"max_batch_occupancy"`
+	HTTPErrors         uint64   `json:"http_errors"`
+	CheckpointAgeS     float64  `json:"checkpoint_age_s"` // -1 when no checkpoint exists
+	HW                 *HWStats `json:"hw,omitempty"`
+}
+
+// MetricsSnapshot assembles the current metrics.
+func (s *Server) MetricsSnapshot() Metrics {
+	s.mu.Lock()
+	live := len(s.sessions)
+	s.mu.Unlock()
+	batches, lookups, maxOcc := s.batch.stats()
+	m := Metrics{
+		UptimeS:           time.Since(s.start).Seconds(),
+		Backend:           s.backend.Name(),
+		Clusters:          s.model.Clusters(),
+		Sessions:          live,
+		SessionsCreated:   s.sessionsCreated.Load(),
+		SessionsClosed:    s.sessionsClosed.Load(),
+		Decisions:         s.decisions.Load(),
+		LookupsServed:     s.lookupsServed.Load(),
+		Explorations:      s.explorations.Load(),
+		Rewards:           s.rewards.Load(),
+		Batches:           batches,
+		MaxBatchOccupancy: maxOcc,
+		HTTPErrors:        s.httpErrors.Load(),
+		CheckpointAgeS:    -1,
+	}
+	if batches > 0 {
+		m.MeanBatchOccupancy = float64(lookups) / float64(batches)
+	}
+	s.ckptMu.Lock()
+	if !s.ckptTime.IsZero() {
+		m.CheckpointAgeS = time.Since(s.ckptTime).Seconds()
+	}
+	s.ckptMu.Unlock()
+	if hb, ok := s.backend.(*HWBackend); ok {
+		m.HW = hb.statsSnapshot()
+	}
+	return m
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rlpm/internal/core"
+)
+
+// SaveCheckpoint persists snap at path atomically: the checkpoint encoding
+// is written to a temporary file in the same directory, synced, and
+// renamed over the destination, so a crash mid-write can never leave a
+// torn checkpoint where a server expects a valid one. Returns the encoded
+// size.
+func SaveCheckpoint(path string, snap core.Snapshot) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("serve: creating checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := snap.EncodeCheckpoint(tmp); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("serve: encoding checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("serve: syncing checkpoint: %w", err)
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("serve: stat checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("serve: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("serve: publishing checkpoint: %w", err)
+	}
+	return info.Size(), nil
+}
+
+// LoadCheckpoint reads and verifies a checkpoint file. Corruption and
+// version mismatches surface as core's typed checkpoint errors.
+func LoadCheckpoint(path string) (core.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return core.Snapshot{}, fmt.Errorf("serve: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	snap, err := core.DecodeCheckpoint(f)
+	if err != nil {
+		return core.Snapshot{}, fmt.Errorf("serve: checkpoint %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// LoadModel builds a serving model from a checkpoint file, using cfg for
+// everything the checkpoint does not record (reward terms, learning
+// hyperparameters); cfg.State is overridden by the checkpoint's recorded
+// state configuration — the file is authoritative about the encoding its
+// tables were trained with.
+func LoadModel(path string, cfg core.Config) (*Model, error) {
+	snap, err := LoadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg.State = snap.State
+	return NewModel(cfg, snap)
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rlpm/internal/core"
+)
+
+func TestSaveLoadCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.ckpt")
+	cfg, snap := testSnapshot(t, 3, 5)
+
+	n, err := SaveCheckpoint(path, snap)
+	if err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if info.Size() != n {
+		t.Fatalf("reported %d bytes, file is %d", n, info.Size())
+	}
+
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if got.State != snap.State {
+		t.Fatalf("state config %+v, want %+v", got.State, snap.State)
+	}
+	for c := range snap.Tables {
+		for s := range snap.Tables[c] {
+			for a := range snap.Tables[c][s] {
+				if got.Tables[c][s][a] != snap.Tables[c][s][a] {
+					t.Fatalf("table[%d][%d][%d] drifted through the file", c, s, a)
+				}
+			}
+		}
+	}
+
+	m, err := LoadModel(path, cfg)
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	if m.Clusters() != 2 {
+		t.Fatalf("loaded model has %d clusters", m.Clusters())
+	}
+}
+
+// TestSaveCheckpointIsAtomic asserts the write-rename discipline: a save
+// over an existing checkpoint either fully replaces it or leaves it intact,
+// and no temp files survive.
+func TestSaveCheckpointIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.ckpt")
+	_, snapA := testSnapshot(t, 3)
+	if _, err := SaveCheckpoint(path, snapA); err != nil {
+		t.Fatalf("first save: %v", err)
+	}
+
+	// A second save with different content must replace the file.
+	snapB := snapA
+	snapB.Tables = [][][]float64{deepCopyTable(snapA.Tables[0])}
+	snapB.Tables[0][0][0] = 1234.5
+	if _, err := SaveCheckpoint(path, snapB); err != nil {
+		t.Fatalf("second save: %v", err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("load after overwrite: %v", err)
+	}
+	if got.Tables[0][0][0] != 1234.5 {
+		t.Fatal("overwrite did not replace the checkpoint")
+	}
+
+	// A save that fails encoding must leave the valid file untouched.
+	var bad core.Snapshot
+	bad.State = snapA.State
+	if _, err := SaveCheckpoint(path, bad); err == nil {
+		t.Fatal("empty snapshot saved without error")
+	}
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatalf("failed save corrupted the existing checkpoint: %v", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s survived", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d files in checkpoint dir, want 1", len(entries))
+	}
+}
+
+func TestLoadCheckpointRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.ckpt")
+	_, snap := testSnapshot(t, 3)
+	if _, err := SaveCheckpoint(path, snap); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+
+	// Flip a payload byte: typed corruption error.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0x01
+	corrupt := filepath.Join(dir, "corrupt.ckpt")
+	if err := os.WriteFile(corrupt, bad, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := LoadCheckpoint(corrupt); !errors.Is(err, core.ErrCheckpointCorrupt) {
+		t.Fatalf("flipped byte: %v, want ErrCheckpointCorrupt", err)
+	}
+	if _, err := LoadModel(corrupt, core.DefaultConfig()); !errors.Is(err, core.ErrCheckpointCorrupt) {
+		t.Fatalf("LoadModel on corrupt file: %v, want ErrCheckpointCorrupt", err)
+	}
+
+	// Truncation: typed corruption error.
+	trunc := filepath.Join(dir, "trunc.ckpt")
+	if err := os.WriteFile(trunc, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := LoadCheckpoint(trunc); !errors.Is(err, core.ErrCheckpointCorrupt) {
+		t.Fatalf("truncated: %v, want ErrCheckpointCorrupt", err)
+	}
+
+	// Missing file: a plain error, not a panic.
+	if _, err := LoadCheckpoint(filepath.Join(dir, "absent.ckpt")); err == nil {
+		t.Fatal("absent file loaded")
+	}
+}
+
+func deepCopyTable(t [][]float64) [][]float64 {
+	cp := make([][]float64, len(t))
+	for i, row := range t {
+		cp[i] = append([]float64(nil), row...)
+	}
+	return cp
+}

@@ -1,0 +1,67 @@
+package trace
+
+import "testing"
+
+func TestRecordRejectsOutOfOrderTimes(t *testing.T) {
+	r := MustRecorder("v")
+	if err := r.Record(1.0, map[string]float64{"v": 1}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if err := r.Record(0.5, map[string]float64{"v": 2}); err == nil {
+		t.Fatal("Record accepted a rewinding sample time")
+	}
+	if err := r.RecordRow(0.5, []float64{3}); err == nil {
+		t.Fatal("RecordRow accepted a rewinding sample time")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("rejected rows were stored: len %d", r.Len())
+	}
+	// Equal times are allowed — a zero-duration step, not a rewind.
+	if err := r.Record(1.0, map[string]float64{"v": 4}); err != nil {
+		t.Fatalf("equal sample time rejected: %v", err)
+	}
+}
+
+func TestWindowSingleSample(t *testing.T) {
+	r := MustRecorder("v")
+	if err := r.Record(2.0, map[string]float64{"v": 7}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	in := r.Window(2.0, 3.0)
+	if in.Len() != 1 {
+		t.Fatalf("window [2,3) over a sample at t=2 kept %d rows, want 1", in.Len())
+	}
+	if v, err := in.Last("v"); err != nil || v != 7 {
+		t.Fatalf("windowed value %v (%v), want 7", v, err)
+	}
+	if out := r.Window(2.5, 3.0); out.Len() != 0 {
+		t.Fatalf("window past the sample kept %d rows", out.Len())
+	}
+	if out := r.Window(1.0, 2.0); out.Len() != 0 {
+		t.Fatalf("half-open window ending at the sample kept %d rows", out.Len())
+	}
+}
+
+func TestWindowEmptyRecorder(t *testing.T) {
+	r := MustRecorder("v")
+	w := r.Window(0, 10)
+	if w.Len() != 0 {
+		t.Fatalf("window of an empty recorder has %d rows", w.Len())
+	}
+	if got := w.Columns(); len(got) != 1 || got[0] != "v" {
+		t.Fatalf("window dropped columns: %v", got)
+	}
+}
+
+func TestIntegrateEmptyAndSingle(t *testing.T) {
+	r := MustRecorder("p")
+	if got, err := r.Integrate("p"); err != nil || got != 0 {
+		t.Fatalf("empty integral = %v, %v; want 0, nil", got, err)
+	}
+	if err := r.Record(0, map[string]float64{"p": 5}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if _, err := r.Integrate("p"); err == nil {
+		t.Fatal("single-sample integral needs a step and must error")
+	}
+}

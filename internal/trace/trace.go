@@ -72,8 +72,21 @@ func (r *Recorder) Record(t float64, vals map[string]float64) error {
 			}
 		}
 	}
+	if err := r.checkTime(t); err != nil {
+		return err
+	}
 	r.times = append(r.times, t)
 	r.samples = append(r.samples, row)
+	return nil
+}
+
+// checkTime rejects out-of-order sample times. Window's binary search and
+// Integrate's step sums assume non-decreasing times; accepting a rewinding
+// clock would silently corrupt both, so it is an error at the source.
+func (r *Recorder) checkTime(t float64) error {
+	if n := len(r.times); n > 0 && t < r.times[n-1] {
+		return fmt.Errorf("trace: out-of-order sample time %v after %v", t, r.times[n-1])
+	}
 	return nil
 }
 
@@ -84,6 +97,9 @@ func (r *Recorder) Record(t float64, vals map[string]float64) error {
 func (r *Recorder) RecordRow(t float64, vals []float64) error {
 	if len(vals) != len(r.cols) {
 		return fmt.Errorf("trace: row has %d values for %d columns at t=%v", len(vals), len(r.cols), t)
+	}
+	if err := r.checkTime(t); err != nil {
+		return err
 	}
 	row := make([]float64, len(vals))
 	copy(row, vals)
