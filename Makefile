@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz cover bench bench-smoke bench-serve serve-smoke experiments golden
+.PHONY: check build vet test race staticcheck fuzz cover bench bench-smoke bench-serve serve-smoke experiments golden
 
 # check is the full CI gate: vet, build, the default test suite (unit +
 # determinism + golden, in shuffled order), and the race-detector pass over
@@ -14,13 +14,19 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs honnef.co/go/tools via `go run`, so it needs module
+# network access (CI has it; offline dev boxes can skip this target).
+STATICCHECK_VERSION ?= 2025.1.1
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
 # -shuffle=on randomizes test order within each package so hidden
 # inter-test state can't survive unnoticed.
 test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/fault/... ./internal/hwpolicy/... ./internal/serve/...
+	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/fault/... ./internal/hwpolicy/... ./internal/serve/... ./internal/obs/...
 
 # fuzz runs the fuzz targets for a short smoke window each; raise FUZZTIME
 # for a longer campaign.
@@ -57,13 +63,17 @@ bench-serve:
 	$(GO) run ./cmd/pmload -backends both -devices 50 -duration 2s -out $(SERVE_OUT)
 
 # serve-smoke is the end-to-end binary check: start pmserve, load it with
-# pmload over real HTTP, then SIGTERM it and require a clean exit.
+# pmload over real HTTP, scrape /metrics mid-run and require populated
+# decide-path histograms, then SIGTERM it and require a clean exit.
 serve-smoke:
 	$(GO) build -o /tmp/pmserve ./cmd/pmserve
 	$(GO) build -o /tmp/pmload ./cmd/pmload
 	/tmp/pmserve -addr 127.0.0.1:7421 -quick & \
 	SERVE_PID=$$!; \
 	/tmp/pmload -addr http://127.0.0.1:7421 -devices 50 -duration 2s || { kill $$SERVE_PID; exit 1; }; \
+	curl -fsS http://127.0.0.1:7421/metrics | tee /tmp/metrics.prom | \
+		grep -q '# TYPE serve_decide_stage_ns histogram' || { kill $$SERVE_PID; exit 1; }; \
+	grep -E 'serve_decide_stage_ns_count\{stage="backend"\} [1-9]' /tmp/metrics.prom >/dev/null || { kill $$SERVE_PID; exit 1; }; \
 	kill -TERM $$SERVE_PID; \
 	wait $$SERVE_PID
 

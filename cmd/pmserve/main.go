@@ -21,7 +21,9 @@
 // POST /v1/checkpoint, GET /metrics, GET /healthz.
 //
 // SIGINT/SIGTERM drain the listener and exit 0 — the clean-shutdown
-// contract the CI smoke job asserts.
+// contract the CI smoke job asserts. SIGUSR1 dumps the full Prometheus
+// metrics exposition to stderr without disturbing serving — the
+// kick-the-tires observability hook when no scraper is attached.
 package main
 
 import (
@@ -84,6 +86,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// SIGUSR1: dump the Prometheus exposition to stderr, as many times as
+	// asked — serving is never paused.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	defer signal.Stop(usr1)
+	go func() {
+		for range usr1 {
+			fmt.Fprintln(os.Stderr, "pmserve: SIGUSR1 metrics dump:")
+			if err := srv.Registry().WritePrometheus(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "pmserve: metrics dump:", err)
+			}
+		}
+	}()
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 
@@ -120,6 +137,7 @@ type serverParams struct {
 // the chosen backend.
 func buildServer(p serverParams) (*serve.Server, error) {
 	var model *serve.Model
+	loadedCheckpoint := false
 	if p.checkpoint != "" {
 		if _, err := os.Stat(p.checkpoint); err == nil {
 			m, err := serve.LoadModel(p.checkpoint, core.DefaultConfig())
@@ -128,6 +146,7 @@ func buildServer(p serverParams) (*serve.Server, error) {
 			}
 			model = m
 			fmt.Fprintf(os.Stderr, "pmserve: loaded checkpoint %s\n", p.checkpoint)
+			loadedCheckpoint = true
 		}
 	}
 	if model == nil {
@@ -153,6 +172,7 @@ func buildServer(p serverParams) (*serve.Server, error) {
 				return nil, err
 			} else {
 				srv.MarkCheckpoint(time.Now())
+				srv.Events().Addf("checkpoint", "saved fresh checkpoint %s (%d bytes)", p.checkpoint, n)
 				fmt.Fprintf(os.Stderr, "pmserve: saved fresh checkpoint %s (%d bytes)\n", p.checkpoint, n)
 			}
 		}
@@ -187,6 +207,9 @@ func buildServer(p serverParams) (*serve.Server, error) {
 		return nil, err
 	}
 	srv.MarkCheckpoint(time.Now())
+	if loadedCheckpoint {
+		srv.Events().Addf("checkpoint", "loaded %s", p.checkpoint)
+	}
 	return srv, nil
 }
 

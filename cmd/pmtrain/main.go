@@ -2,11 +2,18 @@
 // saves the learned Q-tables to disk; it can also evaluate a saved policy,
 // on the training scenario or any other.
 //
+// Training progress is tracked through an obs registry — per-episode
+// reward (negated energy/QoS), mean exploration rate, and mean TD-error
+// magnitude — and -metrics writes the final Prometheus exposition to a
+// file, so a training run leaves the same kind of artifact a serving run
+// exposes on /metrics.
+//
 // Usage:
 //
 //	pmtrain -scenario gaming -episodes 60 -o gaming.policy
 //	pmtrain -load gaming.policy -scenario gaming        # evaluate
 //	pmtrain -load gaming.policy -scenario video         # transfer test
+//	pmtrain -episodes 60 -metrics train.prom            # keep the metrics
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"os"
 
 	"rlpm/internal/core"
+	"rlpm/internal/obs"
 	"rlpm/internal/sim"
 	"rlpm/internal/soc"
 	"rlpm/internal/workload"
@@ -29,16 +37,51 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "scenario seed")
 		out      = flag.String("o", "", "save the trained policy to this path")
 		load     = flag.String("load", "", "load a saved policy instead of training")
+		metrics  = flag.String("metrics", "", "write the final Prometheus metrics exposition to this path")
 	)
 	flag.Parse()
 
-	if err := run(*scenario, *episodes, *duration, *period, *seed, *out, *load); err != nil {
+	if err := run(*scenario, *episodes, *duration, *period, *seed, *out, *load, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "pmtrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario string, episodes int, duration, period float64, seed uint64, out, load string) error {
+// trainGauges is the training-progress slice of the registry: last-value
+// gauges updated at every episode boundary.
+type trainGauges struct {
+	reg          *obs.Registry
+	episode      *obs.Gauge // 1-based index of the last finished episode
+	reward       *obs.Gauge // per-episode reward: -energy/QoS
+	energyPerQoS *obs.Gauge
+	meanQoS      *obs.Gauge
+	epsilon      *obs.Gauge // mean exploration rate across agents
+	qDelta       *obs.Gauge // mean |TD error| across agents
+}
+
+func newTrainGauges() *trainGauges {
+	reg := obs.NewRegistry()
+	return &trainGauges{
+		reg:          reg,
+		episode:      reg.NewGauge("pmtrain_episode", "last finished training episode (1-based)"),
+		reward:       reg.NewGauge("pmtrain_episode_reward", "episode reward (negated energy-per-QoS)"),
+		energyPerQoS: reg.NewGauge("pmtrain_episode_energy_per_qos", "episode energy per delivered QoS (J)"),
+		meanQoS:      reg.NewGauge("pmtrain_episode_mean_qos", "episode mean QoS"),
+		epsilon:      reg.NewGauge("pmtrain_epsilon", "mean exploration rate across agents"),
+		qDelta:       reg.NewGauge("pmtrain_q_delta", "mean absolute TD error across agents"),
+	}
+}
+
+func (g *trainGauges) observe(ep int, r sim.Result, p *core.Policy) {
+	g.episode.Set(float64(ep))
+	g.reward.Set(-r.QoS.EnergyPerQoS)
+	g.energyPerQoS.Set(r.QoS.EnergyPerQoS)
+	g.meanQoS.Set(r.QoS.MeanQoS)
+	g.epsilon.Set(p.MeanEpsilon())
+	g.qDelta.Set(p.MeanTD())
+}
+
+func run(scenario string, episodes int, duration, period float64, seed uint64, out, load, metrics string) error {
 	chip, err := soc.NewChip(soc.DefaultChipSpec())
 	if err != nil {
 		return err
@@ -57,6 +100,7 @@ func run(scenario string, episodes int, duration, period float64, seed uint64, o
 	if err != nil {
 		return err
 	}
+	gauges := newTrainGauges()
 
 	if load != "" {
 		f, err := os.Open(load)
@@ -78,12 +122,29 @@ func run(scenario string, episodes int, duration, period float64, seed uint64, o
 		policy.SetLearning(false)
 		fmt.Printf("loaded policy from %s\n", load)
 	} else {
-		fmt.Printf("training on %s for %d episodes of %.0fs...\n", scenario, episodes, duration)
-		tr, err := core.Train(chip, scen, policy, cfg, episodes)
-		if err != nil {
-			return err
+		if episodes <= 0 {
+			return fmt.Errorf("non-positive episode count %d", episodes)
 		}
-		first, last := tr.EnergyPerQoS[0], tr.EnergyPerQoS[len(tr.EnergyPerQoS)-1]
+		fmt.Printf("training on %s for %d episodes of %.0fs...\n", scenario, episodes, duration)
+		// Episode loop with the same per-episode seed derivation as
+		// sim.RunEpisodes (core.Train's engine), so the trajectory is
+		// byte-identical to a single Train call — the gauges ride along
+		// without touching training.
+		policy.SetLearning(true)
+		var first, last float64
+		for ep := 0; ep < episodes; ep++ {
+			c := cfg
+			c.Seed = cfg.Seed + uint64(ep)*0x9e3779b9
+			r, err := sim.Run(chip, scen, policy, c)
+			if err != nil {
+				return err
+			}
+			if ep == 0 {
+				first = r.QoS.EnergyPerQoS
+			}
+			last = r.QoS.EnergyPerQoS
+			gauges.observe(ep+1, r, policy)
+		}
 		fmt.Printf("energy/QoS: episode 1 = %.4f, episode %d = %.4f\n", first, episodes, last)
 		policy.SetLearning(false)
 	}
@@ -95,6 +156,21 @@ func run(scenario string, episodes int, duration, period float64, seed uint64, o
 	s := res.QoS
 	fmt.Printf("evaluation on %s: energy/QoS=%.4f meanQoS=%.4f violations=%.2f%% energy=%.1fJ\n",
 		scenario, s.EnergyPerQoS, s.MeanQoS, 100*s.ViolationRate, s.TotalEnergyJ)
+
+	if metrics != "" {
+		f, err := os.Create(metrics)
+		if err != nil {
+			return err
+		}
+		werr := gauges.reg.WritePrometheus(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote metrics to %s\n", metrics)
+	}
 
 	if out != "" {
 		snap, err := policy.Snapshot()

@@ -49,11 +49,19 @@ type ServeResult struct {
 	Report  serve.LoadReport `json:"report"`
 }
 
-// WriteText implements Renderable for ad-hoc printing.
+// WriteText implements Renderable for ad-hoc printing. It prints both the
+// exact sample quantiles and the histogram-recovered ones so a drift
+// between the two (beyond bucket resolution) is visible at a glance.
 func (r *ServeResult) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "serve: backend=%s devices=%d decisions=%d errors=%d %.0f dec/s p50=%.0fns p99=%.0fns\n",
 		r.Backend, r.Report.Devices, r.Report.Decisions, r.Report.Errors,
 		r.Report.DecisionsPerSec, r.Report.LatencyNs.P50, r.Report.LatencyNs.P99)
+	if len(r.Report.LatencyBuckets) > 0 {
+		fmt.Fprintf(w, "serve: histogram p50=%.0fns p90=%.0fns p99=%.0fns max=%.0fns over %d populated buckets\n",
+			r.Report.LatencyHistNs.P50, r.Report.LatencyHistNs.P90,
+			r.Report.LatencyHistNs.P99, r.Report.LatencyHistNs.Max,
+			len(r.Report.LatencyBuckets))
+	}
 }
 
 // NewServeServer trains a policy on opt's settings and assembles a

@@ -9,8 +9,12 @@ import (
 	"rlpm/internal/fault"
 	"rlpm/internal/fixed"
 	"rlpm/internal/governor"
+	"rlpm/internal/obs"
 	"rlpm/internal/sim"
 )
+
+// rungNames label the health ladder's decision sources in events.
+var rungNames = [...]string{"hardware", "software policy", "ondemand"}
 
 // Resilient runs the hardware policy behind a fault-tolerant driver and
 // degrades gracefully when the hardware path misbehaves. It is the
@@ -53,7 +57,8 @@ type Resilient struct {
 	cleanProbes    int
 	cleanTelem     int
 
-	stats ResilientStats
+	stats  ResilientStats
+	events *obs.EventLog // nil: transitions are counted but not narrated
 }
 
 var _ sim.Governor = (*Resilient)(nil)
@@ -170,6 +175,19 @@ func NewResilient(p *core.Policy, rc ResilientConfig, inj *fault.Injector) (*Res
 		r.filter = fault.NewObsFilter(inj)
 	}
 	return r, nil
+}
+
+// SetEventLog attaches a bounded event log; health-ladder transitions
+// (demotions, promotions, bring-up failures) are then recorded as
+// structured events. The hook never changes decisions or timing, so a
+// run with and without it attached is byte-identical.
+func (r *Resilient) SetEventLog(l *obs.EventLog) { r.events = l }
+
+// event records a ladder transition when a log is attached.
+func (r *Resilient) event(format string, args ...any) {
+	if r.events != nil {
+		r.events.Addf("hwpolicy", format, args...)
+	}
 }
 
 // Name implements sim.Governor.
@@ -341,6 +359,7 @@ func (r *Resilient) Decide(obs []sim.Observation) []int {
 			r.drivers = make([]*Driver, 0) // non-nil: don't re-init every period
 			r.rung = 1
 			r.stats.Demotions++
+			r.event("bring-up failed, starting demoted to %s: %v", rungNames[1], err)
 			r.stats.Decisions++
 			r.stats.PeriodsSW++
 			return r.sw.Decide(obs)
@@ -394,7 +413,7 @@ func (r *Resilient) Decide(obs []sim.Observation) []int {
 		if periodFault {
 			r.consecHWFaults++
 			if r.consecHWFaults >= r.rc.DemoteAfter {
-				r.demote()
+				r.demote(fmt.Sprintf("%d consecutive faulty periods", r.consecHWFaults))
 			}
 		} else {
 			r.consecHWFaults = 0
@@ -405,7 +424,7 @@ func (r *Resilient) Decide(obs []sim.Observation) []int {
 		if r.probeHW() {
 			r.cleanProbes++
 			if r.cleanProbes >= r.rc.PromoteAfter {
-				r.promote()
+				r.promote(fmt.Sprintf("%d clean hardware probes", r.cleanProbes))
 			}
 		} else {
 			r.cleanProbes = 0
@@ -416,7 +435,7 @@ func (r *Resilient) Decide(obs []sim.Observation) []int {
 		if !droppedPeriod {
 			r.cleanTelem++
 			if r.cleanTelem >= r.rc.PromoteAfter {
-				r.promote()
+				r.promote(fmt.Sprintf("%d clean telemetry periods", r.cleanTelem))
 			}
 		} else {
 			r.cleanTelem = 0
@@ -431,7 +450,7 @@ func (r *Resilient) Decide(obs []sim.Observation) []int {
 		if droppedPeriod {
 			r.consecTelem++
 			if r.consecTelem >= r.rc.DemoteAfter {
-				r.demote()
+				r.demote(fmt.Sprintf("%d consecutive telemetry drops", r.consecTelem))
 			}
 		} else {
 			r.consecTelem = 0
@@ -444,22 +463,24 @@ func (r *Resilient) Decide(obs []sim.Observation) []int {
 	return out
 }
 
-func (r *Resilient) demote() {
+func (r *Resilient) demote(reason string) {
 	if r.rung >= 2 {
 		return
 	}
 	r.rung++
 	r.stats.Demotions++
+	r.event("demoted %s -> %s: %s", rungNames[r.rung-1], rungNames[r.rung], reason)
 	r.consecHWFaults, r.consecTelem = 0, 0
 	r.cleanProbes, r.cleanTelem = 0, 0
 }
 
-func (r *Resilient) promote() {
+func (r *Resilient) promote(reason string) {
 	if r.rung <= 0 {
 		return
 	}
 	r.rung--
 	r.stats.Promotions++
+	r.event("promoted %s -> %s: %s", rungNames[r.rung+1], rungNames[r.rung], reason)
 	r.consecHWFaults, r.consecTelem = 0, 0
 	r.cleanProbes, r.cleanTelem = 0, 0
 }

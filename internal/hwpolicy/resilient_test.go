@@ -2,11 +2,13 @@ package hwpolicy
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"rlpm/internal/bus"
 	"rlpm/internal/core"
 	"rlpm/internal/fault"
+	"rlpm/internal/obs"
 	"rlpm/internal/sim"
 )
 
@@ -328,5 +330,85 @@ func TestResilientReset(t *testing.T) {
 	out := res.Decide(resObs(0))
 	if len(out) != 2 {
 		t.Fatalf("decide after reset returned %d actions", len(out))
+	}
+}
+
+// TestResilientEventsNarrateLadder attaches an event log and forces a
+// demotion and a promotion: each transition must land in the log as a
+// "hwpolicy" event naming both rungs, and attaching the log must not
+// change a single decision (the hook draws no randomness).
+func TestResilientEventsNarrateLadder(t *testing.T) {
+	// Each stack gets its own (identically trained) policy: the software
+	// rung decides through it statefully, so sharing one object would
+	// entangle the two runs.
+	mk := func(log *obs.EventLog) *Resilient {
+		inj, err := fault.NewInjector(fault.Config{Seed: 5, ReadErrorRate: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NewResilient(frozenPolicy(t), DefaultResilientConfig(), inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if log != nil {
+			res.SetEventLog(log)
+		}
+		return res
+	}
+
+	log := obs.NewEventLog(64)
+	plain, logged := mk(nil), mk(log)
+	rc := DefaultResilientConfig()
+	for i := 0; i < rc.DemoteAfter+10; i++ {
+		obs := resObs(i)
+		want, got := plain.Decide(obs), logged.Decide(obs)
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("period %d cluster %d: event log changed decision %d -> %d", i, c, want[c], got[c])
+			}
+		}
+	}
+	if logged.Rung() != 1 {
+		t.Fatalf("rung %d, want 1", logged.Rung())
+	}
+	var demote string
+	for _, e := range log.Events() {
+		if e.Kind != "hwpolicy" {
+			t.Fatalf("event kind %q, want hwpolicy", e.Kind)
+		}
+		if strings.Contains(e.Msg, "demoted hardware -> software policy") {
+			demote = e.Msg
+		}
+	}
+	if demote == "" {
+		t.Fatalf("no demotion event in %+v", log.Events())
+	}
+
+	// Promotion: healthy stack pushed onto the software rung re-promotes
+	// after probation and narrates it.
+	res := func() *Resilient {
+		r, err := NewResilient(frozenPolicy(t), DefaultResilientConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+	plog := obs.NewEventLog(64)
+	res.SetEventLog(plog)
+	res.rung = 1
+	for i := 0; i < 3*DefaultResilientConfig().PromoteAfter+10 && res.Rung() != 0; i++ {
+		res.Decide(resObs(i))
+	}
+	if res.Rung() != 0 {
+		t.Fatal("never promoted back to hardware")
+	}
+	found := false
+	for _, e := range plog.Events() {
+		if strings.Contains(e.Msg, "promoted software policy -> hardware") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no promotion event in %+v", plog.Events())
 	}
 }

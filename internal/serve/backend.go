@@ -8,6 +8,7 @@ import (
 	"rlpm/internal/bus"
 	"rlpm/internal/fault"
 	"rlpm/internal/hwpolicy"
+	"rlpm/internal/obs"
 )
 
 // Lookup is one greedy Q-table query: which cluster's table, which state.
@@ -88,11 +89,27 @@ type HWBackend struct {
 	cfg     HWBackendConfig
 	sw      *SWBackend // degradation target
 	drivers []*hwpolicy.Driver
+	events  *obs.EventLog // nil until wired into a server
 
 	decisions atomic.Uint64
 	retries   atomic.Uint64
 	degraded  atomic.Uint64
 	busLatNs  atomic.Int64
+}
+
+// setEventLog wires the server's event log in; called by serve.New before
+// the batch worker starts, so Decide never races it. Clusters whose
+// bring-up already degraded are reported immediately.
+func (b *HWBackend) setEventLog(l *obs.EventLog) {
+	b.events = l
+	for c, d := range b.drivers {
+		if d == nil {
+			l.Addf("hw", "cluster %d bring-up failed: serving from software tables", c)
+		}
+	}
+	if inj := b.cfg.Injector; inj != nil {
+		inj.SetEventLog(l)
+	}
 }
 
 // NewHWBackend uploads the model's tables into per-cluster accelerators.
@@ -176,6 +193,13 @@ func (b *HWBackend) Decide(lookups []Lookup, out []int) error {
 			// action read: the shared software tables answer instead.
 			out[i] = b.sw.m.Greedy(l.Cluster, l.State)
 			b.degraded.Add(1)
+			if b.events != nil {
+				if err != nil {
+					b.events.Addf("hw", "cluster %d lookup degraded after retries: %v", l.Cluster, err)
+				} else {
+					b.events.Addf("hw", "cluster %d lookup degraded: corrupt action %d", l.Cluster, action)
+				}
+			}
 			continue
 		}
 		out[i] = action

@@ -4,13 +4,26 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rlpm/internal/obs"
 )
 
 // batchReq is one session's exploitation lookups awaiting a shared batch.
 type batchReq struct {
-	lookups []Lookup
-	out     []int
-	done    chan error
+	lookups  []Lookup
+	out      []int
+	done     chan error
+	enqueued time.Time // submission instant, for the queue-wait histogram
+}
+
+// batcherObs is the batcher's slice of the server's metrics registry:
+// dispatch counters plus the three batch-side stages of the decide path.
+type batcherObs struct {
+	batches    *obs.Counter
+	lookups    *obs.Counter
+	queueWait  *obs.Histogram // submit → joins a dispatching batch
+	assemble   *obs.Histogram // batch opens → dispatch (linger + grabbing)
+	backendLat *obs.Histogram // backend.Decide wall time
 }
 
 // batcher coalesces concurrent decide requests into batched backend calls,
@@ -18,27 +31,27 @@ type batchReq struct {
 // one conversation with the expensive resource. A single worker goroutine
 // owns the backend, so backends need no internal locking.
 type batcher struct {
-	backend   Backend
-	ch        chan *batchReq
-	maxBatch  int           // max lookups per backend call
-	linger    time.Duration // wait for co-travellers after the first arrival
-	quit      chan struct{}
-	wg        sync.WaitGroup
-	closeMu   sync.RWMutex
-	closed    bool
+	backend  Backend
+	ch       chan *batchReq
+	maxBatch int           // max lookups per backend call
+	linger   time.Duration // wait for co-travellers after the first arrival
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	closeMu  sync.RWMutex
+	closed   bool
+	o        batcherObs
 
-	batches atomic.Uint64
-	lookups atomic.Uint64
-	maxOcc  atomic.Uint64
+	maxOcc atomic.Uint64
 }
 
-func newBatcher(backend Backend, maxBatch int, linger time.Duration) *batcher {
+func newBatcher(backend Backend, maxBatch int, linger time.Duration, o batcherObs) *batcher {
 	b := &batcher{
 		backend:  backend,
 		ch:       make(chan *batchReq, 4*maxBatch),
 		maxBatch: maxBatch,
 		linger:   linger,
 		quit:     make(chan struct{}),
+		o:        o,
 	}
 	b.wg.Add(1)
 	go b.run()
@@ -48,7 +61,7 @@ func newBatcher(backend Backend, maxBatch int, linger time.Duration) *batcher {
 // Do submits lookups and blocks until the worker has resolved them into
 // out. Safe for concurrent use.
 func (b *batcher) Do(lookups []Lookup, out []int) error {
-	req := &batchReq{lookups: lookups, out: out, done: make(chan error, 1)}
+	req := &batchReq{lookups: lookups, out: out, done: make(chan error, 1), enqueued: time.Now()}
 	// The read lock is held across the channel send: Close flips closed
 	// under the write lock, so once Close proceeds no sender can be
 	// mid-send and the worker's final drain empties the channel for good.
@@ -74,7 +87,7 @@ func (b *batcher) Close() {
 }
 
 func (b *batcher) stats() (batches, lookups, maxOcc uint64) {
-	return b.batches.Load(), b.lookups.Load(), b.maxOcc.Load()
+	return b.o.batches.Load(), b.o.lookups.Load(), b.maxOcc.Load()
 }
 
 func (b *batcher) run() {
@@ -97,18 +110,22 @@ func (b *batcher) run() {
 				return
 			}
 		}
+		opened := time.Now()
+		b.o.queueWait.Observe(opened.Sub(first.enqueued).Nanoseconds())
 		reqs = append(reqs[:0], first)
 		total := len(first.lookups)
 
 		// accept admits r to the current batch unless its lookups would
 		// push the batch past the cap; an overflowing request is held back
 		// as the seed of the next batch (requests are indivisible — one
-		// session's lookups never split across backend calls).
+		// session's lookups never split across backend calls). A held
+		// request's queue wait is observed when it opens the next batch.
 		accept := func(r *batchReq) bool {
 			if total+len(r.lookups) > b.maxBatch {
 				held = r
 				return false
 			}
+			b.o.queueWait.Observe(time.Since(r.enqueued).Nanoseconds())
 			reqs = append(reqs, r)
 			total += len(r.lookups)
 			return true
@@ -155,7 +172,10 @@ func (b *batcher) run() {
 			actions = make([]int, len(flat))
 		}
 		actions = actions[:len(flat)]
+		dispatch := time.Now()
+		b.o.assemble.Observe(dispatch.Sub(opened).Nanoseconds())
 		err := b.backend.Decide(flat, actions)
+		b.o.backendLat.Observe(time.Since(dispatch).Nanoseconds())
 		off := 0
 		for _, r := range reqs {
 			if err == nil {
@@ -164,8 +184,8 @@ func (b *batcher) run() {
 			off += len(r.lookups)
 			r.done <- err
 		}
-		b.batches.Add(1)
-		b.lookups.Add(uint64(total))
+		b.o.batches.Add(1)
+		b.o.lookups.Add(uint64(total))
 		if occ := uint64(total); occ > b.maxOcc.Load() {
 			b.maxOcc.Store(occ)
 		}

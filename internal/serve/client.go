@@ -45,6 +45,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// The server content-negotiates /metrics (Prometheus text by
+	// default); this client always speaks JSON.
+	req.Header.Set("Accept", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -98,6 +101,13 @@ func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
 	var m Metrics
 	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
 	return m, err
+}
+
+// Events fetches the server's structured runtime event log.
+func (c *Client) Events(ctx context.Context) (EventsResponse, error) {
+	var e EventsResponse
+	err := c.do(ctx, http.MethodGet, "/debug/events", nil, &e)
+	return e, err
 }
 
 // SaveCheckpoint asks the server to persist its model.

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
+
+	"rlpm/internal/obs"
 )
 
 // Wire types shared by the handlers and the Go client.
@@ -46,6 +49,14 @@ type HealthResponse struct {
 	UptimeS float64 `json:"uptime_s"`
 }
 
+// EventsResponse answers GET /debug/events: the retained tail of the
+// bounded event log, oldest first. Total counts every event ever
+// recorded, so pollers can tell how many the ring evicted.
+type EventsResponse struct {
+	Total  uint64      `json:"total"`
+	Events []obs.Event `json:"events"`
+}
+
 // errorResponse is the uniform error body.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -58,7 +69,8 @@ type errorResponse struct {
 //	POST   /v1/sessions/{id}/reward  record a device-reported reward
 //	DELETE /v1/sessions/{id}         close the session, return its ledger
 //	POST   /v1/checkpoint            persist the model to the configured path
-//	GET    /metrics                  observable server state (JSON)
+//	GET    /metrics                  Prometheus text exposition (JSON with Accept: application/json)
+//	GET    /debug/events             structured runtime event log (JSON)
 //	GET    /healthz                  liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -68,6 +80,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -120,6 +133,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.histHTTP.Observe(time.Since(t0).Nanoseconds()) }()
 	sess, err := s.Session(r.PathValue("id"))
 	if err != nil {
 		s.writeError(w, err)
@@ -178,11 +193,13 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 	}
 	n, err := SaveCheckpoint(s.cfg.CheckpointPath, s.model.Snapshot())
 	if err != nil {
+		s.events.Addf("checkpoint", "save to %s failed: %v", s.cfg.CheckpointPath, err)
 		s.writeError(w, err)
 		return
 	}
 	now := time.Now()
 	s.MarkCheckpoint(now)
+	s.events.Addf("checkpoint", "saved %s (%d bytes)", s.cfg.CheckpointPath, n)
 	s.writeJSON(w, http.StatusOK, CheckpointResponse{
 		Path:    s.cfg.CheckpointPath,
 		Bytes:   n,
@@ -190,12 +207,29 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+// handleMetrics content-negotiates: Prometheus text exposition by default
+// (what a scraper or curl gets), the JSON Metrics snapshot when the
+// client asks for application/json (the Go client and the load
+// generator).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	resp := EventsResponse{Total: s.events.Total(), Events: s.events.Events()}
+	if resp.Events == nil {
+		resp.Events = []obs.Event{}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", UptimeS: time.Since(s.start).Seconds()})
+	s.writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", UptimeS: ageSeconds(s.start)})
 }
 
 // decodeBody parses a JSON request body into v. An absent body decodes to

@@ -7,8 +7,10 @@ import (
 	"sync"
 	"time"
 
+	"rlpm/internal/obs"
 	"rlpm/internal/qos"
 	"rlpm/internal/soc"
+	"rlpm/internal/stats"
 	"rlpm/internal/workload"
 )
 
@@ -87,7 +89,16 @@ type LoadReport struct {
 	Decisions       uint64           `json:"decisions"`
 	Errors          uint64           `json:"errors"`
 	DecisionsPerSec float64          `json:"decisions_per_sec"`
-	LatencyNs       LatencyQuantiles `json:"latency_ns"`
+	// LatencyNs holds exact sample quantiles (stats.Percentile's R-7
+	// linear interpolation over every recorded round trip).
+	LatencyNs LatencyQuantiles `json:"latency_ns"`
+	// LatencyHistNs holds the same quantiles recovered from the shared
+	// obs histogram — what a scrape-based monitor would report; exact
+	// within bucket resolution.
+	LatencyHistNs LatencyQuantiles `json:"latency_hist_ns"`
+	// LatencyBuckets is the populated tail of the shared latency
+	// histogram (log-spaced ns bins; le_ns -1 marks the overflow bin).
+	LatencyBuckets []obs.Bucket `json:"latency_buckets,omitempty"`
 	// Server is the target's /metrics snapshot taken after the run.
 	Server *Metrics `json:"server,omitempty"`
 }
@@ -118,13 +129,16 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
-	stats := make([]deviceStats, cfg.Devices)
+	// Every device observes its round trips into one shared histogram —
+	// the fleet-side mirror of the server's decide-stage histograms.
+	hist := obs.NewHistogram("pmload_decide_latency_ns", "client-observed decide round-trip latency")
+	devStats := make([]deviceStats, cfg.Devices)
 	var wg sync.WaitGroup
 	for d := 0; d < cfg.Devices; d++ {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			stats[idx] = runDevice(ctx, client, cfg, idx, deadline)
+			devStats[idx] = runDevice(ctx, client, cfg, idx, deadline, hist)
 		}(d)
 	}
 	wg.Wait()
@@ -132,7 +146,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 	rep := &LoadReport{Devices: cfg.Devices, DurationS: elapsed.Seconds()}
 	var all []int64
-	for _, st := range stats {
+	for _, st := range devStats {
 		rep.Decisions += st.decisions
 		rep.Errors += st.errors
 		all = append(all, st.latencies...)
@@ -141,6 +155,14 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		rep.DecisionsPerSec = float64(rep.Decisions) / elapsed.Seconds()
 	}
 	rep.LatencyNs = quantiles(all)
+	snap := hist.Snapshot()
+	rep.LatencyHistNs = LatencyQuantiles{
+		P50: snap.Quantile(0.50),
+		P90: snap.Quantile(0.90),
+		P99: snap.Quantile(0.99),
+		Max: float64(snap.Max),
+	}
+	rep.LatencyBuckets = snap.NonZero()
 	if m, err := client.Metrics(ctx); err == nil {
 		rep.Server = &m
 	}
@@ -151,7 +173,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 // control period's decision fetched from the server, periodic reward
 // reports, session closed at the end. Errors abort the device and are
 // counted; they never panic the fleet.
-func runDevice(ctx context.Context, client *Client, cfg LoadConfig, idx int, deadline time.Time) deviceStats {
+func runDevice(ctx context.Context, client *Client, cfg LoadConfig, idx int, deadline time.Time, hist *obs.Histogram) deviceStats {
 	var st deviceStats
 	fail := func(error) deviceStats { st.errors++; return st }
 
@@ -200,7 +222,9 @@ func runDevice(ctx context.Context, client *Client, cfg LoadConfig, idx int, dea
 			return fail(err)
 		}
 		st.decisions++
-		st.latencies = append(st.latencies, time.Since(t0).Nanoseconds())
+		lat := time.Since(t0).Nanoseconds()
+		st.latencies = append(st.latencies, lat)
+		hist.Observe(lat)
 		if len(levels) != n {
 			return fail(fmt.Errorf("server returned %d levels for %d clusters", len(levels), n))
 		}
@@ -242,20 +266,29 @@ func runDevice(ctx context.Context, client *Client, cfg LoadConfig, idx int, dea
 	return st
 }
 
-// quantiles computes latency quantiles over raw nanosecond samples.
+// quantiles computes latency quantiles over raw nanosecond samples using
+// stats.Percentile's R-7 linear interpolation — the same definition the
+// experiment harness reports — on a sorted copy, so the caller's slice is
+// never reordered. (The previous nearest-rank truncation biased p90/p99
+// low for small samples and disagreed with stats.Percentile; the
+// regression test pins the two implementations together.)
 func quantiles(ns []int64) LatencyQuantiles {
 	if len(ns) == 0 {
 		return LatencyQuantiles{}
 	}
-	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
-	at := func(q float64) float64 {
-		i := int(q * float64(len(ns)-1))
-		return float64(ns[i])
+	s := make([]float64, len(ns))
+	for i, v := range ns {
+		s[i] = float64(v)
+	}
+	sort.Float64s(s)
+	at := func(p float64) float64 {
+		v, _ := stats.PercentileSorted(s, p)
+		return v
 	}
 	return LatencyQuantiles{
-		P50: at(0.50),
-		P90: at(0.90),
-		P99: at(0.99),
-		Max: float64(ns[len(ns)-1]),
+		P50: at(50),
+		P90: at(90),
+		P99: at(99),
+		Max: s[len(s)-1],
 	}
 }

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rlpm/internal/rng"
+	"rlpm/internal/stats"
+)
+
+// TestQuantilesMatchStatsPercentile is the regression test for the
+// nearest-rank truncation bug: the load generator's quantiles must agree
+// exactly with stats.Percentile on every fixture, and must not reorder the
+// caller's slice.
+func TestQuantilesMatchStatsPercentile(t *testing.T) {
+	fixtures := [][]int64{
+		{},
+		{42},
+		{0, 100}, // old truncation reported p90 = 0 here
+		{100, 0},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{5, 5, 5, 5},
+	}
+	r := rng.New(17)
+	for n := 0; n < 4; n++ {
+		f := make([]int64, 3+r.Intn(500))
+		for i := range f {
+			f[i] = int64(r.Intn(10_000_000))
+		}
+		fixtures = append(fixtures, f)
+	}
+	for fi, f := range fixtures {
+		orig := append([]int64(nil), f...)
+		got := quantiles(f)
+		for i := range f {
+			if f[i] != orig[i] {
+				t.Fatalf("fixture %d: quantiles reordered the caller's slice at %d", fi, i)
+			}
+		}
+		if len(f) == 0 {
+			if got != (LatencyQuantiles{}) {
+				t.Fatalf("fixture %d: empty input produced %+v", fi, got)
+			}
+			continue
+		}
+		fs := make([]float64, len(f))
+		var max float64
+		for i, v := range f {
+			fs[i] = float64(v)
+			if fs[i] > max {
+				max = fs[i]
+			}
+		}
+		want := func(p float64) float64 {
+			v, err := stats.Percentile(fs, p)
+			if err != nil {
+				t.Fatalf("fixture %d: stats.Percentile(%v): %v", fi, p, err)
+			}
+			return v
+		}
+		if got.P50 != want(50) || got.P90 != want(90) || got.P99 != want(99) || got.Max != max {
+			t.Fatalf("fixture %d: quantiles %+v disagree with stats.Percentile (p50=%v p90=%v p99=%v max=%v)",
+				fi, got, want(50), want(90), want(99), max)
+		}
+	}
+
+	// Pin the exact interpolated values on the two-sample fixture the old
+	// truncating implementation got wrong (it reported p90 = p99 = 0).
+	got := quantiles([]int64{0, 100})
+	if got.P50 != 50 || got.P90 != 90 || got.P99 != 99 || got.Max != 100 {
+		t.Fatalf("two-sample fixture: %+v, want p50=50 p90=90 p99=99 max=100", got)
+	}
+}
+
+// TestSaveCheckpointDurabilitySequence asserts the write→sync→rename→
+// dir-sync ordering through recording hooks, so the fsync-the-parent-dir
+// fix can never silently regress.
+func TestSaveCheckpointDurabilitySequence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.ckpt")
+	_, snap := testSnapshot(t, 3)
+
+	var seq []string
+	var renamedTo, syncedDir string
+	real := osHooks()
+	rec := fsHooks{
+		syncFile: func(f *os.File) error {
+			seq = append(seq, "sync-file")
+			return real.syncFile(f)
+		},
+		rename: func(oldpath, newpath string) error {
+			seq = append(seq, "rename")
+			renamedTo = newpath
+			return real.rename(oldpath, newpath)
+		},
+		syncDir: func(d string) error {
+			seq = append(seq, "sync-dir")
+			syncedDir = d
+			return real.syncDir(d)
+		},
+	}
+	n, err := saveCheckpoint(path, snap, rec)
+	if err != nil {
+		t.Fatalf("saveCheckpoint: %v", err)
+	}
+	if n <= 0 {
+		t.Fatalf("saved %d bytes", n)
+	}
+	want := []string{"sync-file", "rename", "sync-dir"}
+	if len(seq) != len(want) {
+		t.Fatalf("hook sequence %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("hook sequence %v, want %v", seq, want)
+		}
+	}
+	if renamedTo != path {
+		t.Fatalf("renamed to %q, want %q", renamedTo, path)
+	}
+	if syncedDir != dir {
+		t.Fatalf("synced dir %q, want the checkpoint's parent %q", syncedDir, dir)
+	}
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatalf("reloading: %v", err)
+	}
+
+	// A failing dir sync must fail the save: the caller cannot report
+	// durability it does not have.
+	rec.syncDir = func(string) error { return os.ErrPermission }
+	if _, err := saveCheckpoint(path, snap, rec); err == nil {
+		t.Fatal("save reported success with a failed directory sync")
+	}
+}
+
+// TestAgeClampsNeverNegative covers the backwards-NTP-step hazard: age
+// gauges clamp at zero even for future timestamps that lost their
+// monotonic reading.
+func TestAgeClampsNeverNegative(t *testing.T) {
+	// Round(0) strips the monotonic clock, so this timestamp really is in
+	// the wall-clock future — time.Since goes negative without the clamp.
+	future := time.Now().Add(time.Hour).Round(0)
+	if got := ageSeconds(future); got != 0 {
+		t.Fatalf("ageSeconds(future) = %v, want 0", got)
+	}
+	if got := ageSeconds(time.Now().Add(-time.Millisecond)); got <= 0 {
+		t.Fatalf("ageSeconds(past) = %v, want > 0", got)
+	}
+
+	m := testModel(t, 3)
+	srv := newTestServer(t, m, nil, Config{})
+	srv.MarkCheckpoint(future)
+	met := srv.MetricsSnapshot()
+	if met.CheckpointAgeS != 0 {
+		t.Fatalf("CheckpointAgeS %v with a future checkpoint time, want clamp to 0", met.CheckpointAgeS)
+	}
+	if met.UptimeS < 0 {
+		t.Fatalf("UptimeS %v went negative", met.UptimeS)
+	}
+
+	// No checkpoint at all stays the -1 sentinel, not 0.
+	srv2 := newTestServer(t, testModel(t, 3), nil, Config{})
+	if got := srv2.MetricsSnapshot().CheckpointAgeS; got != -1 {
+		t.Fatalf("CheckpointAgeS %v with no checkpoint, want -1", got)
+	}
+}
+
+// TestMetricsSnapshotConcurrent hammers MetricsSnapshot and the Prometheus
+// exposition while sessions decide and close — run under -race, this is
+// the data-race gate for the observability wiring.
+func TestMetricsSnapshotConcurrent(t *testing.T) {
+	m := testModel(t, 3, 5)
+	srv := newTestServer(t, m, nil, Config{})
+	seq := testObs(m, 5, 40)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				sess, err := srv.CreateSession(SessionOptions{Epsilon: 0.2, Seed: seed})
+				if err != nil {
+					return // server closed under us: fine
+				}
+				for _, obs := range seq {
+					if _, err := sess.Decide(obs); err != nil {
+						return
+					}
+				}
+				srv.CloseSession(sess.ID())
+			}
+		}(uint64(w + 1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = srv.MetricsSnapshot()
+			_ = srv.Registry().WritePrometheus(io.Discard)
+			_ = srv.Events().Events()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(10 * time.Millisecond)
+		srv.Close() // close with decides in flight
+	}()
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestMetricsContentNegotiation pins GET /metrics in both shapes: JSON for
+// clients that ask, Prometheus text exposition (with the per-stage decide
+// histograms populated) for everyone else.
+func TestMetricsContentNegotiation(t *testing.T) {
+	m := testModel(t, 3, 5)
+	srv := newTestServer(t, m, nil, Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	ctx := context.Background()
+	client := NewClient(hs.URL)
+
+	sess, err := client.CreateSession(ctx, SessionOptions{})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	for _, obs := range testObs(m, 9, 10) {
+		if _, err := sess.Decide(ctx, obs); err != nil {
+			t.Fatalf("decide: %v", err)
+		}
+	}
+
+	// Default: Prometheus text.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q, want text exposition 0.0.4", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE serve_decide_stage_ns histogram",
+		`serve_decide_stage_ns_count{stage="http"} 10`,
+		`serve_decide_stage_ns_count{stage="queue_wait"}`,
+		`serve_decide_stage_ns_count{stage="assemble"}`,
+		`serve_decide_stage_ns_count{stage="backend"}`,
+		"# TYPE serve_decisions_total counter",
+		"serve_decisions_total 10",
+		"serve_lookups_total 20",
+		"serve_sessions 1",
+		"# TYPE serve_uptime_seconds gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// The batcher-side stage histograms must have counted every decision.
+	for _, stage := range []string{"queue_wait", "assemble", "backend"} {
+		line := `serve_decide_stage_ns_count{stage="` + stage + `"} `
+		i := strings.Index(text, line)
+		if i < 0 {
+			t.Fatalf("no count line for stage %s", stage)
+		}
+		rest := text[i+len(line):]
+		if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+			rest = rest[:nl]
+		}
+		if rest == "0" {
+			t.Fatalf("stage %s histogram stayed empty", stage)
+		}
+	}
+
+	// Accept: application/json keeps the structured snapshot.
+	req, _ := http.NewRequest("GET", hs.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET /metrics (json): %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("json content type %q", ct)
+	}
+	var met Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&met); err != nil {
+		t.Fatalf("decoding JSON metrics: %v", err)
+	}
+	if met.Decisions != 10 || met.Sessions != 1 {
+		t.Fatalf("JSON metrics %+v", met)
+	}
+}
+
+// TestEventsEndpoint drives a checkpoint save and reads the event back
+// through GET /debug/events.
+func TestEventsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	m := testModel(t, 3)
+	srv := newTestServer(t, m, nil, Config{CheckpointPath: filepath.Join(dir, "m.ckpt")})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	ctx := context.Background()
+	client := NewClient(hs.URL)
+
+	// Empty log: still valid JSON with an empty array, not null.
+	resp, err := http.Get(hs.URL + "/debug/events")
+	if err != nil {
+		t.Fatalf("GET /debug/events: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(raw), `"events":null`) {
+		t.Fatalf("empty event log rendered null: %s", raw)
+	}
+
+	if _, err := client.SaveCheckpoint(ctx); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	ev, err := client.Events(ctx)
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if ev.Total == 0 || len(ev.Events) == 0 {
+		t.Fatalf("no events after a checkpoint save: %+v", ev)
+	}
+	found := false
+	for _, e := range ev.Events {
+		if e.Kind == "checkpoint" && strings.Contains(e.Msg, "saved") {
+			found = true
+		}
+		if e.Seq == 0 || e.At.IsZero() {
+			t.Fatalf("event %+v missing seq or timestamp", e)
+		}
+	}
+	if !found {
+		t.Fatalf("no checkpoint-saved event in %+v", ev.Events)
+	}
+}

@@ -37,10 +37,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"rlpm/internal/core"
+	"rlpm/internal/obs"
 	"rlpm/internal/rng"
 	"rlpm/internal/sim"
 )
@@ -362,16 +362,26 @@ type Server struct {
 	nextID   uint64
 	closed   bool
 
-	decisions       atomic.Uint64 // decide calls served
-	lookupsServed   atomic.Uint64 // individual table lookups
-	explorations    atomic.Uint64 // decisions taken by device-local exploration
-	rewards         atomic.Uint64
-	sessionsCreated atomic.Uint64
-	sessionsClosed  atomic.Uint64
-	httpErrors      atomic.Uint64
+	reg    *obs.Registry
+	events *obs.EventLog
+
+	decisions       *obs.Counter // decide calls served
+	lookupsServed   *obs.Counter // individual table lookups
+	explorations    *obs.Counter // decisions taken by device-local exploration
+	rewards         *obs.Counter
+	sessionsCreated *obs.Counter
+	sessionsClosed  *obs.Counter
+	httpErrors      *obs.Counter
+	histHTTP        *obs.Histogram // full decide-handler wall time
 
 	ckptMu   sync.Mutex
 	ckptTime time.Time // zero until a checkpoint is loaded or saved
+}
+
+// eventLogSinks are backends that report degradations into the server's
+// event log once wired; *HWBackend implements it.
+type eventLogSink interface {
+	setEventLog(*obs.EventLog)
 }
 
 // New builds a server over model and backend. backend defaults to the
@@ -387,15 +397,91 @@ func New(model *Model, backend Backend, cfg Config) (*Server, error) {
 	if backend == nil {
 		backend = NewSWBackend(model)
 	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:      cfg,
 		model:    model,
 		backend:  backend,
 		start:    time.Now(),
 		sessions: make(map[string]*Session),
+		reg:      reg,
+		events:   obs.NewEventLog(256),
+
+		decisions:       reg.NewCounter("serve_decisions_total", "decide calls served"),
+		lookupsServed:   reg.NewCounter("serve_lookups_total", "individual greedy table lookups resolved"),
+		explorations:    reg.NewCounter("serve_explorations_total", "decisions taken by device-local exploration"),
+		rewards:         reg.NewCounter("serve_rewards_total", "device-reported rewards recorded"),
+		sessionsCreated: reg.NewCounter("serve_sessions_created_total", "device sessions opened"),
+		sessionsClosed:  reg.NewCounter("serve_sessions_closed_total", "device sessions closed"),
+		httpErrors:      reg.NewCounter("serve_http_errors_total", "HTTP requests answered with an error status"),
+		histHTTP: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
+			obs.Label{Key: "stage", Value: "http"}),
 	}
-	s.batch = newBatcher(backend, cfg.MaxBatch, cfg.Linger)
+	reg.NewGaugeFunc("serve_sessions", "live device sessions", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sessions))
+	})
+	reg.NewGaugeFunc("serve_uptime_seconds", "seconds since server start (monotonic, clamped at 0)", func() float64 {
+		return ageSeconds(s.start)
+	})
+	reg.NewGaugeFunc("serve_checkpoint_age_seconds", "seconds since the last checkpoint load/save; -1 when none exists", func() float64 {
+		return s.checkpointAgeS()
+	})
+	reg.NewCounterFunc("serve_events_total", "structured runtime events recorded", s.events.Total)
+	if sink, ok := backend.(eventLogSink); ok {
+		sink.setEventLog(s.events)
+	}
+	if hb, ok := backend.(*HWBackend); ok {
+		reg.NewCounterFunc("serve_hw_decisions_total", "lookups decided by the modeled accelerator", hb.decisions.Load)
+		reg.NewCounterFunc("serve_hw_retries_total", "accelerator transaction retries", hb.retries.Load)
+		reg.NewCounterFunc("serve_hw_degraded_total", "lookups degraded to the software tables", hb.degraded.Load)
+	}
+	s.batch = newBatcher(backend, cfg.MaxBatch, cfg.Linger, batcherObs{
+		batches: reg.NewCounter("serve_batches_total", "backend batch dispatches"),
+		lookups: reg.NewCounter("serve_batch_lookups_total", "lookups resolved through batch dispatches"),
+		queueWait: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
+			obs.Label{Key: "stage", Value: "queue_wait"}),
+		assemble: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
+			obs.Label{Key: "stage", Value: "assemble"}),
+		backendLat: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
+			obs.Label{Key: "stage", Value: "backend"}),
+	})
+	reg.NewGaugeFunc("serve_batch_max_occupancy", "largest batch dispatched", func() float64 {
+		return float64(s.batch.maxOcc.Load())
+	})
 	return s, nil
+}
+
+// Registry exposes the server's metrics registry, so binaries can add
+// their own series and dump the exposition (pmserve's SIGUSR1 handler).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Events exposes the server's bounded event log.
+func (s *Server) Events() *obs.EventLog { return s.events }
+
+// ageSeconds returns the elapsed seconds since t, clamped at 0. Captures
+// taken with time.Now carry a monotonic reading and are immune to
+// wall-clock steps; the clamp covers timestamps that lost it (decoded,
+// Round(0)-stripped, or truly from the future after a backwards NTP
+// step), so age metrics can never go negative and break alert rules.
+func ageSeconds(t time.Time) float64 {
+	s := time.Since(t).Seconds()
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// checkpointAgeS returns the clamped checkpoint age, -1 when no
+// checkpoint was ever loaded or saved.
+func (s *Server) checkpointAgeS() float64 {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if s.ckptTime.IsZero() {
+		return -1
+	}
+	return ageSeconds(s.ckptTime)
 }
 
 // Model returns the served model.
@@ -415,7 +501,9 @@ func (s *Server) Close() {
 }
 
 // MarkCheckpoint records a checkpoint load/save instant for the
-// checkpoint-age metric.
+// checkpoint-age metric. Prefer passing a fresh time.Now() — it carries a
+// monotonic reading, so the age survives wall-clock steps; timestamps
+// without one are still safe because every age read clamps at 0.
 func (s *Server) MarkCheckpoint(at time.Time) {
 	s.ckptMu.Lock()
 	s.ckptTime = at
@@ -506,14 +594,16 @@ type Metrics struct {
 	HW                 *HWStats `json:"hw,omitempty"`
 }
 
-// MetricsSnapshot assembles the current metrics.
+// MetricsSnapshot assembles the current metrics. Ages are monotonic-safe
+// and clamped at 0 (CheckpointAgeS stays -1 when no checkpoint exists),
+// so a backwards wall-clock step can never produce a negative age.
 func (s *Server) MetricsSnapshot() Metrics {
 	s.mu.Lock()
 	live := len(s.sessions)
 	s.mu.Unlock()
 	batches, lookups, maxOcc := s.batch.stats()
 	m := Metrics{
-		UptimeS:           time.Since(s.start).Seconds(),
+		UptimeS:           ageSeconds(s.start),
 		Backend:           s.backend.Name(),
 		Clusters:          s.model.Clusters(),
 		Sessions:          live,
@@ -526,16 +616,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Batches:           batches,
 		MaxBatchOccupancy: maxOcc,
 		HTTPErrors:        s.httpErrors.Load(),
-		CheckpointAgeS:    -1,
+		CheckpointAgeS:    s.checkpointAgeS(),
 	}
 	if batches > 0 {
 		m.MeanBatchOccupancy = float64(lookups) / float64(batches)
 	}
-	s.ckptMu.Lock()
-	if !s.ckptTime.IsZero() {
-		m.CheckpointAgeS = time.Since(s.ckptTime).Seconds()
-	}
-	s.ckptMu.Unlock()
 	if hb, ok := s.backend.(*HWBackend); ok {
 		m.HW = hb.statsSnapshot()
 	}

@@ -8,12 +8,51 @@ import (
 	"rlpm/internal/core"
 )
 
-// SaveCheckpoint persists snap at path atomically: the checkpoint encoding
-// is written to a temporary file in the same directory, synced, and
-// renamed over the destination, so a crash mid-write can never leave a
-// torn checkpoint where a server expects a valid one. Returns the encoded
-// size.
+// fsHooks abstracts the syscalls whose ordering makes a checkpoint save
+// durable. Production uses osHooks; the durability test swaps in
+// recording hooks and asserts the write→sync→rename→dir-sync sequence.
+type fsHooks struct {
+	syncFile func(*os.File) error
+	rename   func(oldpath, newpath string) error
+	syncDir  func(dir string) error
+}
+
+func osHooks() fsHooks {
+	return fsHooks{
+		syncFile: (*os.File).Sync,
+		rename:   os.Rename,
+		syncDir:  syncDir,
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// POSIX only guarantees the rename is durable once the containing
+// directory is synced; without this, a power cut right after a
+// "successful" save can roll the directory entry back to the old
+// checkpoint — or to nothing.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SaveCheckpoint persists snap at path atomically and durably: the
+// checkpoint encoding is written to a temporary file in the same
+// directory, fsynced, renamed over the destination, and then the parent
+// directory is fsynced, so a crash at any instant leaves either the old
+// checkpoint or the new one — complete, and with its directory entry on
+// disk. Returns the encoded size.
 func SaveCheckpoint(path string, snap core.Snapshot) (int64, error) {
+	return saveCheckpoint(path, snap, osHooks())
+}
+
+func saveCheckpoint(path string, snap core.Snapshot, fs fsHooks) (int64, error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -24,7 +63,7 @@ func SaveCheckpoint(path string, snap core.Snapshot) (int64, error) {
 		tmp.Close()
 		return 0, fmt.Errorf("serve: encoding checkpoint: %w", err)
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := fs.syncFile(tmp); err != nil {
 		tmp.Close()
 		return 0, fmt.Errorf("serve: syncing checkpoint: %w", err)
 	}
@@ -36,8 +75,11 @@ func SaveCheckpoint(path string, snap core.Snapshot) (int64, error) {
 	if err := tmp.Close(); err != nil {
 		return 0, fmt.Errorf("serve: closing checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fs.rename(tmp.Name(), path); err != nil {
 		return 0, fmt.Errorf("serve: publishing checkpoint: %w", err)
+	}
+	if err := fs.syncDir(dir); err != nil {
+		return 0, fmt.Errorf("serve: syncing checkpoint directory: %w", err)
 	}
 	return info.Size(), nil
 }

@@ -106,27 +106,40 @@ func Max(xs []float64) (float64, error) {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between closest ranks (the "R-7" definition used by numpy).
+// interpolation between closest ranks (the "R-7" definition used by
+// numpy). The input is copied and sorted internally; use
+// PercentileSorted to amortize the sort over several percentiles.
 func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted is Percentile over an already ascending-sorted sample:
+// no copy, no sort, identical values. Callers extracting several
+// percentiles from one sample sort once and call this for each — the two
+// paths are pinned to agree by the stats tests.
+func PercentileSorted(sorted []float64, p float64) (float64, error) {
+	if len(sorted) == 0 {
 		return 0, ErrEmpty
 	}
 	if p < 0 || p > 100 {
 		return 0, fmt.Errorf("stats: percentile %v out of [0,100]", p)
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	if len(s) == 1 {
-		return s[0], nil
+	if len(sorted) == 1 {
+		return sorted[0], nil
 	}
-	rank := p / 100 * float64(len(s)-1)
+	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s[lo], nil
+		return sorted[lo], nil
 	}
 	frac := rank - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac, nil
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }
 
 // Median returns the 50th percentile.
