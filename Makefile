@@ -34,6 +34,7 @@ FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/hwpolicy -run '^$$' -fuzz FuzzAccelRegisterFile -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
 
 # cover enforces the coverage floor (measured at 84.8% when the gate was
 # introduced; the floor leaves headroom for timing-dependent paths).
@@ -56,24 +57,28 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # bench-serve runs the serving experiment: self-host a trained policy on a
-# loopback listener, drive it with a simulated device fleet on both serving
-# backends, and write throughput + latency quantiles to BENCH_pr4.json.
-SERVE_OUT ?= BENCH_pr4.json
+# loopback listener, drive it with a simulated device fleet over both the
+# HTTP/JSON and binary wire transports, and write throughput + latency
+# quantiles (plus the bin-vs-json speedup) to BENCH_pr6.json.
+SERVE_OUT ?= BENCH_pr6.json
 bench-serve:
-	$(GO) run ./cmd/pmload -backends both -devices 50 -duration 2s -out $(SERVE_OUT)
+	$(GO) run ./cmd/pmload -proto both -devices 50 -duration 2s -out $(SERVE_OUT)
 
-# serve-smoke is the end-to-end binary check: start pmserve, load it with
-# pmload over real HTTP, scrape /metrics mid-run and require populated
-# decide-path histograms, then SIGTERM it and require a clean exit.
+# serve-smoke is the end-to-end binary check: start pmserve (HTTP + binary
+# listeners), load it with pmload over real HTTP and then over the binary
+# protocol, scrape /metrics and require populated decide-path histograms on
+# both transports, then SIGTERM it and require a clean exit.
 serve-smoke:
 	$(GO) build -o /tmp/pmserve ./cmd/pmserve
 	$(GO) build -o /tmp/pmload ./cmd/pmload
-	/tmp/pmserve -addr 127.0.0.1:7421 -quick & \
+	/tmp/pmserve -addr 127.0.0.1:7421 -listen-bin 127.0.0.1:7422 -quick & \
 	SERVE_PID=$$!; \
 	/tmp/pmload -addr http://127.0.0.1:7421 -devices 50 -duration 2s || { kill $$SERVE_PID; exit 1; }; \
-	curl -fsS http://127.0.0.1:7421/metrics | tee /tmp/metrics.prom | \
-		grep -q '# TYPE serve_decide_stage_ns histogram' || { kill $$SERVE_PID; exit 1; }; \
+	/tmp/pmload -addr http://127.0.0.1:7421 -proto bin -bin-addr 127.0.0.1:7422 -devices 50 -duration 2s || { kill $$SERVE_PID; exit 1; }; \
+	curl -fsS -o /tmp/metrics.prom http://127.0.0.1:7421/metrics || { kill $$SERVE_PID; exit 1; }; \
+	grep -q '# TYPE serve_decide_stage_ns histogram' /tmp/metrics.prom || { kill $$SERVE_PID; exit 1; }; \
 	grep -E 'serve_decide_stage_ns_count\{stage="backend"\} [1-9]' /tmp/metrics.prom >/dev/null || { kill $$SERVE_PID; exit 1; }; \
+	grep -E 'serve_decide_stage_ns_count\{stage="bin"\} [1-9]' /tmp/metrics.prom >/dev/null || { kill $$SERVE_PID; exit 1; }; \
 	kill -TERM $$SERVE_PID; \
 	wait $$SERVE_PID
 

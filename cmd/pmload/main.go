@@ -4,14 +4,20 @@
 // Two modes:
 //
 //   - -addr http://host:port targets a running pmserve (the CI smoke job);
+//     add -proto bin -bin-addr host:port to drive its binary listener;
 //   - without -addr it self-hosts: trains a policy, serves it on a loopback
 //     listener, and load-tests its own server — the one-command form of the
-//     `serve` experiment that produces BENCH_pr4.json.
+//     `serve` experiment that produces BENCH_pr6.json.
+//
+// -proto selects the decision transport: json (HTTP), bin (the
+// internal/wire binary protocol), or both — which runs the same fleet over
+// each transport in turn and reports speedup_bin_vs_json.
 //
 // Usage:
 //
-//	pmload -devices 50 -duration 2s -out BENCH_pr4.json
+//	pmload -devices 50 -duration 2s -proto both -out BENCH_pr6.json
 //	pmload -addr http://127.0.0.1:7421 -devices 1000 -duration 5s
+//	pmload -addr http://127.0.0.1:7421 -proto bin -bin-addr 127.0.0.1:7422
 //
 // Exit status is non-zero when any device observed an error or when no
 // decisions were served — the acceptance gate the smoke job relies on.
@@ -31,24 +37,30 @@ import (
 	"rlpm/internal/serve"
 )
 
-// report is the BENCH_pr4.json document.
+// report is the BENCH_pr6.json document.
 type report struct {
-	GeneratedAt string             `json:"generated_at"`
-	Mode        string             `json:"mode"`
-	Scenario    string             `json:"scenario"`
+	GeneratedAt string              `json:"generated_at"`
+	Mode        string              `json:"mode"`
+	Scenario    string              `json:"scenario"`
 	Runs        []bench.ServeResult `json:"runs"`
+	// SpeedupBinVsJSON is bin decisions/sec over json decisions/sec when
+	// the run set contains one of each on the same backend; omitted
+	// otherwise.
+	SpeedupBinVsJSON float64 `json:"speedup_bin_vs_json,omitempty"`
 }
 
 func main() {
 	var (
 		addr     = flag.String("addr", "", "target server URL; empty self-hosts a freshly trained server")
+		binAddr  = flag.String("bin-addr", "", "remote mode: the server's binary listener (host:port), required with -proto bin")
+		proto    = flag.String("proto", "json", "decision transport: json, bin, or both (self-hosted only)")
 		devices  = flag.Int("devices", 50, "simulated device count")
 		duration = flag.Duration("duration", 2*time.Second, "load window")
 		scenario = flag.String("scenario", "gaming", "workload scenario each device runs")
 		seed     = flag.Uint64("seed", 1, "base seed for per-device workload/exploration streams")
 		epsilon  = flag.Float64("epsilon", 0, "per-session exploration rate")
-		backends = flag.String("backends", "sw", "self-hosted mode: comma-free backend list as repeated runs, 'sw', 'hw', or 'both'")
-		out      = flag.String("out", "", "write the JSON report here (e.g. BENCH_pr4.json)")
+		backends = flag.String("backends", "sw", "self-hosted mode: 'sw', 'hw', or 'both'")
+		out      = flag.String("out", "", "write the JSON report here (e.g. BENCH_pr6.json)")
 		quick    = flag.Bool("quick", true, "self-hosted mode: quick training")
 	)
 	flag.Parse()
@@ -63,21 +75,25 @@ func main() {
 	var err error
 	if *addr != "" {
 		rep.Mode = "remote"
-		rep.Runs, err = runRemote(ctx, *addr, *devices, *duration, *scenario, *seed, *epsilon)
+		rep.Runs, err = runRemote(ctx, *addr, *binAddr, *proto, *devices, *duration, *scenario, *seed, *epsilon)
 	} else {
 		rep.Mode = "self-hosted"
-		rep.Runs, err = runSelfHosted(ctx, *backends, *devices, *duration, *scenario, *seed, *epsilon, *quick)
+		rep.Runs, err = runSelfHosted(ctx, *backends, *proto, *devices, *duration, *scenario, *seed, *epsilon, *quick)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmload:", err)
 		os.Exit(1)
 	}
+	rep.SpeedupBinVsJSON = speedup(rep.Runs)
 
 	var decisions, errs uint64
 	for i := range rep.Runs {
 		rep.Runs[i].WriteText(os.Stdout)
 		decisions += rep.Runs[i].Report.Decisions
 		errs += rep.Runs[i].Report.Errors
+	}
+	if rep.SpeedupBinVsJSON > 0 {
+		fmt.Printf("speedup bin vs json: %.2fx\n", rep.SpeedupBinVsJSON)
 	}
 	if *out != "" {
 		raw, err := json.MarshalIndent(rep, "", "  ")
@@ -101,29 +117,71 @@ func main() {
 	}
 }
 
+// speedup returns bin-over-json decisions/sec when the run set holds one
+// json and one bin run against the same backend; 0 otherwise.
+func speedup(runs []bench.ServeResult) float64 {
+	byProto := map[string]*bench.ServeResult{}
+	for i := range runs {
+		r := &runs[i]
+		if prev, ok := byProto[r.Proto]; ok && prev.Backend != r.Backend {
+			return 0 // mixed backends: no single meaningful ratio
+		}
+		byProto[r.Proto] = r
+	}
+	j, b := byProto["json"], byProto["bin"]
+	if j == nil || b == nil || j.Backend != b.Backend || j.Report.DecisionsPerSec == 0 {
+		return 0
+	}
+	return b.Report.DecisionsPerSec / j.Report.DecisionsPerSec
+}
+
+// protoList expands -proto into the transports to run.
+func protoList(proto string) ([]string, error) {
+	switch proto {
+	case "", "json":
+		return []string{"json"}, nil
+	case "bin":
+		return []string{"bin"}, nil
+	case "both":
+		return []string{"json", "bin"}, nil
+	default:
+		return nil, fmt.Errorf("unknown -proto %q (want json, bin, or both)", proto)
+	}
+}
+
 // runRemote load-tests an already-running server.
-func runRemote(ctx context.Context, addr string, devices int, duration time.Duration, scenario string, seed uint64, epsilon float64) ([]bench.ServeResult, error) {
-	lr, err := serve.RunLoad(ctx, serve.LoadConfig{
-		BaseURL:  addr,
-		Devices:  devices,
-		Duration: duration,
-		Scenario: scenario,
-		Seed:     seed,
-		Epsilon:  epsilon,
-	})
+func runRemote(ctx context.Context, addr, binAddr, proto string, devices int, duration time.Duration, scenario string, seed uint64, epsilon float64) ([]bench.ServeResult, error) {
+	protos, err := protoList(proto)
 	if err != nil {
 		return nil, err
 	}
-	backend := "remote"
-	if lr.Server != nil && lr.Server.Backend != "" {
-		backend = lr.Server.Backend
+	var runs []bench.ServeResult
+	for _, p := range protos {
+		lr, err := serve.RunLoad(ctx, serve.LoadConfig{
+			BaseURL:  addr,
+			Proto:    p,
+			BinAddr:  binAddr,
+			Devices:  devices,
+			Duration: duration,
+			Scenario: scenario,
+			Seed:     seed,
+			Epsilon:  epsilon,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("proto %s: %w", p, err)
+		}
+		backend := "remote"
+		if lr.Server != nil && lr.Server.Backend != "" {
+			backend = lr.Server.Backend
+		}
+		runs = append(runs, bench.ServeResult{Backend: backend, Proto: p, Report: *lr})
 	}
-	return []bench.ServeResult{{Backend: backend, Report: *lr}}, nil
+	return runs, nil
 }
 
-// runSelfHosted trains, serves, and load-tests each requested backend in
-// turn — the HW-vs-SW serving A/B when "both" is asked for.
-func runSelfHosted(ctx context.Context, backends string, devices int, duration time.Duration, scenario string, seed uint64, epsilon float64, quick bool) ([]bench.ServeResult, error) {
+// runSelfHosted trains, serves, and load-tests each requested backend ×
+// transport in turn — the HW-vs-SW and json-vs-bin A/Bs in one binary.
+func runSelfHosted(ctx context.Context, backends, proto string, devices int, duration time.Duration, scenario string, seed uint64, epsilon float64, quick bool) ([]bench.ServeResult, error) {
 	var list []string
 	switch backends {
 	case "", "sw":
@@ -135,23 +193,30 @@ func runSelfHosted(ctx context.Context, backends string, devices int, duration t
 	default:
 		return nil, fmt.Errorf("unknown -backends %q (want sw, hw, or both)", backends)
 	}
+	protos, err := protoList(proto)
+	if err != nil {
+		return nil, err
+	}
 	opt := bench.DefaultOptions()
 	opt.Quick = quick
 	opt.Seed = seed
 	var runs []bench.ServeResult
 	for _, b := range list {
-		r, err := bench.RunServe(ctx, bench.ServeOptions{
-			Options:  opt,
-			Devices:  devices,
-			Duration: duration,
-			Backend:  b,
-			Epsilon:  epsilon,
-			Scenario: scenario,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("backend %s: %w", b, err)
+		for _, p := range protos {
+			r, err := bench.RunServe(ctx, bench.ServeOptions{
+				Options:  opt,
+				Devices:  devices,
+				Duration: duration,
+				Backend:  b,
+				Proto:    p,
+				Epsilon:  epsilon,
+				Scenario: scenario,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("backend %s proto %s: %w", b, p, err)
+			}
+			runs = append(runs, *r)
 		}
-		runs = append(runs, *r)
 	}
 	return runs, nil
 }

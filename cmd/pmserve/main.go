@@ -15,6 +15,7 @@
 //	pmserve -checkpoint policy.ckpt          # load (or train+save) a checkpoint
 //	pmserve -backend hw                      # serve through the modeled accelerator
 //	pmserve -backend hw -fault-read-err 1e-3 # ...with injected bus faults
+//	pmserve -listen-bin 127.0.0.1:7422       # also speak the binary wire protocol
 //
 // Endpoints: POST /v1/sessions, POST /v1/sessions/{id}/decide,
 // POST /v1/sessions/{id}/reward, DELETE /v1/sessions/{id},
@@ -47,6 +48,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:7421", "listen address")
+		binAddr    = flag.String("listen-bin", "", "binary-protocol listen address (e.g. 127.0.0.1:7422); empty disables")
 		checkpoint = flag.String("checkpoint", "", "checkpoint path: loaded when present, written by POST /v1/checkpoint (and after training)")
 		scenario   = flag.String("scenario", "gaming", "training scenario when no checkpoint is loaded")
 		episodes   = flag.Int("episodes", 0, "training episodes (0 = quick default)")
@@ -84,6 +86,21 @@ func main() {
 	fmt.Fprintf(os.Stderr, "pmserve: serving %d clusters on http://%s (backend %s)\n",
 		srv.Model().Clusters(), ln.Addr(), *backendFl)
 
+	// The binary listener rides alongside HTTP against the same sessions;
+	// srv.Close (run on shutdown below) tears it and its connections down.
+	binDone := make(chan error, 1)
+	if *binAddr != "" {
+		binLn, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmserve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pmserve: binary protocol on %s\n", binLn.Addr())
+		go func() { binDone <- srv.ServeBin(binLn) }()
+	} else {
+		binDone <- nil
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -119,17 +136,22 @@ func main() {
 		}
 		<-errCh
 	}
+	srv.Close() // idempotent; closes the binary listener so ServeBin returns
+	if err := <-binDone; err != nil {
+		fmt.Fprintln(os.Stderr, "pmserve: binary listener:", err)
+		os.Exit(1)
+	}
 	m := srv.MetricsSnapshot()
 	fmt.Fprintf(os.Stderr, "pmserve: served %d decisions (%d lookups, %d batches, mean occupancy %.1f) to %d sessions; exiting\n",
 		m.Decisions, m.LookupsServed, m.Batches, m.MeanBatchOccupancy, m.SessionsCreated)
 }
 
 type serverParams struct {
-	checkpoint, scenario, backend           string
-	episodes, maxBatch                      int
-	quick                                   bool
-	linger                                  time.Duration
-	seed, faultSeed                         uint64
+	checkpoint, scenario, backend             string
+	episodes, maxBatch                        int
+	quick                                     bool
+	linger                                    time.Duration
+	seed, faultSeed                           uint64
 	faultReadErr, faultWriteErr, faultTimeout float64
 }
 

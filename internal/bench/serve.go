@@ -17,7 +17,7 @@ import (
 // with a fleet of simulated devices, reporting decision latency and
 // throughput. Unlike the table/figure experiments this one measures
 // wall-clock behaviour of a concurrent server, so it is reported through
-// BENCH_pr4.json (cmd/pmload, `make bench-serve`) rather than the
+// BENCH_pr6.json (cmd/pmload, `make bench-serve`) rather than the
 // deterministic golden registry.
 type ServeOptions struct {
 	Options
@@ -28,6 +28,9 @@ type ServeOptions struct {
 	// Backend selects the serving arm of the A/B: "sw" (in-memory table
 	// walk) or "hw" (modeled accelerator behind the MMIO driver).
 	Backend string
+	// Proto selects the decision transport: "json" (default) or "bin"
+	// (the internal/wire binary protocol over its own loopback listener).
+	Proto string
 	// MaxBatch and Linger tune the server's lookup coalescing.
 	MaxBatch int
 	Linger   time.Duration
@@ -46,6 +49,7 @@ type ServeOptions struct {
 // ServeResult is the load report plus the server-side metrics snapshot.
 type ServeResult struct {
 	Backend string           `json:"backend"`
+	Proto   string           `json:"proto"`
 	Report  serve.LoadReport `json:"report"`
 }
 
@@ -53,8 +57,8 @@ type ServeResult struct {
 // exact sample quantiles and the histogram-recovered ones so a drift
 // between the two (beyond bucket resolution) is visible at a glance.
 func (r *ServeResult) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "serve: backend=%s devices=%d decisions=%d errors=%d %.0f dec/s p50=%.0fns p99=%.0fns\n",
-		r.Backend, r.Report.Devices, r.Report.Decisions, r.Report.Errors,
+	fmt.Fprintf(w, "serve: backend=%s proto=%s devices=%d decisions=%d errors=%d %.0f dec/s p50=%.0fns p99=%.0fns\n",
+		r.Backend, r.Proto, r.Report.Devices, r.Report.Decisions, r.Report.Errors,
 		r.Report.DecisionsPerSec, r.Report.LatencyNs.P50, r.Report.LatencyNs.P99)
 	if len(r.Report.LatencyBuckets) > 0 {
 		fmt.Fprintf(w, "serve: histogram p50=%.0fns p90=%.0fns p99=%.0fns max=%.0fns over %d populated buckets\n",
@@ -139,8 +143,29 @@ func RunServe(ctx context.Context, o ServeOptions) (*ServeResult, error) {
 		<-done
 	}()
 
+	proto := o.Proto
+	if proto == "" {
+		proto = "json"
+	}
+	var binAddr string
+	if proto == "bin" {
+		binLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		binAddr = binLn.Addr().String()
+		binDone := make(chan error, 1)
+		go func() { binDone <- srv.ServeBin(binLn) }()
+		defer func() {
+			binLn.Close()
+			<-binDone
+		}()
+	}
+
 	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
 		BaseURL:  "http://" + ln.Addr().String(),
+		Proto:    proto,
+		BinAddr:  binAddr,
 		Devices:  o.Devices,
 		Duration: o.Duration,
 		Scenario: o.Scenario,
@@ -154,5 +179,5 @@ func RunServe(ctx context.Context, o ServeOptions) (*ServeResult, error) {
 	if backend == "" {
 		backend = "sw"
 	}
-	return &ServeResult{Backend: backend, Report: *rep}, nil
+	return &ServeResult{Backend: backend, Proto: proto, Report: *rep}, nil
 }

@@ -9,6 +9,8 @@ import (
 )
 
 // batchReq is one session's exploitation lookups awaiting a shared batch.
+// Instances are pooled: the done channel (capacity 1) is created once and
+// reused across submissions, so Do allocates nothing in steady state.
 type batchReq struct {
 	lookups  []Lookup
 	out      []int
@@ -16,11 +18,24 @@ type batchReq struct {
 	enqueued time.Time // submission instant, for the queue-wait histogram
 }
 
+var batchReqPool = sync.Pool{
+	New: func() any { return &batchReq{done: make(chan error, 1)} },
+}
+
+// putBatchReq returns a request to the pool. The done channel must be
+// empty: the worker sends exactly once per popped request, and Do receives
+// that send before releasing.
+func putBatchReq(r *batchReq) {
+	r.lookups, r.out = nil, nil
+	batchReqPool.Put(r)
+}
+
 // batcherObs is the batcher's slice of the server's metrics registry:
 // dispatch counters plus the three batch-side stages of the decide path.
 type batcherObs struct {
 	batches    *obs.Counter
 	lookups    *obs.Counter
+	rejected   *obs.Counter   // submits refused with ErrOverloaded
 	queueWait  *obs.Histogram // submit → joins a dispatching batch
 	assemble   *obs.Histogram // batch opens → dispatch (linger + grabbing)
 	backendLat *obs.Histogram // backend.Decide wall time
@@ -30,9 +45,15 @@ type batcherObs struct {
 // the software mirror of hwpolicy's multi-channel doorbell: many waiters,
 // one conversation with the expensive resource. A single worker goroutine
 // owns the backend, so backends need no internal locking.
+//
+// Submission rides a bounded lock-free MPSC ring instead of a buffered
+// channel: Push either lands in O(1) or reports full, so submit→dispatch
+// never blocks on a channel send. A full ring is backpressure — Do returns
+// ErrOverloaded instead of silently stalling the caller.
 type batcher struct {
 	backend  Backend
-	ch       chan *batchReq
+	ring     *mpscRing
+	wake     chan struct{} // capacity 1; producers nudge the parked worker
 	maxBatch int           // max lookups per backend call
 	linger   time.Duration // wait for co-travellers after the first arrival
 	quit     chan struct{}
@@ -47,7 +68,8 @@ type batcher struct {
 func newBatcher(backend Backend, maxBatch int, linger time.Duration, o batcherObs) *batcher {
 	b := &batcher{
 		backend:  backend,
-		ch:       make(chan *batchReq, 4*maxBatch),
+		ring:     newMPSCRing(4 * maxBatch),
+		wake:     make(chan struct{}, 1),
 		maxBatch: maxBatch,
 		linger:   linger,
 		quit:     make(chan struct{}),
@@ -59,20 +81,38 @@ func newBatcher(backend Backend, maxBatch int, linger time.Duration, o batcherOb
 }
 
 // Do submits lookups and blocks until the worker has resolved them into
-// out. Safe for concurrent use.
+// out. A full ring fails fast with ErrOverloaded — the caller sheds load
+// rather than queueing unboundedly. Safe for concurrent use.
 func (b *batcher) Do(lookups []Lookup, out []int) error {
-	req := &batchReq{lookups: lookups, out: out, done: make(chan error, 1), enqueued: time.Now()}
-	// The read lock is held across the channel send: Close flips closed
-	// under the write lock, so once Close proceeds no sender can be
-	// mid-send and the worker's final drain empties the channel for good.
+	req := batchReqPool.Get().(*batchReq)
+	req.lookups, req.out, req.enqueued = lookups, out, time.Now()
+	// The read lock is held across the push: Close flips closed under the
+	// write lock, so once Close proceeds no producer can be mid-push and
+	// the worker's final drain empties the ring for good.
 	b.closeMu.RLock()
 	if b.closed {
 		b.closeMu.RUnlock()
+		putBatchReq(req)
 		return ErrServerClosed
 	}
-	b.ch <- req
+	ok := b.ring.Push(req)
 	b.closeMu.RUnlock()
-	return <-req.done
+	if !ok {
+		b.o.rejected.Add(1)
+		putBatchReq(req)
+		return ErrOverloaded
+	}
+	// Nudge a parked worker. The send happens after the push published, so
+	// a worker that saw an empty ring before our item either finds the
+	// token here or is already awake; capacity 1 makes a stale token at
+	// worst one spurious poll, never a lost wakeup.
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+	err := <-req.done
+	putBatchReq(req)
+	return err
 }
 
 // Close stops the worker; queued requests fail with ErrServerClosed.
@@ -96,18 +136,20 @@ func (b *batcher) run() {
 		reqs    []*batchReq
 		flat    []Lookup
 		actions []int
-		held    *batchReq // accepted off the channel but over this batch's cap
+		held    *batchReq // popped off the ring but over this batch's cap
 	)
 	for {
 		var first *batchReq
 		if held != nil {
 			first, held = held, nil
 		} else {
-			select {
-			case first = <-b.ch:
-			case <-b.quit:
-				b.drain()
-				return
+			for first = b.ring.Pop(); first == nil; first = b.ring.Pop() {
+				select {
+				case <-b.wake:
+				case <-b.quit:
+					b.drain()
+					return
+				}
 			}
 		}
 		opened := time.Now()
@@ -137,11 +179,14 @@ func (b *batcher) run() {
 			deadline := time.NewTimer(b.linger)
 		lingering:
 			for total < b.maxBatch {
-				select {
-				case r := <-b.ch:
+				if r := b.ring.Pop(); r != nil {
 					if !accept(r) {
 						break lingering
 					}
+					continue
+				}
+				select {
+				case <-b.wake:
 				case <-deadline.C:
 					break lingering
 				case <-b.quit:
@@ -152,15 +197,10 @@ func (b *batcher) run() {
 		}
 		// Opportunistic phase: grab whatever is already queued, up to the
 		// cap, without waiting.
-	grabbing:
 		for held == nil && total < b.maxBatch {
-			select {
-			case r := <-b.ch:
-				if !accept(r) {
-					break grabbing
-				}
-			default:
-				break grabbing
+			r := b.ring.Pop()
+			if r == nil || !accept(r) {
+				break
 			}
 		}
 
@@ -193,14 +233,9 @@ func (b *batcher) run() {
 }
 
 // drain fails everything still queued at shutdown. Safe because Close
-// guarantees no sender is mid-send once quit is closed.
+// guarantees no producer is mid-push once quit is closed.
 func (b *batcher) drain() {
-	for {
-		select {
-		case r := <-b.ch:
-			r.done <- ErrServerClosed
-		default:
-			return
-		}
+	for r := b.ring.Pop(); r != nil; r = b.ring.Pop() {
+		r.done <- ErrServerClosed
 	}
 }

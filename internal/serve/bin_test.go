@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"rlpm/internal/wire"
+)
+
+// startBinServer attaches a loopback binary listener to srv and returns
+// its address. The listener dies with the server (Server.Close) or the
+// test (cleanup).
+func startBinServer(t testing.TB, srv *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeBin(ln) }()
+	t.Cleanup(func() {
+		ln.Close()
+		if err := <-done; err != nil {
+			t.Errorf("ServeBin: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+// TestBinSessionLifecycle drives create → decide* → reward → close over
+// the binary protocol and checks every decision against the serial oracle,
+// proving the wire path reproduces Session semantics exactly.
+func TestBinSessionLifecycle(t *testing.T) {
+	m := testModel(t, 3, 5)
+	srv := newTestServer(t, m, nil, Config{})
+	addr := startBinServer(t, srv)
+	c := NewBinClient(addr)
+	defer c.Close()
+	ctx := context.Background()
+
+	opts := SessionOptions{Epsilon: 0.3, EpsilonMin: 0.01, EpsilonDecay: 0.97, Seed: 1234}
+	sess, err := c.OpenSession(ctx, opts)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if sess.NumClusters() != 2 || sess.Levels[0] != 3 || sess.Levels[1] != 5 {
+		t.Fatalf("session geometry %d clusters, levels %v", sess.NumClusters(), sess.Levels)
+	}
+
+	orc := newOracle(m, opts)
+	const steps = 150
+	for i, obs := range testObs(m, 77, steps) {
+		got, err := sess.Decide(ctx, obs)
+		if err != nil {
+			t.Fatalf("decide %d: %v", i, err)
+		}
+		want := orc.decide(obs)
+		for cidx := range want {
+			if got[cidx] != want[cidx] {
+				t.Fatalf("step %d cluster %d: wire served %d, oracle %d", i, cidx, got[cidx], want[cidx])
+			}
+		}
+	}
+
+	st, err := sess.Reward(ctx, -1.25)
+	if err != nil {
+		t.Fatalf("reward: %v", err)
+	}
+	if st.Decisions != steps || st.Rewards != 1 || st.MeanReward != -1.25 {
+		t.Fatalf("reward stats %+v", st)
+	}
+	st, err = sess.Close(ctx)
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if st.Decisions != steps || st.Rewards != 1 {
+		t.Fatalf("close stats %+v", st)
+	}
+	// The handle is dead now.
+	if _, err := sess.Decide(ctx, testObs(m, 1, 1)[0]); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("decide after close: %v, want ErrNoSession", err)
+	}
+}
+
+// TestBinDifferentialOracle is the cross-protocol determinism pin: the same
+// seeded fleet replayed over HTTP/JSON and over the binary protocol must
+// produce identical decision sequences per device, concurrently, because
+// all stochastic state is session-local and seeded. Run under -race in CI.
+func TestBinDifferentialOracle(t *testing.T) {
+	m := testModel(t, 4, 3, 6)
+	srv := newTestServer(t, m, nil, Config{MaxBatch: 16})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	addr := startBinServer(t, srv)
+
+	jsonC := NewClient(hs.URL)
+	binC := NewBinClient(addr)
+	defer binC.Close()
+	ctx := context.Background()
+
+	const devices, steps = 10, 120
+	type result struct {
+		levels [][]int
+		err    error
+	}
+	jsonRes := make([]result, devices)
+	binRes := make([]result, devices)
+	var wg sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		opts := SessionOptions{Epsilon: 0.4, EpsilonMin: 0.02, EpsilonDecay: 0.95, Seed: uint64(1000 + d)}
+		obsSeed := uint64(500 + d)
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			sess, err := jsonC.CreateSession(ctx, opts)
+			if err != nil {
+				jsonRes[d].err = err
+				return
+			}
+			for _, obs := range testObs(m, obsSeed, steps) {
+				lv, err := sess.Decide(ctx, obs)
+				if err != nil {
+					jsonRes[d].err = err
+					return
+				}
+				jsonRes[d].levels = append(jsonRes[d].levels, lv)
+			}
+			_, jsonRes[d].err = sess.Close(ctx)
+		}(d)
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			sess, err := binC.OpenSession(ctx, opts)
+			if err != nil {
+				binRes[d].err = err
+				return
+			}
+			for _, obs := range testObs(m, obsSeed, steps) {
+				lv, err := sess.Decide(ctx, obs)
+				if err != nil {
+					binRes[d].err = err
+					return
+				}
+				binRes[d].levels = append(binRes[d].levels, lv)
+			}
+			_, binRes[d].err = sess.Close(ctx)
+		}(d)
+	}
+	wg.Wait()
+	for d := 0; d < devices; d++ {
+		if jsonRes[d].err != nil {
+			t.Fatalf("device %d json: %v", d, jsonRes[d].err)
+		}
+		if binRes[d].err != nil {
+			t.Fatalf("device %d bin: %v", d, binRes[d].err)
+		}
+		for step := range jsonRes[d].levels {
+			j, b := jsonRes[d].levels[step], binRes[d].levels[step]
+			for c := range j {
+				if j[c] != b[c] {
+					t.Fatalf("device %d step %d cluster %d: json %d, bin %d — protocols diverged",
+						d, step, c, j[c], b[c])
+				}
+			}
+		}
+	}
+	if ms := srv.MetricsSnapshot(); ms.BinFrames == 0 || ms.BinConnections == 0 {
+		t.Fatalf("binary path served nothing: %+v", ms)
+	}
+}
+
+// TestBinErrorMapping checks that server-side failures surface as the same
+// sentinels the HTTP client maps to, via wire error codes.
+func TestBinErrorMapping(t *testing.T) {
+	m := testModel(t, 3)
+	srv := newTestServer(t, m, nil, Config{})
+	addr := startBinServer(t, srv)
+	c := NewBinClient(addr)
+	defer c.Close()
+	ctx := context.Background()
+
+	ghost := &BinSession{c: c, Handle: 999999, Levels: []int{3}}
+	if _, err := ghost.Decide(ctx, []Observation{{Level: 0}}); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("unknown handle decide: %v, want ErrNoSession", err)
+	}
+	if _, err := ghost.Reward(ctx, 1); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("unknown handle reward: %v, want ErrNoSession", err)
+	}
+	if _, err := ghost.Close(ctx); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("unknown handle close: %v, want ErrNoSession", err)
+	}
+	if _, err := c.OpenSession(ctx, SessionOptions{Epsilon: 2}); err == nil {
+		t.Fatal("epsilon 2 accepted over the wire")
+	}
+	// A session-level error must not poison the connection: the same
+	// client immediately serves a real session.
+	sess, err := c.OpenSession(ctx, SessionOptions{})
+	if err != nil {
+		t.Fatalf("OpenSession after errors: %v", err)
+	}
+	if _, err := sess.Decide(ctx, []Observation{{Level: 1}}); err != nil {
+		t.Fatalf("decide after errors: %v", err)
+	}
+}
+
+// TestBinCorruptFrameClosesConn talks raw bytes: a frame with a corrupted
+// CRC must be answered with a TError frame and then the connection must
+// close — the server refuses to keep parsing a desynchronized stream.
+func TestBinCorruptFrameClosesConn(t *testing.T) {
+	m := testModel(t, 3)
+	srv := newTestServer(t, m, nil, Config{})
+	addr := startBinServer(t, srv)
+
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	frame := wire.FinishFrame(wire.AppendCloseReq(wire.BeginFrame(nil), wire.CloseReq{Handle: 1}), wire.TClose, 3)
+	frame[13] ^= 0xFF // corrupt the CRC
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var hdr [wire.HeaderSize]byte
+	h, payload, err := wire.ReadFrame(conn, &hdr, nil)
+	if err != nil {
+		t.Fatalf("reading error frame: %v", err)
+	}
+	if h.Type != wire.TError {
+		t.Fatalf("response type %d, want TError", h.Type)
+	}
+	var ef wire.ErrorFrame
+	if err := wire.ParseError(payload, &ef); err != nil {
+		t.Fatalf("parse error frame: %v", err)
+	}
+	if ef.Code != wire.CodeBadRequest {
+		t.Fatalf("error code %d, want CodeBadRequest", ef.Code)
+	}
+	// The server must hang up now.
+	if _, err := conn.Read(hdr[:1]); err != io.EOF {
+		t.Fatalf("after corrupt frame: read returned %v, want EOF", err)
+	}
+}
+
+// TestBinPipelining pins the multiplexing contract: several requests for
+// different sessions written back-to-back on one connection are answered
+// in order with their request ids echoed, so one connection can carry a
+// whole device fleet.
+func TestBinPipelining(t *testing.T) {
+	m := testModel(t, 3, 4)
+	srv := newTestServer(t, m, nil, Config{})
+	addr := startBinServer(t, srv)
+
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// Two sessions created server-side (the raw conn only decides).
+	s1, err := srv.CreateSession(SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := srv.CreateSession(SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []wire.Obs{{Utilization: 0.5, Level: 1}, {DemandRatio: 0.8, Level: 2}}
+
+	// Pipeline: s1 decide, s2 decide, s1 decide — one write, three frames.
+	var buf []byte
+	for i, h := range []uint64{s1.Handle(), s2.Handle(), s1.Handle()} {
+		buf = append(buf, wire.FinishFrame(
+			wire.AppendDecideReq(wire.BeginFrame(nil), h, obs), wire.TDecide, uint32(100+i))...)
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var hdr [wire.HeaderSize]byte
+	var payload []byte
+	for i := 0; i < 3; i++ {
+		var h wire.Header
+		h, payload, err = wire.ReadFrame(conn, &hdr, payload)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if h.Type != wire.TDecideOK || h.ReqID != uint32(100+i) {
+			t.Fatalf("response %d: type %d req %d, want TDecideOK req %d", i, h.Type, h.ReqID, 100+i)
+		}
+		var dok wire.DecideOK
+		if err := wire.ParseDecideOK(payload, &dok); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if len(dok.Levels) != 2 {
+			t.Fatalf("response %d: %d levels", i, len(dok.Levels))
+		}
+	}
+}
+
+// TestBinOversizedPrefixRejected sends a header declaring a payload beyond
+// MaxPayload; the server must reject it from the header alone (no wait for
+// a megabyte that never comes) and close the connection.
+func TestBinOversizedPrefixRejected(t *testing.T) {
+	m := testModel(t, 3)
+	srv := newTestServer(t, m, nil, Config{})
+	addr := startBinServer(t, srv)
+
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// A valid CRC over an oversized length: only the length is at fault.
+	var hdr [wire.HeaderSize]byte
+	wire.PutHeader(hdr[:], wire.TDecide, 9, wire.MaxPayload+1)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var rh [wire.HeaderSize]byte
+	h, payload, err := wire.ReadFrame(conn, &rh, nil)
+	if err != nil {
+		t.Fatalf("reading error frame: %v", err)
+	}
+	var ef wire.ErrorFrame
+	if h.Type != wire.TError || wire.ParseError(payload, &ef) != nil || ef.Code != wire.CodeBadRequest {
+		t.Fatalf("oversized prefix answered with type %d code %d", h.Type, ef.Code)
+	}
+	if _, err := conn.Read(rh[:1]); err != io.EOF {
+		t.Fatalf("after oversized prefix: read returned %v, want EOF", err)
+	}
+}
+
+// TestSessionDecideIntoAllocFree pins the server-side decide hot path at
+// zero allocations once session scratch is warm — the property the binary
+// protocol's throughput target rests on.
+func TestSessionDecideIntoAllocFree(t *testing.T) {
+	m := testModel(t, 3, 5)
+	srv := newTestServer(t, m, nil, Config{})
+	sess, err := srv.CreateSession(SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []Observation{{Utilization: 0.6, Level: 1}, {DemandRatio: 1.1, Level: 3}}
+	levels := make([]int, 2)
+	for i := 0; i < 10; i++ { // warm scratch, pool, and batch worker
+		if err := sess.DecideInto(obs, levels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := sess.DecideInto(obs, levels); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("DecideInto allocates %v times per call, want 0", n)
+	}
+}

@@ -1,0 +1,414 @@
+// Binary-protocol client: the wire-frame counterpart of Client. All
+// sessions multiplex one persistent TCP connection — requests are tagged
+// with a client-unique id, a single reader goroutine dispatches responses
+// back to the waiting callers, and concurrent writers coalesce their
+// flushes — so a fleet of device sessions shares warm buffers and amortizes
+// syscalls instead of paying dial, handshake, or HTTP framing per decision.
+
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlpm/internal/wire"
+)
+
+// BinClient talks the internal/wire protocol to a ServeBin listener. One
+// shared connection carries every session (the wire protocol's request ids
+// exist precisely for this); a transport failure fails all in-flight calls
+// and the next call redials.
+type BinClient struct {
+	addr    string
+	timeout time.Duration // per-call deadline
+
+	mu     sync.Mutex
+	mc     *muxConn
+	closed bool
+}
+
+// NewBinClient builds a client for a ServeBin address ("host:port").
+func NewBinClient(addr string) *BinClient {
+	return &BinClient{addr: addr, timeout: 30 * time.Second}
+}
+
+// Close tears down the shared connection; in-flight calls fail with the
+// close error and later calls fail immediately.
+func (c *BinClient) Close() {
+	c.mu.Lock()
+	mc := c.mc
+	c.mc, c.closed = nil, true
+	c.mu.Unlock()
+	if mc != nil {
+		mc.fail(errClientClosed)
+	}
+}
+
+var errClientClosed = errors.New("serve: binary client closed")
+
+// conn returns the live shared connection, dialing (or redialing after a
+// failure) as needed.
+func (c *BinClient) conn() (*muxConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClientClosed
+	}
+	if c.mc != nil && !c.mc.broken() {
+		return c.mc, nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	mc := &muxConn{
+		c:       conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint32]*muxCall),
+	}
+	go mc.readLoop()
+	c.mc = mc
+	return mc, nil
+}
+
+// muxConn is the shared connection: a writer side coalescing concurrent
+// frames into batched flushes and a reader goroutine dispatching response
+// frames to pending calls by request id.
+type muxConn struct {
+	c     net.Conn
+	br    *bufio.Reader
+	reqID atomic.Uint32
+
+	wmu   sync.Mutex // guards bw
+	bw    *bufio.Writer
+	wwait atomic.Int32 // writers queued behind wmu; last one out flushes
+
+	pmu     sync.Mutex
+	pending map[uint32]*muxCall
+	err     error // first transport failure; poisons the connection
+}
+
+// muxCall is one in-flight request's rendezvous. Pooled: the response
+// payload is copied into the call's own reusable buffer so the reader can
+// move on to the next frame while the caller decodes.
+type muxCall struct {
+	ch    chan muxResp
+	buf   []byte
+	timer *time.Timer
+}
+
+type muxResp struct {
+	hdr wire.Header
+	err error
+}
+
+var muxCallPool = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &muxCall{ch: make(chan muxResp, 1), timer: t}
+}}
+
+func (mc *muxConn) broken() bool {
+	mc.pmu.Lock()
+	defer mc.pmu.Unlock()
+	return mc.err != nil
+}
+
+// fail poisons the connection and delivers err to every pending call.
+func (mc *muxConn) fail(err error) {
+	mc.pmu.Lock()
+	if mc.err == nil {
+		mc.err = err
+	}
+	pend := mc.pending
+	mc.pending = nil
+	mc.pmu.Unlock()
+	mc.c.Close()
+	for _, call := range pend {
+		call.ch <- muxResp{err: err}
+	}
+}
+
+// readLoop is the connection's single reader: every response frame is
+// matched to its pending call by the echoed request id; frames for
+// abandoned calls (timeout, cancelled context) are dropped.
+func (mc *muxConn) readLoop() {
+	var hdr [wire.HeaderSize]byte
+	var payload []byte
+	for {
+		h, p, err := wire.ReadFrame(mc.br, &hdr, payload)
+		payload = p
+		if err != nil {
+			mc.fail(fmt.Errorf("serve: binary connection: %w", err))
+			return
+		}
+		mc.pmu.Lock()
+		call := mc.pending[h.ReqID]
+		delete(mc.pending, h.ReqID)
+		mc.pmu.Unlock()
+		if call == nil {
+			continue
+		}
+		call.buf = append(call.buf[:0], p...)
+		call.ch <- muxResp{hdr: h}
+	}
+}
+
+// call writes the frame in wbuf (its request id must be reqID) and waits
+// for the matching response. On success the payload sits in the returned
+// muxCall's buf; the caller must release it with putMuxCall after decoding.
+func (c *BinClient) call(ctx context.Context, mc *muxConn, wbuf []byte, reqID uint32, wantType byte) (*muxCall, wire.Header, error) {
+	call := muxCallPool.Get().(*muxCall)
+
+	mc.pmu.Lock()
+	if mc.err != nil {
+		err := mc.err
+		mc.pmu.Unlock()
+		muxCallPool.Put(call)
+		return nil, wire.Header{}, err
+	}
+	mc.pending[reqID] = call
+	mc.pmu.Unlock()
+
+	// Last writer out flushes: while another writer is queued behind the
+	// lock the buffered bytes ride its (or a later) flush, so back-to-back
+	// requests from many sessions coalesce into one syscall.
+	mc.wwait.Add(1)
+	mc.wmu.Lock()
+	mc.wwait.Add(-1)
+	_, err := mc.bw.Write(wbuf)
+	if err == nil && mc.wwait.Load() == 0 {
+		err = mc.bw.Flush()
+	}
+	mc.wmu.Unlock()
+	if err != nil {
+		mc.fail(fmt.Errorf("serve: binary connection: %w", err))
+		return nil, wire.Header{}, c.reap(mc, call, reqID, err)
+	}
+
+	call.timer.Reset(c.timeout)
+	var r muxResp
+	select {
+	case r = <-call.ch:
+		stopTimer(call.timer)
+	case <-call.timer.C:
+		return nil, wire.Header{}, c.reap(mc, call, reqID, fmt.Errorf("serve: binary call timed out after %v", c.timeout))
+	case <-ctx.Done():
+		stopTimer(call.timer)
+		return nil, wire.Header{}, c.reap(mc, call, reqID, ctx.Err())
+	}
+	if r.err != nil {
+		muxCallPool.Put(call)
+		return nil, wire.Header{}, r.err
+	}
+	h := r.hdr
+	if h.Type == wire.TError {
+		var ef wire.ErrorFrame
+		err := wire.ParseError(call.buf, &ef)
+		if err == nil {
+			err = binCodeErr(ef.Code, string(ef.Msg))
+		}
+		putMuxCall(call)
+		return nil, h, err
+	}
+	if h.Type != wantType {
+		putMuxCall(call)
+		return nil, h, fmt.Errorf("serve: response type %d, want %d", h.Type, wantType)
+	}
+	return call, h, nil
+}
+
+// reap abandons a call that will get no usable response: its pending entry
+// is removed so a late frame is dropped, and the call is only repooled if
+// the reader has not already claimed it (claimed means a send to call.ch is
+// in flight or delivered — drain it before reuse).
+func (c *BinClient) reap(mc *muxConn, call *muxCall, reqID uint32, err error) error {
+	mc.pmu.Lock()
+	_, pendingStill := mc.pending[reqID]
+	delete(mc.pending, reqID)
+	mc.pmu.Unlock()
+	if pendingStill {
+		putMuxCall(call)
+		return err
+	}
+	// The reader (or fail) already took the call: wait for its send so the
+	// channel is empty, then repool.
+	<-call.ch
+	putMuxCall(call)
+	return err
+}
+
+func putMuxCall(call *muxCall) { muxCallPool.Put(call) }
+
+// stopTimer stops t and drains a concurrent fire, leaving it ready for the
+// next Reset (the pre-Go-1.23 timer idiom; only the owning call goroutine
+// ever receives from t.C outside the call select).
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// binCodeErr maps a wire error code back onto the serve-layer sentinels so
+// callers can errors.Is against the same values on both protocols.
+func binCodeErr(code uint16, msg string) error {
+	var base error
+	switch code {
+	case wire.CodeNoSession:
+		base = ErrNoSession
+	case wire.CodeSessionClosed:
+		base = ErrSessionClosed
+	case wire.CodeServerClosed:
+		base = ErrServerClosed
+	case wire.CodeOverloaded:
+		base = ErrOverloaded
+	default:
+		return fmt.Errorf("serve: remote error %d: %s", code, msg)
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}
+
+// BinSession is a device session resolved over the binary protocol — the
+// wire counterpart of RemoteSession. Sessions are not individually
+// goroutine-safe (each owns encode/decode scratch), matching RemoteSession's
+// one-goroutine-per-device usage; different sessions share the connection
+// freely.
+type BinSession struct {
+	c       *BinClient
+	Handle  uint64
+	ID      string // human-readable form of the handle, for reports
+	Levels  []int  // per-cluster OPP counts
+	wbuf    []byte
+	wireObs []wire.Obs
+	dok     wire.DecideOK
+}
+
+// OpenSession creates a session over the binary protocol.
+func (c *BinClient) OpenSession(ctx context.Context, opts SessionOptions) (*BinSession, error) {
+	s := &BinSession{c: c}
+	mc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	reqID := mc.reqID.Add(1)
+	s.wbuf = wire.FinishFrame(
+		wire.AppendCreateReq(wire.BeginFrame(s.wbuf), wire.CreateReq{
+			Epsilon:      opts.Epsilon,
+			EpsilonMin:   opts.EpsilonMin,
+			EpsilonDecay: opts.EpsilonDecay,
+			Seed:         opts.Seed,
+		}),
+		wire.TCreate, reqID)
+	call, _, err := c.call(ctx, mc, s.wbuf, reqID, wire.TCreateOK)
+	if err != nil {
+		return nil, err
+	}
+	var cok wire.CreateOK
+	if err := wire.ParseCreateOK(call.buf, &cok); err != nil {
+		putMuxCall(call)
+		return nil, err
+	}
+	s.Handle = cok.Handle
+	s.ID = fmt.Sprintf("h-%06d", cok.Handle)
+	s.Levels = append([]int(nil), cok.NumLevels...)
+	putMuxCall(call)
+	return s, nil
+}
+
+// NumClusters returns the served chip's cluster count.
+func (s *BinSession) NumClusters() int { return len(s.Levels) }
+
+// Decide resolves one control period over the wire. The returned slice is
+// freshly allocated; the session's encode/decode scratch is reused.
+func (s *BinSession) Decide(ctx context.Context, obs []Observation) ([]int, error) {
+	mc, err := s.c.conn()
+	if err != nil {
+		return nil, err
+	}
+	if cap(s.wireObs) < len(obs) {
+		s.wireObs = make([]wire.Obs, len(obs))
+	}
+	wobs := s.wireObs[:len(obs)]
+	for i, o := range obs {
+		wobs[i] = wire.Obs{
+			Utilization: o.Utilization,
+			DemandRatio: o.DemandRatio,
+			QoS:         o.QoS,
+			ClusterQoS:  o.ClusterQoS,
+			Critical:    o.Critical,
+			Level:       o.Level,
+		}
+	}
+	reqID := mc.reqID.Add(1)
+	s.wbuf = wire.FinishFrame(
+		wire.AppendDecideReq(wire.BeginFrame(s.wbuf), s.Handle, wobs),
+		wire.TDecide, reqID)
+	call, _, err := s.c.call(ctx, mc, s.wbuf, reqID, wire.TDecideOK)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.ParseDecideOK(call.buf, &s.dok); err != nil {
+		putMuxCall(call)
+		return nil, err
+	}
+	levels := append([]int(nil), s.dok.Levels...)
+	putMuxCall(call)
+	return levels, nil
+}
+
+// Reward reports a device-computed reward.
+func (s *BinSession) Reward(ctx context.Context, r float64) (SessionStats, error) {
+	return s.statsCall(ctx, wire.TReward, wire.TRewardOK, r)
+}
+
+// Close ends the session, returning its final ledger.
+func (s *BinSession) Close(ctx context.Context) (SessionStats, error) {
+	return s.statsCall(ctx, wire.TClose, wire.TCloseOK, 0)
+}
+
+func (s *BinSession) statsCall(ctx context.Context, typ, wantType byte, reward float64) (SessionStats, error) {
+	mc, err := s.c.conn()
+	if err != nil {
+		return SessionStats{}, err
+	}
+	reqID := mc.reqID.Add(1)
+	buf := wire.BeginFrame(s.wbuf)
+	if typ == wire.TReward {
+		buf = wire.AppendRewardReq(buf, wire.RewardReq{Handle: s.Handle, Reward: reward})
+	} else {
+		buf = wire.AppendCloseReq(buf, wire.CloseReq{Handle: s.Handle})
+	}
+	s.wbuf = wire.FinishFrame(buf, typ, reqID)
+	call, _, err := s.c.call(ctx, mc, s.wbuf, reqID, wantType)
+	if err != nil {
+		return SessionStats{}, err
+	}
+	var st wire.Stats
+	if err := wire.ParseStats(call.buf, &st); err != nil {
+		putMuxCall(call)
+		return SessionStats{}, err
+	}
+	putMuxCall(call)
+	return SessionStats{
+		ID:         s.ID,
+		Decisions:  st.Decisions,
+		Rewards:    st.Rewards,
+		MeanReward: st.MeanReward,
+		Epsilon:    st.Epsilon,
+	}, nil
+}

@@ -1,0 +1,300 @@
+// Binary-protocol server: persistent multiplexed TCP connections speaking
+// internal/wire frames against the same sessions the HTTP handlers serve.
+//
+// Each connection is one goroutine owning all of its scratch — read/write
+// buffers, decoded request structs, the wire→serve observation conversion —
+// so a warmed connection serves decide frames with zero allocations: frame
+// read reuses the payload scratch, decode reuses the request's backing
+// arrays, Session.DecideInto works entirely in session-owned scratch, and
+// the response is appended into the reused write buffer. Responses echo the
+// request id, so a client may pipeline requests for many sessions over one
+// connection; writes are flushed only when no further request is already
+// buffered, batching response syscalls under pipelining.
+
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"rlpm/internal/wire"
+)
+
+// ServeBin accepts binary-protocol connections on ln until the listener
+// fails or the server closes. It blocks; run it in its own goroutine. The
+// listener is closed (and every live connection torn down) by Server.Close.
+func (s *Server) ServeBin(ln net.Listener) error {
+	s.binMu.Lock()
+	s.binLns[ln] = struct{}{}
+	s.binMu.Unlock()
+	defer func() {
+		s.binMu.Lock()
+		delete(s.binLns, ln)
+		s.binMu.Unlock()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if !s.trackBinConn(conn) {
+			conn.Close()
+			return nil
+		}
+		s.binConnsTotal.Add(1)
+		go s.serveBinConn(conn)
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// trackBinConn registers a live connection for teardown at Close; it
+// reports false when the server already closed (the connection must not be
+// served — Close's sweep may already have run).
+func (s *Server) trackBinConn(c net.Conn) bool {
+	if s.isClosed() {
+		return false
+	}
+	s.binMu.Lock()
+	s.binConns[c] = struct{}{}
+	s.binMu.Unlock()
+	if s.isClosed() { // raced Close's sweep: tear down ourselves
+		s.binMu.Lock()
+		delete(s.binConns, c)
+		s.binMu.Unlock()
+		return false
+	}
+	return true
+}
+
+// binConnState is one connection's reusable working set.
+type binConnState struct {
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	hdr     [wire.HeaderSize]byte
+	payload []byte // frame payload scratch, regrown by ReadFrame
+	wbuf    []byte // response frame scratch
+	dreq    wire.DecideReq
+	creq    wire.CreateReq
+	rreq    wire.RewardReq
+	clreq   wire.CloseReq
+	obs     []Observation // wire.Obs → serve.Observation conversion
+	levels  []int         // DecideInto output
+}
+
+func (s *Server) serveBinConn(conn net.Conn) {
+	defer func() {
+		s.binMu.Lock()
+		delete(s.binConns, conn)
+		s.binMu.Unlock()
+		conn.Close()
+	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency over throughput: decide frames are tiny
+	}
+	st := &binConnState{
+		br: bufio.NewReaderSize(conn, 64<<10),
+		bw: bufio.NewWriterSize(conn, 64<<10),
+	}
+	for {
+		h, payload, err := wire.ReadFrame(st.br, &st.hdr, st.payload)
+		st.payload = payload
+		if err != nil {
+			// A clean EOF between frames is the client hanging up. Anything
+			// else — truncation, CRC, version, oversized prefix — poisons
+			// the stream's framing: answer with a best-effort error frame
+			// and drop the connection rather than misparse what follows.
+			if !errors.Is(err, io.EOF) {
+				s.binErrors.Add(1)
+				st.wbuf = wire.FinishFrame(
+					wire.AppendError(wire.BeginFrame(st.wbuf), wire.CodeBadRequest, err.Error()),
+					wire.TError, h.ReqID)
+				st.bw.Write(st.wbuf)
+				st.bw.Flush()
+				gracefulClose(conn, st.br)
+			}
+			return
+		}
+		keep := s.handleBinFrame(st, h)
+		// Flush once the buffered input is exhausted: under pipelining many
+		// responses ride one syscall, while a lone request is answered
+		// immediately.
+		if st.br.Buffered() == 0 || !keep {
+			if err := st.bw.Flush(); err != nil {
+				return
+			}
+		}
+		if !keep {
+			gracefulClose(conn, st.br)
+			return
+		}
+	}
+}
+
+// gracefulClose half-closes the write side and briefly drains unread input
+// so the just-written error frame reaches the peer as data + EOF instead
+// of being torn down by a reset (closing a socket with unread bytes sends
+// RST, which can discard in-flight responses).
+func gracefulClose(conn net.Conn, br *bufio.Reader) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	io.Copy(io.Discard, io.LimitReader(br, 1<<20))
+}
+
+// handleBinFrame serves one request frame, appending exactly one response
+// frame to st.bw. It reports whether the connection should stay open.
+func (s *Server) handleBinFrame(st *binConnState, h wire.Header) bool {
+	s.binFrames.Add(1)
+	switch h.Type {
+	case wire.TDecide:
+		return s.handleBinDecide(st, h)
+	case wire.TCreate:
+		if err := wire.ParseCreateReq(st.payload, &st.creq); err != nil {
+			return s.binError(st, h.ReqID, err)
+		}
+		sess, err := s.CreateSession(SessionOptions{
+			Epsilon:      st.creq.Epsilon,
+			EpsilonMin:   st.creq.EpsilonMin,
+			EpsilonDecay: st.creq.EpsilonDecay,
+			Seed:         st.creq.Seed,
+		})
+		if err != nil {
+			return s.binError(st, h.ReqID, err)
+		}
+		st.wbuf = wire.FinishFrame(
+			wire.AppendCreateOK(wire.BeginFrame(st.wbuf), sess.Handle(), s.model.levels),
+			wire.TCreateOK, h.ReqID)
+	case wire.TReward:
+		if err := wire.ParseRewardReq(st.payload, &st.rreq); err != nil {
+			return s.binError(st, h.ReqID, err)
+		}
+		sess, err := s.SessionByHandle(st.rreq.Handle)
+		if err != nil {
+			return s.binError(st, h.ReqID, err)
+		}
+		stats, err := sess.Reward(st.rreq.Reward)
+		if err != nil {
+			return s.binError(st, h.ReqID, err)
+		}
+		st.wbuf = wire.FinishFrame(
+			wire.AppendStats(wire.BeginFrame(st.wbuf), statsToWire(stats)),
+			wire.TRewardOK, h.ReqID)
+	case wire.TClose:
+		if err := wire.ParseCloseReq(st.payload, &st.clreq); err != nil {
+			return s.binError(st, h.ReqID, err)
+		}
+		stats, err := s.CloseSessionByHandle(st.clreq.Handle)
+		if err != nil {
+			return s.binError(st, h.ReqID, err)
+		}
+		st.wbuf = wire.FinishFrame(
+			wire.AppendStats(wire.BeginFrame(st.wbuf), statsToWire(stats)),
+			wire.TCloseOK, h.ReqID)
+	default:
+		// A response type on the request stream is a protocol violation;
+		// answer and hang up.
+		s.binError(st, h.ReqID, wire.ErrBadType)
+		return false
+	}
+	st.bw.Write(st.wbuf)
+	return true
+}
+
+// handleBinDecide is the hot path: decode, decide into scratch, encode.
+// Allocation-free once the connection and session scratches are warm.
+func (s *Server) handleBinDecide(st *binConnState, h wire.Header) bool {
+	t0 := time.Now()
+	if err := wire.ParseDecideReq(st.payload, &st.dreq); err != nil {
+		return s.binError(st, h.ReqID, err)
+	}
+	n := len(st.dreq.Obs)
+	if cap(st.obs) < n {
+		st.obs = make([]Observation, n)
+		st.levels = make([]int, n)
+	}
+	obs, levels := st.obs[:n], st.levels[:n]
+	for i := range obs {
+		w := &st.dreq.Obs[i]
+		obs[i] = Observation{
+			Utilization: w.Utilization,
+			DemandRatio: w.DemandRatio,
+			QoS:         w.QoS,
+			ClusterQoS:  w.ClusterQoS,
+			Critical:    w.Critical,
+			Level:       w.Level,
+		}
+	}
+	sess, err := s.SessionByHandle(st.dreq.Handle)
+	if err != nil {
+		return s.binError(st, h.ReqID, err)
+	}
+	decoded := time.Now()
+	s.histBinDecode.Observe(decoded.Sub(t0).Nanoseconds())
+	if err := sess.DecideInto(obs, levels); err != nil {
+		return s.binError(st, h.ReqID, err)
+	}
+	encodeStart := time.Now()
+	st.wbuf = wire.FinishFrame(
+		wire.AppendDecideOK(wire.BeginFrame(st.wbuf), levels),
+		wire.TDecideOK, h.ReqID)
+	st.bw.Write(st.wbuf)
+	now := time.Now()
+	s.histBinWrite.Observe(now.Sub(encodeStart).Nanoseconds())
+	s.histBin.Observe(now.Sub(t0).Nanoseconds())
+	return true
+}
+
+// binError appends a TError frame for err and reports whether the
+// connection survives: session-level failures keep it open, wire decode
+// failures (a malformed but well-framed request) close it.
+func (s *Server) binError(st *binConnState, reqID uint32, err error) bool {
+	s.binErrors.Add(1)
+	st.wbuf = wire.FinishFrame(
+		wire.AppendError(wire.BeginFrame(st.wbuf), binErrCode(err), err.Error()),
+		wire.TError, reqID)
+	st.bw.Write(st.wbuf)
+	return binErrCode(err) != wire.CodeBadRequest || !isWireErr(err)
+}
+
+func isWireErr(err error) bool {
+	return errors.Is(err, wire.ErrTruncated) || errors.Is(err, wire.ErrBadPayload) || errors.Is(err, wire.ErrBadType)
+}
+
+// binErrCode maps serve-layer errors onto wire error codes, mirroring the
+// HTTP status mapping in writeError.
+func binErrCode(err error) uint16 {
+	switch {
+	case errors.Is(err, ErrNoSession):
+		return wire.CodeNoSession
+	case errors.Is(err, ErrSessionClosed):
+		return wire.CodeSessionClosed
+	case errors.Is(err, ErrServerClosed):
+		return wire.CodeServerClosed
+	case errors.Is(err, ErrOverloaded):
+		return wire.CodeOverloaded
+	default:
+		return wire.CodeBadRequest
+	}
+}
+
+func statsToWire(st SessionStats) wire.Stats {
+	return wire.Stats{
+		Decisions:  st.Decisions,
+		Rewards:    st.Rewards,
+		MeanReward: st.MeanReward,
+		Epsilon:    st.Epsilon,
+	}
+}

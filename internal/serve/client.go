@@ -136,6 +136,9 @@ func (c *Client) CreateSession(ctx context.Context, opts SessionOptions) (*Remot
 	return &RemoteSession{c: c, ID: resp.ID, Clusters: resp.Clusters, NumLevels: resp.NumLevels}, nil
 }
 
+// NumClusters returns the served chip's cluster count.
+func (s *RemoteSession) NumClusters() int { return s.Clusters }
+
 // Decide serves one control period.
 func (s *RemoteSession) Decide(ctx context.Context, obs []Observation) ([]int, error) {
 	var resp DecideResponse

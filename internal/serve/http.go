@@ -100,6 +100,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusGone
 	case errors.Is(err, ErrServerClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
 	}
 	s.httpErrors.Add(1)
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
@@ -148,7 +150,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	levels, err := sess.Decide(req.Observations)
 	if err != nil {
 		switch {
-		case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrServerClosed):
+		case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrServerClosed), errors.Is(err, ErrOverloaded):
 			s.writeError(w, err)
 		default:
 			s.writeBadRequest(w, err)

@@ -19,8 +19,16 @@ import (
 // the server for every OPP decision — the fleet-shaped traffic the serving
 // subsystem exists for.
 type LoadConfig struct {
-	// BaseURL targets the server (e.g. "http://127.0.0.1:7421").
+	// BaseURL targets the server's HTTP listener (e.g.
+	// "http://127.0.0.1:7421"). Health checks and the post-run metrics
+	// snapshot always ride HTTP, whatever Proto says.
 	BaseURL string
+	// Proto selects the decision transport: "json" (default) drives the
+	// HTTP/JSON path, "bin" the internal/wire binary protocol.
+	Proto string
+	// BinAddr is the binary listener's address ("host:port"); required
+	// when Proto is "bin".
+	BinAddr string
 	// Devices is the concurrent device count.
 	Devices int
 	// Duration is the wall-clock run length.
@@ -41,6 +49,9 @@ type LoadConfig struct {
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Proto == "" {
+		c.Proto = "json"
+	}
 	if c.PeriodS == 0 {
 		c.PeriodS = 0.05
 	}
@@ -60,6 +71,12 @@ func (c LoadConfig) withDefaults() LoadConfig {
 func (c LoadConfig) Validate() error {
 	if c.BaseURL == "" {
 		return fmt.Errorf("serve: load config needs a base URL")
+	}
+	if c.Proto != "json" && c.Proto != "bin" {
+		return fmt.Errorf("serve: unknown protocol %q (want json or bin)", c.Proto)
+	}
+	if c.Proto == "bin" && c.BinAddr == "" {
+		return fmt.Errorf("serve: protocol bin needs a binary listener address")
 	}
 	if c.Devices < 1 {
 		return fmt.Errorf("serve: need at least one device, got %d", c.Devices)
@@ -84,11 +101,12 @@ type LatencyQuantiles struct {
 
 // LoadReport is the outcome of a load run.
 type LoadReport struct {
-	Devices         int              `json:"devices"`
-	DurationS       float64          `json:"duration_s"`
-	Decisions       uint64           `json:"decisions"`
-	Errors          uint64           `json:"errors"`
-	DecisionsPerSec float64          `json:"decisions_per_sec"`
+	Proto           string  `json:"proto"`
+	Devices         int     `json:"devices"`
+	DurationS       float64 `json:"duration_s"`
+	Decisions       uint64  `json:"decisions"`
+	Errors          uint64  `json:"errors"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
 	// LatencyNs holds exact sample quantiles (stats.Percentile's R-7
 	// linear interpolation over every recorded round trip).
 	LatencyNs LatencyQuantiles `json:"latency_ns"`
@@ -126,6 +144,17 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if err := client.WaitHealthy(ctx, 10*time.Second); err != nil {
 		return nil, err
 	}
+	// open resolves the decision transport; health and metrics stay HTTP.
+	open := func(ctx context.Context, opts SessionOptions) (deviceSession, error) {
+		return client.CreateSession(ctx, opts)
+	}
+	if cfg.Proto == "bin" {
+		bc := NewBinClient(cfg.BinAddr)
+		defer bc.Close()
+		open = func(ctx context.Context, opts SessionOptions) (deviceSession, error) {
+			return bc.OpenSession(ctx, opts)
+		}
+	}
 
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
@@ -138,13 +167,13 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			devStats[idx] = runDevice(ctx, client, cfg, idx, deadline, hist)
+			devStats[idx] = runDevice(ctx, open, cfg, idx, deadline, hist)
 		}(d)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := &LoadReport{Devices: cfg.Devices, DurationS: elapsed.Seconds()}
+	rep := &LoadReport{Proto: cfg.Proto, Devices: cfg.Devices, DurationS: elapsed.Seconds()}
 	var all []int64
 	for _, st := range devStats {
 		rep.Decisions += st.decisions
@@ -169,11 +198,21 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	return rep, nil
 }
 
+// deviceSession is what a load-generated device needs from a session,
+// satisfied by both RemoteSession (HTTP/JSON) and BinSession (wire frames)
+// so one device loop measures either transport.
+type deviceSession interface {
+	NumClusters() int
+	Decide(ctx context.Context, obs []Observation) ([]int, error)
+	Reward(ctx context.Context, r float64) (SessionStats, error)
+	Close(ctx context.Context) (SessionStats, error)
+}
+
 // runDevice is one simulated device's life: local chip + scenario, every
 // control period's decision fetched from the server, periodic reward
 // reports, session closed at the end. Errors abort the device and are
 // counted; they never panic the fleet.
-func runDevice(ctx context.Context, client *Client, cfg LoadConfig, idx int, deadline time.Time, hist *obs.Histogram) deviceStats {
+func runDevice(ctx context.Context, open func(context.Context, SessionOptions) (deviceSession, error), cfg LoadConfig, idx int, deadline time.Time, hist *obs.Histogram) deviceStats {
 	var st deviceStats
 	fail := func(error) deviceStats { st.errors++; return st }
 
@@ -193,7 +232,7 @@ func runDevice(ctx context.Context, client *Client, cfg LoadConfig, idx int, dea
 	chip.Reset()
 	scen.Reset(seed)
 
-	sess, err := client.CreateSession(ctx, SessionOptions{Epsilon: cfg.Epsilon, Seed: seed})
+	sess, err := open(ctx, SessionOptions{Epsilon: cfg.Epsilon, Seed: seed})
 	if err != nil {
 		return fail(err)
 	}
@@ -204,8 +243,8 @@ func runDevice(ctx context.Context, client *Client, cfg LoadConfig, idx int, dea
 			st.errors++
 		}
 	}()
-	if sess.Clusters != chip.NumClusters() {
-		return fail(fmt.Errorf("server chip has %d clusters, device has %d", sess.Clusters, chip.NumClusters()))
+	if sess.NumClusters() != chip.NumClusters() {
+		return fail(fmt.Errorf("server chip has %d clusters, device has %d", sess.NumClusters(), chip.NumClusters()))
 	}
 
 	n := chip.NumClusters()

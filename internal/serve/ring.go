@@ -1,0 +1,87 @@
+package serve
+
+import "sync/atomic"
+
+// mpscRing is a bounded lock-free multi-producer single-consumer queue —
+// the Vyukov bounded-MPMC design specialized to the batcher's shape: many
+// request goroutines submit, one worker drains. Each slot carries a
+// sequence number that encodes its state machine:
+//
+//	seq == pos          free, a producer may claim position pos
+//	seq == pos+1        full, the consumer may take position pos
+//	seq <  pos          still holds the previous lap's item → ring is full
+//
+// Producers claim a position by CAS on tail, write the slot, then publish
+// by storing seq = pos+1 (the atomic store orders the write). The single
+// consumer reads head without atomics — only the worker goroutine touches
+// it — and recycles a slot by storing seq = pos+len for the next lap.
+//
+// Push never blocks: a full ring reports false and the caller surfaces
+// ErrOverloaded, replacing the old buffered channel whose send blocked
+// silently under overload.
+type mpscRing struct {
+	mask  uint64
+	slots []ringSlot
+	tail  atomic.Uint64 // next position producers will claim
+	head  uint64        // next position the consumer will take; consumer-only
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	req *batchReq
+}
+
+// newMPSCRing builds a ring holding at least capacity requests, rounded up
+// to a power of two (minimum 8) so position→slot mapping is a mask.
+func newMPSCRing(capacity int) *mpscRing {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	r := &mpscRing{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring's slot count.
+func (r *mpscRing) Cap() int { return len(r.slots) }
+
+// Push enqueues req, returning false — immediately, never blocking — when
+// the ring is full. Safe for concurrent producers.
+func (r *mpscRing) Push(req *batchReq) bool {
+	for {
+		pos := r.tail.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		if seq == pos {
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				slot.req = req
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			continue // lost the claim race; retry at the new tail
+		}
+		if seq < pos {
+			// The slot still holds an item from one lap ago: the
+			// consumer hasn't caught up, the ring is full.
+			return false
+		}
+		// seq > pos: another producer already claimed past us; reload tail.
+	}
+}
+
+// Pop dequeues the oldest request, or nil when the ring is empty (or the
+// oldest slot is claimed but not yet published). Single consumer only.
+func (r *mpscRing) Pop() *batchReq {
+	slot := &r.slots[r.head&r.mask]
+	if slot.seq.Load() != r.head+1 {
+		return nil
+	}
+	req := slot.req
+	slot.req = nil
+	slot.seq.Store(r.head + uint64(len(r.slots)))
+	r.head++
+	return req
+}

@@ -36,6 +36,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
@@ -54,6 +55,12 @@ var ErrSessionClosed = errors.New("serve: session closed")
 
 // ErrNoSession is returned when a request addresses an unknown session id.
 var ErrNoSession = errors.New("serve: no such session")
+
+// ErrOverloaded is returned when the batcher's submission ring is full:
+// the server is shedding load instead of queueing unboundedly. Callers
+// should back off and retry; the HTTP layer maps it to 429, the binary
+// protocol to CodeOverloaded.
+var ErrOverloaded = errors.New("serve: overloaded")
 
 // Model is the shared frozen policy: per-cluster Q-tables plus the state
 // encoding they were trained with. A Model is immutable after construction
@@ -196,8 +203,9 @@ type SessionStats struct {
 // the session's own mutex, so one device's request stream is totally
 // ordered while different devices proceed concurrently.
 type Session struct {
-	id  string
-	srv *Server
+	id     string
+	handle uint64 // numeric identity for the binary protocol
+	srv    *Server
 
 	mu         sync.Mutex
 	closed     bool
@@ -213,34 +221,54 @@ type Session struct {
 	simObs     []sim.Observation // scratch: wire → encoder form
 	lookups    []Lookup          // scratch: exploit lookups of one decide
 	lookupsIdx []int             // scratch: cluster index of each lookup
+	lookupOut  []int             // scratch: batch results of one decide
 }
 
 // ID returns the session identifier.
 func (s *Session) ID() string { return s.id }
 
+// Handle returns the session's numeric identity — what the binary protocol
+// carries instead of the string id, so the hot path never formats or hashes
+// strings.
+func (s *Session) Handle() uint64 { return s.handle }
+
 // Decide serves one control period: encodes each cluster's observation
 // into the discrete state (using the session-local demand-trend history),
 // explores with the session-local ε/RNG, and resolves all exploitation
 // lookups through the server's shared batch path. The returned slice is
-// freshly allocated.
+// freshly allocated; the binary protocol's hot path uses DecideInto with a
+// caller-owned slice instead.
 func (s *Session) Decide(obs []Observation) ([]int, error) {
+	levels := make([]int, s.srv.model.Clusters())
+	if err := s.DecideInto(obs, levels); err != nil {
+		return nil, err
+	}
+	return levels, nil
+}
+
+// DecideInto is Decide writing the chosen level per cluster into levels,
+// which must have length len(obs). All working state is session-owned
+// scratch, so a warmed session decides with zero allocations.
+func (s *Session) DecideInto(obs []Observation, levels []int) error {
 	m := s.srv.model
 	if len(obs) != m.Clusters() {
-		return nil, fmt.Errorf("serve: %d observations for %d clusters", len(obs), m.Clusters())
+		return fmt.Errorf("serve: %d observations for %d clusters", len(obs), m.Clusters())
+	}
+	if len(levels) != len(obs) {
+		return fmt.Errorf("serve: %d level slots for %d observations", len(levels), len(obs))
 	}
 	for i, o := range obs {
 		if o.Level < 0 || o.Level >= m.levels[i] {
-			return nil, fmt.Errorf("serve: cluster %d level %d out of [0,%d)", i, o.Level, m.levels[i])
+			return fmt.Errorf("serve: cluster %d level %d out of [0,%d)", i, o.Level, m.levels[i])
 		}
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ErrSessionClosed
+		return ErrSessionClosed
 	}
 
-	levels := make([]int, len(obs))
 	s.lookups = s.lookups[:0]
 	s.lookupsIdx = s.lookupsIdx[:0]
 	for i, o := range obs {
@@ -264,9 +292,12 @@ func (s *Session) Decide(obs []Observation) ([]int, error) {
 		s.lookupsIdx = append(s.lookupsIdx, i)
 	}
 	if len(s.lookups) > 0 {
-		out := make([]int, len(s.lookups))
+		if cap(s.lookupOut) < len(s.lookups) {
+			s.lookupOut = make([]int, len(s.lookups))
+		}
+		out := s.lookupOut[:len(s.lookups)]
 		if err := s.srv.batch.Do(s.lookups, out); err != nil {
-			return nil, err
+			return err
 		}
 		for j, a := range out {
 			levels[s.lookupsIdx[j]] = a
@@ -281,7 +312,7 @@ func (s *Session) Decide(obs []Observation) ([]int, error) {
 	s.decisions++
 	s.srv.decisions.Add(1)
 	s.srv.lookupsServed.Add(uint64(len(s.lookups)))
-	return levels, nil
+	return nil
 }
 
 // Reward records a device-reported reward for the session. The policy is
@@ -359,8 +390,13 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*Session
+	handles  map[uint64]*Session // binary-protocol identity → session
 	nextID   uint64
 	closed   bool
+
+	binMu    sync.Mutex
+	binLns   map[net.Listener]struct{} // live ServeBin listeners
+	binConns map[net.Conn]struct{}     // live binary-protocol connections
 
 	reg    *obs.Registry
 	events *obs.EventLog
@@ -372,7 +408,13 @@ type Server struct {
 	sessionsCreated *obs.Counter
 	sessionsClosed  *obs.Counter
 	httpErrors      *obs.Counter
+	binConnsTotal   *obs.Counter   // binary connections accepted
+	binFrames       *obs.Counter   // binary request frames served
+	binErrors       *obs.Counter   // binary requests answered with an error frame
 	histHTTP        *obs.Histogram // full decide-handler wall time
+	histBin         *obs.Histogram // full binary decide frame: read → flushed
+	histBinDecode   *obs.Histogram // binary decide frame decode + convert
+	histBinWrite    *obs.Histogram // binary decide response encode + write
 
 	ckptMu   sync.Mutex
 	ckptTime time.Time // zero until a checkpoint is loaded or saved
@@ -404,6 +446,9 @@ func New(model *Model, backend Backend, cfg Config) (*Server, error) {
 		backend:  backend,
 		start:    time.Now(),
 		sessions: make(map[string]*Session),
+		handles:  make(map[uint64]*Session),
+		binLns:   make(map[net.Listener]struct{}),
+		binConns: make(map[net.Conn]struct{}),
 		reg:      reg,
 		events:   obs.NewEventLog(256),
 
@@ -414,13 +459,27 @@ func New(model *Model, backend Backend, cfg Config) (*Server, error) {
 		sessionsCreated: reg.NewCounter("serve_sessions_created_total", "device sessions opened"),
 		sessionsClosed:  reg.NewCounter("serve_sessions_closed_total", "device sessions closed"),
 		httpErrors:      reg.NewCounter("serve_http_errors_total", "HTTP requests answered with an error status"),
+		binConnsTotal:   reg.NewCounter("serve_bin_connections_total", "binary-protocol connections accepted"),
+		binFrames:       reg.NewCounter("serve_bin_frames_total", "binary-protocol request frames served"),
+		binErrors:       reg.NewCounter("serve_bin_errors_total", "binary-protocol requests answered with an error frame"),
 		histHTTP: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
 			obs.Label{Key: "stage", Value: "http"}),
+		histBin: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
+			obs.Label{Key: "stage", Value: "bin"}),
+		histBinDecode: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
+			obs.Label{Key: "stage", Value: "bin_decode"}),
+		histBinWrite: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
+			obs.Label{Key: "stage", Value: "bin_write"}),
 	}
 	reg.NewGaugeFunc("serve_sessions", "live device sessions", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		return float64(len(s.sessions))
+	})
+	reg.NewGaugeFunc("serve_bin_connections", "live binary-protocol connections", func() float64 {
+		s.binMu.Lock()
+		defer s.binMu.Unlock()
+		return float64(len(s.binConns))
 	})
 	reg.NewGaugeFunc("serve_uptime_seconds", "seconds since server start (monotonic, clamped at 0)", func() float64 {
 		return ageSeconds(s.start)
@@ -438,8 +497,9 @@ func New(model *Model, backend Backend, cfg Config) (*Server, error) {
 		reg.NewCounterFunc("serve_hw_degraded_total", "lookups degraded to the software tables", hb.degraded.Load)
 	}
 	s.batch = newBatcher(backend, cfg.MaxBatch, cfg.Linger, batcherObs{
-		batches: reg.NewCounter("serve_batches_total", "backend batch dispatches"),
-		lookups: reg.NewCounter("serve_batch_lookups_total", "lookups resolved through batch dispatches"),
+		batches:  reg.NewCounter("serve_batches_total", "backend batch dispatches"),
+		lookups:  reg.NewCounter("serve_batch_lookups_total", "lookups resolved through batch dispatches"),
+		rejected: reg.NewCounter("serve_batch_rejected_total", "decide submits rejected with ErrOverloaded (ring full)"),
 		queueWait: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
 			obs.Label{Key: "stage", Value: "queue_wait"}),
 		assemble: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
@@ -487,8 +547,8 @@ func (s *Server) checkpointAgeS() float64 {
 // Model returns the served model.
 func (s *Server) Model() *Model { return s.model }
 
-// Close shuts the batch worker down; in-flight decides drain with
-// ErrServerClosed.
+// Close shuts the batch worker down and tears down every binary-protocol
+// listener and connection; in-flight decides drain with ErrServerClosed.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -497,6 +557,14 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.binMu.Lock()
+	for ln := range s.binLns {
+		ln.Close()
+	}
+	for c := range s.binConns {
+		c.Close()
+	}
+	s.binMu.Unlock()
 	s.batch.Close()
 }
 
@@ -523,6 +591,7 @@ func (s *Server) CreateSession(opts SessionOptions) (*Session, error) {
 	s.nextID++
 	sess := &Session{
 		id:         fmt.Sprintf("s-%06d", s.nextID),
+		handle:     s.nextID,
 		srv:        s,
 		eps:        opts.Epsilon,
 		epsMin:     opts.EpsilonMin,
@@ -531,6 +600,7 @@ func (s *Server) CreateSession(opts SessionOptions) (*Session, error) {
 		prevDemand: make([]float64, s.model.Clusters()),
 	}
 	s.sessions[sess.id] = sess
+	s.handles[sess.handle] = sess
 	s.sessionsCreated.Add(1)
 	return sess, nil
 }
@@ -546,31 +616,64 @@ func (s *Server) Session(id string) (*Session, error) {
 	return sess, nil
 }
 
+// SessionByHandle looks a live session up by its binary-protocol handle.
+// The error is the bare sentinel — no formatting — so the binary hot path
+// stays allocation-free even when a stale handle arrives.
+func (s *Server) SessionByHandle(h uint64) (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.handles[h]
+	if !ok {
+		return nil, ErrNoSession
+	}
+	return sess, nil
+}
+
 // CloseSession ends a session and returns its final ledger.
 func (s *Server) CloseSession(id string) (SessionStats, error) {
 	s.mu.Lock()
 	sess, ok := s.sessions[id]
 	if ok {
 		delete(s.sessions, id)
+		delete(s.handles, sess.handle)
 	}
 	s.mu.Unlock()
 	if !ok {
 		return SessionStats{}, fmt.Errorf("%w: %q", ErrNoSession, id)
 	}
+	return s.finishClose(sess), nil
+}
+
+// CloseSessionByHandle ends a session addressed by its binary handle.
+func (s *Server) CloseSessionByHandle(h uint64) (SessionStats, error) {
+	s.mu.Lock()
+	sess, ok := s.handles[h]
+	if ok {
+		delete(s.sessions, sess.id)
+		delete(s.handles, h)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return SessionStats{}, ErrNoSession
+	}
+	return s.finishClose(sess), nil
+}
+
+func (s *Server) finishClose(sess *Session) SessionStats {
 	sess.mu.Lock()
 	sess.closed = true
 	st := sess.statsLocked()
 	sess.mu.Unlock()
 	s.sessionsClosed.Add(1)
-	return st, nil
+	return st
 }
 
 // HWStats reports the hardware backend's health ledger in Metrics; nil for
 // the software backend.
 type HWStats struct {
-	Decisions uint64 `json:"decisions"`
-	Retries   uint64 `json:"retries"`
-	Degraded  uint64 `json:"degraded"`
+	Decisions uint64  `json:"decisions"`
+	Retries   uint64  `json:"retries"`
+	Degraded  uint64  `json:"degraded"`
 	MeanLatNs float64 `json:"mean_latency_ns"`
 }
 
@@ -587,9 +690,13 @@ type Metrics struct {
 	Explorations       uint64   `json:"explorations"`
 	Rewards            uint64   `json:"rewards"`
 	Batches            uint64   `json:"batches"`
+	BatchRejected      uint64   `json:"batch_rejected"`
 	MeanBatchOccupancy float64  `json:"mean_batch_occupancy"`
 	MaxBatchOccupancy  uint64   `json:"max_batch_occupancy"`
 	HTTPErrors         uint64   `json:"http_errors"`
+	BinConnections     uint64   `json:"bin_connections"`
+	BinFrames          uint64   `json:"bin_frames"`
+	BinErrors          uint64   `json:"bin_errors"`
 	CheckpointAgeS     float64  `json:"checkpoint_age_s"` // -1 when no checkpoint exists
 	HW                 *HWStats `json:"hw,omitempty"`
 }
@@ -614,8 +721,12 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Explorations:      s.explorations.Load(),
 		Rewards:           s.rewards.Load(),
 		Batches:           batches,
+		BatchRejected:     s.batch.o.rejected.Load(),
 		MaxBatchOccupancy: maxOcc,
 		HTTPErrors:        s.httpErrors.Load(),
+		BinConnections:    s.binConnsTotal.Load(),
+		BinFrames:         s.binFrames.Load(),
+		BinErrors:         s.binErrors.Load(),
 		CheckpointAgeS:    s.checkpointAgeS(),
 	}
 	if batches > 0 {

@@ -19,7 +19,7 @@ import (
 // testSnapshot builds a deterministic snapshot with the given per-cluster
 // OPP counts; table values come from a fixed rng stream so every test sees
 // the same policy.
-func testSnapshot(t *testing.T, levels ...int) (core.Config, core.Snapshot) {
+func testSnapshot(t testing.TB, levels ...int) (core.Config, core.Snapshot) {
 	t.Helper()
 	cfg := core.DefaultConfig()
 	snap := core.Snapshot{State: cfg.State}
@@ -39,7 +39,7 @@ func testSnapshot(t *testing.T, levels ...int) (core.Config, core.Snapshot) {
 	return cfg, snap
 }
 
-func testModel(t *testing.T, levels ...int) *Model {
+func testModel(t testing.TB, levels ...int) *Model {
 	t.Helper()
 	cfg, snap := testSnapshot(t, levels...)
 	m, err := NewModel(cfg, snap)

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCodecAllocFree pins the binary decide path's codec at zero
+// allocations per frame — the serving-tier extension of the PR-3
+// discipline that made the simulation hot loop allocation-free. Encoding
+// appends into a reused buffer; decoding reuses the request struct's
+// backing arrays; frame reads reuse the payload scratch.
+func TestCodecAllocFree(t *testing.T) {
+	obs := []Obs{
+		{Utilization: 0.7, DemandRatio: 1.1, QoS: 0.95, ClusterQoS: 0.9, Level: 3},
+		{Utilization: 0.2, DemandRatio: 0.4, QoS: 0.95, ClusterQoS: 1.0, Critical: true, Level: 1},
+	}
+	levels := []int{2, 5}
+
+	// Warm-up: grow every reused buffer to steady-state capacity.
+	buf := FinishFrame(AppendDecideReq(BeginFrame(nil), 42, obs), TDecide, 1)
+	var dreq DecideReq
+	if err := ParseDecideReq(buf[HeaderSize:], &dreq); err != nil {
+		t.Fatalf("warm-up decode: %v", err)
+	}
+	respBuf := FinishFrame(AppendDecideOK(BeginFrame(nil), levels), TDecideOK, 1)
+	var dok DecideOK
+	if err := ParseDecideOK(respBuf[HeaderSize:], &dok); err != nil {
+		t.Fatalf("warm-up decode: %v", err)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		buf = FinishFrame(AppendDecideReq(BeginFrame(buf), 42, obs), TDecide, 1)
+		respBuf = FinishFrame(AppendDecideOK(BeginFrame(respBuf), levels), TDecideOK, 1)
+	}); n != 0 {
+		t.Fatalf("frame encode allocates %v times per frame, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		h, err := ParseHeader(buf)
+		if err != nil || h.Type != TDecide {
+			t.Fatal("header decode failed")
+		}
+		if err := ParseDecideReq(buf[HeaderSize:HeaderSize+int(h.Len)], &dreq); err != nil {
+			t.Fatal(err)
+		}
+		if err := ParseDecideOK(respBuf[HeaderSize:], &dok); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("frame decode allocates %v times per frame, want 0", n)
+	}
+}
+
+// TestReadFrameReusesPayload proves the streaming read path reaches zero
+// allocations once the payload scratch has grown to frame size.
+func TestReadFrameReusesPayload(t *testing.T) {
+	frame := FinishFrame(AppendDecideReq(BeginFrame(nil), 7, make([]Obs, 4)), TDecide, 3)
+	var hdr [HeaderSize]byte
+	var payload []byte
+	rd := bytes.NewReader(frame)
+	var err error
+	if _, payload, err = ReadFrame(rd, &hdr, payload); err != nil { // warm-up
+		t.Fatalf("warm-up: %v", err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		rd.Reset(frame)
+		_, payload, err = ReadFrame(rd, &hdr, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("ReadFrame allocates %v times per frame with a warm scratch, want 0", n)
+	}
+}
+
+func BenchmarkEncodeDecideFrame(b *testing.B) {
+	obs := make([]Obs, 2)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = FinishFrame(AppendDecideReq(BeginFrame(buf), 42, obs), TDecide, uint32(i))
+	}
+}
+
+func BenchmarkDecodeDecideFrame(b *testing.B) {
+	frame := FinishFrame(AppendDecideReq(BeginFrame(nil), 42, make([]Obs, 2)), TDecide, 1)
+	var dreq DecideReq
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ParseDecideReq(frame[HeaderSize:], &dreq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

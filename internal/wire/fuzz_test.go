@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+// knownErr reports whether err chains to one of the package's typed decode
+// errors — the only failures the decoder is allowed to produce.
+func knownErr(err error) bool {
+	for _, sentinel := range []error{
+		ErrShortHeader, ErrBadCRC, ErrBadVersion, ErrBadType,
+		ErrOversized, ErrTruncated, ErrBadPayload,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// reencode re-serializes the value a successful decode produced; canonical
+// encoding means it must reproduce the payload byte-for-byte, which also
+// proves the decoder read exactly the bytes it was given.
+func reencode(t byte, p []byte) ([]byte, error) {
+	switch t {
+	case TCreate:
+		var v CreateReq
+		if err := ParseCreateReq(p, &v); err != nil {
+			return nil, err
+		}
+		return AppendCreateReq(nil, v), nil
+	case TCreateOK:
+		var v CreateOK
+		if err := ParseCreateOK(p, &v); err != nil {
+			return nil, err
+		}
+		return AppendCreateOK(nil, v.Handle, v.NumLevels), nil
+	case TDecide:
+		var v DecideReq
+		if err := ParseDecideReq(p, &v); err != nil {
+			return nil, err
+		}
+		return AppendDecideReq(nil, v.Handle, v.Obs), nil
+	case TDecideOK:
+		var v DecideOK
+		if err := ParseDecideOK(p, &v); err != nil {
+			return nil, err
+		}
+		return AppendDecideOK(nil, v.Levels), nil
+	case TReward:
+		var v RewardReq
+		if err := ParseRewardReq(p, &v); err != nil {
+			return nil, err
+		}
+		return AppendRewardReq(nil, v), nil
+	case TRewardOK, TCloseOK:
+		var v Stats
+		if err := ParseStats(p, &v); err != nil {
+			return nil, err
+		}
+		return AppendStats(nil, v), nil
+	case TClose:
+		var v CloseReq
+		if err := ParseCloseReq(p, &v); err != nil {
+			return nil, err
+		}
+		return AppendCloseReq(nil, v), nil
+	case TError:
+		var v ErrorFrame
+		if err := ParseError(p, &v); err != nil {
+			return nil, err
+		}
+		return AppendError(nil, v.Code, string(v.Msg)), nil
+	}
+	return nil, errors.New("unreachable: ValidType admitted an unknown type")
+}
+
+// FuzzWireDecode throws arbitrary bytes at the full frame-decode pipeline:
+// header parse, payload framing, and the per-type payload decoder. The
+// invariants: never panic, never over-read (slices are exactly sized),
+// every failure is a typed wire error, and every success re-encodes to the
+// identical bytes.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with one well-formed frame per type...
+	seed := func(t byte, payload []byte) {
+		f.Add(FinishFrame(append(BeginFrame(nil), payload...), t, 7))
+	}
+	seed(TCreate, AppendCreateReq(nil, CreateReq{Epsilon: 0.3, EpsilonDecay: 0.99, Seed: 11}))
+	seed(TCreateOK, AppendCreateOK(nil, 5, []int{3, 5}))
+	seed(TDecide, AppendDecideReq(nil, 5, []Obs{{Utilization: 0.8, Level: 2}, {Critical: true}}))
+	seed(TDecideOK, AppendDecideOK(nil, []int{1, 4}))
+	seed(TReward, AppendRewardReq(nil, RewardReq{Handle: 5, Reward: -1.5}))
+	seed(TRewardOK, AppendStats(nil, Stats{Decisions: 10, Rewards: 2, MeanReward: -0.5}))
+	seed(TClose, AppendCloseReq(nil, CloseReq{Handle: 5}))
+	seed(TError, AppendError(nil, CodeNoSession, "gone"))
+	// ...and classic malformations: truncations, a bad version, a
+	// corrupted CRC, an oversized length prefix.
+	good := FinishFrame(AppendCloseReq(BeginFrame(nil), CloseReq{Handle: 1}), TClose, 1)
+	f.Add(good[:HeaderSize-3])
+	f.Add(good[:len(good)-2])
+	bad := append([]byte(nil), good...)
+	bad[0] = 9
+	f.Add(bad)
+	bad2 := append([]byte(nil), good...)
+	bad2[13] ^= 0xFF
+	f.Add(bad2)
+	big := make([]byte, HeaderSize)
+	big[0], big[1] = Version, TDecide
+	binary.LittleEndian.PutUint32(big[8:12], MaxPayload+100)
+	binary.LittleEndian.PutUint32(big[12:16], crc32.ChecksumIEEE(big[:12]))
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var hdr [HeaderSize]byte
+		h, payload, err := ReadFrame(bytes.NewReader(data), &hdr, nil)
+		if err != nil {
+			// IO truncation or a typed header error; nothing else.
+			if !knownErr(err) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+				t.Fatalf("ReadFrame returned an untyped error: %v", err)
+			}
+			return
+		}
+		if int(h.Len) != len(payload) || h.Len > MaxPayload {
+			t.Fatalf("ReadFrame sized payload %d against header %d", len(payload), h.Len)
+		}
+		out, err := reencode(h.Type, payload)
+		if err != nil {
+			if !knownErr(err) {
+				t.Fatalf("payload decoder returned an untyped error: %v", err)
+			}
+			return
+		}
+		if !bytes.Equal(out, payload) {
+			t.Fatalf("type %d: re-encode diverged\n in: %x\nout: %x", h.Type, payload, out)
+		}
+	})
+}

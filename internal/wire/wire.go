@@ -1,0 +1,508 @@
+// Package wire is the compact binary protocol the decision server speaks
+// alongside HTTP/JSON — the "short communication interface" the paper's
+// latency claim leans on, applied to the serving tier.
+//
+// BENCH_pr4 showed the modeled hardware backend answering in ~200 ns while
+// the end-to-end HTTP/JSON p50 sat at ~2.3 ms: the communication
+// interface, not the policy, was the bottleneck. This package replaces it
+// with length-prefixed fixed-layout frames over persistent multiplexed TCP
+// connections:
+//
+//   - every frame is a 16-byte CRC-guarded header followed by a
+//     little-endian fixed-layout payload — no field names, no escaping,
+//     no variable-width integers, so encode and decode are straight-line
+//     copies that allocate nothing after warm-up;
+//   - the header carries a version byte (rejected before anything else is
+//     trusted), a frame type, a request id echoed in the response (so
+//     many device sessions can multiplex one connection and pipeline
+//     requests), and the payload length, all guarded by a CRC32 so a
+//     desynchronized or corrupted stream is detected at the frame
+//     boundary instead of being misparsed as a giant length prefix;
+//   - payload decoders validate exact sizes and canonical encodings and
+//     return typed errors (never panic, never over-read) — the contract
+//     pinned by FuzzWireDecode and the round-trip property test.
+//
+// Layouts (all integers little-endian, floats IEEE-754 bit patterns):
+//
+//	header    version u8 | type u8 | reserved u16 (=0) | req_id u32 |
+//	          payload_len u32 | crc32(bytes 0..11) u32
+//	create    epsilon f64 | epsilon_min f64 | epsilon_decay f64 | seed u64
+//	createOK  handle u64 | clusters u16 | num_levels u16 × clusters
+//	decide    handle u64 | clusters u16 | obs × clusters, each:
+//	          utilization f64 | demand_ratio f64 | qos f64 |
+//	          cluster_qos f64 | critical u8 (0/1) | level u16
+//	decideOK  clusters u16 | level u16 × clusters
+//	reward    handle u64 | reward f64
+//	rewardOK  decisions u64 | rewards u64 | mean_reward f64 | epsilon f64
+//	close     handle u64
+//	closeOK   same as rewardOK
+//	error     code u16 | message bytes
+//
+// The package is dependency-free (standard library only); the serve layer
+// owns the mapping between wire frames and sessions.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+const (
+	// Version is the protocol version this package encodes and accepts.
+	Version = 1
+	// HeaderSize is the fixed frame-header length in bytes.
+	HeaderSize = 16
+	// MaxPayload bounds the payload length a header may declare; larger
+	// prefixes are rejected before any payload byte is read, so a corrupt
+	// or hostile length can never drive an oversized allocation or
+	// over-read.
+	MaxPayload = 1 << 20
+)
+
+// Frame types. Requests flow client→server, *OK responses and TError flow
+// server→client; the response echoes the request's id.
+const (
+	TError    byte = 1
+	TCreate   byte = 2
+	TCreateOK byte = 3
+	TDecide   byte = 4
+	TDecideOK byte = 5
+	TReward   byte = 6
+	TRewardOK byte = 7
+	TClose    byte = 8
+	TCloseOK  byte = 9
+)
+
+// ValidType reports whether t is a known frame type.
+func ValidType(t byte) bool { return t >= TError && t <= TCloseOK }
+
+// Error codes carried by TError frames, mirroring the HTTP status mapping.
+const (
+	CodeBadRequest    uint16 = 1
+	CodeNoSession     uint16 = 2
+	CodeSessionClosed uint16 = 3
+	CodeServerClosed  uint16 = 4
+	CodeOverloaded    uint16 = 5
+	CodeInternal      uint16 = 6
+)
+
+// Typed decode errors. Decoders wrap these with context via %w, so callers
+// classify with errors.Is and fuzzing can assert that every failure is one
+// of them.
+var (
+	// ErrShortHeader: fewer than HeaderSize bytes where a header belongs.
+	ErrShortHeader = errors.New("wire: short header")
+	// ErrBadCRC: the header checksum does not cover its bytes — a
+	// desynchronized stream or corruption.
+	ErrBadCRC = errors.New("wire: header CRC mismatch")
+	// ErrBadVersion: the version byte is not Version.
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+	// ErrBadType: the frame type byte names no known frame.
+	ErrBadType = errors.New("wire: unknown frame type")
+	// ErrOversized: the declared payload length exceeds MaxPayload.
+	ErrOversized = errors.New("wire: oversized payload length")
+	// ErrTruncated: the payload is shorter than its layout requires.
+	ErrTruncated = errors.New("wire: truncated payload")
+	// ErrBadPayload: the payload is structurally invalid (trailing bytes,
+	// non-canonical bool, nonzero reserved field).
+	ErrBadPayload = errors.New("wire: malformed payload")
+)
+
+// Header is the decoded frame header.
+type Header struct {
+	Version byte
+	Type    byte
+	ReqID   uint32
+	Len     uint32
+}
+
+// PutHeader encodes a header for a payloadLen-byte payload of type typ into
+// buf[:HeaderSize], computing the guard CRC. buf must hold at least
+// HeaderSize bytes.
+func PutHeader(buf []byte, typ byte, reqID uint32, payloadLen int) {
+	_ = buf[HeaderSize-1]
+	buf[0] = Version
+	buf[1] = typ
+	buf[2], buf[3] = 0, 0
+	binary.LittleEndian.PutUint32(buf[4:8], reqID)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(buf[:12]))
+}
+
+// ParseHeader decodes and validates buf[:HeaderSize]. The CRC is checked
+// before any field is interpreted, so a corrupted version, type, or length
+// surfaces as ErrBadCRC rather than a misparse.
+func ParseHeader(buf []byte) (Header, error) {
+	if len(buf) < HeaderSize {
+		return Header{}, fmt.Errorf("%w: %d bytes", ErrShortHeader, len(buf))
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[12:16]), crc32.ChecksumIEEE(buf[:12]); got != want {
+		return Header{}, fmt.Errorf("%w: stored %#08x, computed %#08x", ErrBadCRC, got, want)
+	}
+	h := Header{
+		Version: buf[0],
+		Type:    buf[1],
+		ReqID:   binary.LittleEndian.Uint32(buf[4:8]),
+		Len:     binary.LittleEndian.Uint32(buf[8:12]),
+	}
+	if h.Version != Version {
+		return h, fmt.Errorf("%w: %d (want %d)", ErrBadVersion, h.Version, Version)
+	}
+	if buf[2] != 0 || buf[3] != 0 {
+		return h, fmt.Errorf("%w: nonzero reserved header bytes", ErrBadPayload)
+	}
+	if !ValidType(h.Type) {
+		return h, fmt.Errorf("%w: %d", ErrBadType, h.Type)
+	}
+	if h.Len > MaxPayload {
+		return h, fmt.Errorf("%w: %d bytes (max %d)", ErrOversized, h.Len, MaxPayload)
+	}
+	return h, nil
+}
+
+var zeroHeader [HeaderSize]byte
+
+// BeginFrame resets dst and reserves header space; append the payload to
+// the returned slice, then seal it with FinishFrame. The pattern reuses
+// the caller's buffer, so a warmed connection encodes frames with zero
+// allocations.
+func BeginFrame(dst []byte) []byte {
+	return append(dst[:0], zeroHeader[:]...)
+}
+
+// FinishFrame writes the header (with CRC) over the space BeginFrame
+// reserved, for a frame of type typ answering reqID. buf must have come
+// from BeginFrame plus payload appends.
+func FinishFrame(buf []byte, typ byte, reqID uint32) []byte {
+	PutHeader(buf[:HeaderSize], typ, reqID, len(buf)-HeaderSize)
+	return buf
+}
+
+// ReadFrame reads one frame from r: the header into *hdr, the payload into
+// payload (grown only when capacity is short, otherwise reused). It
+// returns the possibly regrown payload slice so callers can keep it as
+// their scratch. The header is validated — including the MaxPayload bound —
+// before any payload byte is read.
+func ReadFrame(r io.Reader, hdr *[HeaderSize]byte, payload []byte) (Header, []byte, error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Header{}, payload, err
+	}
+	h, err := ParseHeader(hdr[:])
+	if err != nil {
+		return h, payload, err
+	}
+	if cap(payload) < int(h.Len) {
+		payload = make([]byte, h.Len)
+	}
+	payload = payload[:h.Len]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return h, payload, err
+	}
+	return h, payload, nil
+}
+
+// Obs is the wire form of one cluster's telemetry for one control period —
+// field-for-field the serve layer's Observation, encoded as a fixed
+// 35-byte record.
+type Obs struct {
+	Utilization float64
+	DemandRatio float64
+	QoS         float64
+	ClusterQoS  float64
+	Critical    bool
+	Level       int
+}
+
+const obsSize = 4*8 + 1 + 2
+
+// CreateReq asks the server to open a device session.
+type CreateReq struct {
+	Epsilon      float64
+	EpsilonMin   float64
+	EpsilonDecay float64
+	Seed         uint64
+}
+
+const createReqSize = 4 * 8
+
+// AppendCreateReq appends r's payload encoding to dst.
+func AppendCreateReq(dst []byte, r CreateReq) []byte {
+	dst = appendF64(dst, r.Epsilon)
+	dst = appendF64(dst, r.EpsilonMin)
+	dst = appendF64(dst, r.EpsilonDecay)
+	return binary.LittleEndian.AppendUint64(dst, r.Seed)
+}
+
+// ParseCreateReq decodes p into r.
+func ParseCreateReq(p []byte, r *CreateReq) error {
+	if err := exactLen(p, createReqSize); err != nil {
+		return err
+	}
+	r.Epsilon = getF64(p[0:])
+	r.EpsilonMin = getF64(p[8:])
+	r.EpsilonDecay = getF64(p[16:])
+	r.Seed = binary.LittleEndian.Uint64(p[24:])
+	return nil
+}
+
+// CreateOK answers a create: the session handle plus the served chip's
+// per-cluster OPP counts.
+type CreateOK struct {
+	Handle    uint64
+	NumLevels []int
+}
+
+// AppendCreateOK appends the payload encoding to dst.
+func AppendCreateOK(dst []byte, handle uint64, numLevels []int) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, handle)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(numLevels)))
+	for _, n := range numLevels {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(n))
+	}
+	return dst
+}
+
+// ParseCreateOK decodes p into r, reusing r.NumLevels' backing array.
+func ParseCreateOK(p []byte, r *CreateOK) error {
+	if len(p) < 10 {
+		return fmt.Errorf("%w: createOK needs 10 bytes, got %d", ErrTruncated, len(p))
+	}
+	r.Handle = binary.LittleEndian.Uint64(p[0:])
+	n := int(binary.LittleEndian.Uint16(p[8:]))
+	if err := exactLen(p, 10+2*n); err != nil {
+		return err
+	}
+	r.NumLevels = fitInts(r.NumLevels, n)
+	for i := 0; i < n; i++ {
+		r.NumLevels[i] = int(binary.LittleEndian.Uint16(p[10+2*i:]))
+	}
+	return nil
+}
+
+// DecideReq carries one control period's observations for a session.
+type DecideReq struct {
+	Handle uint64
+	Obs    []Obs
+}
+
+// AppendDecideReq appends the payload encoding to dst. Critical encodes as
+// 0/1; Level as its low 16 bits (the server validates range).
+func AppendDecideReq(dst []byte, handle uint64, obs []Obs) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, handle)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(obs)))
+	for i := range obs {
+		o := &obs[i]
+		dst = appendF64(dst, o.Utilization)
+		dst = appendF64(dst, o.DemandRatio)
+		dst = appendF64(dst, o.QoS)
+		dst = appendF64(dst, o.ClusterQoS)
+		if o.Critical {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(o.Level))
+	}
+	return dst
+}
+
+// ParseDecideReq decodes p into r, reusing r.Obs' backing array. The
+// critical byte must be canonical (0 or 1) so encoding is bijective.
+func ParseDecideReq(p []byte, r *DecideReq) error {
+	if len(p) < 10 {
+		return fmt.Errorf("%w: decide needs 10 bytes, got %d", ErrTruncated, len(p))
+	}
+	r.Handle = binary.LittleEndian.Uint64(p[0:])
+	n := int(binary.LittleEndian.Uint16(p[8:]))
+	if err := exactLen(p, 10+obsSize*n); err != nil {
+		return err
+	}
+	r.Obs = fitObs(r.Obs, n)
+	for i := 0; i < n; i++ {
+		rec := p[10+obsSize*i:]
+		o := &r.Obs[i]
+		o.Utilization = getF64(rec[0:])
+		o.DemandRatio = getF64(rec[8:])
+		o.QoS = getF64(rec[16:])
+		o.ClusterQoS = getF64(rec[24:])
+		switch rec[32] {
+		case 0:
+			o.Critical = false
+		case 1:
+			o.Critical = true
+		default:
+			return fmt.Errorf("%w: critical byte %d (want 0 or 1)", ErrBadPayload, rec[32])
+		}
+		o.Level = int(binary.LittleEndian.Uint16(rec[33:]))
+	}
+	return nil
+}
+
+// DecideOK carries the chosen OPP level per cluster.
+type DecideOK struct {
+	Levels []int
+}
+
+// AppendDecideOK appends the payload encoding to dst.
+func AppendDecideOK(dst []byte, levels []int) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(levels)))
+	for _, l := range levels {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(l))
+	}
+	return dst
+}
+
+// ParseDecideOK decodes p into r, reusing r.Levels' backing array.
+func ParseDecideOK(p []byte, r *DecideOK) error {
+	if len(p) < 2 {
+		return fmt.Errorf("%w: decideOK needs 2 bytes, got %d", ErrTruncated, len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p[0:]))
+	if err := exactLen(p, 2+2*n); err != nil {
+		return err
+	}
+	r.Levels = fitInts(r.Levels, n)
+	for i := 0; i < n; i++ {
+		r.Levels[i] = int(binary.LittleEndian.Uint16(p[2+2*i:]))
+	}
+	return nil
+}
+
+// RewardReq reports a device-computed reward for a session.
+type RewardReq struct {
+	Handle uint64
+	Reward float64
+}
+
+const rewardReqSize = 16
+
+// AppendRewardReq appends the payload encoding to dst.
+func AppendRewardReq(dst []byte, r RewardReq) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, r.Handle)
+	return appendF64(dst, r.Reward)
+}
+
+// ParseRewardReq decodes p into r.
+func ParseRewardReq(p []byte, r *RewardReq) error {
+	if err := exactLen(p, rewardReqSize); err != nil {
+		return err
+	}
+	r.Handle = binary.LittleEndian.Uint64(p[0:])
+	r.Reward = getF64(p[8:])
+	return nil
+}
+
+// CloseReq closes a session.
+type CloseReq struct {
+	Handle uint64
+}
+
+const closeReqSize = 8
+
+// AppendCloseReq appends the payload encoding to dst.
+func AppendCloseReq(dst []byte, r CloseReq) []byte {
+	return binary.LittleEndian.AppendUint64(dst, r.Handle)
+}
+
+// ParseCloseReq decodes p into r.
+func ParseCloseReq(p []byte, r *CloseReq) error {
+	if err := exactLen(p, closeReqSize); err != nil {
+		return err
+	}
+	r.Handle = binary.LittleEndian.Uint64(p[0:])
+	return nil
+}
+
+// Stats is the per-session ledger returned by reward and close frames.
+type Stats struct {
+	Decisions  uint64
+	Rewards    uint64
+	MeanReward float64
+	Epsilon    float64
+}
+
+const statsSize = 4 * 8
+
+// AppendStats appends the payload encoding to dst.
+func AppendStats(dst []byte, s Stats) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, s.Decisions)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Rewards)
+	dst = appendF64(dst, s.MeanReward)
+	return appendF64(dst, s.Epsilon)
+}
+
+// ParseStats decodes p into s.
+func ParseStats(p []byte, s *Stats) error {
+	if err := exactLen(p, statsSize); err != nil {
+		return err
+	}
+	s.Decisions = binary.LittleEndian.Uint64(p[0:])
+	s.Rewards = binary.LittleEndian.Uint64(p[8:])
+	s.MeanReward = getF64(p[16:])
+	s.Epsilon = getF64(p[24:])
+	return nil
+}
+
+// ErrorFrame is the typed failure answer. Msg aliases the payload buffer —
+// copy it before the next frame read if it must outlive the buffer.
+type ErrorFrame struct {
+	Code uint16
+	Msg  []byte
+}
+
+// AppendError appends the payload encoding to dst.
+func AppendError(dst []byte, code uint16, msg string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, code)
+	return append(dst, msg...)
+}
+
+// ParseError decodes p into e. Msg is a zero-copy view into p.
+func ParseError(p []byte, e *ErrorFrame) error {
+	if len(p) < 2 {
+		return fmt.Errorf("%w: error frame needs 2 bytes, got %d", ErrTruncated, len(p))
+	}
+	e.Code = binary.LittleEndian.Uint16(p[0:])
+	e.Msg = p[2:]
+	return nil
+}
+
+// exactLen distinguishes a short payload (ErrTruncated) from trailing
+// garbage (ErrBadPayload).
+func exactLen(p []byte, want int) error {
+	if len(p) < want {
+		return fmt.Errorf("%w: %d bytes, layout needs %d", ErrTruncated, len(p), want)
+	}
+	if len(p) > want {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(p)-want)
+	}
+	return nil
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func getF64(p []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(p))
+}
+
+func fitInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func fitObs(s []Obs, n int) []Obs {
+	if cap(s) < n {
+		return make([]Obs, n)
+	}
+	return s[:n]
+}
