@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race staticcheck fuzz cover bench bench-smoke bench-serve serve-smoke experiments golden
+.PHONY: check build vet test race staticcheck fuzz cover bench bench-smoke bench-serve serve-smoke chaos-smoke experiments golden
 
 # check is the full CI gate: vet, build, the default test suite (unit +
 # determinism + golden, in shuffled order), and the race-detector pass over
@@ -81,6 +81,15 @@ serve-smoke:
 	grep -E 'serve_decide_stage_ns_count\{stage="bin"\} [1-9]' /tmp/metrics.prom >/dev/null || { kill $$SERVE_PID; exit 1; }; \
 	kill -TERM $$SERVE_PID; \
 	wait $$SERVE_PID
+
+# chaos-smoke replays seeded fault schedules (drops, partial writes,
+# latency spikes) against a live server under the race detector, including
+# a mid-run crash restart and a graceful drain restart, and fails unless
+# every decision is acked exactly once and byte-identical to a fault-free
+# oracle. The assertions live in pmload -chaos / serve.RunChaos.
+chaos-smoke:
+	$(GO) run -race ./cmd/pmload -chaos -proto bin -devices 6 -periods 80 -restart crash
+	$(GO) run -race ./cmd/pmload -chaos -proto json -devices 4 -periods 60 -restart drain
 
 # experiments regenerates the full evaluation through the testing harness.
 experiments:

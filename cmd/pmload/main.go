@@ -30,10 +30,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"rlpm/internal/bench"
+	"rlpm/internal/chaos"
 	"rlpm/internal/serve"
 )
 
@@ -62,11 +64,32 @@ func main() {
 		backends = flag.String("backends", "sw", "self-hosted mode: 'sw', 'hw', or 'both'")
 		out      = flag.String("out", "", "write the JSON report here (e.g. BENCH_pr6.json)")
 		quick    = flag.Bool("quick", true, "self-hosted mode: quick training")
+
+		chaosMode = flag.Bool("chaos", false, "run the chaos harness instead of a load test: inject faults, optionally restart the server mid-run, and verify zero lost/duplicated/changed decisions")
+		periods   = flag.Int("periods", 200, "chaos mode: decisions per device")
+		restart   = flag.String("restart", "", "chaos mode: kill the server mid-run: 'crash' (abrupt) or 'drain' (graceful + checkpoint); empty never")
+		dropRate  = flag.Float64("drop", 0.02, "chaos mode: per-event connection-drop probability")
+		partRate  = flag.Float64("partial", 0.05, "chaos mode: per-write partial-write probability")
+		corrRate  = flag.Float64("corrupt", 0, "chaos mode: per-write frame-corruption probability")
+		latRate   = flag.Float64("latency", 0.05, "chaos mode: per-write latency-spike probability")
+		latFor    = flag.Duration("latency-for", 2*time.Millisecond, "chaos mode: latency-spike duration")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *chaosMode {
+		faults := chaos.Config{
+			Seed:             *seed,
+			DropRate:         *dropRate,
+			PartialWriteRate: *partRate,
+			CorruptRate:      *corrRate,
+			LatencyRate:      *latRate,
+			LatencyFor:       *latFor,
+		}
+		os.Exit(runChaosMode(ctx, *proto, *devices, *periods, *scenario, *seed, *epsilon, *restart, *quick, *out, faults))
+	}
 
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -115,6 +138,69 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pmload: %d device errors\n", errs)
 		os.Exit(1)
 	}
+}
+
+// runChaosMode trains a quick model and hands it to the chaos harness.
+// Exit status is non-zero when any resilience invariant is violated —
+// a lost, duplicated, or changed decision, a leaked goroutine, or an
+// unreadable drain checkpoint.
+func runChaosMode(ctx context.Context, proto string, devices, periods int, scenario string, seed uint64, epsilon float64, restart string, quick bool, out string, faults chaos.Config) int {
+	opt := bench.DefaultOptions()
+	opt.Quick = quick
+	opt.Seed = seed
+	model, _, err := bench.TrainedServeModel(bench.ServeOptions{Options: opt, Scenario: scenario})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmload:", err)
+		return 1
+	}
+	// Chaos decisions must match the fault-free oracle with meaningful
+	// exploration in the loop; default it on unless the user chose.
+	if epsilon == 0 {
+		epsilon = 0.2
+	}
+	cfg := serve.ChaosConfig{
+		Proto:    proto,
+		Devices:  devices,
+		Periods:  periods,
+		Seed:     seed,
+		Scenario: scenario,
+		Epsilon:  epsilon,
+		Faults:   faults,
+		Restart:  restart,
+	}
+	if restart == "drain" {
+		dir, err := os.MkdirTemp("", "pmload-chaos-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmload:", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		cfg.CheckpointPath = filepath.Join(dir, "drain.ckpt")
+	}
+	rep, cerr := serve.RunChaos(ctx, model, cfg)
+	if rep != nil {
+		fmt.Printf("chaos: proto=%s devices=%d periods=%d decisions=%d retries=%d resumes=%d restarts=%d mismatches=%d in %.2fs\n",
+			rep.Proto, rep.Devices, rep.Periods, rep.Decisions, rep.Retries, rep.Resumes, rep.Restarts, rep.Mismatches, rep.DurationS)
+		fmt.Printf("chaos: proxy conns=%d drops=%d stalls=%d partials=%d corrupts=%d delays=%d\n",
+			rep.ProxyConns, rep.ProxyDrops, rep.ProxyStalls, rep.ProxyPartials, rep.ProxyCorrupts, rep.ProxyDelays)
+		if out != "" {
+			raw, err := json.MarshalIndent(rep, "", "  ")
+			if err == nil {
+				err = os.WriteFile(out, append(raw, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmload:", err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if cerr != nil {
+		fmt.Fprintln(os.Stderr, "pmload: chaos invariant violated:", cerr)
+		return 1
+	}
+	fmt.Println("chaos: all invariants held")
+	return 0
 }
 
 // speedup returns bin-over-json decisions/sec when the run set holds one

@@ -21,10 +21,16 @@
 // POST /v1/sessions/{id}/reward, DELETE /v1/sessions/{id},
 // POST /v1/checkpoint, GET /metrics, GET /healthz.
 //
-// SIGINT/SIGTERM drain the listener and exit 0 — the clean-shutdown
-// contract the CI smoke job asserts. SIGUSR1 dumps the full Prometheus
-// metrics exposition to stderr without disturbing serving — the
-// kick-the-tires observability hook when no scraper is attached.
+// SIGINT/SIGTERM run the graceful drain — stop accepting, finish in-flight
+// requests, publish a final checkpoint when -checkpoint is set — then exit
+// 0: the clean-shutdown contract the CI smoke job asserts. Start the next
+// incarnation with a bumped -epoch so clients holding sessions from the
+// old process detect the restart and transparently resume. -session-ttl
+// reaps abandoned sessions; -queue-deadline sheds decide requests that
+// queued too long, answering with a Retry-After hint the clients honor.
+// SIGUSR1 dumps the full Prometheus metrics exposition to stderr without
+// disturbing serving — the kick-the-tires observability hook when no
+// scraper is attached.
 package main
 
 import (
@@ -58,6 +64,11 @@ func main() {
 		linger     = flag.Duration("linger", 0, "batch linger window (0 = opportunistic coalescing only)")
 		seed       = flag.Uint64("seed", 1, "training seed")
 
+		epoch         = flag.Uint("epoch", 1, "server incarnation number; bump on every restart so clients detect stale sessions and resume")
+		sessionTTL    = flag.Duration("session-ttl", 0, "reap sessions idle longer than this (0 = never)")
+		queueDeadline = flag.Duration("queue-deadline", 0, "shed decide requests queued longer than this with a retry hint (0 = never)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown window on SIGINT/SIGTERM")
+
 		faultReadErr  = flag.Float64("fault-read-err", 0, "hw backend: injected bus read error rate")
 		faultWriteErr = flag.Float64("fault-write-err", 0, "hw backend: injected bus write error rate")
 		faultTimeout  = flag.Float64("fault-timeout", 0, "hw backend: injected device-wedge rate")
@@ -70,6 +81,7 @@ func main() {
 		quick: *quick, backend: *backendFl, maxBatch: *maxBatch, linger: *linger,
 		seed: *seed, faultReadErr: *faultReadErr, faultWriteErr: *faultWriteErr,
 		faultTimeout: *faultTimeout, faultSeed: *faultSeed,
+		epoch: uint32(*epoch), sessionTTL: *sessionTTL, queueDeadline: *queueDeadline,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmserve:", err)
@@ -128,13 +140,21 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(shCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "pmserve: shutdown:", err)
 			os.Exit(1)
 		}
 		<-errCh
+		// Graceful half of shutdown: stop the binary listeners, let
+		// in-flight frames finish, and publish a final checkpoint so the
+		// next incarnation (started with a bumped -epoch) resumes from the
+		// exact frozen policy.
+		if err := srv.Drain(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "pmserve: drain:", err)
+			os.Exit(1)
+		}
 	}
 	srv.Close() // idempotent; closes the binary listener so ServeBin returns
 	if err := <-binDone; err != nil {
@@ -153,13 +173,19 @@ type serverParams struct {
 	linger                                    time.Duration
 	seed, faultSeed                           uint64
 	faultReadErr, faultWriteErr, faultTimeout float64
+	epoch                                     uint32
+	sessionTTL, queueDeadline                 time.Duration
 }
 
-// buildServer resolves the model (checkpoint or fresh training) and wires
-// the chosen backend.
+// buildServer resolves the model (checkpoint or fresh training), wires the
+// chosen backend, and assembles the server with the resilience config.
 func buildServer(p serverParams) (*serve.Server, error) {
-	var model *serve.Model
+	var (
+		model   *serve.Model
+		backend serve.Backend
+	)
 	loadedCheckpoint := false
+	freshlyTrained := false
 	if p.checkpoint != "" {
 		if _, err := os.Stat(p.checkpoint); err == nil {
 			m, err := serve.LoadModel(p.checkpoint, core.DefaultConfig())
@@ -171,7 +197,28 @@ func buildServer(p serverParams) (*serve.Server, error) {
 			loadedCheckpoint = true
 		}
 	}
-	if model == nil {
+	if model != nil {
+		switch p.backend {
+		case "", "sw":
+			backend = serve.NewSWBackend(model)
+		case "hw":
+			hwCfg := serve.DefaultHWBackendConfig()
+			if fc := faultConfig(p); fc != nil {
+				inj, err := fault.NewInjector(*fc)
+				if err != nil {
+					return nil, err
+				}
+				hwCfg.Injector = inj
+			}
+			var err error
+			backend, err = serve.NewHWBackend(model, hwCfg)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unknown backend %q", p.backend)
+		}
+	} else {
 		opt := bench.DefaultOptions()
 		opt.Quick = p.quick
 		opt.Seed = p.seed
@@ -180,56 +227,36 @@ func buildServer(p serverParams) (*serve.Server, error) {
 			opt.Quick = false
 		}
 		fmt.Fprintf(os.Stderr, "pmserve: training on %q (%d episodes, quick=%v)...\n", p.scenario, opt.TrainEpisodes, opt.Quick)
-		srv, err := bench.NewServeServer(bench.ServeOptions{
+		var err error
+		model, backend, err = bench.TrainedServeModel(bench.ServeOptions{
 			Options: opt, Scenario: p.scenario, Backend: p.backend,
-			MaxBatch: p.maxBatch, Linger: p.linger, CheckpointPath: p.checkpoint,
 			Fault: faultConfig(p),
 		})
 		if err != nil {
 			return nil, err
 		}
-		if p.checkpoint != "" {
-			if n, err := serve.SaveCheckpoint(p.checkpoint, srv.Model().Snapshot()); err != nil {
-				srv.Close()
-				return nil, err
-			} else {
-				srv.MarkCheckpoint(time.Now())
-				srv.Events().Addf("checkpoint", "saved fresh checkpoint %s (%d bytes)", p.checkpoint, n)
-				fmt.Fprintf(os.Stderr, "pmserve: saved fresh checkpoint %s (%d bytes)\n", p.checkpoint, n)
-			}
-		}
-		return srv, nil
+		freshlyTrained = true
 	}
 
-	var backend serve.Backend
-	switch p.backend {
-	case "", "sw":
-		backend = serve.NewSWBackend(model)
-	case "hw":
-		hwCfg := serve.DefaultHWBackendConfig()
-		if fc := faultConfig(p); fc != nil {
-			inj, err := fault.NewInjector(*fc)
-			if err != nil {
-				return nil, err
-			}
-			hwCfg.Injector = inj
-		}
-		var err error
-		backend, err = serve.NewHWBackend(model, hwCfg)
-		if err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("unknown backend %q", p.backend)
-	}
 	srv, err := serve.New(model, backend, serve.Config{
 		MaxBatch: p.maxBatch, Linger: p.linger, CheckpointPath: p.checkpoint,
+		Epoch: p.epoch, SessionTTL: p.sessionTTL, QueueDeadline: p.queueDeadline,
 	})
 	if err != nil {
 		return nil, err
 	}
-	srv.MarkCheckpoint(time.Now())
-	if loadedCheckpoint {
+	switch {
+	case freshlyTrained && p.checkpoint != "":
+		n, err := serve.SaveCheckpoint(p.checkpoint, srv.Model().Snapshot())
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		srv.MarkCheckpoint(time.Now())
+		srv.Events().Addf("checkpoint", "saved fresh checkpoint %s (%d bytes)", p.checkpoint, n)
+		fmt.Fprintf(os.Stderr, "pmserve: saved fresh checkpoint %s (%d bytes)\n", p.checkpoint, n)
+	case loadedCheckpoint:
+		srv.MarkCheckpoint(time.Now())
 		srv.Events().Addf("checkpoint", "loaded %s", p.checkpoint)
 	}
 	return srv, nil

@@ -68,11 +68,11 @@ func (r *ServeResult) WriteText(w io.Writer) {
 	}
 }
 
-// NewServeServer trains a policy on opt's settings and assembles a
-// serve.Server around it — the exact construction cmd/pmserve performs,
-// shared so the experiment, the smoke tests, and the self-hosted load
-// generator measure the same stack.
-func NewServeServer(o ServeOptions) (*serve.Server, error) {
+// TrainedServeModel trains a policy on opt's settings and freezes it into
+// a serving model with its backend — the pieces NewServeServer assembles,
+// exposed separately for harnesses (the chaos runner) that manage server
+// lifecycles themselves.
+func TrainedServeModel(o ServeOptions) (*serve.Model, serve.Backend, error) {
 	opt := o.Options.normalized()
 	scen := o.Scenario
 	if scen == "" {
@@ -80,11 +80,11 @@ func NewServeServer(o ServeOptions) (*serve.Server, error) {
 	}
 	p, err := trainedPolicy(scen, opt, coreConfig())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	model, err := serve.ModelFromPolicy(p, coreConfig())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var backend serve.Backend
 	switch o.Backend {
@@ -95,16 +95,28 @@ func NewServeServer(o ServeOptions) (*serve.Server, error) {
 		if o.Fault != nil {
 			inj, err := fault.NewInjector(*o.Fault)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			hwCfg.Injector = inj
 		}
 		backend, err = serve.NewHWBackend(model, hwCfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	default:
-		return nil, fmt.Errorf("bench: unknown serve backend %q", o.Backend)
+		return nil, nil, fmt.Errorf("bench: unknown serve backend %q", o.Backend)
+	}
+	return model, backend, nil
+}
+
+// NewServeServer trains a policy on opt's settings and assembles a
+// serve.Server around it — the exact construction cmd/pmserve performs,
+// shared so the experiment, the smoke tests, and the self-hosted load
+// generator measure the same stack.
+func NewServeServer(o ServeOptions) (*serve.Server, error) {
+	model, backend, err := TrainedServeModel(o)
+	if err != nil {
+		return nil, err
 	}
 	return serve.New(model, backend, serve.Config{
 		MaxBatch:       o.MaxBatch,

@@ -8,7 +8,10 @@
 // xoshiro256** (for streams) so traces are stable forever.
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // SplitMix64 is the seeding generator recommended by the xoshiro authors.
 // It is also useful on its own for cheap, stateless hashing of integers.
@@ -67,6 +70,33 @@ func New(seed uint64) *Rand {
 // streams so adding a consumer never perturbs the others.
 func NewStream(seed, stream uint64) *Rand {
 	return New(Mix64(seed) ^ Mix64(stream^0xd1b54a32d192ed03))
+}
+
+// State exports the generator's raw xoshiro256** state so a session can be
+// suspended and resumed bit-exactly (the serving tier's crash-recovery path
+// carries it across server restarts).
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// NewFromState reconstructs a generator from a State() export. The all-zero
+// state is invalid for xoshiro and is rejected so a zero-filled transport
+// buffer can never produce a degenerate generator.
+func NewFromState(s [4]uint64) (*Rand, error) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return nil, errors.New("rng: all-zero xoshiro state")
+	}
+	return &Rand{s: s}, nil
+}
+
+// SetState restores a state previously exported with State, in place and
+// without allocating — the serving tier's transactional decide path uses
+// it to roll a generator back when a batched lookup fails, so a retried
+// request replays the exact same draws. Rejects the all-zero state.
+func (r *Rand) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errors.New("rng: all-zero xoshiro state")
+	}
+	r.s = s
+	return nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -36,6 +36,7 @@ type batcherObs struct {
 	batches    *obs.Counter
 	lookups    *obs.Counter
 	rejected   *obs.Counter   // submits refused with ErrOverloaded
+	stale      *obs.Counter   // queued requests shed past the queue deadline
 	queueWait  *obs.Histogram // submit → joins a dispatching batch
 	assemble   *obs.Histogram // batch opens → dispatch (linger + grabbing)
 	backendLat *obs.Histogram // backend.Decide wall time
@@ -56,6 +57,7 @@ type batcher struct {
 	wake     chan struct{} // capacity 1; producers nudge the parked worker
 	maxBatch int           // max lookups per backend call
 	linger   time.Duration // wait for co-travellers after the first arrival
+	deadline time.Duration // CoDel-style queue-staleness bound; 0 disables
 	quit     chan struct{}
 	wg       sync.WaitGroup
 	closeMu  sync.RWMutex
@@ -63,21 +65,48 @@ type batcher struct {
 	o        batcherObs
 
 	maxOcc atomic.Uint64
+	// ewmaWaitNs tracks recent queue wait (α=1/8) and sizes the backoff
+	// hint handed to shed clients: retrying after ~2× the current queue
+	// wait gives the ring time to drain without parking clients forever.
+	ewmaWaitNs atomic.Int64
 }
 
-func newBatcher(backend Backend, maxBatch int, linger time.Duration, o batcherObs) *batcher {
+func newBatcher(backend Backend, maxBatch int, linger, deadline time.Duration, o batcherObs) *batcher {
 	b := &batcher{
 		backend:  backend,
 		ring:     newMPSCRing(4 * maxBatch),
 		wake:     make(chan struct{}, 1),
 		maxBatch: maxBatch,
 		linger:   linger,
+		deadline: deadline,
 		quit:     make(chan struct{}),
 		o:        o,
 	}
 	b.wg.Add(1)
 	go b.run()
 	return b
+}
+
+// backoffHintMs converts the queue-wait EWMA into the retry hint carried
+// on overload responses (Retry-After / the wire error frame's backoff
+// field): ~2× the recent queue wait, clamped to [5ms, 1s]. The floor also
+// covers ring-full rejections before any wait has been observed.
+func (b *batcher) backoffHintMs() uint32 {
+	ms := 2 * b.ewmaWaitNs.Load() / int64(time.Millisecond)
+	if ms < 5 {
+		ms = 5
+	}
+	if ms > 1000 {
+		ms = 1000
+	}
+	return uint32(ms)
+}
+
+// observeWait feeds one request's queue wait to the histogram and EWMA.
+func (b *batcher) observeWait(w time.Duration) {
+	b.o.queueWait.Observe(w.Nanoseconds())
+	old := b.ewmaWaitNs.Load()
+	b.ewmaWaitNs.Store(old - old/8 + w.Nanoseconds()/8)
 }
 
 // Do submits lookups and blocks until the worker has resolved them into
@@ -153,7 +182,17 @@ func (b *batcher) run() {
 			}
 		}
 		opened := time.Now()
-		b.o.queueWait.Observe(opened.Sub(first.enqueued).Nanoseconds())
+		// CoDel-style staleness shedding: a request that sat in the ring
+		// past the queue deadline is failed instead of served — its client
+		// has likely timed out and retried already, so serving it now is
+		// wasted backend work ahead of fresher requests.
+		if b.deadline > 0 && opened.Sub(first.enqueued) > b.deadline {
+			b.o.stale.Add(1)
+			b.observeWait(opened.Sub(first.enqueued))
+			first.done <- ErrOverloaded
+			continue
+		}
+		b.observeWait(opened.Sub(first.enqueued))
 		reqs = append(reqs[:0], first)
 		total := len(first.lookups)
 
@@ -162,12 +201,20 @@ func (b *batcher) run() {
 		// as the seed of the next batch (requests are indivisible — one
 		// session's lookups never split across backend calls). A held
 		// request's queue wait is observed when it opens the next batch.
+		// Stale requests are shed here too, without consuming batch space.
 		accept := func(r *batchReq) bool {
+			wait := time.Since(r.enqueued)
+			if b.deadline > 0 && wait > b.deadline {
+				b.o.stale.Add(1)
+				b.observeWait(wait)
+				r.done <- ErrOverloaded
+				return true // shed, but keep grabbing
+			}
 			if total+len(r.lookups) > b.maxBatch {
 				held = r
 				return false
 			}
-			b.o.queueWait.Observe(time.Since(r.enqueued).Nanoseconds())
+			b.observeWait(wait)
 			reqs = append(reqs, r)
 			total += len(r.lookups)
 			return true

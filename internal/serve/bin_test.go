@@ -82,9 +82,10 @@ func TestBinSessionLifecycle(t *testing.T) {
 	if st.Decisions != steps || st.Rewards != 1 {
 		t.Fatalf("close stats %+v", st)
 	}
-	// The handle is dead now.
-	if _, err := sess.Decide(ctx, testObs(m, 1, 1)[0]); !errors.Is(err, ErrNoSession) {
-		t.Fatalf("decide after close: %v, want ErrNoSession", err)
+	// The session is dead now: the client refuses locally (it must not
+	// resume a deliberately closed session).
+	if _, err := sess.Decide(ctx, testObs(m, 1, 1)[0]); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("decide after close: %v, want ErrSessionClosed", err)
 	}
 }
 
@@ -281,7 +282,7 @@ func TestBinPipelining(t *testing.T) {
 	var buf []byte
 	for i, h := range []uint64{s1.Handle(), s2.Handle(), s1.Handle()} {
 		buf = append(buf, wire.FinishFrame(
-			wire.AppendDecideReq(wire.BeginFrame(nil), h, obs), wire.TDecide, uint32(100+i))...)
+			wire.AppendDecideReq(wire.BeginFrame(nil), h, 0, 0, obs), wire.TDecide, uint32(100+i))...)
 	}
 	if _, err := conn.Write(buf); err != nil {
 		t.Fatalf("write: %v", err)

@@ -4,6 +4,14 @@
 // back to the waiting callers, and concurrent writers coalesce their
 // flushes — so a fleet of device sessions shares warm buffers and amortizes
 // syscalls instead of paying dial, handshake, or HTTP framing per decision.
+//
+// The client is self-healing: a transport failure fails every in-flight
+// call fast with ErrConnLost, the next attempt redials, and each session
+// retries with backoff under its sequence number so the server can
+// deduplicate. When the server no longer knows the session — it was
+// restarted, or reaped the session as idle — the session transparently
+// re-creates itself from its mirror (TResume) and the caller never sees
+// the gap.
 
 package serve
 
@@ -27,15 +35,47 @@ import (
 type BinClient struct {
 	addr    string
 	timeout time.Duration // per-call deadline
+	pol     *retryPolicy
 
 	mu     sync.Mutex
 	mc     *muxConn
 	closed bool
+
+	dials atomic.Uint64 // connections established (first dial + redials)
 }
 
 // NewBinClient builds a client for a ServeBin address ("host:port").
 func NewBinClient(addr string) *BinClient {
-	return &BinClient{addr: addr, timeout: 30 * time.Second}
+	return &BinClient{
+		addr:    addr,
+		timeout: 30 * time.Second,
+		pol:     newRetryPolicy(uint64(time.Now().UnixNano())),
+	}
+}
+
+// SetCallTimeout adjusts the per-attempt deadline (default 30s). Chaos
+// tests shorten it so a stalled connection turns into a retry quickly.
+func (c *BinClient) SetCallTimeout(d time.Duration) { c.timeout = d }
+
+// SetRetryBudget adjusts the total retry window per logical call
+// (default 30s). The budget must cover a server restart for transparent
+// resume to engage.
+func (c *BinClient) SetRetryBudget(d time.Duration) { c.pol.budget = d }
+
+// BinClientStats is the transport-resilience ledger.
+type BinClientStats struct {
+	Dials   uint64 // connections established, including redials
+	Retries uint64 // call attempts beyond the first
+	Resumes uint64 // sessions re-created from their mirror
+}
+
+// TransportStats reports how hard the resilience machinery worked.
+func (c *BinClient) TransportStats() BinClientStats {
+	return BinClientStats{
+		Dials:   c.dials.Load(),
+		Retries: c.pol.retries.Load(),
+		Resumes: c.pol.resumes.Load(),
+	}
 }
 
 // Close tears down the shared connection; in-flight calls fail with the
@@ -67,6 +107,7 @@ func (c *BinClient) conn() (*muxConn, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.dials.Add(1)
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
@@ -126,11 +167,20 @@ func (mc *muxConn) broken() bool {
 	return mc.err != nil
 }
 
-// fail poisons the connection and delivers err to every pending call.
+// fail poisons the connection and delivers err to every pending call —
+// nothing waits out its full timeout once the transport is known dead.
+// Transport errors are wrapped with ErrConnLost so callers (and the retry
+// loop) see one typed signal regardless of the underlying failure;
+// a deliberate client Close keeps its own sentinel.
 func (mc *muxConn) fail(err error) {
+	if !errors.Is(err, errClientClosed) && !errors.Is(err, ErrConnLost) {
+		err = fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
 	mc.pmu.Lock()
 	if mc.err == nil {
 		mc.err = err
+	} else {
+		err = mc.err
 	}
 	pend := mc.pending
 	mc.pending = nil
@@ -143,7 +193,9 @@ func (mc *muxConn) fail(err error) {
 
 // readLoop is the connection's single reader: every response frame is
 // matched to its pending call by the echoed request id; frames for
-// abandoned calls (timeout, cancelled context) are dropped.
+// abandoned calls (timeout, cancelled context) are dropped. A read error
+// — disconnect, corrupt frame — kills the whole connection: with one
+// byte stream there is no way to resynchronize past a bad frame.
 func (mc *muxConn) readLoop() {
 	var hdr [wire.HeaderSize]byte
 	var payload []byte
@@ -151,7 +203,7 @@ func (mc *muxConn) readLoop() {
 		h, p, err := wire.ReadFrame(mc.br, &hdr, payload)
 		payload = p
 		if err != nil {
-			mc.fail(fmt.Errorf("serve: binary connection: %w", err))
+			mc.fail(err)
 			return
 		}
 		mc.pmu.Lock()
@@ -194,7 +246,8 @@ func (c *BinClient) call(ctx context.Context, mc *muxConn, wbuf []byte, reqID ui
 	}
 	mc.wmu.Unlock()
 	if err != nil {
-		mc.fail(fmt.Errorf("serve: binary connection: %w", err))
+		err = fmt.Errorf("%w: write: %v", ErrConnLost, err)
+		mc.fail(err)
 		return nil, wire.Header{}, c.reap(mc, call, reqID, err)
 	}
 
@@ -204,7 +257,7 @@ func (c *BinClient) call(ctx context.Context, mc *muxConn, wbuf []byte, reqID ui
 	case r = <-call.ch:
 		stopTimer(call.timer)
 	case <-call.timer.C:
-		return nil, wire.Header{}, c.reap(mc, call, reqID, fmt.Errorf("serve: binary call timed out after %v", c.timeout))
+		return nil, wire.Header{}, c.reap(mc, call, reqID, fmt.Errorf("%w: no response after %v", ErrCallTimeout, c.timeout))
 	case <-ctx.Done():
 		stopTimer(call.timer)
 		return nil, wire.Header{}, c.reap(mc, call, reqID, ctx.Err())
@@ -218,7 +271,7 @@ func (c *BinClient) call(ctx context.Context, mc *muxConn, wbuf []byte, reqID ui
 		var ef wire.ErrorFrame
 		err := wire.ParseError(call.buf, &ef)
 		if err == nil {
-			err = binCodeErr(ef.Code, string(ef.Msg))
+			err = binCodeErr(ef.Code, ef.BackoffMs, string(ef.Msg))
 		}
 		putMuxCall(call)
 		return nil, h, err
@@ -265,12 +318,15 @@ func stopTimer(t *time.Timer) {
 }
 
 // binCodeErr maps a wire error code back onto the serve-layer sentinels so
-// callers can errors.Is against the same values on both protocols.
-func binCodeErr(code uint16, msg string) error {
+// callers can errors.Is against the same values on both protocols. A
+// backoff hint rides along as a BackoffError wrapper.
+func binCodeErr(code uint16, backoffMs uint32, msg string) error {
 	var base error
 	switch code {
 	case wire.CodeNoSession:
 		base = ErrNoSession
+	case wire.CodeUnknownSession:
+		base = ErrUnknownSession
 	case wire.CodeSessionClosed:
 		base = ErrSessionClosed
 	case wire.CodeServerClosed:
@@ -280,7 +336,11 @@ func binCodeErr(code uint16, msg string) error {
 	default:
 		return fmt.Errorf("serve: remote error %d: %s", code, msg)
 	}
-	return fmt.Errorf("%w: %s", base, msg)
+	err := fmt.Errorf("%w: %s", base, msg)
+	if backoffMs > 0 {
+		return &BackoffError{Err: err, RetryAfter: time.Duration(backoffMs) * time.Millisecond}
+	}
+	return err
 }
 
 // BinSession is a device session resolved over the binary protocol — the
@@ -289,45 +349,161 @@ func binCodeErr(code uint16, msg string) error {
 // one-goroutine-per-device usage; different sessions share the connection
 // freely.
 type BinSession struct {
-	c       *BinClient
-	Handle  uint64
-	ID      string // human-readable form of the handle, for reports
-	Levels  []int  // per-cluster OPP counts
+	c      *BinClient
+	Handle uint64
+	Epoch  uint32 // server incarnation that minted Handle
+	ID     string // human-readable form of the handle, for reports
+	Levels []int  // per-cluster OPP counts
+
+	mirror  *sessionMirror // nil: no retry dedup or resume (bare sessions)
+	closed  bool
 	wbuf    []byte
 	wireObs []wire.Obs
 	dok     wire.DecideOK
 }
 
-// OpenSession creates a session over the binary protocol.
+// OpenSession creates a session over the binary protocol. The session
+// carries a mirror of the server-side state, so its calls retry safely
+// across connection losses and survive server restarts via resume.
 func (c *BinClient) OpenSession(ctx context.Context, opts SessionOptions) (*BinSession, error) {
 	s := &BinSession{c: c}
-	mc, err := c.conn()
+	open := func() error {
+		mc, err := c.conn()
+		if err != nil {
+			return err
+		}
+		reqID := mc.reqID.Add(1)
+		s.wbuf = wire.FinishFrame(
+			wire.AppendCreateReq(wire.BeginFrame(s.wbuf), wire.CreateReq{
+				Epsilon:      opts.Epsilon,
+				EpsilonMin:   opts.EpsilonMin,
+				EpsilonDecay: opts.EpsilonDecay,
+				Seed:         opts.Seed,
+			}),
+			wire.TCreate, reqID)
+		call, _, err := c.call(ctx, mc, s.wbuf, reqID, wire.TCreateOK)
+		if err != nil {
+			return err
+		}
+		var cok wire.CreateOK
+		if err := wire.ParseCreateOK(call.buf, &cok); err != nil {
+			putMuxCall(call)
+			return err
+		}
+		putMuxCall(call)
+		s.Handle, s.Epoch = cok.Handle, cok.Epoch
+		s.ID = fmt.Sprintf("h-%06d", cok.Handle)
+		s.Levels = append([]int(nil), cok.NumLevels...)
+		return nil
+	}
+	if err := open(); err != nil {
+		// Retrying a lost create may leave an orphan session on the server;
+		// the TTL reaper exists exactly to collect those.
+		if !retryableErr(err) {
+			return nil, err
+		}
+		if err = runRetries(ctx, c.pol, err, open, nil); err != nil {
+			return nil, err
+		}
+	}
+	s.mirror = newSessionMirror(opts, s.Levels)
+	return s, nil
+}
+
+// runRetries is runWithRetry entered after a first failed attempt: err is
+// classified, then op retried under the policy.
+func runRetries(ctx ctxDone, pol *retryPolicy, err error, op func() error, onLost func() error) error {
+	deadline := time.Now().Add(pol.budget)
+	resumeStreak := 0
+	for attempt := 0; ; attempt++ {
+		var hint time.Duration
+		var be *BackoffError
+		if errors.As(err, &be) {
+			hint = be.RetryAfter
+		}
+		switch {
+		case onLost != nil && errors.Is(err, ErrNoSession):
+			// Unknown or reaped session: re-create it from the mirror,
+			// then retry the call against the fresh identity.
+			resumeStreak++
+			if resumeStreak > maxResumeStreak {
+				return err
+			}
+			if rerr := onLost(); rerr != nil && !retryableErr(rerr) {
+				return rerr
+			}
+		case retryableErr(err):
+			resumeStreak = 0
+		default:
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if !time.Now().Before(deadline) {
+			return err
+		}
+		pol.retries.Add(1)
+		if serr := pol.sleep(ctx, attempt, hint); serr != nil {
+			return serr
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+}
+
+// resume re-creates the session on the current server incarnation from
+// the mirror, then adopts the fresh handle/epoch. The sequence number and
+// RNG stream continue exactly where the lost session stopped.
+func (s *BinSession) resume(ctx context.Context) error {
+	st := s.mirror.resumeState()
+	mc, err := s.c.conn()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	reqID := mc.reqID.Add(1)
+	rr := wire.ResumeReq{
+		Opts: wire.CreateReq{
+			Epsilon:      st.Options.Epsilon,
+			EpsilonMin:   st.Options.EpsilonMin,
+			EpsilonDecay: st.Options.EpsilonDecay,
+			Seed:         st.Options.Seed,
+		},
+		EpsNow:     st.Epsilon,
+		Seq:        st.Seq,
+		Decisions:  st.Decisions,
+		Rewards:    st.Rewards,
+		RewardSum:  st.RewardSum,
+		Rng:        st.Rng,
+		PrevDemand: st.PrevDemand,
+		LastLevels: st.LastLevels,
+	}
 	s.wbuf = wire.FinishFrame(
-		wire.AppendCreateReq(wire.BeginFrame(s.wbuf), wire.CreateReq{
-			Epsilon:      opts.Epsilon,
-			EpsilonMin:   opts.EpsilonMin,
-			EpsilonDecay: opts.EpsilonDecay,
-			Seed:         opts.Seed,
-		}),
-		wire.TCreate, reqID)
-	call, _, err := c.call(ctx, mc, s.wbuf, reqID, wire.TCreateOK)
+		wire.AppendResumeReq(wire.BeginFrame(s.wbuf), &rr), wire.TResume, reqID)
+	call, _, err := s.c.call(ctx, mc, s.wbuf, reqID, wire.TResumeOK)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	var cok wire.CreateOK
 	if err := wire.ParseCreateOK(call.buf, &cok); err != nil {
 		putMuxCall(call)
-		return nil, err
+		return err
 	}
-	s.Handle = cok.Handle
-	s.ID = fmt.Sprintf("h-%06d", cok.Handle)
-	s.Levels = append([]int(nil), cok.NumLevels...)
 	putMuxCall(call)
-	return s, nil
+	s.Handle, s.Epoch = cok.Handle, cok.Epoch
+	s.ID = fmt.Sprintf("h-%06d", cok.Handle)
+	s.c.pol.resumes.Add(1)
+	return nil
+}
+
+// onLost returns the resume hook for the retry loop, or nil for bare
+// sessions (no mirror — nothing to resume from).
+func (s *BinSession) onLost(ctx context.Context) func() error {
+	if s.mirror == nil {
+		return nil
+	}
+	return func() error { return s.resume(ctx) }
 }
 
 // NumClusters returns the served chip's cluster count.
@@ -335,7 +511,44 @@ func (s *BinSession) NumClusters() int { return len(s.Levels) }
 
 // Decide resolves one control period over the wire. The returned slice is
 // freshly allocated; the session's encode/decode scratch is reused.
+//
+// With a mirror, the request carries the session epoch and the next
+// sequence number: retries after a lost connection deduplicate on the
+// server, and a decide that outlives the server itself resumes the
+// session and replays against the new incarnation — by construction both
+// yield the byte-identical decision. The fast path stays closure-free;
+// the retry loop is only entered after a failure.
 func (s *BinSession) Decide(ctx context.Context, obs []Observation) ([]int, error) {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	var seq uint64
+	if s.mirror != nil {
+		seq = s.mirror.nextSeq()
+	}
+	levels, err := s.decideOnce(ctx, obs, seq)
+	if err != nil {
+		op := func() error {
+			lv, e := s.decideOnce(ctx, obs, seq)
+			if e == nil {
+				levels = lv
+			}
+			return e
+		}
+		err = runRetries(ctx, s.c.pol, err, op, s.onLost(ctx))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.mirror != nil {
+		s.mirror.ackDecide(obs, levels)
+	}
+	return levels, nil
+}
+
+// decideOnce performs one decide attempt against the current session
+// identity (rebuilt per attempt — handle and epoch change across resume).
+func (s *BinSession) decideOnce(ctx context.Context, obs []Observation, seq uint64) ([]int, error) {
 	mc, err := s.c.conn()
 	if err != nil {
 		return nil, err
@@ -356,7 +569,7 @@ func (s *BinSession) Decide(ctx context.Context, obs []Observation) ([]int, erro
 	}
 	reqID := mc.reqID.Add(1)
 	s.wbuf = wire.FinishFrame(
-		wire.AppendDecideReq(wire.BeginFrame(s.wbuf), s.Handle, wobs),
+		wire.AppendDecideReq(wire.BeginFrame(s.wbuf), s.Handle, s.Epoch, seq, wobs),
 		wire.TDecide, reqID)
 	call, _, err := s.c.call(ctx, mc, s.wbuf, reqID, wire.TDecideOK)
 	if err != nil {
@@ -371,39 +584,64 @@ func (s *BinSession) Decide(ctx context.Context, obs []Observation) ([]int, erro
 	return levels, nil
 }
 
-// Reward reports a device-computed reward.
+// Reward reports a device-computed reward. Note that rewards feed only
+// the monitoring ledger, not decisions, and are not deduplicated: a
+// reward retried across a lost response may count twice server-side.
 func (s *BinSession) Reward(ctx context.Context, r float64) (SessionStats, error) {
-	return s.statsCall(ctx, wire.TReward, wire.TRewardOK, r)
+	st, err := s.statsCall(ctx, wire.TReward, wire.TRewardOK, r)
+	if err == nil && s.mirror != nil {
+		s.mirror.ackReward(r)
+	}
+	return st, err
 }
 
-// Close ends the session, returning its final ledger.
+// Close ends the session, returning its final ledger. After a successful
+// close the session is dead client-side: no further call will resume it.
 func (s *BinSession) Close(ctx context.Context) (SessionStats, error) {
-	return s.statsCall(ctx, wire.TClose, wire.TCloseOK, 0)
+	st, err := s.statsCall(ctx, wire.TClose, wire.TCloseOK, 0)
+	if err == nil {
+		s.closed = true
+		s.mirror = nil
+	}
+	return st, err
 }
 
 func (s *BinSession) statsCall(ctx context.Context, typ, wantType byte, reward float64) (SessionStats, error) {
-	mc, err := s.c.conn()
-	if err != nil {
-		return SessionStats{}, err
-	}
-	reqID := mc.reqID.Add(1)
-	buf := wire.BeginFrame(s.wbuf)
-	if typ == wire.TReward {
-		buf = wire.AppendRewardReq(buf, wire.RewardReq{Handle: s.Handle, Reward: reward})
-	} else {
-		buf = wire.AppendCloseReq(buf, wire.CloseReq{Handle: s.Handle})
-	}
-	s.wbuf = wire.FinishFrame(buf, typ, reqID)
-	call, _, err := s.c.call(ctx, mc, s.wbuf, reqID, wantType)
-	if err != nil {
-		return SessionStats{}, err
+	if s.closed {
+		return SessionStats{}, ErrSessionClosed
 	}
 	var st wire.Stats
-	if err := wire.ParseStats(call.buf, &st); err != nil {
+	once := func() error {
+		mc, err := s.c.conn()
+		if err != nil {
+			return err
+		}
+		reqID := mc.reqID.Add(1)
+		buf := wire.BeginFrame(s.wbuf)
+		if typ == wire.TReward {
+			buf = wire.AppendRewardReq(buf, wire.RewardReq{Handle: s.Handle, Reward: reward})
+		} else {
+			buf = wire.AppendCloseReq(buf, wire.CloseReq{Handle: s.Handle})
+		}
+		s.wbuf = wire.FinishFrame(buf, typ, reqID)
+		call, _, err := s.c.call(ctx, mc, s.wbuf, reqID, wantType)
+		if err != nil {
+			return err
+		}
+		if err := wire.ParseStats(call.buf, &st); err != nil {
+			putMuxCall(call)
+			return err
+		}
 		putMuxCall(call)
+		return nil
+	}
+	err := once()
+	if err != nil {
+		err = runRetries(ctx, s.c.pol, err, once, s.onLost(ctx))
+	}
+	if err != nil {
 		return SessionStats{}, err
 	}
-	putMuxCall(call)
 	return SessionStats{
 		ID:         s.ID,
 		Decisions:  st.Decisions,

@@ -89,6 +89,7 @@ type binConnState struct {
 	creq    wire.CreateReq
 	rreq    wire.RewardReq
 	clreq   wire.CloseReq
+	rsreq   wire.ResumeReq
 	obs     []Observation // wire.Obs → serve.Observation conversion
 	levels  []int         // DecideInto output
 }
@@ -111,6 +112,17 @@ func (s *Server) serveBinConn(conn net.Conn) {
 		h, payload, err := wire.ReadFrame(st.br, &st.hdr, st.payload)
 		st.payload = payload
 		if err != nil {
+			// A read-deadline timeout during drain is the drain nudge, not
+			// a protocol failure: everything already answered has been
+			// flushed (the per-frame flush below runs before the next
+			// read), and a partially received frame was never accepted —
+			// its client retries against the next incarnation. Close
+			// cleanly so in-flight responses land.
+			if s.isDraining() && isTimeout(err) {
+				st.bw.Flush()
+				gracefulClose(conn, st.br)
+				return
+			}
 			// A clean EOF between frames is the client hanging up. Anything
 			// else — truncation, CRC, version, oversized prefix — poisons
 			// the stream's framing: answer with a best-effort error frame
@@ -118,7 +130,7 @@ func (s *Server) serveBinConn(conn net.Conn) {
 			if !errors.Is(err, io.EOF) {
 				s.binErrors.Add(1)
 				st.wbuf = wire.FinishFrame(
-					wire.AppendError(wire.BeginFrame(st.wbuf), wire.CodeBadRequest, err.Error()),
+					wire.AppendError(wire.BeginFrame(st.wbuf), wire.CodeBadRequest, 0, err.Error()),
 					wire.TError, h.ReqID)
 				st.bw.Write(st.wbuf)
 				st.bw.Flush()
@@ -140,6 +152,12 @@ func (s *Server) serveBinConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // gracefulClose half-closes the write side and briefly drains unread input
@@ -175,8 +193,34 @@ func (s *Server) handleBinFrame(st *binConnState, h wire.Header) bool {
 			return s.binError(st, h.ReqID, err)
 		}
 		st.wbuf = wire.FinishFrame(
-			wire.AppendCreateOK(wire.BeginFrame(st.wbuf), sess.Handle(), s.model.levels),
+			wire.AppendCreateOK(wire.BeginFrame(st.wbuf), sess.Handle(), s.cfg.Epoch, s.model.levels),
 			wire.TCreateOK, h.ReqID)
+	case wire.TResume:
+		if err := wire.ParseResumeReq(st.payload, &st.rsreq); err != nil {
+			return s.binError(st, h.ReqID, err)
+		}
+		sess, err := s.ResumeSession(ResumeState{
+			Options: SessionOptions{
+				Epsilon:      st.rsreq.Opts.Epsilon,
+				EpsilonMin:   st.rsreq.Opts.EpsilonMin,
+				EpsilonDecay: st.rsreq.Opts.EpsilonDecay,
+				Seed:         st.rsreq.Opts.Seed,
+			},
+			Epsilon:    st.rsreq.EpsNow,
+			Rng:        st.rsreq.Rng,
+			Seq:        st.rsreq.Seq,
+			LastLevels: st.rsreq.LastLevels,
+			PrevDemand: st.rsreq.PrevDemand,
+			Decisions:  st.rsreq.Decisions,
+			Rewards:    st.rsreq.Rewards,
+			RewardSum:  st.rsreq.RewardSum,
+		})
+		if err != nil {
+			return s.binError(st, h.ReqID, err)
+		}
+		st.wbuf = wire.FinishFrame(
+			wire.AppendCreateOK(wire.BeginFrame(st.wbuf), sess.Handle(), s.cfg.Epoch, s.model.levels),
+			wire.TResumeOK, h.ReqID)
 	case wire.TReward:
 		if err := wire.ParseRewardReq(st.payload, &st.rreq); err != nil {
 			return s.binError(st, h.ReqID, err)
@@ -237,13 +281,13 @@ func (s *Server) handleBinDecide(st *binConnState, h wire.Header) bool {
 			Level:       w.Level,
 		}
 	}
-	sess, err := s.SessionByHandle(st.dreq.Handle)
+	sess, err := s.SessionByHandleEpoch(st.dreq.Handle, st.dreq.Epoch)
 	if err != nil {
 		return s.binError(st, h.ReqID, err)
 	}
 	decoded := time.Now()
 	s.histBinDecode.Observe(decoded.Sub(t0).Nanoseconds())
-	if err := sess.DecideInto(obs, levels); err != nil {
+	if _, err := sess.DecideSeq(st.dreq.Seq, obs, levels); err != nil {
 		return s.binError(st, h.ReqID, err)
 	}
 	encodeStart := time.Now()
@@ -259,11 +303,17 @@ func (s *Server) handleBinDecide(st *binConnState, h wire.Header) bool {
 
 // binError appends a TError frame for err and reports whether the
 // connection survives: session-level failures keep it open, wire decode
-// failures (a malformed but well-framed request) close it.
+// failures (a malformed but well-framed request) close it. Overload
+// errors carry the batcher's adaptive backoff hint so shed clients space
+// their retries to the queue's actual drain rate.
 func (s *Server) binError(st *binConnState, reqID uint32, err error) bool {
 	s.binErrors.Add(1)
+	var backoffMs uint32
+	if errors.Is(err, ErrOverloaded) {
+		backoffMs = s.batch.backoffHintMs()
+	}
 	st.wbuf = wire.FinishFrame(
-		wire.AppendError(wire.BeginFrame(st.wbuf), binErrCode(err), err.Error()),
+		wire.AppendError(wire.BeginFrame(st.wbuf), binErrCode(err), backoffMs, err.Error()),
 		wire.TError, reqID)
 	st.bw.Write(st.wbuf)
 	return binErrCode(err) != wire.CodeBadRequest || !isWireErr(err)
@@ -277,6 +327,10 @@ func isWireErr(err error) bool {
 // HTTP status mapping in writeError.
 func binErrCode(err error) uint16 {
 	switch {
+	// ErrUnknownSession wraps ErrNoSession, so it must be checked first:
+	// the codes differ because the recoveries differ (resume vs give up).
+	case errors.Is(err, ErrUnknownSession):
+		return wire.CodeUnknownSession
 	case errors.Is(err, ErrNoSession):
 		return wire.CodeNoSession
 	case errors.Is(err, ErrSessionClosed):

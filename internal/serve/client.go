@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -14,9 +15,15 @@ import (
 // Client is the Go client for a pmserve instance — the library cmd/pmload,
 // the load generator, and the tests drive the server through, so every
 // consumer exercises the same wire path a real device agent would.
+//
+// Like BinClient it is self-healing: error responses map onto the serve
+// sentinels, sessions retry retryable failures with backoff (honouring the
+// server's Retry-After hints), and a session the server no longer knows is
+// transparently re-created from its mirror.
 type Client struct {
 	base string
 	hc   *http.Client
+	pol  *retryPolicy
 }
 
 // NewClient builds a client for the server at base (e.g.
@@ -25,6 +32,36 @@ func NewClient(base string) *Client {
 	return &Client{
 		base: strings.TrimRight(base, "/"),
 		hc:   &http.Client{Timeout: 30 * time.Second},
+		pol:  newRetryPolicy(uint64(time.Now().UnixNano())),
+	}
+}
+
+// SetTransport swaps the HTTP transport — the chaos tests inject their
+// fault-wrapping round-tripper here.
+func (c *Client) SetTransport(rt http.RoundTripper) { c.hc.Transport = rt }
+
+// SetCallTimeout adjusts the per-request deadline (default 30s).
+func (c *Client) SetCallTimeout(d time.Duration) { c.hc.Timeout = d }
+
+// SetRetryBudget adjusts the total retry window per logical call
+// (default 30s). 0 disables retries entirely.
+func (c *Client) SetRetryBudget(d time.Duration) { c.pol.budget = d }
+
+// TransportStats reports how hard the resilience machinery worked.
+func (c *Client) TransportStats() BinClientStats {
+	return BinClientStats{Retries: c.pol.retries.Load(), Resumes: c.pol.resumes.Load()}
+}
+
+// CloseIdleConnections releases pooled keep-alive connections — leak
+// checks call this so idle HTTP goroutines do not read as leaks.
+func (c *Client) CloseIdleConnections() {
+	type closeIdler interface{ CloseIdleConnections() }
+	rt := c.hc.Transport
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	if ci, ok := rt.(closeIdler); ok {
+		ci.CloseIdleConnections()
 	}
 }
 
@@ -55,15 +92,80 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var e errorResponse
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
+		return httpErr(method, path, resp, e)
 	}
 	if out == nil {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		// A 200 whose body cannot be read or parsed — a server dying
+		// mid-response truncates exactly here. The request's fate is
+		// unknown, which is what ErrConnLost means; the retry dedups.
+		return fmt.Errorf("%w: reading %s %s response: %v", ErrConnLost, method, path, err)
+	}
+	return nil
+}
+
+// httpErr turns an error response into the matching serve sentinel (via
+// the machine-readable code), carrying any backoff hint as a
+// BackoffError. Unknown codes degrade to an untyped formatted error.
+func httpErr(method, path string, resp *http.Response, e errorResponse) error {
+	var base error
+	switch e.Code {
+	case "unknown_session":
+		base = ErrUnknownSession
+	case "no_session":
+		base = ErrNoSession
+	case "session_closed":
+		base = ErrSessionClosed
+	case "server_closed":
+		base = ErrServerClosed
+	case "overloaded":
+		base = ErrOverloaded
+	case "bad_seq":
+		base = ErrBadSeq
+	}
+	// A connection severed mid-response can truncate the error body,
+	// leaving only the status line. Fall back to the status code so a
+	// restart-window 404 still routes to the resume path instead of
+	// surfacing as an untyped (unretryable) failure.
+	if base == nil && e.Code == "" {
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			base = ErrNoSession
+		case http.StatusGone:
+			base = ErrSessionClosed
+		case http.StatusConflict:
+			base = ErrBadSeq
+		case http.StatusTooManyRequests:
+			base = ErrOverloaded
+		case http.StatusServiceUnavailable:
+			base = ErrServerClosed
+		}
+	}
+	msg := e.Error
+	if msg == "" {
+		msg = fmt.Sprintf("HTTP %d", resp.StatusCode)
+	}
+	var err error
+	if base != nil {
+		err = fmt.Errorf("%w: %s %s: %s", base, method, path, msg)
+	} else {
+		err = fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, msg, resp.StatusCode)
+	}
+	ra := time.Duration(e.RetryAfterMs) * time.Millisecond
+	if ra == 0 {
+		if h := resp.Header.Get("Retry-After"); h != "" {
+			if secs, perr := strconv.Atoi(h); perr == nil && secs > 0 {
+				ra = time.Duration(secs) * time.Second
+			}
+		}
+	}
+	if ra > 0 {
+		err = &BackoffError{Err: err, RetryAfter: ra}
+	}
+	return err
 }
 
 // Healthz checks server liveness.
@@ -122,42 +224,153 @@ type RemoteSession struct {
 	c *Client
 	// ID is the server-assigned session identifier.
 	ID string
+	// Epoch is the server incarnation that minted ID.
+	Epoch uint32
 	// Clusters and NumLevels describe the served chip.
 	Clusters  int
 	NumLevels []int
+
+	mirror *sessionMirror // nil: no retry dedup or resume
+	closed bool
 }
 
-// CreateSession opens a device session.
+// CreateSession opens a device session. The session carries a mirror of
+// the server-side state, so its calls retry safely and survive server
+// restarts via resume.
 func (c *Client) CreateSession(ctx context.Context, opts SessionOptions) (*RemoteSession, error) {
-	var resp CreateSessionResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/sessions", opts, &resp); err != nil {
-		return nil, err
+	s := &RemoteSession{c: c}
+	open := func() error {
+		var resp CreateSessionResponse
+		if err := c.do(ctx, http.MethodPost, "/v1/sessions", opts, &resp); err != nil {
+			return err
+		}
+		s.ID, s.Epoch, s.Clusters, s.NumLevels = resp.ID, resp.Epoch, resp.Clusters, resp.NumLevels
+		return nil
 	}
-	return &RemoteSession{c: c, ID: resp.ID, Clusters: resp.Clusters, NumLevels: resp.NumLevels}, nil
+	if err := open(); err != nil {
+		if !retryableErr(err) {
+			return nil, err
+		}
+		if err = runRetries(ctx, c.pol, err, open, nil); err != nil {
+			return nil, err
+		}
+	}
+	s.mirror = newSessionMirror(opts, s.NumLevels)
+	return s, nil
+}
+
+// resume re-creates the session on the current server incarnation from
+// the mirror, then adopts the fresh id/epoch.
+func (s *RemoteSession) resume(ctx context.Context) error {
+	st := s.mirror.resumeState()
+	req := ResumeSessionRequest{
+		Options:    st.Options,
+		Epsilon:    st.Epsilon,
+		Seq:        st.Seq,
+		LastLevels: st.LastLevels,
+		PrevDemand: st.PrevDemand,
+		Decisions:  st.Decisions,
+		Rewards:    st.Rewards,
+		RewardSum:  st.RewardSum,
+	}
+	for i, v := range st.Rng {
+		req.Rng[i] = strconv.FormatUint(v, 16)
+	}
+	var resp CreateSessionResponse
+	if err := s.c.do(ctx, http.MethodPost, "/v1/sessions/resume", req, &resp); err != nil {
+		return err
+	}
+	s.ID, s.Epoch = resp.ID, resp.Epoch
+	s.c.pol.resumes.Add(1)
+	return nil
+}
+
+// onLost returns the resume hook for the retry loop, or nil for sessions
+// without a mirror.
+func (s *RemoteSession) onLost(ctx context.Context) func() error {
+	if s.mirror == nil {
+		return nil
+	}
+	return func() error { return s.resume(ctx) }
 }
 
 // NumClusters returns the served chip's cluster count.
 func (s *RemoteSession) NumClusters() int { return s.Clusters }
 
-// Decide serves one control period.
+// Decide serves one control period. With a mirror the request carries the
+// session epoch and next sequence number, so retries deduplicate
+// server-side and a decide that straddles a server restart resumes the
+// session and replays byte-identically.
 func (s *RemoteSession) Decide(ctx context.Context, obs []Observation) ([]int, error) {
-	var resp DecideResponse
-	if err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+s.ID+"/decide", DecideRequest{Observations: obs}, &resp); err != nil {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	var seq uint64
+	if s.mirror != nil {
+		seq = s.mirror.nextSeq()
+	}
+	var levels []int
+	once := func() error {
+		var resp DecideResponse
+		err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+s.ID+"/decide",
+			DecideRequest{Epoch: s.Epoch, Seq: seq, Observations: obs}, &resp)
+		if err != nil {
+			return err
+		}
+		levels = resp.Levels
+		return nil
+	}
+	err := once()
+	if err != nil {
+		err = runRetries(ctx, s.c.pol, err, once, s.onLost(ctx))
+	}
+	if err != nil {
 		return nil, err
 	}
-	return resp.Levels, nil
+	if s.mirror != nil {
+		s.mirror.ackDecide(obs, levels)
+	}
+	return levels, nil
 }
 
-// Reward reports a device-computed reward.
+// Reward reports a device-computed reward. Rewards feed only the
+// monitoring ledger and are not deduplicated: one retried across a lost
+// response may count twice server-side.
 func (s *RemoteSession) Reward(ctx context.Context, r float64) (SessionStats, error) {
+	if s.closed {
+		return SessionStats{}, ErrSessionClosed
+	}
 	var st SessionStats
-	err := s.c.do(ctx, http.MethodPost, "/v1/sessions/"+s.ID+"/reward", RewardRequest{Reward: r}, &st)
+	once := func() error {
+		return s.c.do(ctx, http.MethodPost, "/v1/sessions/"+s.ID+"/reward", RewardRequest{Reward: r}, &st)
+	}
+	err := once()
+	if err != nil {
+		err = runRetries(ctx, s.c.pol, err, once, s.onLost(ctx))
+	}
+	if err == nil && s.mirror != nil {
+		s.mirror.ackReward(r)
+	}
 	return st, err
 }
 
-// Close ends the session and returns its final ledger.
+// Close ends the session and returns its final ledger. After a
+// successful close the session is dead client-side: nothing resumes it.
 func (s *RemoteSession) Close(ctx context.Context) (SessionStats, error) {
+	if s.closed {
+		return SessionStats{}, ErrSessionClosed
+	}
 	var st SessionStats
-	err := s.c.do(ctx, http.MethodDelete, "/v1/sessions/"+s.ID, nil, &st)
+	once := func() error {
+		return s.c.do(ctx, http.MethodDelete, "/v1/sessions/"+s.ID, nil, &st)
+	}
+	err := once()
+	if err != nil {
+		err = runRetries(ctx, s.c.pol, err, once, s.onLost(ctx))
+	}
+	if err == nil {
+		s.closed = true
+		s.mirror = nil
+	}
 	return st, err
 }

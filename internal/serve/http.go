@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -14,16 +15,39 @@ import (
 
 // Wire types shared by the handlers and the Go client.
 
-// CreateSessionResponse answers POST /v1/sessions.
+// CreateSessionResponse answers POST /v1/sessions and /v1/sessions/resume.
 type CreateSessionResponse struct {
 	ID        string `json:"id"`
+	Epoch     uint32 `json:"epoch"` // server incarnation that minted ID
 	Clusters  int    `json:"clusters"`
 	NumLevels []int  `json:"num_levels"`
 }
 
-// DecideRequest carries one control period's observations.
+// DecideRequest carries one control period's observations. Epoch and Seq
+// are the retry-safety fields: a non-zero epoch pins the session identity
+// to one server incarnation, and a non-zero seq lets the server
+// deduplicate a retried decide instead of serving it twice. Zero values
+// select the legacy unchecked path.
 type DecideRequest struct {
+	Epoch        uint32        `json:"epoch,omitempty"`
+	Seq          uint64        `json:"seq,omitempty"`
 	Observations []Observation `json:"observations"`
+}
+
+// ResumeSessionRequest carries a ResumeState over JSON — everything a
+// client mirror holds, so a fresh server incarnation can re-create the
+// session mid-stream. The RNG state words travel as hex strings: JSON
+// numbers are float64 and would silently corrupt 64-bit states.
+type ResumeSessionRequest struct {
+	Options    SessionOptions `json:"options"`
+	Epsilon    float64        `json:"epsilon_now"`
+	Rng        [4]string      `json:"rng_state,omitempty"`
+	Seq        uint64         `json:"seq,omitempty"`
+	LastLevels []int          `json:"last_levels,omitempty"`
+	PrevDemand []float64      `json:"prev_demand"`
+	Decisions  uint64         `json:"decisions,omitempty"`
+	Rewards    uint64         `json:"rewards,omitempty"`
+	RewardSum  float64        `json:"reward_sum,omitempty"`
 }
 
 // DecideResponse carries the chosen OPP level per cluster.
@@ -57,14 +81,21 @@ type EventsResponse struct {
 	Events []obs.Event `json:"events"`
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. Code is the machine-readable
+// error class (mirroring the serve sentinels) so clients classify without
+// string matching; RetryAfterMs carries the overload backoff hint with
+// millisecond precision, since the Retry-After header only speaks whole
+// seconds.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error        string `json:"error"`
+	Code         string `json:"code,omitempty"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
 }
 
 // Handler returns the server's HTTP API:
 //
 //	POST   /v1/sessions              create a device session
+//	POST   /v1/sessions/resume       re-create a session from client-carried state
 //	POST   /v1/sessions/{id}/decide  serve one control period's decision
 //	POST   /v1/sessions/{id}/reward  record a device-reported reward
 //	DELETE /v1/sessions/{id}         close the session, return its ledger
@@ -75,6 +106,7 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("POST /v1/sessions/resume", s.handleResume)
 	mux.HandleFunc("POST /v1/sessions/{id}/decide", s.handleDecide)
 	mux.HandleFunc("POST /v1/sessions/{id}/reward", s.handleReward)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
@@ -92,19 +124,35 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	status, code := http.StatusInternalServerError, ""
+	var retryAfter time.Duration
 	switch {
+	// ErrUnknownSession wraps ErrNoSession, so it must be checked first:
+	// its code tells resilient clients the session is resumable.
+	case errors.Is(err, ErrUnknownSession):
+		status, code = http.StatusNotFound, "unknown_session"
 	case errors.Is(err, ErrNoSession):
-		status = http.StatusNotFound
+		status, code = http.StatusNotFound, "no_session"
 	case errors.Is(err, ErrSessionClosed):
-		status = http.StatusGone
+		status, code = http.StatusGone, "session_closed"
+	case errors.Is(err, ErrBadSeq):
+		status, code = http.StatusConflict, "bad_seq"
 	case errors.Is(err, ErrServerClosed):
-		status = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, "server_closed"
 	case errors.Is(err, ErrOverloaded):
-		status = http.StatusTooManyRequests
+		status, code = http.StatusTooManyRequests, "overloaded"
+		retryAfter = time.Duration(s.batch.backoffHintMs()) * time.Millisecond
 	}
 	s.httpErrors.Add(1)
-	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+	resp := errorResponse{Error: err.Error(), Code: code}
+	if retryAfter > 0 {
+		resp.RetryAfterMs = retryAfter.Milliseconds()
+		// The header rounds up to whole seconds (its resolution); the JSON
+		// body carries the precise hint.
+		secs := (retryAfter + time.Second - 1) / time.Second
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+	}
+	s.writeJSON(w, status, resp)
 }
 
 func (s *Server) writeBadRequest(w http.ResponseWriter, err error) {
@@ -129,6 +177,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeJSON(w, http.StatusOK, CreateSessionResponse{
 		ID:        sess.ID(),
+		Epoch:     s.cfg.Epoch,
 		Clusters:  s.model.Clusters(),
 		NumLevels: s.model.NumLevels(),
 	})
@@ -137,20 +186,21 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	defer func() { s.histHTTP.Observe(time.Since(t0).Nanoseconds()) }()
-	sess, err := s.Session(r.PathValue("id"))
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
 	var req DecideRequest
 	if err := decodeBody(r, &req); err != nil {
 		s.writeBadRequest(w, err)
 		return
 	}
-	levels, err := sess.Decide(req.Observations)
+	sess, err := s.SessionByIDEpoch(r.PathValue("id"), req.Epoch)
 	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	levels := make([]int, s.model.Clusters())
+	if _, err := sess.DecideSeq(req.Seq, req.Observations, levels); err != nil {
 		switch {
-		case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrServerClosed), errors.Is(err, ErrOverloaded):
+		case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrServerClosed),
+			errors.Is(err, ErrOverloaded), errors.Is(err, ErrBadSeq):
 			s.writeError(w, err)
 		default:
 			s.writeBadRequest(w, err)
@@ -158,6 +208,53 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, DecideResponse{Levels: levels})
+}
+
+// handleResume re-creates a session from client-carried mirror state —
+// the HTTP face of ResumeSession, used by clients whose server vanished
+// (restart) or forgot them (TTL reaping).
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	var req ResumeSessionRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeBadRequest(w, err)
+		return
+	}
+	st := ResumeState{
+		Options:    req.Options,
+		Epsilon:    req.Epsilon,
+		Seq:        req.Seq,
+		LastLevels: req.LastLevels,
+		PrevDemand: req.PrevDemand,
+		Decisions:  req.Decisions,
+		Rewards:    req.Rewards,
+		RewardSum:  req.RewardSum,
+	}
+	for i, hx := range req.Rng {
+		if hx == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(hx, 16, 64)
+		if err != nil {
+			s.writeBadRequest(w, fmt.Errorf("serve: bad rng state word %d: %w", i, err))
+			return
+		}
+		st.Rng[i] = v
+	}
+	sess, err := s.ResumeSession(st)
+	if err != nil {
+		if errors.Is(err, ErrServerClosed) {
+			s.writeError(w, err)
+		} else {
+			s.writeBadRequest(w, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, CreateSessionResponse{
+		ID:        sess.ID(),
+		Epoch:     s.cfg.Epoch,
+		Clusters:  s.model.Clusters(),
+		NumLevels: s.model.NumLevels(),
+	})
 }
 
 func (s *Server) handleReward(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rlpm/internal/core"
+	"rlpm/internal/leaktest"
+)
+
+// TestBinPendingCallFailsFastOnMidResponseClose is the regression test for
+// the fail-fast contract: when the server closes the connection after
+// reading a request but before answering, the pending call must surface a
+// typed ErrConnLost immediately — not sit out the full call timeout.
+func TestBinPendingCallFailsFastOnMidResponseClose(t *testing.T) {
+	defer leaktest.Check(t)()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	// A rude server: swallow whatever arrives for a moment, then hang up
+	// without ever responding.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 256)
+		conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				break
+			}
+		}
+		conn.Close()
+	}()
+
+	c := NewBinClient(ln.Addr().String())
+	defer c.Close()
+	c.SetCallTimeout(30 * time.Second) // far beyond the test timeout: failure must not come from here
+	c.SetRetryBudget(0)                // surface the first error, no retries
+
+	start := time.Now()
+	_, err = c.OpenSession(context.Background(), SessionOptions{})
+	if !errors.Is(err, ErrConnLost) {
+		t.Fatalf("open against hanging-up server: %v, want ErrConnLost", err)
+	}
+	if e := time.Since(start); e > 5*time.Second {
+		t.Fatalf("pending call took %v to fail; want fail-fast on connection close", e)
+	}
+}
+
+// TestDecideSeqDedupAndBadSeq exercises the sequence-number contract
+// directly: a replayed number returns the cached decision without
+// advancing any state, and a gap is a typed protocol error.
+func TestDecideSeqDedupAndBadSeq(t *testing.T) {
+	srv := newTestServer(t, testModel(t, 4, 6), nil, Config{})
+	sess, err := srv.CreateSession(SessionOptions{Epsilon: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	obs := make([]Observation, 2)
+	first := make([]int, 2)
+	if _, err := sess.DecideSeq(1, obs, first); err != nil {
+		t.Fatalf("seq 1: %v", err)
+	}
+
+	// Replay of seq 1 must return the identical decision and be counted.
+	replay := make([]int, 2)
+	replayed, err := sess.DecideSeq(1, obs, replay)
+	if err != nil || !replayed {
+		t.Fatalf("replay of seq 1: replayed=%v err=%v", replayed, err)
+	}
+	if replay[0] != first[0] || replay[1] != first[1] {
+		t.Fatalf("replayed decision %v != original %v", replay, first)
+	}
+	if m := srv.MetricsSnapshot(); m.DecidesDeduped != 1 {
+		t.Fatalf("DecidesDeduped = %d, want 1", m.DecidesDeduped)
+	}
+
+	// A replay must not have advanced the RNG: seq 2 now and seq 2 on a
+	// twin session that never replayed must agree.
+	twin, err := srv.CreateSession(SessionOptions{Epsilon: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatalf("twin: %v", err)
+	}
+	tw := make([]int, 2)
+	if _, err := twin.DecideSeq(1, obs, tw); err != nil {
+		t.Fatalf("twin seq 1: %v", err)
+	}
+	next, twNext := make([]int, 2), make([]int, 2)
+	if _, err := sess.DecideSeq(2, obs, next); err != nil {
+		t.Fatalf("seq 2: %v", err)
+	}
+	if _, err := twin.DecideSeq(2, obs, twNext); err != nil {
+		t.Fatalf("twin seq 2: %v", err)
+	}
+	if next[0] != twNext[0] || next[1] != twNext[1] {
+		t.Fatalf("replay perturbed the RNG stream: %v vs twin %v", next, twNext)
+	}
+
+	// Gaps are protocol errors, not silently served.
+	if _, err := sess.DecideSeq(5, obs, next); !errors.Is(err, ErrBadSeq) {
+		t.Fatalf("seq gap: %v, want ErrBadSeq", err)
+	}
+	// And old sequence numbers (beyond the one-deep replay window) too.
+	if _, err := sess.DecideSeq(1, obs, next); !errors.Is(err, ErrBadSeq) {
+		t.Fatalf("stale seq: %v, want ErrBadSeq", err)
+	}
+}
+
+// TestSessionTTLReaping verifies idle sessions are reaped after the TTL
+// and that touching a session keeps it alive.
+func TestSessionTTLReaping(t *testing.T) {
+	defer leaktest.Check(t)()
+	m := testModel(t, 4, 6)
+	srv, err := New(m, nil, Config{SessionTTL: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+	sess, err := srv.CreateSession(SessionOptions{})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+
+	// Keep it busy for a few TTLs: must survive.
+	obs := make([]Observation, 2)
+	for i := 0; i < 10; i++ {
+		if _, err := sess.Decide(obs); err != nil {
+			t.Fatalf("decide while active: %v", err)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+
+	// Go idle: must be reaped.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.MetricsSnapshot().SessionsReaped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle session was never reaped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := srv.CloseSession(sess.ID()); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("close after reap: %v, want ErrNoSession", err)
+	}
+}
+
+// TestEpochMismatchIsUnknownSession pins the resume trigger: a handle or
+// id presented with a stale epoch maps to ErrUnknownSession (which also
+// satisfies errors.Is(err, ErrNoSession) so untyped clients still work).
+func TestEpochMismatchIsUnknownSession(t *testing.T) {
+	m := testModel(t, 4, 6)
+	srv, err := New(m, nil, Config{Epoch: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+	sess, err := srv.CreateSession(SessionOptions{})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+
+	if _, err := srv.SessionByHandleEpoch(sess.Handle(), 2); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("stale epoch by handle: %v, want ErrUnknownSession", err)
+	}
+	if _, err := srv.SessionByIDEpoch(sess.ID(), 2); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("stale epoch by id: %v, want ErrUnknownSession", err)
+	}
+	if !errors.Is(ErrUnknownSession, ErrNoSession) {
+		t.Fatal("ErrUnknownSession must wrap ErrNoSession")
+	}
+	// The current epoch and the legacy wildcard 0 both resolve.
+	if _, err := srv.SessionByHandleEpoch(sess.Handle(), 3); err != nil {
+		t.Fatalf("current epoch: %v", err)
+	}
+	if _, err := srv.SessionByHandleEpoch(sess.Handle(), 0); err != nil {
+		t.Fatalf("legacy epoch 0: %v", err)
+	}
+}
+
+// TestResumeSessionContinuesRNGStream is the unit-level lockstep proof:
+// a session resumed on a second server from a client mirror produces
+// exactly the decisions the original would have — exploration draws,
+// ε decay, demand history and all.
+func TestResumeSessionContinuesRNGStream(t *testing.T) {
+	m := testModel(t, 4, 6)
+	srvA := newTestServer(t, m, nil, Config{})
+	srvB := newTestServer(t, m, nil, Config{})
+
+	opts := SessionOptions{Epsilon: 0.8, EpsilonDecay: 0.99, EpsilonMin: 0.05, Seed: 31}
+	orig, err := srvA.CreateSession(opts)
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	mirror := newSessionMirror(opts, m.NumLevels())
+	stream := testObs(m, 77, 20)
+
+	levels := make([]int, 2)
+	for i := 0; i < 10; i++ {
+		if _, err := orig.DecideSeq(uint64(i+1), stream[i], levels); err != nil {
+			t.Fatalf("decide %d: %v", i, err)
+		}
+		mirror.ackDecide(stream[i], levels)
+	}
+
+	resumed, err := srvB.ResumeSession(mirror.resumeState())
+	if err != nil {
+		t.Fatalf("ResumeSession: %v", err)
+	}
+	want, got := make([]int, 2), make([]int, 2)
+	// The replay cache survived the hop: a retry of the last pre-restart
+	// decide still dedups on the new incarnation (and, as the lockstep
+	// checks below prove, without perturbing the RNG stream).
+	replayed, err := resumed.DecideSeq(10, stream[9], got)
+	if err != nil || !replayed {
+		t.Fatalf("replay across resume: replayed=%v err=%v", replayed, err)
+	}
+	if got[0] != levels[0] || got[1] != levels[1] {
+		t.Fatalf("replay across resume returned %v, want cached %v", got, levels)
+	}
+	for i := 10; i < 20; i++ {
+		if _, err := orig.DecideSeq(uint64(i+1), stream[i], want); err != nil {
+			t.Fatalf("original decide %d: %v", i, err)
+		}
+		if _, err := resumed.DecideSeq(uint64(i+1), stream[i], got); err != nil {
+			t.Fatalf("resumed decide %d: %v", i, err)
+		}
+		if want[0] != got[0] || want[1] != got[1] {
+			t.Fatalf("period %d: resumed session chose %v, original %v", i, got, want)
+		}
+	}
+	if s := srvB.MetricsSnapshot(); s.Resumes != 1 {
+		t.Fatalf("Resumes = %d, want 1", s.Resumes)
+	}
+}
+
+// TestDrainWritesFinalCheckpoint verifies the graceful half of shutdown:
+// Drain closes binary listeners, waits out live connections, and publishes
+// a loadable checkpoint.
+func TestDrainWritesFinalCheckpoint(t *testing.T) {
+	defer leaktest.Check(t)()
+	m := testModel(t, 4, 6)
+	path := filepath.Join(t.TempDir(), "final.ckpt")
+	srv, err := New(m, nil, Config{CheckpointPath: path})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeBin(ln) }()
+
+	c := NewBinClient(ln.Addr().String())
+	sess, err := c.OpenSession(context.Background(), SessionOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := sess.Decide(context.Background(), make([]Observation, 2)); err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("ServeBin after drain: %v", err)
+	}
+	snap, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	if len(snap.Tables) != 2 {
+		t.Fatalf("checkpoint has %d tables, want 2", len(snap.Tables))
+	}
+	c.Close()
+}
+
+// TestSaveCheckpointCrashRecovery simulates a crash at every stage of the
+// write→sync→rename→dir-sync sequence via injected fsHooks and asserts the
+// previously published checkpoint always survives intact.
+func TestSaveCheckpointCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "policy.ckpt")
+	_, good := testSnapshot(t, 3)
+	if _, err := SaveCheckpoint(path, good); err != nil {
+		t.Fatalf("baseline save: %v", err)
+	}
+	_, next := testSnapshot(t, 3)
+	next.Tables[0][0][0] = 42
+
+	boom := errors.New("injected crash")
+	cases := []struct {
+		name string
+		fs   fsHooks
+	}{
+		{"sync fails", fsHooks{
+			syncFile: func(*os.File) error { return boom },
+			rename:   os.Rename, syncDir: syncDir,
+		}},
+		{"rename fails", fsHooks{
+			syncFile: (*os.File).Sync,
+			rename:   func(_, _ string) error { return boom }, syncDir: syncDir,
+		}},
+		// A crash between write and rename: the temp file holds a
+		// truncated image and the rename never happens.
+		{"crash before rename", fsHooks{
+			syncFile: func(f *os.File) error { return f.Truncate(10) },
+			rename:   func(_, _ string) error { return boom }, syncDir: syncDir,
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := saveCheckpoint(path, next, c.fs); !errors.Is(err, boom) {
+				t.Fatalf("crashing save: %v, want injected crash", err)
+			}
+			snap, err := LoadCheckpoint(path)
+			if err != nil {
+				t.Fatalf("previous checkpoint unreadable after crash: %v", err)
+			}
+			if snap.Tables[0][0][0] == 42 {
+				t.Fatal("crashed save partially published")
+			}
+		})
+	}
+
+	// The truncated temp image, had it been renamed into place, would have
+	// been rejected as corrupt — never silently served.
+	trunc := filepath.Join(dir, "torn.ckpt")
+	tornFS := fsHooks{
+		syncFile: func(f *os.File) error { return f.Truncate(10) },
+		rename:   os.Rename, syncDir: syncDir,
+	}
+	if _, err := saveCheckpoint(trunc, next, tornFS); err != nil {
+		t.Fatalf("torn save: %v", err)
+	}
+	if _, err := LoadCheckpoint(trunc); !errors.Is(err, core.ErrCheckpointCorrupt) {
+		t.Fatalf("torn checkpoint load: %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestOverloadBackoffHintRoundTrips verifies the adaptive hint: an
+// overloaded server answers HTTP with 429 + Retry-After, and the client
+// error carries the hint as a BackoffError.
+func TestOverloadBackoffHintRoundTrips(t *testing.T) {
+	srv := newTestServer(t, testModel(t, 4, 6), nil, Config{})
+	// Teach the EWMA a long queue wait so the hint is non-trivial.
+	srv.batch.observeWait(100 * time.Millisecond)
+	hint := srv.batch.backoffHintMs()
+	if hint < 5 || hint > 1000 {
+		t.Fatalf("backoff hint %dms outside [5ms, 1000ms]", hint)
+	}
+	if srv.batch.backoffHintMs() != hint {
+		t.Fatal("hint not stable across reads")
+	}
+	// Saturate the EWMA: the hint must clamp, not grow without bound.
+	for i := 0; i < 64; i++ {
+		srv.batch.observeWait(10 * time.Second)
+	}
+	if h := srv.batch.backoffHintMs(); h != 1000 {
+		t.Fatalf("saturated hint %dms, want 1000ms clamp", h)
+	}
+}

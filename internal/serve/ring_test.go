@@ -153,7 +153,7 @@ func TestBatcherOverloadBackpressure(t *testing.T) {
 	m := testModel(t, 3)
 	gb := &gateBackend{inner: NewSWBackend(m), entered: make(chan struct{}, 1), gate: make(chan struct{})}
 	o := testBatcherObs()
-	b := newBatcher(gb, 1, 0, o) // maxBatch 1 → ring capacity 8
+	b := newBatcher(gb, 1, 0, 0, o) // maxBatch 1 → ring capacity 8
 	released := false
 	defer func() {
 		if !released {
@@ -227,7 +227,7 @@ func TestBatcherOverloadBackpressure(t *testing.T) {
 // Do allocates nothing on either side of the hand-off.
 func TestBatcherDoAllocFree(t *testing.T) {
 	m := testModel(t, 3, 4)
-	b := newBatcher(NewSWBackend(m), 8, 0, testBatcherObs())
+	b := newBatcher(NewSWBackend(m), 8, 0, 0, testBatcherObs())
 	defer b.Close()
 	lookups := []Lookup{{Cluster: 0, State: 1}, {Cluster: 1, State: 2}}
 	out := make([]int, 2)
@@ -257,7 +257,7 @@ func BenchmarkRingPushPop(b *testing.B) {
 
 func BenchmarkBatcherDo(b *testing.B) {
 	m := testModel(b, 3, 4)
-	bt := newBatcher(NewSWBackend(m), 256, 0, testBatcherObs())
+	bt := newBatcher(NewSWBackend(m), 256, 0, 0, testBatcherObs())
 	defer bt.Close()
 	lookups := []Lookup{{Cluster: 0, State: 1}, {Cluster: 1, State: 2}}
 	out := make([]int, 2)

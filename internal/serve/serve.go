@@ -34,10 +34,12 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rlpm/internal/core"
@@ -55,6 +57,20 @@ var ErrSessionClosed = errors.New("serve: session closed")
 
 // ErrNoSession is returned when a request addresses an unknown session id.
 var ErrNoSession = errors.New("serve: no such session")
+
+// ErrUnknownSession is returned when an epoch-carrying request addresses a
+// session this server incarnation does not know — the handle is stale or
+// the epoch belongs to a previous process. It wraps ErrNoSession (so
+// existing not-found handling still fires) but is distinguishable with
+// errors.Is, because the recovery differs: an unknown session is
+// *resumable* — the client re-creates it from its last acked state —
+// while a plainly missing session is a caller bug.
+var ErrUnknownSession = fmt.Errorf("%w (stale handle or epoch; resume required)", ErrNoSession)
+
+// ErrBadSeq is returned when a decide's sequence number is neither the
+// next expected one nor a replay of the last served one. It means the
+// client and server disagree about history — retrying cannot help.
+var ErrBadSeq = errors.New("serve: bad request sequence")
 
 // ErrOverloaded is returned when the batcher's submission ring is full:
 // the server is shedding load instead of queueing unboundedly. Callers
@@ -215,6 +231,15 @@ type Session struct {
 	r          *rng.Rand
 	prevDemand []float64
 
+	// Retry dedup: lastSeq is the highest sequence number served,
+	// lastLevels its decision. A retry carrying lastSeq replays the cached
+	// decision without touching the RNG or demand history, so a response
+	// lost to the network can never produce a divergent second decision.
+	lastSeq    uint64
+	lastLevels []int
+
+	lastActive atomic.Int64 // unix nanos of the last request, for TTL reaping
+
 	decisions  uint64
 	rewards    uint64
 	rewardSum  float64
@@ -222,6 +247,7 @@ type Session struct {
 	lookups    []Lookup          // scratch: exploit lookups of one decide
 	lookupsIdx []int             // scratch: cluster index of each lookup
 	lookupOut  []int             // scratch: batch results of one decide
+	demandSave []float64         // scratch: prevDemand snapshot for rollback
 }
 
 // ID returns the session identifier.
@@ -250,24 +276,56 @@ func (s *Session) Decide(obs []Observation) ([]int, error) {
 // which must have length len(obs). All working state is session-owned
 // scratch, so a warmed session decides with zero allocations.
 func (s *Session) DecideInto(obs []Observation, levels []int) error {
+	_, err := s.DecideSeq(0, obs, levels)
+	return err
+}
+
+// DecideSeq is DecideInto with retry deduplication. seq 0 is the legacy
+// unsequenced path. Otherwise seq must be the session's next sequence
+// number (lastSeq+1) — the decision is computed and cached — or a replay
+// of lastSeq, which returns the cached decision with replayed=true and
+// advances nothing: no RNG draws, no demand-history write, no ledger
+// bump. Any other seq fails with ErrBadSeq.
+//
+// The compute path is transactional: the exploration RNG and the
+// demand-trend history are snapshotted before any mutation and rolled
+// back if the batched lookup fails (overload, shutdown), so a client
+// retry after a shed request replays the exact same stochastic draws and
+// can never diverge from a client-side mirror of the session.
+func (s *Session) DecideSeq(seq uint64, obs []Observation, levels []int) (replayed bool, err error) {
 	m := s.srv.model
 	if len(obs) != m.Clusters() {
-		return fmt.Errorf("serve: %d observations for %d clusters", len(obs), m.Clusters())
+		return false, fmt.Errorf("serve: %d observations for %d clusters", len(obs), m.Clusters())
 	}
 	if len(levels) != len(obs) {
-		return fmt.Errorf("serve: %d level slots for %d observations", len(levels), len(obs))
+		return false, fmt.Errorf("serve: %d level slots for %d observations", len(levels), len(obs))
 	}
 	for i, o := range obs {
 		if o.Level < 0 || o.Level >= m.levels[i] {
-			return fmt.Errorf("serve: cluster %d level %d out of [0,%d)", i, o.Level, m.levels[i])
+			return false, fmt.Errorf("serve: cluster %d level %d out of [0,%d)", i, o.Level, m.levels[i])
 		}
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrSessionClosed
+		return false, ErrSessionClosed
 	}
+	s.lastActive.Store(nanotime())
+
+	if seq != 0 {
+		switch {
+		case seq == s.lastSeq && len(s.lastLevels) == len(levels):
+			copy(levels, s.lastLevels)
+			s.srv.decidesDeduped.Add(1)
+			return true, nil
+		case seq != s.lastSeq+1:
+			return false, fmt.Errorf("%w: got %d, expected %d or replay of %d", ErrBadSeq, seq, s.lastSeq+1, s.lastSeq)
+		}
+	}
+
+	rngState := s.r.State()
+	s.demandSave = append(s.demandSave[:0], s.prevDemand...)
 
 	s.lookups = s.lookups[:0]
 	s.lookupsIdx = s.lookupsIdx[:0]
@@ -297,7 +355,9 @@ func (s *Session) DecideInto(obs []Observation, levels []int) error {
 		}
 		out := s.lookupOut[:len(s.lookups)]
 		if err := s.srv.batch.Do(s.lookups, out); err != nil {
-			return err
+			s.r.SetState(rngState)
+			copy(s.prevDemand, s.demandSave)
+			return false, err
 		}
 		for j, a := range out {
 			levels[s.lookupsIdx[j]] = a
@@ -309,11 +369,18 @@ func (s *Session) DecideInto(obs []Observation, levels []int) error {
 			s.eps = s.epsMin
 		}
 	}
+	if seq != 0 {
+		s.lastSeq = seq
+		s.lastLevels = append(s.lastLevels[:0], levels...)
+	}
 	s.decisions++
 	s.srv.decisions.Add(1)
 	s.srv.lookupsServed.Add(uint64(len(s.lookups)))
-	return nil
+	return false, nil
 }
+
+// nanotime is the session-activity clock (monotonic enough for TTLs).
+func nanotime() int64 { return time.Now().UnixNano() }
 
 // Reward records a device-reported reward for the session. The policy is
 // frozen — rewards feed the session ledger (and fleet-level monitoring),
@@ -324,6 +391,7 @@ func (s *Session) Reward(r float64) (SessionStats, error) {
 	if s.closed {
 		return SessionStats{}, ErrSessionClosed
 	}
+	s.lastActive.Store(nanotime())
 	s.rewards++
 	s.rewardSum += r
 	s.srv.rewards.Add(1)
@@ -359,11 +427,38 @@ type Config struct {
 	// CheckpointPath, when non-empty, is where POST /v1/checkpoint
 	// persists the model.
 	CheckpointPath string
+	// Epoch identifies this server incarnation. Session handles are only
+	// valid within the epoch that minted them; an epoch-carrying request
+	// against a different incarnation fails with ErrUnknownSession, which
+	// tells the client to resume rather than blindly reuse a handle that
+	// may now belong to someone else. Defaults to 1; restarts should pass
+	// a fresh value.
+	Epoch uint32
+	// SessionTTL, when positive, bounds the session map: sessions idle
+	// longer than the TTL are reaped (closed and counted in
+	// serve_sessions_reaped_total). 0 disables reaping — no reaper
+	// goroutine runs.
+	SessionTTL time.Duration
+	// QueueDeadline, when positive, is the CoDel-style staleness bound on
+	// batched lookups: a request that waited in the submission ring longer
+	// than this is failed with ErrOverloaded instead of being served —
+	// under overload it is better to shed old work (the client has likely
+	// timed out and retried) than to serve it late. 0 disables.
+	QueueDeadline time.Duration
+	// DrainGrace is how long Drain lets connections finish their buffered
+	// frames before forcing them closed. Defaults to 250ms.
+	DrainGrace time.Duration
 }
 
 func (c Config) withDefaults() Config {
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 256
+	}
+	if c.Epoch == 0 {
+		c.Epoch = 1
+	}
+	if c.DrainGrace == 0 {
+		c.DrainGrace = 250 * time.Millisecond
 	}
 	return c
 }
@@ -375,6 +470,15 @@ func (c Config) Validate() error {
 	}
 	if c.Linger < 0 {
 		return fmt.Errorf("serve: negative Linger %v", c.Linger)
+	}
+	if c.SessionTTL < 0 {
+		return fmt.Errorf("serve: negative SessionTTL %v", c.SessionTTL)
+	}
+	if c.QueueDeadline < 0 {
+		return fmt.Errorf("serve: negative QueueDeadline %v", c.QueueDeadline)
+	}
+	if c.DrainGrace < 0 {
+		return fmt.Errorf("serve: negative DrainGrace %v", c.DrainGrace)
 	}
 	return nil
 }
@@ -393,6 +497,10 @@ type Server struct {
 	handles  map[uint64]*Session // binary-protocol identity → session
 	nextID   uint64
 	closed   bool
+	draining bool
+
+	reapQuit chan struct{} // nil unless a TTL reaper is running
+	reapWG   sync.WaitGroup
 
 	binMu    sync.Mutex
 	binLns   map[net.Listener]struct{} // live ServeBin listeners
@@ -407,6 +515,9 @@ type Server struct {
 	rewards         *obs.Counter
 	sessionsCreated *obs.Counter
 	sessionsClosed  *obs.Counter
+	sessionsReaped  *obs.Counter // sessions closed by the TTL reaper
+	decidesDeduped  *obs.Counter // decide retries answered from the replay cache
+	resumes         *obs.Counter // sessions re-created from client-carried state
 	httpErrors      *obs.Counter
 	binConnsTotal   *obs.Counter   // binary connections accepted
 	binFrames       *obs.Counter   // binary request frames served
@@ -458,6 +569,9 @@ func New(model *Model, backend Backend, cfg Config) (*Server, error) {
 		rewards:         reg.NewCounter("serve_rewards_total", "device-reported rewards recorded"),
 		sessionsCreated: reg.NewCounter("serve_sessions_created_total", "device sessions opened"),
 		sessionsClosed:  reg.NewCounter("serve_sessions_closed_total", "device sessions closed"),
+		sessionsReaped:  reg.NewCounter("serve_sessions_reaped_total", "idle device sessions closed by the TTL reaper"),
+		decidesDeduped:  reg.NewCounter("serve_decides_deduped_total", "decide retries answered from the per-session replay cache"),
+		resumes:         reg.NewCounter("serve_resumes_total", "sessions re-created from client-carried resume state"),
 		httpErrors:      reg.NewCounter("serve_http_errors_total", "HTTP requests answered with an error status"),
 		binConnsTotal:   reg.NewCounter("serve_bin_connections_total", "binary-protocol connections accepted"),
 		binFrames:       reg.NewCounter("serve_bin_frames_total", "binary-protocol request frames served"),
@@ -496,10 +610,11 @@ func New(model *Model, backend Backend, cfg Config) (*Server, error) {
 		reg.NewCounterFunc("serve_hw_retries_total", "accelerator transaction retries", hb.retries.Load)
 		reg.NewCounterFunc("serve_hw_degraded_total", "lookups degraded to the software tables", hb.degraded.Load)
 	}
-	s.batch = newBatcher(backend, cfg.MaxBatch, cfg.Linger, batcherObs{
+	s.batch = newBatcher(backend, cfg.MaxBatch, cfg.Linger, cfg.QueueDeadline, batcherObs{
 		batches:  reg.NewCounter("serve_batches_total", "backend batch dispatches"),
 		lookups:  reg.NewCounter("serve_batch_lookups_total", "lookups resolved through batch dispatches"),
 		rejected: reg.NewCounter("serve_batch_rejected_total", "decide submits rejected with ErrOverloaded (ring full)"),
+		stale:    reg.NewCounter("serve_batch_stale_total", "queued lookups shed past the CoDel queue deadline"),
 		queueWait: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
 			obs.Label{Key: "stage", Value: "queue_wait"}),
 		assemble: reg.NewHistogram("serve_decide_stage_ns", "per-stage decide-path latency in nanoseconds",
@@ -510,7 +625,50 @@ func New(model *Model, backend Backend, cfg Config) (*Server, error) {
 	reg.NewGaugeFunc("serve_batch_max_occupancy", "largest batch dispatched", func() float64 {
 		return float64(s.batch.maxOcc.Load())
 	})
+	if cfg.SessionTTL > 0 {
+		s.reapQuit = make(chan struct{})
+		s.reapWG.Add(1)
+		go s.reapLoop(cfg.SessionTTL)
+	}
 	return s, nil
+}
+
+// Epoch returns this server incarnation's epoch.
+func (s *Server) Epoch() uint32 { return s.cfg.Epoch }
+
+// reapLoop closes sessions idle past the TTL, bounding the session map
+// against clients that vanish without closing. It samples at TTL/4, so a
+// session is reaped between 1× and ~1.25× its TTL after going idle.
+func (s *Server) reapLoop(ttl time.Duration) {
+	defer s.reapWG.Done()
+	tick := ttl / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reapQuit:
+			return
+		case <-t.C:
+		}
+		cutoff := nanotime() - ttl.Nanoseconds()
+		var expired []*Session
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			if sess.lastActive.Load() < cutoff {
+				expired = append(expired, sess)
+				delete(s.sessions, sess.id)
+				delete(s.handles, sess.handle)
+			}
+		}
+		s.mu.Unlock()
+		for _, sess := range expired {
+			s.finishClose(sess)
+			s.sessionsReaped.Add(1)
+		}
+	}
 }
 
 // Registry exposes the server's metrics registry, so binaries can add
@@ -557,6 +715,10 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.reapQuit != nil {
+		close(s.reapQuit)
+		s.reapWG.Wait()
+	}
 	s.binMu.Lock()
 	for ln := range s.binLns {
 		ln.Close()
@@ -566,6 +728,68 @@ func (s *Server) Close() {
 	}
 	s.binMu.Unlock()
 	s.batch.Close()
+}
+
+// Drain is the graceful half of shutdown, run on SIGTERM before Close:
+// stop accepting new binary connections, give live connections a grace
+// window to finish the frames already in flight (their reads are
+// deadline-nudged — a fully received request is still served and its
+// response flushed; a partially received one was never accepted and the
+// client's retry lands on the next incarnation), wait for the connections
+// to wind down, then publish a final checkpoint so the next incarnation
+// starts from the exact frozen policy. HTTP draining belongs to
+// http.Server.Shutdown and composes with this. Drain does not Close: the
+// caller does, after its HTTP drain completes.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	s.binMu.Lock()
+	for ln := range s.binLns {
+		ln.Close()
+	}
+	deadline := time.Now().Add(s.cfg.DrainGrace)
+	for c := range s.binConns {
+		c.SetReadDeadline(deadline)
+	}
+	s.binMu.Unlock()
+
+	// Wait for the connection goroutines to flush and exit; they remove
+	// themselves from binConns. The grace deadline bounds this, the ctx
+	// is a harder stop.
+	for {
+		s.binMu.Lock()
+		live := len(s.binConns)
+		s.binMu.Unlock()
+		if live == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	if s.cfg.CheckpointPath != "" {
+		if _, err := SaveCheckpoint(s.cfg.CheckpointPath, s.model.Snapshot()); err != nil {
+			return fmt.Errorf("serve: drain checkpoint: %w", err)
+		}
+		s.MarkCheckpoint(time.Now())
+	}
+	return nil
+}
+
+// isDraining reports whether Drain has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // MarkCheckpoint records a checkpoint load/save instant for the
@@ -599,9 +823,92 @@ func (s *Server) CreateSession(opts SessionOptions) (*Session, error) {
 		r:          rng.New(opts.Seed),
 		prevDemand: make([]float64, s.model.Clusters()),
 	}
+	sess.lastActive.Store(nanotime())
 	s.sessions[sess.id] = sess
 	s.handles[sess.handle] = sess
 	s.sessionsCreated.Add(1)
+	return sess, nil
+}
+
+// ResumeState is everything a client must carry to re-create a session on
+// a fresh server incarnation exactly where the old one left off: the
+// creation options, the evolved exploration state (current ε and the raw
+// RNG state), the request sequence with its last decision (so an in-flight
+// retry still deduplicates across the restart), the demand-trend history,
+// and the ledger.
+type ResumeState struct {
+	Options    SessionOptions
+	Epsilon    float64   // current (decayed) exploration rate
+	Rng        [4]uint64 // exploration RNG state; all-zero → reseed from Options.Seed
+	Seq        uint64    // last served sequence number
+	LastLevels []int     // decision for Seq, the replay-cache seed
+	PrevDemand []float64 // per-cluster demand-trend history
+	Decisions  uint64
+	Rewards    uint64
+	RewardSum  float64
+}
+
+// ResumeSession re-creates a session from client-carried state. The
+// session gets a fresh handle/id in this incarnation's epoch — handles
+// are never trusted across epochs — but decides continue the sequence,
+// the RNG stream, and the demand history exactly where the lost session
+// stopped, so the device's decision trace is indistinguishable from one
+// served by an immortal process.
+func (s *Server) ResumeSession(st ResumeState) (*Session, error) {
+	if err := st.Options.validate(); err != nil {
+		return nil, err
+	}
+	if st.Epsilon < 0 || st.Epsilon > 1 {
+		return nil, fmt.Errorf("serve: resume epsilon %v out of [0,1]", st.Epsilon)
+	}
+	clusters := s.model.Clusters()
+	if len(st.PrevDemand) != clusters {
+		return nil, fmt.Errorf("serve: resume carries %d demand entries for %d clusters", len(st.PrevDemand), clusters)
+	}
+	if st.Seq > 0 && len(st.LastLevels) != clusters {
+		return nil, fmt.Errorf("serve: resume carries %d last levels for %d clusters", len(st.LastLevels), clusters)
+	}
+	for i, lvl := range st.LastLevels {
+		if lvl < 0 || lvl >= s.model.levels[i] {
+			return nil, fmt.Errorf("serve: resume cluster %d level %d out of [0,%d)", i, lvl, s.model.levels[i])
+		}
+	}
+	var r *rng.Rand
+	if st.Rng == ([4]uint64{}) {
+		r = rng.New(st.Options.Seed)
+	} else {
+		var err error
+		if r, err = rng.NewFromState(st.Rng); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrServerClosed
+	}
+	s.nextID++
+	sess := &Session{
+		id:         fmt.Sprintf("s-%06d", s.nextID),
+		handle:     s.nextID,
+		srv:        s,
+		eps:        st.Epsilon,
+		epsMin:     st.Options.EpsilonMin,
+		epsDecay:   st.Options.EpsilonDecay,
+		r:          r,
+		prevDemand: append([]float64(nil), st.PrevDemand...),
+		lastSeq:    st.Seq,
+		lastLevels: append([]int(nil), st.LastLevels...),
+		decisions:  st.Decisions,
+		rewards:    st.Rewards,
+		rewardSum:  st.RewardSum,
+	}
+	sess.lastActive.Store(nanotime())
+	s.sessions[sess.id] = sess
+	s.handles[sess.handle] = sess
+	s.sessionsCreated.Add(1)
+	s.resumes.Add(1)
 	return sess, nil
 }
 
@@ -625,6 +932,45 @@ func (s *Server) SessionByHandle(h uint64) (*Session, error) {
 	sess, ok := s.handles[h]
 	if !ok {
 		return nil, ErrNoSession
+	}
+	return sess, nil
+}
+
+// SessionByHandleEpoch is the epoch-checked lookup for resilient clients.
+// epoch 0 is the legacy unchecked path. A non-zero epoch that does not
+// match this incarnation — or a handle this incarnation never minted —
+// fails with ErrUnknownSession: the session is resumable, and the handle
+// must not be served even if it happens to collide with a live one,
+// because it was minted by a different process.
+func (s *Server) SessionByHandleEpoch(h uint64, epoch uint32) (*Session, error) {
+	if epoch == 0 {
+		return s.SessionByHandle(h)
+	}
+	if epoch != s.cfg.Epoch {
+		return nil, ErrUnknownSession
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.handles[h]
+	if !ok {
+		return nil, ErrUnknownSession
+	}
+	return sess, nil
+}
+
+// SessionByIDEpoch is SessionByHandleEpoch for the HTTP path's string ids.
+func (s *Server) SessionByIDEpoch(id string, epoch uint32) (*Session, error) {
+	if epoch == 0 {
+		return s.Session(id)
+	}
+	if epoch != s.cfg.Epoch {
+		return nil, ErrUnknownSession
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, ErrUnknownSession
 	}
 	return sess, nil
 }
@@ -685,12 +1031,16 @@ type Metrics struct {
 	Sessions           int      `json:"sessions"`
 	SessionsCreated    uint64   `json:"sessions_created"`
 	SessionsClosed     uint64   `json:"sessions_closed"`
+	SessionsReaped     uint64   `json:"sessions_reaped"`
+	Resumes            uint64   `json:"resumes"`
 	Decisions          uint64   `json:"decisions"`
+	DecidesDeduped     uint64   `json:"decides_deduped"`
 	LookupsServed      uint64   `json:"lookups_served"`
 	Explorations       uint64   `json:"explorations"`
 	Rewards            uint64   `json:"rewards"`
 	Batches            uint64   `json:"batches"`
 	BatchRejected      uint64   `json:"batch_rejected"`
+	BatchStale         uint64   `json:"batch_stale"`
 	MeanBatchOccupancy float64  `json:"mean_batch_occupancy"`
 	MaxBatchOccupancy  uint64   `json:"max_batch_occupancy"`
 	HTTPErrors         uint64   `json:"http_errors"`
@@ -716,12 +1066,16 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Sessions:          live,
 		SessionsCreated:   s.sessionsCreated.Load(),
 		SessionsClosed:    s.sessionsClosed.Load(),
+		SessionsReaped:    s.sessionsReaped.Load(),
+		Resumes:           s.resumes.Load(),
 		Decisions:         s.decisions.Load(),
+		DecidesDeduped:    s.decidesDeduped.Load(),
 		LookupsServed:     s.lookupsServed.Load(),
 		Explorations:      s.explorations.Load(),
 		Rewards:           s.rewards.Load(),
 		Batches:           batches,
 		BatchRejected:     s.batch.o.rejected.Load(),
+		BatchStale:        s.batch.o.stale.Load(),
 		MaxBatchOccupancy: maxOcc,
 		HTTPErrors:        s.httpErrors.Load(),
 		BinConnections:    s.binConnsTotal.Load(),

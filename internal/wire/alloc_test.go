@@ -18,19 +18,19 @@ func TestCodecAllocFree(t *testing.T) {
 	levels := []int{2, 5}
 
 	// Warm-up: grow every reused buffer to steady-state capacity.
-	buf := FinishFrame(AppendDecideReq(BeginFrame(nil), 42, obs), TDecide, 1)
+	buf := FinishFrame(AppendDecideReq(BeginFrame(nil), 42, 1, 1, obs), TDecide, 1)
 	var dreq DecideReq
-	if err := ParseDecideReq(buf[HeaderSize:], &dreq); err != nil {
+	if err := ParseDecideReq(buf[HeaderSize:len(buf)-TrailerSize], &dreq); err != nil {
 		t.Fatalf("warm-up decode: %v", err)
 	}
 	respBuf := FinishFrame(AppendDecideOK(BeginFrame(nil), levels), TDecideOK, 1)
 	var dok DecideOK
-	if err := ParseDecideOK(respBuf[HeaderSize:], &dok); err != nil {
+	if err := ParseDecideOK(respBuf[HeaderSize:len(respBuf)-TrailerSize], &dok); err != nil {
 		t.Fatalf("warm-up decode: %v", err)
 	}
 
 	if n := testing.AllocsPerRun(100, func() {
-		buf = FinishFrame(AppendDecideReq(BeginFrame(buf), 42, obs), TDecide, 1)
+		buf = FinishFrame(AppendDecideReq(BeginFrame(buf), 42, 1, 1, obs), TDecide, 1)
 		respBuf = FinishFrame(AppendDecideOK(BeginFrame(respBuf), levels), TDecideOK, 1)
 	}); n != 0 {
 		t.Fatalf("frame encode allocates %v times per frame, want 0", n)
@@ -43,7 +43,7 @@ func TestCodecAllocFree(t *testing.T) {
 		if err := ParseDecideReq(buf[HeaderSize:HeaderSize+int(h.Len)], &dreq); err != nil {
 			t.Fatal(err)
 		}
-		if err := ParseDecideOK(respBuf[HeaderSize:], &dok); err != nil {
+		if err := ParseDecideOK(respBuf[HeaderSize:len(respBuf)-TrailerSize], &dok); err != nil {
 			t.Fatal(err)
 		}
 	}); n != 0 {
@@ -54,7 +54,7 @@ func TestCodecAllocFree(t *testing.T) {
 // TestReadFrameReusesPayload proves the streaming read path reaches zero
 // allocations once the payload scratch has grown to frame size.
 func TestReadFrameReusesPayload(t *testing.T) {
-	frame := FinishFrame(AppendDecideReq(BeginFrame(nil), 7, make([]Obs, 4)), TDecide, 3)
+	frame := FinishFrame(AppendDecideReq(BeginFrame(nil), 7, 1, 1, make([]Obs, 4)), TDecide, 3)
 	var hdr [HeaderSize]byte
 	var payload []byte
 	rd := bytes.NewReader(frame)
@@ -78,16 +78,16 @@ func BenchmarkEncodeDecideFrame(b *testing.B) {
 	var buf []byte
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		buf = FinishFrame(AppendDecideReq(BeginFrame(buf), 42, obs), TDecide, uint32(i))
+		buf = FinishFrame(AppendDecideReq(BeginFrame(buf), 42, 1, 1, obs), TDecide, uint32(i))
 	}
 }
 
 func BenchmarkDecodeDecideFrame(b *testing.B) {
-	frame := FinishFrame(AppendDecideReq(BeginFrame(nil), 42, make([]Obs, 2)), TDecide, 1)
+	frame := FinishFrame(AppendDecideReq(BeginFrame(nil), 42, 1, 1, make([]Obs, 2)), TDecide, 1)
 	var dreq DecideReq
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := ParseDecideReq(frame[HeaderSize:], &dreq); err != nil {
+		if err := ParseDecideReq(frame[HeaderSize:len(frame)-TrailerSize], &dreq); err != nil {
 			b.Fatal(err)
 		}
 	}

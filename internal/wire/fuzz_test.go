@@ -34,18 +34,24 @@ func reencode(t byte, p []byte) ([]byte, error) {
 			return nil, err
 		}
 		return AppendCreateReq(nil, v), nil
-	case TCreateOK:
+	case TCreateOK, TResumeOK:
 		var v CreateOK
 		if err := ParseCreateOK(p, &v); err != nil {
 			return nil, err
 		}
-		return AppendCreateOK(nil, v.Handle, v.NumLevels), nil
+		return AppendCreateOK(nil, v.Handle, v.Epoch, v.NumLevels), nil
 	case TDecide:
 		var v DecideReq
 		if err := ParseDecideReq(p, &v); err != nil {
 			return nil, err
 		}
-		return AppendDecideReq(nil, v.Handle, v.Obs), nil
+		return AppendDecideReq(nil, v.Handle, v.Epoch, v.Seq, v.Obs), nil
+	case TResume:
+		var v ResumeReq
+		if err := ParseResumeReq(p, &v); err != nil {
+			return nil, err
+		}
+		return AppendResumeReq(nil, &v), nil
 	case TDecideOK:
 		var v DecideOK
 		if err := ParseDecideOK(p, &v); err != nil {
@@ -75,7 +81,7 @@ func reencode(t byte, p []byte) ([]byte, error) {
 		if err := ParseError(p, &v); err != nil {
 			return nil, err
 		}
-		return AppendError(nil, v.Code, string(v.Msg)), nil
+		return AppendError(nil, v.Code, v.BackoffMs, string(v.Msg)), nil
 	}
 	return nil, errors.New("unreachable: ValidType admitted an unknown type")
 }
@@ -91,13 +97,25 @@ func FuzzWireDecode(f *testing.F) {
 		f.Add(FinishFrame(append(BeginFrame(nil), payload...), t, 7))
 	}
 	seed(TCreate, AppendCreateReq(nil, CreateReq{Epsilon: 0.3, EpsilonDecay: 0.99, Seed: 11}))
-	seed(TCreateOK, AppendCreateOK(nil, 5, []int{3, 5}))
-	seed(TDecide, AppendDecideReq(nil, 5, []Obs{{Utilization: 0.8, Level: 2}, {Critical: true}}))
+	seed(TCreateOK, AppendCreateOK(nil, 5, 1, []int{3, 5}))
+	seed(TDecide, AppendDecideReq(nil, 5, 1, 9, []Obs{{Utilization: 0.8, Level: 2}, {Critical: true}}))
 	seed(TDecideOK, AppendDecideOK(nil, []int{1, 4}))
 	seed(TReward, AppendRewardReq(nil, RewardReq{Handle: 5, Reward: -1.5}))
 	seed(TRewardOK, AppendStats(nil, Stats{Decisions: 10, Rewards: 2, MeanReward: -0.5}))
 	seed(TClose, AppendCloseReq(nil, CloseReq{Handle: 5}))
-	seed(TError, AppendError(nil, CodeNoSession, "gone"))
+	seed(TError, AppendError(nil, CodeNoSession, 100, "gone"))
+	seed(TResume, AppendResumeReq(nil, &ResumeReq{
+		Opts:       CreateReq{Epsilon: 0.2, EpsilonDecay: 0.98, Seed: 4},
+		EpsNow:     0.1,
+		Seq:        12,
+		Decisions:  12,
+		Rewards:    3,
+		RewardSum:  -4.5,
+		Rng:        [4]uint64{1, 2, 3, 4},
+		PrevDemand: []float64{0.5, 1.25},
+		LastLevels: []int{2, 0},
+	}))
+	seed(TResumeOK, AppendCreateOK(nil, 6, 2, []int{3, 5}))
 	// ...and classic malformations: truncations, a bad version, a
 	// corrupted CRC, an oversized length prefix.
 	good := FinishFrame(AppendCloseReq(BeginFrame(nil), CloseReq{Handle: 1}), TClose, 1)

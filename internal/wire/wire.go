@@ -9,9 +9,12 @@
 // connections:
 //
 //   - every frame is a 16-byte CRC-guarded header followed by a
-//     little-endian fixed-layout payload — no field names, no escaping,
-//     no variable-width integers, so encode and decode are straight-line
-//     copies that allocate nothing after warm-up;
+//     little-endian fixed-layout payload and a CRC32 payload trailer — no
+//     field names, no escaping, no variable-width integers, so encode and
+//     decode are straight-line copies that allocate nothing after warm-up;
+//     the payload trailer means a corrupted byte anywhere in the frame is
+//     detected instead of silently decoding into a divergent decision
+//     (the property the chaos harness's byte-identity invariant rests on);
 //   - the header carries a version byte (rejected before anything else is
 //     trusted), a frame type, a request id echoed in the response (so
 //     many device sessions can multiplex one connection and pipeline
@@ -22,13 +25,15 @@
 //     return typed errors (never panic, never over-read) — the contract
 //     pinned by FuzzWireDecode and the round-trip property test.
 //
-// Layouts (all integers little-endian, floats IEEE-754 bit patterns):
+// Layouts (all integers little-endian, floats IEEE-754 bit patterns; every
+// frame is header | payload | crc32(payload) u32):
 //
 //	header    version u8 | type u8 | reserved u16 (=0) | req_id u32 |
 //	          payload_len u32 | crc32(bytes 0..11) u32
 //	create    epsilon f64 | epsilon_min f64 | epsilon_decay f64 | seed u64
-//	createOK  handle u64 | clusters u16 | num_levels u16 × clusters
-//	decide    handle u64 | clusters u16 | obs × clusters, each:
+//	createOK  handle u64 | epoch u32 | clusters u16 | num_levels u16 × clusters
+//	decide    handle u64 | epoch u32 | seq u64 | clusters u16 |
+//	          obs × clusters, each:
 //	          utilization f64 | demand_ratio f64 | qos f64 |
 //	          cluster_qos f64 | critical u8 (0/1) | level u16
 //	decideOK  clusters u16 | level u16 × clusters
@@ -36,7 +41,21 @@
 //	rewardOK  decisions u64 | rewards u64 | mean_reward f64 | epsilon f64
 //	close     handle u64
 //	closeOK   same as rewardOK
-//	error     code u16 | message bytes
+//	resume    create | eps_now f64 | seq u64 | decisions u64 | rewards u64 |
+//	          reward_sum f64 | rng u64 × 4 | clusters u16 |
+//	          (prev_demand f64 | last_level u16) × clusters
+//	resumeOK  same as createOK
+//	error     code u16 | backoff_ms u32 | message bytes
+//
+// The decide epoch identifies the server incarnation that issued the
+// session handle: after a restart every live handle is stale, and the
+// epoch mismatch surfaces as CodeUnknownSession instead of silently
+// hitting a recycled handle. The decide seq is the session's decision
+// sequence number; a retry after a lost response carries the same seq and
+// the server answers from its replay cache instead of computing a second,
+// divergent decision. The resume frame re-creates a session from the
+// client's last acked state after the server lost it (restart or TTL
+// reaping).
 //
 // The package is dependency-free (standard library only); the serve layer
 // owns the mapping between wire frames and sessions.
@@ -53,9 +72,14 @@ import (
 
 const (
 	// Version is the protocol version this package encodes and accepts.
-	Version = 1
+	// v2 added the payload CRC trailer, the decide epoch+seq, the createOK
+	// epoch, the error-frame backoff hint, and the resume frames.
+	Version = 2
 	// HeaderSize is the fixed frame-header length in bytes.
 	HeaderSize = 16
+	// TrailerSize is the payload CRC32 trailer length appended after every
+	// payload.
+	TrailerSize = 4
 	// MaxPayload bounds the payload length a header may declare; larger
 	// prefixes are rejected before any payload byte is read, so a corrupt
 	// or hostile length can never drive an oversized allocation or
@@ -75,10 +99,12 @@ const (
 	TRewardOK byte = 7
 	TClose    byte = 8
 	TCloseOK  byte = 9
+	TResume   byte = 10
+	TResumeOK byte = 11
 )
 
 // ValidType reports whether t is a known frame type.
-func ValidType(t byte) bool { return t >= TError && t <= TCloseOK }
+func ValidType(t byte) bool { return t >= TError && t <= TResumeOK }
 
 // Error codes carried by TError frames, mirroring the HTTP status mapping.
 const (
@@ -88,6 +114,10 @@ const (
 	CodeServerClosed  uint16 = 4
 	CodeOverloaded    uint16 = 5
 	CodeInternal      uint16 = 6
+	// CodeUnknownSession: the handle/epoch pair names a session this server
+	// incarnation does not know (restart or TTL reaping). Retryable after a
+	// resume — the client re-creates the session from its last acked state.
+	CodeUnknownSession uint16 = 7
 )
 
 // Typed decode errors. Decoders wrap these with context via %w, so callers
@@ -175,18 +205,21 @@ func BeginFrame(dst []byte) []byte {
 }
 
 // FinishFrame writes the header (with CRC) over the space BeginFrame
-// reserved, for a frame of type typ answering reqID. buf must have come
-// from BeginFrame plus payload appends.
+// reserved, then appends the payload CRC32 trailer, for a frame of type
+// typ answering reqID. buf must have come from BeginFrame plus payload
+// appends. The trailer guards the payload bytes the header CRC does not
+// cover, so corruption anywhere in the frame is detected at decode.
 func FinishFrame(buf []byte, typ byte, reqID uint32) []byte {
 	PutHeader(buf[:HeaderSize], typ, reqID, len(buf)-HeaderSize)
-	return buf
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[HeaderSize:]))
 }
 
 // ReadFrame reads one frame from r: the header into *hdr, the payload into
-// payload (grown only when capacity is short, otherwise reused). It
-// returns the possibly regrown payload slice so callers can keep it as
-// their scratch. The header is validated — including the MaxPayload bound —
-// before any payload byte is read.
+// payload (grown only when capacity is short, otherwise reused), then the
+// CRC32 trailer, which is verified against the payload before anything is
+// returned. It returns the possibly regrown payload slice so callers can
+// keep it as their scratch. The header is validated — including the
+// MaxPayload bound — before any payload byte is read.
 func ReadFrame(r io.Reader, hdr *[HeaderSize]byte, payload []byte) (Header, []byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Header{}, payload, err
@@ -195,15 +228,24 @@ func ReadFrame(r io.Reader, hdr *[HeaderSize]byte, payload []byte) (Header, []by
 	if err != nil {
 		return h, payload, err
 	}
-	if cap(payload) < int(h.Len) {
-		payload = make([]byte, h.Len)
+	// Payload and trailer arrive in a single read into the shared scratch;
+	// reading the trailer into a local array would force it to escape
+	// through the io.Reader interface and cost an allocation per frame.
+	need := int(h.Len) + TrailerSize
+	if cap(payload) < need {
+		payload = make([]byte, need)
 	}
-	payload = payload[:h.Len]
+	payload = payload[:need]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
 		return h, payload, err
+	}
+	got := binary.LittleEndian.Uint32(payload[h.Len:])
+	payload = payload[:h.Len]
+	if want := crc32.ChecksumIEEE(payload); got != want {
+		return h, payload, fmt.Errorf("%w: payload trailer stored %#08x, computed %#08x", ErrBadCRC, got, want)
 	}
 	return h, payload, nil
 }
@@ -252,16 +294,21 @@ func ParseCreateReq(p []byte, r *CreateReq) error {
 	return nil
 }
 
-// CreateOK answers a create: the session handle plus the served chip's
-// per-cluster OPP counts.
+// CreateOK answers a create (and a resume): the session handle, the
+// issuing server incarnation's epoch, and the served chip's per-cluster
+// OPP counts.
 type CreateOK struct {
 	Handle    uint64
+	Epoch     uint32
 	NumLevels []int
 }
 
+const createOKBase = 8 + 4 + 2
+
 // AppendCreateOK appends the payload encoding to dst.
-func AppendCreateOK(dst []byte, handle uint64, numLevels []int) []byte {
+func AppendCreateOK(dst []byte, handle uint64, epoch uint32, numLevels []int) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, handle)
+	dst = binary.LittleEndian.AppendUint32(dst, epoch)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(numLevels)))
 	for _, n := range numLevels {
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(n))
@@ -271,31 +318,41 @@ func AppendCreateOK(dst []byte, handle uint64, numLevels []int) []byte {
 
 // ParseCreateOK decodes p into r, reusing r.NumLevels' backing array.
 func ParseCreateOK(p []byte, r *CreateOK) error {
-	if len(p) < 10 {
-		return fmt.Errorf("%w: createOK needs 10 bytes, got %d", ErrTruncated, len(p))
+	if len(p) < createOKBase {
+		return fmt.Errorf("%w: createOK needs %d bytes, got %d", ErrTruncated, createOKBase, len(p))
 	}
 	r.Handle = binary.LittleEndian.Uint64(p[0:])
-	n := int(binary.LittleEndian.Uint16(p[8:]))
-	if err := exactLen(p, 10+2*n); err != nil {
+	r.Epoch = binary.LittleEndian.Uint32(p[8:])
+	n := int(binary.LittleEndian.Uint16(p[12:]))
+	if err := exactLen(p, createOKBase+2*n); err != nil {
 		return err
 	}
 	r.NumLevels = fitInts(r.NumLevels, n)
 	for i := 0; i < n; i++ {
-		r.NumLevels[i] = int(binary.LittleEndian.Uint16(p[10+2*i:]))
+		r.NumLevels[i] = int(binary.LittleEndian.Uint16(p[createOKBase+2*i:]))
 	}
 	return nil
 }
 
-// DecideReq carries one control period's observations for a session.
+// DecideReq carries one control period's observations for a session. Epoch
+// names the server incarnation the handle came from; Seq is the session's
+// decision sequence number (see the package comment). Seq 0 is the legacy
+// no-dedup path.
 type DecideReq struct {
 	Handle uint64
+	Epoch  uint32
+	Seq    uint64
 	Obs    []Obs
 }
 
+const decideReqBase = 8 + 4 + 8 + 2
+
 // AppendDecideReq appends the payload encoding to dst. Critical encodes as
 // 0/1; Level as its low 16 bits (the server validates range).
-func AppendDecideReq(dst []byte, handle uint64, obs []Obs) []byte {
+func AppendDecideReq(dst []byte, handle uint64, epoch uint32, seq uint64, obs []Obs) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, handle)
+	dst = binary.LittleEndian.AppendUint32(dst, epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(obs)))
 	for i := range obs {
 		o := &obs[i]
@@ -316,17 +373,19 @@ func AppendDecideReq(dst []byte, handle uint64, obs []Obs) []byte {
 // ParseDecideReq decodes p into r, reusing r.Obs' backing array. The
 // critical byte must be canonical (0 or 1) so encoding is bijective.
 func ParseDecideReq(p []byte, r *DecideReq) error {
-	if len(p) < 10 {
-		return fmt.Errorf("%w: decide needs 10 bytes, got %d", ErrTruncated, len(p))
+	if len(p) < decideReqBase {
+		return fmt.Errorf("%w: decide needs %d bytes, got %d", ErrTruncated, decideReqBase, len(p))
 	}
 	r.Handle = binary.LittleEndian.Uint64(p[0:])
-	n := int(binary.LittleEndian.Uint16(p[8:]))
-	if err := exactLen(p, 10+obsSize*n); err != nil {
+	r.Epoch = binary.LittleEndian.Uint32(p[8:])
+	r.Seq = binary.LittleEndian.Uint64(p[12:])
+	n := int(binary.LittleEndian.Uint16(p[20:]))
+	if err := exactLen(p, decideReqBase+obsSize*n); err != nil {
 		return err
 	}
 	r.Obs = fitObs(r.Obs, n)
 	for i := 0; i < n; i++ {
-		rec := p[10+obsSize*i:]
+		rec := p[decideReqBase+obsSize*i:]
 		o := &r.Obs[i]
 		o.Utilization = getF64(rec[0:])
 		o.DemandRatio = getF64(rec[8:])
@@ -450,26 +509,114 @@ func ParseStats(p []byte, s *Stats) error {
 	return nil
 }
 
-// ErrorFrame is the typed failure answer. Msg aliases the payload buffer —
-// copy it before the next frame read if it must outlive the buffer.
+// ErrorFrame is the typed failure answer. BackoffMs is the server's retry
+// hint (how long the client should wait before retrying, in milliseconds;
+// 0 means no hint) — meaningful for CodeOverloaded, where it tracks the
+// batcher's observed queue sojourn. Msg aliases the payload buffer — copy
+// it before the next frame read if it must outlive the buffer.
 type ErrorFrame struct {
-	Code uint16
-	Msg  []byte
+	Code      uint16
+	BackoffMs uint32
+	Msg       []byte
 }
 
+const errorFrameBase = 2 + 4
+
 // AppendError appends the payload encoding to dst.
-func AppendError(dst []byte, code uint16, msg string) []byte {
+func AppendError(dst []byte, code uint16, backoffMs uint32, msg string) []byte {
 	dst = binary.LittleEndian.AppendUint16(dst, code)
+	dst = binary.LittleEndian.AppendUint32(dst, backoffMs)
 	return append(dst, msg...)
 }
 
 // ParseError decodes p into e. Msg is a zero-copy view into p.
 func ParseError(p []byte, e *ErrorFrame) error {
-	if len(p) < 2 {
-		return fmt.Errorf("%w: error frame needs 2 bytes, got %d", ErrTruncated, len(p))
+	if len(p) < errorFrameBase {
+		return fmt.Errorf("%w: error frame needs %d bytes, got %d", ErrTruncated, errorFrameBase, len(p))
 	}
 	e.Code = binary.LittleEndian.Uint16(p[0:])
-	e.Msg = p[2:]
+	e.BackoffMs = binary.LittleEndian.Uint32(p[2:])
+	e.Msg = p[errorFrameBase:]
+	return nil
+}
+
+// ResumeReq re-creates a session from the client's last acked state after
+// the server lost it (restart or TTL reaping). Opts are the original
+// session options; EpsNow is the current decayed exploration rate; Rng is
+// the exploration generator's exported state (all-zero means "reseed from
+// Opts.Seed"); Seq/Decisions/Rewards/RewardSum restore the ledger;
+// PrevDemand is the per-cluster demand-trend history; LastLevels is the
+// decision the client last acked (the replay cache for Seq), meaningful
+// only when Seq > 0.
+type ResumeReq struct {
+	Opts       CreateReq
+	EpsNow     float64
+	Seq        uint64
+	Decisions  uint64
+	Rewards    uint64
+	RewardSum  float64
+	Rng        [4]uint64
+	PrevDemand []float64
+	LastLevels []int
+}
+
+const (
+	resumeReqBase    = createReqSize + 8 + 8 + 8 + 8 + 8 + 4*8 + 2
+	resumeClusterRec = 8 + 2
+)
+
+// AppendResumeReq appends the payload encoding to dst. PrevDemand and
+// LastLevels must have equal length (the cluster count).
+func AppendResumeReq(dst []byte, r *ResumeReq) []byte {
+	dst = AppendCreateReq(dst, r.Opts)
+	dst = appendF64(dst, r.EpsNow)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Decisions)
+	dst = binary.LittleEndian.AppendUint64(dst, r.Rewards)
+	dst = appendF64(dst, r.RewardSum)
+	for _, w := range r.Rng {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.PrevDemand)))
+	for i, d := range r.PrevDemand {
+		dst = appendF64(dst, d)
+		lvl := 0
+		if i < len(r.LastLevels) {
+			lvl = r.LastLevels[i]
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(lvl))
+	}
+	return dst
+}
+
+// ParseResumeReq decodes p into r, reusing the slices' backing arrays.
+func ParseResumeReq(p []byte, r *ResumeReq) error {
+	if len(p) < resumeReqBase {
+		return fmt.Errorf("%w: resume needs %d bytes, got %d", ErrTruncated, resumeReqBase, len(p))
+	}
+	if err := ParseCreateReq(p[:createReqSize], &r.Opts); err != nil {
+		return err
+	}
+	off := createReqSize
+	r.EpsNow = getF64(p[off:])
+	r.Seq = binary.LittleEndian.Uint64(p[off+8:])
+	r.Decisions = binary.LittleEndian.Uint64(p[off+16:])
+	r.Rewards = binary.LittleEndian.Uint64(p[off+24:])
+	r.RewardSum = getF64(p[off+32:])
+	for i := range r.Rng {
+		r.Rng[i] = binary.LittleEndian.Uint64(p[off+40+8*i:])
+	}
+	n := int(binary.LittleEndian.Uint16(p[resumeReqBase-2:]))
+	if err := exactLen(p, resumeReqBase+resumeClusterRec*n); err != nil {
+		return err
+	}
+	r.PrevDemand = fitF64s(r.PrevDemand, n)
+	r.LastLevels = fitInts(r.LastLevels, n)
+	for i := 0; i < n; i++ {
+		rec := p[resumeReqBase+resumeClusterRec*i:]
+		r.PrevDemand[i] = getF64(rec[0:])
+		r.LastLevels[i] = int(binary.LittleEndian.Uint16(rec[8:]))
+	}
 	return nil
 }
 
@@ -503,6 +650,13 @@ func fitInts(s []int, n int) []int {
 func fitObs(s []Obs, n int) []Obs {
 	if cap(s) < n {
 		return make([]Obs, n)
+	}
+	return s[:n]
+}
+
+func fitF64s(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
 	}
 	return s[:n]
 }

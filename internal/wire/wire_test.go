@@ -40,7 +40,7 @@ func f64Eq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b
 
 func TestHeaderRoundTrip(t *testing.T) {
 	var buf [HeaderSize]byte
-	for _, typ := range []byte{TError, TCreate, TCreateOK, TDecide, TDecideOK, TReward, TRewardOK, TClose, TCloseOK} {
+	for _, typ := range []byte{TError, TCreate, TCreateOK, TDecide, TDecideOK, TReward, TRewardOK, TClose, TCloseOK, TResume, TResumeOK} {
 		PutHeader(buf[:], typ, 0xDEADBEEF, 12345)
 		h, err := ParseHeader(buf[:])
 		if err != nil {
@@ -116,13 +116,14 @@ func TestPayloadRoundTrips(t *testing.T) {
 		for i := range nl {
 			nl[i] = r.Intn(1 << 16)
 		}
-		buf = AppendCreateOK(buf[:0], r.Uint64(), nl)
+		epoch := uint32(r.Intn(1 << 31))
+		buf = AppendCreateOK(buf[:0], r.Uint64(), epoch, nl)
 		var cok CreateOK
 		if err := ParseCreateOK(buf, &cok); err != nil {
 			t.Fatalf("createOK: %v", err)
 		}
-		if len(cok.NumLevels) != len(nl) {
-			t.Fatalf("createOK levels %v != %v", cok.NumLevels, nl)
+		if cok.Epoch != epoch || len(cok.NumLevels) != len(nl) {
+			t.Fatalf("createOK epoch %d levels %v != epoch %d levels %v", cok.Epoch, cok.NumLevels, epoch, nl)
 		}
 		for i := range nl {
 			if cok.NumLevels[i] != nl[i] {
@@ -135,13 +136,14 @@ func TestPayloadRoundTrips(t *testing.T) {
 			obs[i] = randObs(r)
 		}
 		handle := r.Uint64()
-		buf = AppendDecideReq(buf[:0], handle, obs)
+		seq := r.Uint64()
+		buf = AppendDecideReq(buf[:0], handle, epoch, seq, obs)
 		var dreq DecideReq
 		if err := ParseDecideReq(buf, &dreq); err != nil {
 			t.Fatalf("decide: %v", err)
 		}
-		if dreq.Handle != handle || len(dreq.Obs) != len(obs) {
-			t.Fatalf("decide round trip handle/count mismatch")
+		if dreq.Handle != handle || dreq.Epoch != epoch || dreq.Seq != seq || len(dreq.Obs) != len(obs) {
+			t.Fatalf("decide round trip handle/epoch/seq/count mismatch")
 		}
 		for i, o := range obs {
 			g := dreq.Obs[i]
@@ -187,13 +189,45 @@ func TestPayloadRoundTrips(t *testing.T) {
 			t.Fatalf("stats round trip %+v != %+v", st2, st)
 		}
 
-		buf = AppendError(buf[:0], CodeNoSession, "no such session")
+		buf = AppendError(buf[:0], CodeNoSession, 250, "no such session")
 		var ef ErrorFrame
 		if err := ParseError(buf, &ef); err != nil {
 			t.Fatalf("error frame: %v", err)
 		}
-		if ef.Code != CodeNoSession || string(ef.Msg) != "no such session" {
+		if ef.Code != CodeNoSession || ef.BackoffMs != 250 || string(ef.Msg) != "no such session" {
 			t.Fatalf("error frame round trip %+v", ef)
+		}
+
+		clusters := 1 + r.Intn(4)
+		rres := ResumeReq{
+			Opts:      creq,
+			EpsNow:    r.Float64(),
+			Seq:       r.Uint64(),
+			Decisions: r.Uint64(),
+			Rewards:   r.Uint64(),
+			RewardSum: r.Float64()*20 - 10,
+		}
+		for i := range rres.Rng {
+			rres.Rng[i] = r.Uint64()
+		}
+		for i := 0; i < clusters; i++ {
+			rres.PrevDemand = append(rres.PrevDemand, r.Float64()*2)
+			rres.LastLevels = append(rres.LastLevels, r.Intn(1<<16))
+		}
+		buf = AppendResumeReq(buf[:0], &rres)
+		var rres2 ResumeReq
+		if err := ParseResumeReq(buf, &rres2); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if rres2.Opts != rres.Opts || rres2.Seq != rres.Seq || rres2.Rng != rres.Rng ||
+			rres2.Decisions != rres.Decisions || rres2.Rewards != rres.Rewards ||
+			!f64Eq(rres2.EpsNow, rres.EpsNow) || !f64Eq(rres2.RewardSum, rres.RewardSum) {
+			t.Fatalf("resume round trip %+v != %+v", rres2, rres)
+		}
+		for i := 0; i < clusters; i++ {
+			if !f64Eq(rres2.PrevDemand[i], rres.PrevDemand[i]) || rres2.LastLevels[i] != rres.LastLevels[i] {
+				t.Fatalf("resume cluster %d round trip %+v != %+v", i, rres2, rres)
+			}
 		}
 	}
 }
@@ -212,22 +246,31 @@ func TestParseTypedErrors(t *testing.T) {
 		t.Errorf("empty decide: %v", err)
 	}
 	// Count says 3 observations, payload holds 1.
-	p := AppendDecideReq(nil, 1, make([]Obs, 1))
-	binary.LittleEndian.PutUint16(p[8:], 3)
+	p := AppendDecideReq(nil, 1, 1, 1, make([]Obs, 1))
+	binary.LittleEndian.PutUint16(p[decideReqBase-2:], 3)
 	if err := ParseDecideReq(p, &dreq); !errors.Is(err, ErrTruncated) {
 		t.Errorf("undersupplied decide: %v", err)
 	}
 	// Count says 1, payload holds 2 — trailing bytes.
-	p = AppendDecideReq(nil, 1, make([]Obs, 2))
-	binary.LittleEndian.PutUint16(p[8:], 1)
+	p = AppendDecideReq(nil, 1, 1, 1, make([]Obs, 2))
+	binary.LittleEndian.PutUint16(p[decideReqBase-2:], 1)
 	if err := ParseDecideReq(p, &dreq); !errors.Is(err, ErrBadPayload) {
 		t.Errorf("oversupplied decide: %v", err)
 	}
 	// Non-canonical critical byte.
-	p = AppendDecideReq(nil, 1, make([]Obs, 1))
-	p[10+32] = 7
+	p = AppendDecideReq(nil, 1, 1, 1, make([]Obs, 1))
+	p[decideReqBase+32] = 7
 	if err := ParseDecideReq(p, &dreq); !errors.Is(err, ErrBadPayload) {
 		t.Errorf("bad critical byte: %v", err)
+	}
+	var rres ResumeReq
+	if err := ParseResumeReq(make([]byte, resumeReqBase-1), &rres); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short resume: %v", err)
+	}
+	p = AppendResumeReq(nil, &ResumeReq{PrevDemand: []float64{0.5}, LastLevels: []int{1}})
+	binary.LittleEndian.PutUint16(p[resumeReqBase-2:], 3)
+	if err := ParseResumeReq(p, &rres); !errors.Is(err, ErrTruncated) {
+		t.Errorf("undersupplied resume: %v", err)
 	}
 	var dok DecideOK
 	if err := ParseDecideOK([]byte{5}, &dok); !errors.Is(err, ErrTruncated) {
@@ -242,7 +285,7 @@ func TestParseTypedErrors(t *testing.T) {
 func TestFrameAssemblyAndReadFrame(t *testing.T) {
 	obs := []Obs{{Utilization: 0.5, Level: 3}, {DemandRatio: 1.25, Critical: true}}
 	var buf []byte
-	buf = AppendDecideReq(BeginFrame(buf), 42, obs)
+	buf = AppendDecideReq(BeginFrame(buf), 42, 3, 17, obs)
 	buf = FinishFrame(buf, TDecide, 9)
 
 	var hdr [HeaderSize]byte
@@ -250,20 +293,29 @@ func TestFrameAssemblyAndReadFrame(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadFrame: %v", err)
 	}
-	if h.Type != TDecide || h.ReqID != 9 || int(h.Len) != len(buf)-HeaderSize {
+	if h.Type != TDecide || h.ReqID != 9 || int(h.Len) != len(buf)-HeaderSize-TrailerSize {
 		t.Fatalf("header %+v for a %d-byte frame", h, len(buf))
 	}
 	var dreq DecideReq
 	if err := ParseDecideReq(payload, &dreq); err != nil {
 		t.Fatalf("ParseDecideReq: %v", err)
 	}
-	if dreq.Handle != 42 || len(dreq.Obs) != 2 || !dreq.Obs[1].Critical {
+	if dreq.Handle != 42 || dreq.Epoch != 3 || dreq.Seq != 17 || len(dreq.Obs) != 2 || !dreq.Obs[1].Critical {
 		t.Fatalf("decoded %+v", dreq)
 	}
 
 	// A truncated stream surfaces as unexpected EOF, not a hang or panic.
 	if _, _, err := ReadFrame(bytes.NewReader(buf[:len(buf)-1]), &hdr, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("truncated payload: %v", err)
+	}
+
+	// A corrupted payload byte fails the trailer CRC — the guarantee that a
+	// fault anywhere in the frame can never decode into a divergent
+	// decision.
+	corrupt := append([]byte(nil), buf...)
+	corrupt[HeaderSize+5] ^= 0x10
+	if _, _, err := ReadFrame(bytes.NewReader(corrupt), &hdr, nil); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("corrupted payload byte: %v, want ErrBadCRC", err)
 	}
 	if _, _, err := ReadFrame(bytes.NewReader(buf[:HeaderSize-2]), &hdr, nil); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("truncated header: %v", err)
