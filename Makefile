@@ -58,11 +58,13 @@ bench-smoke:
 
 # bench-serve runs the serving experiment: self-host a trained policy on a
 # loopback listener, drive it with a simulated device fleet over both the
-# HTTP/JSON and binary wire transports, and write throughput + latency
-# quantiles (plus the bin-vs-json speedup) to BENCH_pr6.json.
-SERVE_OUT ?= BENCH_pr6.json
+# HTTP/JSON and binary wire transports (single-period and multi-period bin
+# frames), and write throughput + latency quantiles (plus the bin-vs-json
+# and batched-vs-bin speedups) to BENCH_pr8.json.
+SERVE_OUT ?= BENCH_pr8.json
+PERIODS_PER_FRAME ?= 4
 bench-serve:
-	$(GO) run ./cmd/pmload -proto both -devices 50 -duration 2s -out $(SERVE_OUT)
+	$(GO) run ./cmd/pmload -proto both -devices 50 -duration 2s -periods-per-frame $(PERIODS_PER_FRAME) -out $(SERVE_OUT)
 
 # serve-smoke is the end-to-end binary check: start pmserve (HTTP + binary
 # listeners), load it with pmload over real HTTP and then over the binary

@@ -13,9 +13,13 @@
 // internal/wire binary protocol), or both — which runs the same fleet over
 // each transport in turn and reports speedup_bin_vs_json.
 //
+// -periods-per-frame K (bin only, K > 1) adds a batched bin run where each
+// decide frame carries K control periods' observations and returns K level
+// vectors; the report then also carries speedup_batched_vs_bin.
+//
 // Usage:
 //
-//	pmload -devices 50 -duration 2s -proto both -out BENCH_pr6.json
+//	pmload -devices 50 -duration 2s -proto both -periods-per-frame 4 -out BENCH_pr8.json
 //	pmload -addr http://127.0.0.1:7421 -devices 1000 -duration 5s
 //	pmload -addr http://127.0.0.1:7421 -proto bin -bin-addr 127.0.0.1:7422
 //
@@ -47,8 +51,12 @@ type report struct {
 	Runs        []bench.ServeResult `json:"runs"`
 	// SpeedupBinVsJSON is bin decisions/sec over json decisions/sec when
 	// the run set contains one of each on the same backend; omitted
-	// otherwise.
+	// otherwise. Only single-period bin runs enter this ratio.
 	SpeedupBinVsJSON float64 `json:"speedup_bin_vs_json,omitempty"`
+	// SpeedupBatchedVsBin is multi-period-bin decisions/sec over
+	// single-period-bin decisions/sec when the run set contains both on
+	// the same backend; omitted otherwise.
+	SpeedupBatchedVsBin float64 `json:"speedup_batched_vs_bin,omitempty"`
 }
 
 func main() {
@@ -62,6 +70,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base seed for per-device workload/exploration streams")
 		epsilon  = flag.Float64("epsilon", 0, "per-session exploration rate")
 		backends = flag.String("backends", "sw", "self-hosted mode: 'sw', 'hw', or 'both'")
+		ppf      = flag.Int("periods-per-frame", 1, "bundle this many control periods per bin decide frame; >1 adds a batched bin run next to the single-period one")
 		out      = flag.String("out", "", "write the JSON report here (e.g. BENCH_pr6.json)")
 		quick    = flag.Bool("quick", true, "self-hosted mode: quick training")
 
@@ -98,16 +107,17 @@ func main() {
 	var err error
 	if *addr != "" {
 		rep.Mode = "remote"
-		rep.Runs, err = runRemote(ctx, *addr, *binAddr, *proto, *devices, *duration, *scenario, *seed, *epsilon)
+		rep.Runs, err = runRemote(ctx, *addr, *binAddr, *proto, *devices, *duration, *scenario, *seed, *epsilon, *ppf)
 	} else {
 		rep.Mode = "self-hosted"
-		rep.Runs, err = runSelfHosted(ctx, *backends, *proto, *devices, *duration, *scenario, *seed, *epsilon, *quick)
+		rep.Runs, err = runSelfHosted(ctx, *backends, *proto, *devices, *duration, *scenario, *seed, *epsilon, *quick, *ppf)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmload:", err)
 		os.Exit(1)
 	}
 	rep.SpeedupBinVsJSON = speedup(rep.Runs)
+	rep.SpeedupBatchedVsBin = speedupBatched(rep.Runs)
 
 	var decisions, errs uint64
 	for i := range rep.Runs {
@@ -117,6 +127,9 @@ func main() {
 	}
 	if rep.SpeedupBinVsJSON > 0 {
 		fmt.Printf("speedup bin vs json: %.2fx\n", rep.SpeedupBinVsJSON)
+	}
+	if rep.SpeedupBatchedVsBin > 0 {
+		fmt.Printf("speedup batched bin (%d periods/frame) vs bin: %.2fx\n", *ppf, rep.SpeedupBatchedVsBin)
 	}
 	if *out != "" {
 		raw, err := json.MarshalIndent(rep, "", "  ")
@@ -204,11 +217,16 @@ func runChaosMode(ctx context.Context, proto string, devices, periods int, scena
 }
 
 // speedup returns bin-over-json decisions/sec when the run set holds one
-// json and one bin run against the same backend; 0 otherwise.
+// json and one single-period bin run against the same backend; 0
+// otherwise. Multi-period bin runs are excluded so the ratio compares the
+// transports at identical framing; speedupBatched covers the framing gain.
 func speedup(runs []bench.ServeResult) float64 {
 	byProto := map[string]*bench.ServeResult{}
 	for i := range runs {
 		r := &runs[i]
+		if r.PeriodsPerFrame > 1 {
+			continue
+		}
 		if prev, ok := byProto[r.Proto]; ok && prev.Backend != r.Backend {
 			return 0 // mixed backends: no single meaningful ratio
 		}
@@ -219,6 +237,34 @@ func speedup(runs []bench.ServeResult) float64 {
 		return 0
 	}
 	return b.Report.DecisionsPerSec / j.Report.DecisionsPerSec
+}
+
+// speedupBatched returns multi-period-bin over single-period-bin
+// decisions/sec when the run set holds one of each against the same
+// backend; 0 otherwise.
+func speedupBatched(runs []bench.ServeResult) float64 {
+	var single, batched *bench.ServeResult
+	for i := range runs {
+		r := &runs[i]
+		if r.Proto != "bin" {
+			continue
+		}
+		if r.PeriodsPerFrame > 1 {
+			if batched != nil {
+				return 0
+			}
+			batched = r
+		} else {
+			if single != nil {
+				return 0
+			}
+			single = r
+		}
+	}
+	if single == nil || batched == nil || single.Backend != batched.Backend || single.Report.DecisionsPerSec == 0 {
+		return 0
+	}
+	return batched.Report.DecisionsPerSec / single.Report.DecisionsPerSec
 }
 
 // protoList expands -proto into the transports to run.
@@ -235,39 +281,48 @@ func protoList(proto string) ([]string, error) {
 	}
 }
 
-// runRemote load-tests an already-running server.
-func runRemote(ctx context.Context, addr, binAddr, proto string, devices int, duration time.Duration, scenario string, seed uint64, epsilon float64) ([]bench.ServeResult, error) {
+// runRemote load-tests an already-running server. A bin transport with
+// ppf > 1 is measured twice — single-period first, then batched — so the
+// report carries the framing speedup alongside the raw transport numbers.
+func runRemote(ctx context.Context, addr, binAddr, proto string, devices int, duration time.Duration, scenario string, seed uint64, epsilon float64, ppf int) ([]bench.ServeResult, error) {
 	protos, err := protoList(proto)
 	if err != nil {
 		return nil, err
 	}
 	var runs []bench.ServeResult
 	for _, p := range protos {
-		lr, err := serve.RunLoad(ctx, serve.LoadConfig{
-			BaseURL:  addr,
-			Proto:    p,
-			BinAddr:  binAddr,
-			Devices:  devices,
-			Duration: duration,
-			Scenario: scenario,
-			Seed:     seed,
-			Epsilon:  epsilon,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("proto %s: %w", p, err)
+		periods := []int{1}
+		if p == "bin" && ppf > 1 {
+			periods = append(periods, ppf)
 		}
-		backend := "remote"
-		if lr.Server != nil && lr.Server.Backend != "" {
-			backend = lr.Server.Backend
+		for _, k := range periods {
+			lr, err := serve.RunLoad(ctx, serve.LoadConfig{
+				BaseURL:         addr,
+				Proto:           p,
+				BinAddr:         binAddr,
+				Devices:         devices,
+				Duration:        duration,
+				Scenario:        scenario,
+				Seed:            seed,
+				Epsilon:         epsilon,
+				PeriodsPerFrame: k,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("proto %s periods %d: %w", p, k, err)
+			}
+			backend := "remote"
+			if lr.Server != nil && lr.Server.Backend != "" {
+				backend = lr.Server.Backend
+			}
+			runs = append(runs, bench.ServeResult{Backend: backend, Proto: p, PeriodsPerFrame: lr.PeriodsPerFrame, Report: *lr})
 		}
-		runs = append(runs, bench.ServeResult{Backend: backend, Proto: p, Report: *lr})
 	}
 	return runs, nil
 }
 
 // runSelfHosted trains, serves, and load-tests each requested backend ×
 // transport in turn — the HW-vs-SW and json-vs-bin A/Bs in one binary.
-func runSelfHosted(ctx context.Context, backends, proto string, devices int, duration time.Duration, scenario string, seed uint64, epsilon float64, quick bool) ([]bench.ServeResult, error) {
+func runSelfHosted(ctx context.Context, backends, proto string, devices int, duration time.Duration, scenario string, seed uint64, epsilon float64, quick bool, ppf int) ([]bench.ServeResult, error) {
 	var list []string
 	switch backends {
 	case "", "sw":
@@ -289,19 +344,28 @@ func runSelfHosted(ctx context.Context, backends, proto string, devices int, dur
 	var runs []bench.ServeResult
 	for _, b := range list {
 		for _, p := range protos {
-			r, err := bench.RunServe(ctx, bench.ServeOptions{
-				Options:  opt,
-				Devices:  devices,
-				Duration: duration,
-				Backend:  b,
-				Proto:    p,
-				Epsilon:  epsilon,
-				Scenario: scenario,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("backend %s proto %s: %w", b, p, err)
+			periods := []int{1}
+			if p == "bin" && ppf > 1 {
+				// Measure single-period bin first, then the batched framing,
+				// so the report carries the framing speedup.
+				periods = append(periods, ppf)
 			}
-			runs = append(runs, *r)
+			for _, k := range periods {
+				r, err := bench.RunServe(ctx, bench.ServeOptions{
+					Options:         opt,
+					Devices:         devices,
+					Duration:        duration,
+					Backend:         b,
+					Proto:           p,
+					Epsilon:         epsilon,
+					Scenario:        scenario,
+					PeriodsPerFrame: k,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("backend %s proto %s periods %d: %w", b, p, k, err)
+				}
+				runs = append(runs, *r)
+			}
 		}
 	}
 	return runs, nil

@@ -8,6 +8,7 @@
 //	pmperf -out results.json    # choose the output path
 //	pmperf -engine=false        # skip the slow end-to-end engine benchmark
 //	pmperf -benchtime 2s        # per-benchmark measuring time
+//	pmperf -baseline old.json   # print an old-vs-new comparison (non-gating)
 package main
 
 import (
@@ -43,6 +44,7 @@ func main() {
 		out       = flag.String("out", "BENCH_pr3.json", "output JSON path")
 		engine    = flag.Bool("engine", true, "include the end-to-end quick-evaluation benchmark")
 		benchtime = flag.Duration("benchtime", time.Second, "per-benchmark measuring time")
+		baseline  = flag.String("baseline", "", "prior pmperf JSON to compare against (printed, never gating)")
 	)
 	flag.Parse()
 	setBenchtime(*benchtime)
@@ -54,6 +56,16 @@ func main() {
 		{"ClusterStep", bench.BenchClusterStep},
 		{"ChipStepInto", bench.BenchChipStepInto},
 		{"AgentStep", bench.BenchAgentStep},
+	}
+	for _, batch := range []int{32, 256} {
+		cases = append(cases, struct {
+			name string
+			body func(*testing.B)
+		}{fmt.Sprintf("PointerLookup/batch%d", batch), bench.BenchPointerLookup(batch)},
+			struct {
+				name string
+				body func(*testing.B)
+			}{fmt.Sprintf("FlatLookup/batch%d", batch), bench.BenchFlatLookup(batch)})
 	}
 	for _, g := range bench.PerfGovernors() {
 		cases = append(cases, struct {
@@ -108,6 +120,40 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("pmperf: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	if *baseline != "" {
+		compareBaseline(*baseline, rep)
+	}
+}
+
+// compareBaseline prints a benchstat-style old-vs-new table for benchmarks
+// present in both the baseline report and this run. It is informational
+// only — single-run measurements on shared CI machines are too noisy to
+// gate on, so it never affects the exit status.
+func compareBaseline(path string, now report) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmperf: baseline unavailable: %v\n", err)
+		return
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "pmperf: baseline unreadable: %v\n", err)
+		return
+	}
+	old := map[string]result{}
+	for _, b := range base.Benchmarks {
+		old[b.Name] = b
+	}
+	fmt.Printf("\ncomparison vs %s (informational, single run each):\n", path)
+	fmt.Printf("%-28s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, b := range now.Benchmarks {
+		o, ok := old[b.Name]
+		if !ok || o.NsPerOp == 0 {
+			fmt.Printf("%-28s %14s %14.1f %9s\n", b.Name, "-", b.NsPerOp, "new")
+			continue
+		}
+		fmt.Printf("%-28s %14.1f %14.1f %+8.1f%%\n", b.Name, o.NsPerOp, b.NsPerOp, (b.NsPerOp-o.NsPerOp)/o.NsPerOp*100)
+	}
 }
 
 // setBenchtime routes our -benchtime value into the testing package's flag

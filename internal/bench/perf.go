@@ -12,6 +12,7 @@ import (
 
 	"rlpm/internal/core"
 	"rlpm/internal/governor"
+	"rlpm/internal/rng"
 	"rlpm/internal/sim"
 	"rlpm/internal/soc"
 )
@@ -105,6 +106,101 @@ func BenchSimRun(name string) func(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*steps), "ns/step")
+	}
+}
+
+// lookupRef is one (cluster, state) greedy query of the lookup benchmarks.
+type lookupRef struct{ c, s int }
+
+// lookupBenchFixture builds serving-shaped Q-tables (two clusters with
+// different state/action counts, deterministic pseudo-random values) in
+// both layouts, plus a reproducible batch of lookups over them. The batch
+// has fleet-shaped state duplication: most devices sit in one of a few hot
+// operating points at any instant, with a uniform tail — the distribution
+// the server's batcher actually hands the backend.
+func lookupBenchFixture(batch int) ([][][]float64, *core.FlatTables, []lookupRef) {
+	r := rng.New(42)
+	shape := []struct{ states, actions int }{{864, 9}, {100, 5}}
+	tables := make([][][]float64, 0, len(shape))
+	for _, sh := range shape {
+		t := make([][]float64, sh.states)
+		for s := range t {
+			row := make([]float64, sh.actions)
+			for a := range row {
+				row[a] = r.Float64()*2 - 1
+			}
+			t[s] = row
+		}
+		tables = append(tables, t)
+	}
+	const hotStates = 4 // hot operating points per cluster
+	lk := make([]lookupRef, batch)
+	for i := range lk {
+		c := i % len(tables) // a device frame contributes one lookup per cluster
+		s := r.Intn(len(tables[c]))
+		if r.Float64() < 0.9 {
+			s = s % hotStates * (len(tables[c]) / hotStates) // spread hot rows across the table
+		}
+		lk[i] = lookupRef{c, s}
+	}
+	return tables, core.NewFlatTables(tables), lk
+}
+
+// lookupSink keeps the lookup benchmarks' results observable so the
+// compiler cannot discard the measured work.
+var lookupSink int
+
+// BenchPointerLookup returns the benchmark body resolving `batch` greedy
+// lookups per op through the pointer-chasing [][][]float64 layout — the
+// serving read path before the flat arena: two dependent loads per lookup
+// (row pointer, then row data) against rows scattered across the heap.
+func BenchPointerLookup(batch int) func(*testing.B) {
+	return func(b *testing.B) {
+		tables, _, lk := lookupBenchFixture(batch)
+		out := make([]int, batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, l := range lk {
+				row := tables[l.c][l.s]
+				idx, best := 0, row[0]
+				for a := 1; a < len(row); a++ {
+					if row[a] > best {
+						idx, best = a, row[a]
+					}
+				}
+				out[j] = idx
+			}
+		}
+		lookupSink = out[0]
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(batch), "ns/lookup")
+	}
+}
+
+// BenchFlatLookup returns the benchmark body resolving the same batch
+// through core.FlatTables.LookupManyInto: pack offset keys, resolve
+// against the contiguous arena with the epoch-tagged per-row memo, so
+// each distinct row is scanned once per batch. Key packing is charged to
+// the measured op — it is part of the serving cost.
+func BenchFlatLookup(batch int) func(*testing.B) {
+	return func(b *testing.B) {
+		_, ft, lk := lookupBenchFixture(batch)
+		if ft == nil {
+			b.Fatal("flat tables rejected the benchmark shape")
+		}
+		memo := ft.NewMemo()
+		keys := make([]uint64, batch)
+		out := make([]int, batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, l := range lk {
+				keys[j] = ft.Key(l.c, l.s, j)
+			}
+			ft.LookupManyInto(keys, out, memo)
+		}
+		lookupSink = out[0]
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(batch), "ns/lookup")
 	}
 }
 

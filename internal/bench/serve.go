@@ -38,6 +38,9 @@ type ServeOptions struct {
 	Epsilon float64
 	// Scenario is the workload every device runs (default "gaming").
 	Scenario string
+	// PeriodsPerFrame bundles that many control periods per decide frame
+	// (bin protocol only; default 1).
+	PeriodsPerFrame int
 	// Fault optionally wraps the hw backend with the PR-2 injector so the
 	// retry/degradation path serves under load.
 	Fault *fault.Config
@@ -48,9 +51,17 @@ type ServeOptions struct {
 
 // ServeResult is the load report plus the server-side metrics snapshot.
 type ServeResult struct {
-	Backend string           `json:"backend"`
-	Proto   string           `json:"proto"`
-	Report  serve.LoadReport `json:"report"`
+	Backend         string           `json:"backend"`
+	Proto           string           `json:"proto"`
+	PeriodsPerFrame int              `json:"periods_per_frame,omitempty"`
+	Report          serve.LoadReport `json:"report"`
+	// Batcher coalescing evidence from the server side (self-hosted runs
+	// only): total backend batches, mean lookups per batch, and the
+	// largest batch observed. Batches well below Report.Decisions means
+	// pipelined frames from different sessions shared backend batches.
+	Batches            uint64  `json:"batches,omitempty"`
+	MeanBatchOccupancy float64 `json:"mean_batch_occupancy,omitempty"`
+	MaxBatchOccupancy  uint64  `json:"max_batch_occupancy,omitempty"`
 }
 
 // WriteText implements Renderable for ad-hoc printing. It prints both the
@@ -65,6 +76,10 @@ func (r *ServeResult) WriteText(w io.Writer) {
 			r.Report.LatencyHistNs.P50, r.Report.LatencyHistNs.P90,
 			r.Report.LatencyHistNs.P99, r.Report.LatencyHistNs.Max,
 			len(r.Report.LatencyBuckets))
+	}
+	if r.Batches > 0 {
+		fmt.Fprintf(w, "serve: batches=%d mean_occupancy=%.2f max_occupancy=%d\n",
+			r.Batches, r.MeanBatchOccupancy, r.MaxBatchOccupancy)
 	}
 }
 
@@ -175,14 +190,15 @@ func RunServe(ctx context.Context, o ServeOptions) (*ServeResult, error) {
 	}
 
 	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
-		BaseURL:  "http://" + ln.Addr().String(),
-		Proto:    proto,
-		BinAddr:  binAddr,
-		Devices:  o.Devices,
-		Duration: o.Duration,
-		Scenario: o.Scenario,
-		Seed:     o.Seed,
-		Epsilon:  o.Epsilon,
+		BaseURL:         "http://" + ln.Addr().String(),
+		Proto:           proto,
+		BinAddr:         binAddr,
+		Devices:         o.Devices,
+		Duration:        o.Duration,
+		Scenario:        o.Scenario,
+		Seed:            o.Seed,
+		Epsilon:         o.Epsilon,
+		PeriodsPerFrame: o.PeriodsPerFrame,
 	})
 	if err != nil {
 		return nil, err
@@ -191,5 +207,14 @@ func RunServe(ctx context.Context, o ServeOptions) (*ServeResult, error) {
 	if backend == "" {
 		backend = "sw"
 	}
-	return &ServeResult{Backend: backend, Proto: proto, Report: *rep}, nil
+	met := srv.MetricsSnapshot()
+	return &ServeResult{
+		Backend:            backend,
+		Proto:              proto,
+		PeriodsPerFrame:    rep.PeriodsPerFrame,
+		Report:             *rep,
+		Batches:            met.Batches,
+		MeanBatchOccupancy: met.MeanBatchOccupancy,
+		MaxBatchOccupancy:  met.MaxBatchOccupancy,
+	}, nil
 }

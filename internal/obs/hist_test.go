@@ -167,10 +167,10 @@ func TestSnapshotMerge(t *testing.T) {
 
 func TestNonZeroBuckets(t *testing.T) {
 	h := NewHistogram("h", "")
-	h.Observe(10)           // bucket 0
-	h.Observe(10)           //
-	h.Observe(100)          // mid bucket
-	h.Observe(1 << 40)      // overflow
+	h.Observe(10)      // bucket 0
+	h.Observe(10)      //
+	h.Observe(100)     // mid bucket
+	h.Observe(1 << 40) // overflow
 	snap := h.Snapshot()
 	nz := snap.NonZero()
 	if len(nz) != 3 {

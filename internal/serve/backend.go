@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rlpm/internal/bus"
+	"rlpm/internal/core"
 	"rlpm/internal/fault"
 	"rlpm/internal/hwpolicy"
 	"rlpm/internal/obs"
@@ -29,13 +30,26 @@ type Backend interface {
 }
 
 // SWBackend serves lookups by walking the in-memory float64 tables — the
-// software arm of the HW-vs-SW serving A/B.
+// software arm of the HW-vs-SW serving A/B. Batches route through the
+// model's flat arena (core.FlatTables): lookups are packed into offset
+// keys and resolved against the contiguous arena with per-row memoization,
+// so a batch of fleet lookups scans each hot row once instead of
+// pointer-chasing per lookup. keys and memo are backend-owned scratch —
+// Decide runs only on the single batch worker.
 type SWBackend struct {
-	m *Model
+	m    *Model
+	keys []uint64       // scratch: packed lookup keys of one batch
+	memo *core.FlatMemo // scratch: per-row argmax memo across one batch
 }
 
 // NewSWBackend builds the software backend over model.
-func NewSWBackend(m *Model) *SWBackend { return &SWBackend{m: m} }
+func NewSWBackend(m *Model) *SWBackend {
+	b := &SWBackend{m: m}
+	if m.flat != nil {
+		b.memo = m.flat.NewMemo()
+	}
+	return b
+}
 
 // Name implements Backend.
 func (*SWBackend) Name() string { return "sw" }
@@ -43,9 +57,23 @@ func (*SWBackend) Name() string { return "sw" }
 // Decide implements Backend. It cannot fail: the session layer validates
 // cluster/state ranges before queueing.
 func (b *SWBackend) Decide(lookups []Lookup, out []int) error {
-	for i, l := range lookups {
-		out[i] = b.m.Greedy(l.Cluster, l.State)
+	ft := b.m.flat
+	if ft == nil || len(lookups) <= 2 || len(lookups) > core.MaxFlatBatch {
+		// No packable arena, a batch too small for memoization to pay off,
+		// or one too large for the packed key's index field: per-lookup walk.
+		for i, l := range lookups {
+			out[i] = b.m.Greedy(l.Cluster, l.State)
+		}
+		return nil
 	}
+	if cap(b.keys) < len(lookups) {
+		b.keys = make([]uint64, len(lookups))
+	}
+	keys := b.keys[:len(lookups)]
+	for i, l := range lookups {
+		keys[i] = ft.Key(l.Cluster, l.State, i)
+	}
+	ft.LookupManyInto(keys, out, b.memo)
 	return nil
 }
 

@@ -42,6 +42,12 @@ type batcherObs struct {
 	backendLat *obs.Histogram // backend.Decide wall time
 }
 
+// opportunisticPolls bounds how many consecutive empty Pops the worker's
+// opportunistic grab phase retries before dispatching. Each retry is one
+// ring probe (~ns): enough for a producer mid-publish to land, cheap
+// enough never to matter when the ring is truly empty.
+const opportunisticPolls = 8
+
 // batcher coalesces concurrent decide requests into batched backend calls,
 // the software mirror of hwpolicy's multi-channel doorbell: many waiters,
 // one conversation with the expensive resource. A single worker goroutine
@@ -243,10 +249,23 @@ func (b *batcher) run() {
 			deadline.Stop()
 		}
 		// Opportunistic phase: grab whatever is already queued, up to the
-		// cap, without waiting.
+		// cap, without waiting long. A nil Pop does not mean the ring is
+		// empty — a producer may have claimed the oldest slot but not yet
+		// published it (the MPSC ring's claim and publish are two steps) —
+		// so a bounded number of re-polls lets near-simultaneous submitters
+		// land in this batch instead of each dispatching alone. The bound
+		// keeps the worker from spinning on a stalled producer.
+		polls := opportunisticPolls
 		for held == nil && total < b.maxBatch {
 			r := b.ring.Pop()
-			if r == nil || !accept(r) {
+			if r == nil {
+				if polls--; polls < 0 {
+					break
+				}
+				continue
+			}
+			polls = opportunisticPolls
+			if !accept(r) {
 				break
 			}
 		}

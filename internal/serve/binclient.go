@@ -546,6 +546,45 @@ func (s *BinSession) Decide(ctx context.Context, obs []Observation) ([]int, erro
 	return levels, nil
 }
 
+// DecideMany resolves K consecutive control periods in one frame: obs
+// carries K×clusters observations, period by period, and the returned
+// slice carries K×clusters levels in the same order. The server computes
+// the periods exactly as K sequential Decide calls would — byte-identical
+// decisions — while the frame parse, session lookup, dedup bookkeeping,
+// and syscalls amortize over K. Retry, dedup, and resume semantics match
+// Decide: the frame is acknowledged (and the mirror advanced K periods)
+// atomically, so a retried frame can never half-apply.
+func (s *BinSession) DecideMany(ctx context.Context, obs []Observation) ([]int, error) {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if k := len(s.Levels); len(obs) == 0 || len(obs)%k != 0 {
+		return nil, fmt.Errorf("serve: %d observations for %d clusters", len(obs), k)
+	}
+	var seq uint64
+	if s.mirror != nil {
+		seq = s.mirror.nextSeq()
+	}
+	levels, err := s.decideOnce(ctx, obs, seq)
+	if err != nil {
+		op := func() error {
+			lv, e := s.decideOnce(ctx, obs, seq)
+			if e == nil {
+				levels = lv
+			}
+			return e
+		}
+		err = runRetries(ctx, s.c.pol, err, op, s.onLost(ctx))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.mirror != nil {
+		s.mirror.ackDecide(obs, levels)
+	}
+	return levels, nil
+}
+
 // decideOnce performs one decide attempt against the current session
 // identity (rebuilt per attempt — handle and epoch change across resume).
 func (s *BinSession) decideOnce(ctx context.Context, obs []Observation, seq uint64) ([]int, error) {

@@ -15,6 +15,7 @@ package serve
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"io"
 	"net"
@@ -80,6 +81,7 @@ func (s *Server) trackBinConn(c net.Conn) bool {
 
 // binConnState is one connection's reusable working set.
 type binConnState struct {
+	conn    net.Conn
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	hdr     [wire.HeaderSize]byte
@@ -92,6 +94,7 @@ type binConnState struct {
 	rsreq   wire.ResumeReq
 	obs     []Observation // wire.Obs → serve.Observation conversion
 	levels  []int         // DecideInto output
+	win     binWindow     // decide-window working set
 }
 
 func (s *Server) serveBinConn(conn net.Conn) {
@@ -105,8 +108,9 @@ func (s *Server) serveBinConn(conn net.Conn) {
 		tc.SetNoDelay(true) // latency over throughput: decide frames are tiny
 	}
 	st := &binConnState{
-		br: bufio.NewReaderSize(conn, 64<<10),
-		bw: bufio.NewWriterSize(conn, 64<<10),
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
 	}
 	for {
 		h, payload, err := wire.ReadFrame(st.br, &st.hdr, st.payload)
@@ -138,7 +142,16 @@ func (s *Server) serveBinConn(conn net.Conn) {
 			}
 			return
 		}
-		keep := s.handleBinFrame(st, h)
+		var keep bool
+		if h.Type == wire.TDecide {
+			// Decide frames route through the window path: pipelined decide
+			// frames already buffered behind this one are gathered into a
+			// single shared backend batch and answered with one vectored
+			// write. A lone frame falls through to the plain path inside.
+			keep = s.serveBinDecideWindow(st, h)
+		} else {
+			keep = s.handleBinFrame(st, h)
+		}
 		// Flush once the buffered input is exhausted: under pipelining many
 		// responses ride one syscall, while a lone request is answered
 		// immediately.
@@ -267,6 +280,8 @@ func (s *Server) handleBinDecide(st *binConnState, h wire.Header) bool {
 	n := len(st.dreq.Obs)
 	if cap(st.obs) < n {
 		st.obs = make([]Observation, n)
+	}
+	if cap(st.levels) < n {
 		st.levels = make([]int, n)
 	}
 	obs, levels := st.obs[:n], st.levels[:n]
@@ -298,6 +313,313 @@ func (s *Server) handleBinDecide(st *binConnState, h wire.Header) bool {
 	now := time.Now()
 	s.histBinWrite.Observe(now.Sub(encodeStart).Nanoseconds())
 	s.histBin.Observe(now.Sub(t0).Nanoseconds())
+	return true
+}
+
+// maxWindowFrames bounds the decide frames one window gathers: enough to
+// fill a healthy batch under pipelining, small enough that one slow frame
+// never delays a connection's responses unboundedly.
+const maxWindowFrames = 64
+
+// binTxn is one decide frame of a connection window: its identity, its
+// slice of the combined lookup batch, and how it resolved.
+type binTxn struct {
+	reqID   uint32
+	t0      time.Time
+	sess    *Session // non-nil while the decide transaction is open
+	levels  []int    // per-frame decision output (window-owned scratch)
+	lookOff int      // this frame's offset into the combined lookups
+	lookLen int
+	ok      bool // answered with TDecideOK (fresh or replayed)
+	keep    bool // connection survives this frame's outcome
+}
+
+// binWindow is a connection's reusable decide-window working set: the
+// open transactions, the combined exploit-lookup batch they share, and
+// one response buffer per frame so the answers leave in a single
+// writev-style net.Buffers flush.
+type binWindow struct {
+	txns       []binTxn
+	wbufs      [][]byte // response frame per txn, index-aligned, reused
+	frameLvls  [][]int  // levels scratch per txn, index-aligned, reused
+	lookups    []Lookup // combined exploit lookups of all open txns
+	out        []int    // combined batch results
+	bufs       net.Buffers
+	obsTotal   int  // observations admitted, for the batch budget
+	closeAfter bool // a frame poisoned the stream: answer, then hang up
+}
+
+func (w *binWindow) reset() {
+	w.txns = w.txns[:0]
+	w.lookups = w.lookups[:0]
+	w.obsTotal = 0
+	w.closeAfter = false
+}
+
+// slot returns the next txn index, growing the index-aligned scratch.
+func (w *binWindow) slot() int {
+	i := len(w.txns)
+	for len(w.wbufs) <= i {
+		w.wbufs = append(w.wbufs, nil)
+	}
+	for len(w.frameLvls) <= i {
+		w.frameLvls = append(w.frameLvls, nil)
+	}
+	return i
+}
+
+// txnState is beginBinTxn's outcome for one decide frame.
+type txnState int
+
+const (
+	txnOpen     txnState = iota // transaction open, session lock held
+	txnAnswered                 // response already encoded (replay or error)
+	txnHeld                     // session lock unavailable: frame held back
+)
+
+// serveBinDecideWindow serves the decide frame in hand plus every complete
+// decide frame already buffered behind it (the pipelining window): all
+// their transactions open under their session locks, their exploit lookups
+// resolve through ONE shared batch dispatch — cross-session coalescing the
+// per-frame path structurally cannot reach, because each frame's
+// batch.Do blocks the connection goroutine before the next frame is even
+// parsed — and the responses leave in one vectored net.Buffers flush.
+// It reports whether the connection stays open.
+func (s *Server) serveBinDecideWindow(st *binConnState, h wire.Header) bool {
+	s.binFrames.Add(1)
+	if st.br.Buffered() < wire.HeaderSize {
+		// Nothing pipelined behind this frame: the plain path is cheaper.
+		return s.handleBinDecide(st, h)
+	}
+	w := &st.win
+	w.reset()
+	s.beginBinTxn(st, h, true) // first frame locks blockingly: never held
+
+	// Gather phase: consume further decide frames only when the complete
+	// frame is already buffered (never block mid-window) and its count fits
+	// the batch budget. A frame whose session lock is contended is held
+	// back — the stream stays ordered, so it must wait for this window's
+	// responses anyway — and served by the plain blocking path after.
+	var heldH wire.Header
+	held := false
+	for !w.closeAfter && len(w.txns) < maxWindowFrames && st.peekGatherable(s.cfg.MaxBatch, w.obsTotal) {
+		gh, payload, err := wire.ReadFrame(st.br, &st.hdr, st.payload)
+		st.payload = payload
+		s.binFrames.Add(1)
+		if err != nil {
+			// The peek said a full frame was buffered, so this is corruption,
+			// not truncation: answer in order and poison the stream.
+			s.binErrors.Add(1)
+			i := w.slot()
+			w.wbufs[i] = wire.FinishFrame(
+				wire.AppendError(wire.BeginFrame(w.wbufs[i]), wire.CodeBadRequest, 0, err.Error()),
+				wire.TError, gh.ReqID)
+			w.txns = append(w.txns, binTxn{reqID: gh.ReqID, keep: false})
+			w.closeAfter = true
+			break
+		}
+		if s.beginBinTxn(st, gh, false) == txnHeld {
+			heldH, held = gh, true
+			break
+		}
+	}
+
+	// Resolve every open transaction's exploit lookups in one shared batch.
+	var batchErr error
+	if len(w.lookups) > 0 {
+		if cap(w.out) < len(w.lookups) {
+			w.out = make([]int, len(w.lookups))
+		}
+		batchErr = s.batch.Do(w.lookups, w.out[:len(w.lookups)])
+	}
+	for i := range w.txns {
+		tx := &w.txns[i]
+		if tx.sess == nil {
+			continue // answered at begin (replay or error)
+		}
+		if batchErr != nil {
+			tx.sess.decideAbortLocked()
+			tx.sess.mu.Unlock()
+			s.binErrors.Add(1)
+			var backoffMs uint32
+			if errors.Is(batchErr, ErrOverloaded) {
+				backoffMs = s.batch.backoffHintMs()
+			}
+			w.wbufs[i] = wire.FinishFrame(
+				wire.AppendError(wire.BeginFrame(w.wbufs[i]), binErrCode(batchErr), backoffMs, batchErr.Error()),
+				wire.TError, tx.reqID)
+			tx.keep = binErrCode(batchErr) != wire.CodeBadRequest || !isWireErr(batchErr)
+			continue
+		}
+		for j := 0; j < tx.lookLen; j++ {
+			tx.levels[tx.sess.lookupsIdx[j]] = w.out[tx.lookOff+j]
+		}
+		tx.sess.decideFinishLocked(tx.levels)
+		tx.sess.mu.Unlock()
+		w.wbufs[i] = wire.FinishFrame(
+			wire.AppendDecideOK(wire.BeginFrame(w.wbufs[i]), tx.levels),
+			wire.TDecideOK, tx.reqID)
+		tx.ok = true
+	}
+
+	// Vectored flush: every response of the window in one writev-style
+	// call, in frame order. Anything older already buffered in bw goes
+	// first so the stream stays ordered.
+	if err := st.bw.Flush(); err != nil {
+		return false
+	}
+	w.bufs = w.bufs[:0]
+	for i := range w.txns {
+		w.bufs = append(w.bufs, w.wbufs[i])
+	}
+	wstart := time.Now()
+	if _, err := w.bufs.WriteTo(st.conn); err != nil {
+		return false
+	}
+	now := time.Now()
+	span := now.Sub(wstart).Nanoseconds()
+	keep := !w.closeAfter
+	for i := range w.txns {
+		tx := &w.txns[i]
+		if tx.ok {
+			s.histBinWrite.Observe(span)
+			s.histBin.Observe(now.Sub(tx.t0).Nanoseconds())
+		}
+		if !tx.keep {
+			keep = false
+		}
+	}
+	if !keep {
+		return false
+	}
+	if held {
+		return s.handleBinDecide(st, heldH)
+	}
+	return true
+}
+
+// beginBinTxn decodes the decide frame in st.payload and opens its
+// transaction: parse, convert, session lookup, validation, then
+// decideBeginLocked under the session lock (blocking for the window's
+// first frame, try-lock after — a second frame for a session already in
+// the window must not deadlock the gather). Replays and failures are
+// answered immediately into the frame's window buffer; an open
+// transaction contributes its exploit lookups to the combined batch and
+// keeps the session lock until the window scatters and finishes it.
+func (s *Server) beginBinTxn(st *binConnState, h wire.Header, first bool) txnState {
+	w := &st.win
+	slot := w.slot()
+	tx := binTxn{reqID: h.ReqID, t0: time.Now(), keep: true}
+	fail := func(err error) txnState {
+		s.binErrors.Add(1)
+		var backoffMs uint32
+		if errors.Is(err, ErrOverloaded) {
+			backoffMs = s.batch.backoffHintMs()
+		}
+		w.wbufs[slot] = wire.FinishFrame(
+			wire.AppendError(wire.BeginFrame(w.wbufs[slot]), binErrCode(err), backoffMs, err.Error()),
+			wire.TError, h.ReqID)
+		tx.keep = binErrCode(err) != wire.CodeBadRequest || !isWireErr(err)
+		if !tx.keep {
+			w.closeAfter = true
+		}
+		w.txns = append(w.txns, tx)
+		return txnAnswered
+	}
+	if err := wire.ParseDecideReq(st.payload, &st.dreq); err != nil {
+		return fail(err)
+	}
+	n := len(st.dreq.Obs)
+	if cap(st.obs) < n {
+		st.obs = make([]Observation, n)
+	}
+	obs := st.obs[:n]
+	for i := range obs {
+		wo := &st.dreq.Obs[i]
+		obs[i] = Observation{
+			Utilization: wo.Utilization,
+			DemandRatio: wo.DemandRatio,
+			QoS:         wo.QoS,
+			ClusterQoS:  wo.ClusterQoS,
+			Critical:    wo.Critical,
+			Level:       wo.Level,
+		}
+	}
+	sess, err := s.SessionByHandleEpoch(st.dreq.Handle, st.dreq.Epoch)
+	if err != nil {
+		return fail(err)
+	}
+	if cap(w.frameLvls[slot]) < n {
+		w.frameLvls[slot] = make([]int, n)
+	}
+	lv := w.frameLvls[slot][:n]
+	if err := s.model.decideValidate(obs, lv); err != nil {
+		return fail(err)
+	}
+	if first {
+		sess.mu.Lock()
+	} else if !sess.mu.TryLock() {
+		return txnHeld
+	}
+	replayed, err := sess.decideBeginLocked(st.dreq.Seq, obs, lv)
+	s.histBinDecode.Observe(time.Since(tx.t0).Nanoseconds())
+	if err != nil {
+		sess.mu.Unlock()
+		return fail(err)
+	}
+	if replayed {
+		sess.mu.Unlock()
+		w.wbufs[slot] = wire.FinishFrame(
+			wire.AppendDecideOK(wire.BeginFrame(w.wbufs[slot]), lv),
+			wire.TDecideOK, h.ReqID)
+		tx.ok = true
+		w.txns = append(w.txns, tx)
+		return txnAnswered
+	}
+	tx.sess = sess
+	tx.levels = lv
+	tx.lookOff = len(w.lookups)
+	tx.lookLen = len(sess.lookups)
+	w.lookups = append(w.lookups, sess.lookups...)
+	w.obsTotal += n
+	w.txns = append(w.txns, tx)
+	return txnOpen
+}
+
+// peekGatherable reports whether the connection's next buffered frame is a
+// complete decide frame whose observation count fits the window's batch
+// budget — without consuming a byte or ever blocking. An incomplete frame,
+// a different type, or a count that would overflow the budget closes the
+// gather; the frame stays buffered for the main loop or the next window.
+func (st *binConnState) peekGatherable(maxBatch, obsTotal int) bool {
+	if st.br.Buffered() < wire.HeaderSize {
+		return false
+	}
+	hdr, err := st.br.Peek(wire.HeaderSize)
+	if err != nil {
+		return false
+	}
+	if hdr[1] != wire.TDecide {
+		return false
+	}
+	plen := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if plen > wire.MaxPayload {
+		// ReadFrame rejects the oversized prefix from the header alone, so
+		// gathering it cannot block; the window answers and hangs up.
+		return true
+	}
+	if st.br.Buffered() < wire.HeaderSize+plen+wire.TrailerSize {
+		return false
+	}
+	if plen >= 22 { // count u16 sits at payload offset 20
+		pk, err := st.br.Peek(wire.HeaderSize + 22)
+		if err != nil {
+			return false
+		}
+		if n := int(binary.LittleEndian.Uint16(pk[wire.HeaderSize+20:])); obsTotal+n > maxBatch {
+			return false
+		}
+	}
 	return true
 }
 

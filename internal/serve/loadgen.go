@@ -46,6 +46,14 @@ type LoadConfig struct {
 	// RewardEvery posts a device-computed reward every that many periods;
 	// 0 disables reward traffic (default 50).
 	RewardEvery int
+	// PeriodsPerFrame bundles that many consecutive control periods into
+	// each decide frame (default 1). K>1 requires the binary protocol
+	// (BinSession.DecideMany): the device simulates K periods at its
+	// current levels, ships all K observations in one frame, and applies
+	// the final period's decision — trading per-period control latency for
+	// K× fewer round trips, the regime where the served policy's cost must
+	// stay negligible against the control period.
+	PeriodsPerFrame int
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -63,6 +71,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.RewardEvery == 0 {
 		c.RewardEvery = 50
+	}
+	if c.PeriodsPerFrame == 0 {
+		c.PeriodsPerFrame = 1
 	}
 	return c
 }
@@ -87,6 +98,12 @@ func (c LoadConfig) Validate() error {
 	if c.PeriodS < 0 || c.Epsilon < 0 || c.Epsilon > 1 {
 		return fmt.Errorf("serve: bad period %v or epsilon %v", c.PeriodS, c.Epsilon)
 	}
+	if c.PeriodsPerFrame < 0 {
+		return fmt.Errorf("serve: negative periods per frame %d", c.PeriodsPerFrame)
+	}
+	if c.PeriodsPerFrame > 1 && c.Proto != "bin" {
+		return fmt.Errorf("serve: %d periods per frame needs the bin protocol", c.PeriodsPerFrame)
+	}
 	return nil
 }
 
@@ -99,10 +116,13 @@ type LatencyQuantiles struct {
 	Max float64 `json:"max"`
 }
 
-// LoadReport is the outcome of a load run.
+// LoadReport is the outcome of a load run. Decisions counts control
+// periods (a K-period frame is K decisions); LatencyNs measures frame
+// round trips.
 type LoadReport struct {
 	Proto           string  `json:"proto"`
 	Devices         int     `json:"devices"`
+	PeriodsPerFrame int     `json:"periods_per_frame,omitempty"`
 	DurationS       float64 `json:"duration_s"`
 	Decisions       uint64  `json:"decisions"`
 	Errors          uint64  `json:"errors"`
@@ -173,7 +193,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := &LoadReport{Proto: cfg.Proto, Devices: cfg.Devices, DurationS: elapsed.Seconds()}
+	rep := &LoadReport{Proto: cfg.Proto, Devices: cfg.Devices, PeriodsPerFrame: cfg.PeriodsPerFrame, DurationS: elapsed.Seconds()}
 	var all []int64
 	for _, st := range devStats {
 		rep.Decisions += st.decisions
@@ -206,6 +226,12 @@ type deviceSession interface {
 	Decide(ctx context.Context, obs []Observation) ([]int, error)
 	Reward(ctx context.Context, r float64) (SessionStats, error)
 	Close(ctx context.Context) (SessionStats, error)
+}
+
+// multiPeriodSession is the optional frame-batching extension a session
+// needs for PeriodsPerFrame > 1; BinSession implements it.
+type multiPeriodSession interface {
+	DecideMany(ctx context.Context, obs []Observation) ([]int, error)
 }
 
 // runDevice is one simulated device's life: local chip + scenario, every
@@ -252,27 +278,22 @@ func runDevice(ctx context.Context, open func(context.Context, SessionOptions) (
 	for i := range obs {
 		obs[i] = Observation{QoS: 1, ClusterQoS: 1, Level: chip.Cluster(i).Level()}
 	}
+	k := cfg.PeriodsPerFrame
+	decide := sess.Decide
+	if k > 1 {
+		mp, ok := sess.(multiPeriodSession)
+		if !ok {
+			return fail(fmt.Errorf("session %T cannot batch %d periods per frame", sess, k))
+		}
+		decide = mp.DecideMany
+	}
 	var chipRes soc.ChipStep
-	period := 0
-	for time.Now().Before(deadline) && ctx.Err() == nil {
-		t0 := time.Now()
-		levels, err := sess.Decide(ctx, obs)
-		if err != nil {
-			return fail(err)
-		}
-		st.decisions++
-		lat := time.Since(t0).Nanoseconds()
-		st.latencies = append(st.latencies, lat)
-		hist.Observe(lat)
-		if len(levels) != n {
-			return fail(fmt.Errorf("server returned %d levels for %d clusters", len(levels), n))
-		}
-		for i, lvl := range levels {
-			chip.Cluster(i).SetLevel(lvl)
-		}
+	// stepOnce advances the device one control period at its current OPP
+	// levels and rebuilds obs from the step's telemetry.
+	stepOnce := func() error {
 		p := scen.Next(cfg.PeriodS)
 		if err := chip.StepInto(&chipRes, p.Demands, cfg.PeriodS); err != nil {
-			return fail(err)
+			return err
 		}
 		var demanded, completed float64
 		for i, d := range p.Demands {
@@ -295,8 +316,42 @@ func runDevice(ctx context.Context, open func(context.Context, SessionOptions) (
 				Level:       chip.Cluster(i).Level(),
 			}
 		}
-		period++
-		if cfg.RewardEvery > 0 && period%cfg.RewardEvery == 0 {
+		return nil
+	}
+	frame := make([]Observation, 0, k*n)
+	period := 0
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		// Assemble the frame: the current period's observations, plus k-1
+		// further periods simulated open-loop at the current levels.
+		frame = append(frame[:0], obs...)
+		for p := 1; p < k; p++ {
+			if err := stepOnce(); err != nil {
+				return fail(err)
+			}
+			frame = append(frame, obs...)
+		}
+		t0 := time.Now()
+		levels, err := decide(ctx, frame)
+		if err != nil {
+			return fail(err)
+		}
+		st.decisions += uint64(k)
+		lat := time.Since(t0).Nanoseconds()
+		st.latencies = append(st.latencies, lat)
+		hist.Observe(lat)
+		if len(levels) != k*n {
+			return fail(fmt.Errorf("server returned %d levels for %d observations", len(levels), k*n))
+		}
+		// Apply the final period's decision — the freshest one — and step
+		// into the next period under it.
+		for i := 0; i < n; i++ {
+			chip.Cluster(i).SetLevel(levels[(k-1)*n+i])
+		}
+		if err := stepOnce(); err != nil {
+			return fail(err)
+		}
+		period += k
+		if cfg.RewardEvery > 0 && period/cfg.RewardEvery != (period-k)/cfg.RewardEvery {
 			if _, err := sess.Reward(ctx, -chipRes.EnergyJ); err != nil {
 				return fail(err)
 			}

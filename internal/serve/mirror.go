@@ -158,23 +158,32 @@ func (m *sessionMirror) nextSeq() uint64 { return m.seq + 1 }
 // the decide: demand history, the per-cluster exploration draws (the
 // draws happen whether or not exploration won — only their *use*
 // differs, and the mirror only needs the stream position), then ε decay.
-// Called once per acknowledged decide, never per attempt.
+// Called once per acknowledged decide frame, never per attempt. A
+// multi-period frame (len(obs) = K×clusters) advances K periods — draws
+// and decay interleave exactly as K sequential single-period decides —
+// and consumes K sequence numbers; lastLevels keeps only the final
+// period's decision, which is all a resumed server can replay.
 func (m *sessionMirror) ackDecide(obs []Observation, levels []int) {
-	for i := range obs {
-		m.prevDemand[i] = obs[i].DemandRatio
-		if m.eps > 0 && m.r.Float64() < m.eps {
-			m.r.Intn(m.levels[i])
+	k := len(m.levels)
+	periods := len(obs) / k
+	for p := 0; p < periods; p++ {
+		base := p * k
+		for i := 0; i < k; i++ {
+			m.prevDemand[i] = obs[base+i].DemandRatio
+			if m.eps > 0 && m.r.Float64() < m.eps {
+				m.r.Intn(m.levels[i])
+			}
+		}
+		if m.eps > 0 && m.opts.EpsilonDecay > 0 {
+			m.eps *= m.opts.EpsilonDecay
+			if m.eps < m.opts.EpsilonMin {
+				m.eps = m.opts.EpsilonMin
+			}
 		}
 	}
-	if m.eps > 0 && m.opts.EpsilonDecay > 0 {
-		m.eps *= m.opts.EpsilonDecay
-		if m.eps < m.opts.EpsilonMin {
-			m.eps = m.opts.EpsilonMin
-		}
-	}
-	m.seq++
-	m.lastLevels = append(m.lastLevels[:0], levels...)
-	m.decisions++
+	m.seq += uint64(periods)
+	m.lastLevels = append(m.lastLevels[:0], levels[(periods-1)*k:]...)
+	m.decisions += uint64(periods)
 }
 
 // ackReward advances the ledger for an acknowledged reward report.

@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"rlpm/internal/wire"
+)
+
+// frameObs concatenates steps[i..i+k) into one multi-period observation
+// frame, the layout a K-period decide carries on the wire.
+func frameObs(steps [][]Observation, i, k int) []Observation {
+	var frame []Observation
+	for p := 0; p < k; p++ {
+		frame = append(frame, steps[i+p]...)
+	}
+	return frame
+}
+
+// TestDecideSeqMultiPeriodMatchesSingles is the server-side differential
+// oracle: one session consuming K-period frames must produce byte-identical
+// decisions — exploration draws, ε decay, and all — to a twin session fed
+// the same observations one period at a time.
+func TestDecideSeqMultiPeriodMatchesSingles(t *testing.T) {
+	const k, steps = 4, 120
+	m := testModel(t, 3, 5)
+	opts := SessionOptions{Epsilon: 0.4, EpsilonMin: 0.02, EpsilonDecay: 0.95, Seed: 99}
+	srvA := newTestServer(t, m, nil, Config{})
+	srvB := newTestServer(t, m, nil, Config{})
+	sessA, err := srvA.CreateSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessB, err := srvB.CreateSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := testObs(m, 7, steps)
+	n := m.Clusters()
+	single := make([]int, n)
+	multi := make([]int, k*n)
+	for i := 0; i+k <= steps; i += k {
+		if _, err := sessA.DecideSeq(uint64(i+1), frameObs(seq, i, k), multi); err != nil {
+			t.Fatalf("frame at %d: %v", i, err)
+		}
+		for p := 0; p < k; p++ {
+			if _, err := sessB.DecideSeq(uint64(i+p+1), seq[i+p], single); err != nil {
+				t.Fatalf("single %d: %v", i+p, err)
+			}
+			for c := 0; c < n; c++ {
+				if multi[p*n+c] != single[c] {
+					t.Fatalf("period %d cluster %d: frame chose %d, single chose %d", i+p, c, multi[p*n+c], single[c])
+				}
+			}
+		}
+	}
+	stA, stB := sessA.Stats(), sessB.Stats()
+	if stA.Decisions != stB.Decisions {
+		t.Fatalf("decision ledgers diverged: frames %d, singles %d", stA.Decisions, stB.Decisions)
+	}
+}
+
+// TestDecideSeqMultiPeriodReplay pins whole-frame dedup: retrying a
+// K-period frame's sequence number replays the cached K-period decision
+// without advancing any session state, and anything that is not an exact
+// whole-frame retry fails with ErrBadSeq.
+func TestDecideSeqMultiPeriodReplay(t *testing.T) {
+	const k = 3
+	m := testModel(t, 3, 5)
+	srv := newTestServer(t, m, nil, Config{})
+	sess, err := srv.CreateSession(SessionOptions{Epsilon: 0.5, EpsilonDecay: 0.9, EpsilonMin: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := testObs(m, 31, 2*k)
+	n := m.Clusters()
+	first := make([]int, k*n)
+	if _, err := sess.DecideSeq(1, frameObs(seq, 0, k), first); err != nil {
+		t.Fatal(err)
+	}
+	// Exact whole-frame retry: same seq, same period count.
+	replayLv := make([]int, k*n)
+	replayed, err := sess.DecideSeq(1, frameObs(seq, 0, k), replayLv)
+	if err != nil || !replayed {
+		t.Fatalf("whole-frame retry: replayed=%v err=%v", replayed, err)
+	}
+	for i := range first {
+		if replayLv[i] != first[i] {
+			t.Fatalf("slot %d: replay served %d, original %d", i, replayLv[i], first[i])
+		}
+	}
+	// A single-period retry of a mid-frame seq is not a replay: the frame
+	// was decided as a unit.
+	if _, err := sess.DecideSeq(2, seq[1], make([]int, n)); !errors.Is(err, ErrBadSeq) {
+		t.Fatalf("mid-frame seq: %v, want ErrBadSeq", err)
+	}
+	// A retry with a different period count is not a replay either.
+	if _, err := sess.DecideSeq(1, frameObs(seq, 0, 2), make([]int, 2*n)); !errors.Is(err, ErrBadSeq) {
+		t.Fatalf("wrong-width retry: %v, want ErrBadSeq", err)
+	}
+	// The next fresh frame follows the K consumed sequence numbers.
+	next := make([]int, k*n)
+	if replayed, err := sess.DecideSeq(k+1, frameObs(seq, k, k), next); err != nil || replayed {
+		t.Fatalf("next frame: replayed=%v err=%v", replayed, err)
+	}
+	if st := sess.Stats(); st.Decisions != 2*k {
+		t.Fatalf("ledger counts %d decisions, want %d (replay must not double-count)", st.Decisions, 2*k)
+	}
+}
+
+// TestDecideSeqMultiPeriodAllocFree pins the K-period server decide path
+// at zero allocations once scratch is warm, like the single-period pin.
+func TestDecideSeqMultiPeriodAllocFree(t *testing.T) {
+	const k = 4
+	m := testModel(t, 3, 5)
+	srv := newTestServer(t, m, nil, Config{})
+	sess, err := srv.CreateSession(SessionOptions{Epsilon: 0.3, EpsilonDecay: 0.99, EpsilonMin: 0.05, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Clusters()
+	obs := make([]Observation, k*n)
+	for i := range obs {
+		obs[i] = Observation{Utilization: 0.5, DemandRatio: 0.9, Level: i % 2}
+	}
+	levels := make([]int, k*n)
+	var seq uint64
+	for i := 0; i < 10; i++ { // warm scratch, pool, and batch worker
+		if _, err := sess.DecideSeq(seq+1, obs, levels); err != nil {
+			t.Fatal(err)
+		}
+		seq += k
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := sess.DecideSeq(seq+1, obs, levels); err != nil {
+			t.Fatal(err)
+		}
+		seq += k
+	}); n != 0 {
+		t.Fatalf("K-period DecideSeq allocates %v times per call, want 0", n)
+	}
+}
+
+// TestBinDecideManyMatchesSingles is the over-the-wire differential oracle:
+// a session shipping K periods per frame must receive exactly the levels a
+// twin session receives across K single-period frames.
+func TestBinDecideManyMatchesSingles(t *testing.T) {
+	const k, steps = 4, 80
+	m := testModel(t, 3, 5)
+	srv := newTestServer(t, m, nil, Config{})
+	addr := startBinServer(t, srv)
+	c := NewBinClient(addr)
+	defer c.Close()
+	ctx := context.Background()
+
+	opts := SessionOptions{Epsilon: 0.35, EpsilonMin: 0.02, EpsilonDecay: 0.96, Seed: 4242}
+	many, err := c.OpenSession(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := c.OpenSession(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := testObs(m, 17, steps)
+	n := m.Clusters()
+	for i := 0; i+k <= steps; i += k {
+		multi, err := many.DecideMany(ctx, frameObs(seq, i, k))
+		if err != nil {
+			t.Fatalf("DecideMany at %d: %v", i, err)
+		}
+		if len(multi) != k*n {
+			t.Fatalf("DecideMany returned %d levels, want %d", len(multi), k*n)
+		}
+		for p := 0; p < k; p++ {
+			single, err := one.Decide(ctx, seq[i+p])
+			if err != nil {
+				t.Fatalf("single %d: %v", i+p, err)
+			}
+			for c := 0; c < n; c++ {
+				if multi[p*n+c] != single[c] {
+					t.Fatalf("period %d cluster %d: frame %d, single %d — framings diverged", i+p, c, multi[p*n+c], single[c])
+				}
+			}
+		}
+	}
+	stA, err := many.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := one.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Decisions != stB.Decisions {
+		t.Fatalf("decision ledgers diverged: frames %d, singles %d", stA.Decisions, stB.Decisions)
+	}
+}
+
+// TestMirrorMultiPeriodAck pins the client mirror: acknowledging one
+// K-period frame must leave the mirror in exactly the state K sequential
+// single-period acks produce.
+func TestMirrorMultiPeriodAck(t *testing.T) {
+	const k = 5
+	levels := []int{3, 5}
+	opts := SessionOptions{Epsilon: 0.6, EpsilonMin: 0.05, EpsilonDecay: 0.9, Seed: 77}
+	frames := newSessionMirror(opts, levels)
+	singles := newSessionMirror(opts, levels)
+
+	n := len(levels)
+	obs := make([]Observation, k*n)
+	lv := make([]int, k*n)
+	for i := range obs {
+		obs[i] = Observation{DemandRatio: float64(i) * 0.1, Level: i % 3}
+		lv[i] = (i + 1) % 3
+	}
+	frames.ackDecide(obs, lv)
+	for p := 0; p < k; p++ {
+		singles.ackDecide(obs[p*n:(p+1)*n], lv[p*n:(p+1)*n])
+	}
+
+	a, b := frames.resumeState(), singles.resumeState()
+	if a.Seq != b.Seq || a.Epsilon != b.Epsilon || a.Rng != b.Rng {
+		t.Fatalf("mirror state diverged: frame %+v, singles %+v", a, b)
+	}
+	if len(a.LastLevels) != len(b.LastLevels) {
+		t.Fatalf("last levels length %d vs %d", len(a.LastLevels), len(b.LastLevels))
+	}
+	for i := range a.LastLevels {
+		if a.LastLevels[i] != b.LastLevels[i] {
+			t.Fatalf("last levels diverged at %d: %d vs %d", i, a.LastLevels[i], b.LastLevels[i])
+		}
+	}
+	for i := range a.PrevDemand {
+		if a.PrevDemand[i] != b.PrevDemand[i] {
+			t.Fatalf("prev demand diverged at %d: %v vs %v", i, a.PrevDemand[i], b.PrevDemand[i])
+		}
+	}
+	if a.Decisions != b.Decisions {
+		t.Fatalf("decision ledgers diverged: %d vs %d", a.Decisions, b.Decisions)
+	}
+}
+
+// TestBinWindowCoalescing pins the cross-session batching fix: pipelined
+// decide frames from different sessions arriving together on one
+// connection must share ONE backend batch, not one batch each. net.Pipe
+// delivers the client's single write as one read, so the server's gather
+// window sees all three frames buffered — deterministically, with no TCP
+// segmentation races.
+func TestBinWindowCoalescing(t *testing.T) {
+	m := testModel(t, 3, 4)
+	srv := newTestServer(t, m, nil, Config{})
+
+	var sess [3]*Session
+	for i := range sess {
+		s, err := srv.CreateSession(SessionOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess[i] = s
+	}
+	cli, server := net.Pipe()
+	defer cli.Close()
+	connDone := make(chan struct{})
+	go func() {
+		defer close(connDone)
+		srv.serveBinConn(server)
+	}()
+
+	batches0, _, _ := srv.batch.stats()
+	obs := []wire.Obs{{Utilization: 0.5, Level: 1}, {DemandRatio: 0.8, Level: 2}}
+	var buf []byte
+	for i, s := range []*Session{sess[0], sess[1], sess[2]} {
+		buf = append(buf, wire.FinishFrame(
+			wire.AppendDecideReq(wire.BeginFrame(nil), s.Handle(), 0, 1, obs), wire.TDecide, uint32(200+i))...)
+	}
+	cli.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := cli.Write(buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var hdr [wire.HeaderSize]byte
+	var payload []byte
+	for i := 0; i < 3; i++ {
+		h, p, err := wire.ReadFrame(cli, &hdr, payload)
+		payload = p
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if h.Type != wire.TDecideOK || h.ReqID != uint32(200+i) {
+			t.Fatalf("response %d: type %d req %d, want TDecideOK req %d", i, h.Type, h.ReqID, 200+i)
+		}
+		var dok wire.DecideOK
+		if err := wire.ParseDecideOK(p, &dok); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if len(dok.Levels) != 2 {
+			t.Fatalf("response %d: %d levels, want 2", i, len(dok.Levels))
+		}
+	}
+	batches1, _, maxOcc := srv.batch.stats()
+	if got := batches1 - batches0; got != 1 {
+		t.Fatalf("3 pipelined frames dispatched %d backend batches, want 1", got)
+	}
+	if maxOcc < 6 {
+		t.Fatalf("max batch occupancy %d, want >= 6 (3 frames x 2 clusters coalesced)", maxOcc)
+	}
+	cli.Close()
+	<-connDone
+}
+
+// stallBackend blocks its first Decide until released, so a test can pile
+// requests into the batcher's ring behind a slow backend call.
+type stallBackend struct {
+	entered chan struct{}
+	release chan struct{}
+
+	mu    sync.Mutex
+	sizes []int
+}
+
+func (*stallBackend) Name() string { return "gate" }
+
+func (g *stallBackend) Decide(lookups []Lookup, out []int) error {
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	<-g.release
+	g.mu.Lock()
+	g.sizes = append(g.sizes, len(lookups))
+	g.mu.Unlock()
+	for i := range out {
+		out[i] = 0
+	}
+	return nil
+}
+
+// TestBatcherCoalescesQueuedRequests pins batch occupancy > 1 under
+// pipelined load at the batcher level: requests that queue while the
+// backend is busy must ride one shared batch (via the bounded
+// opportunistic grab), not dispatch one backend call each.
+func TestBatcherCoalescesQueuedRequests(t *testing.T) {
+	m := testModel(t, 3, 5)
+	gate := &stallBackend{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	srv := newTestServer(t, m, gate, Config{MaxBatch: 32})
+	const waiters = 4
+	var sessions [1 + waiters]*Session
+	for i := range sessions {
+		s, err := srv.CreateSession(SessionOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	obs := []Observation{{Utilization: 0.4, Level: 1}, {DemandRatio: 1.2, Level: 2}}
+
+	var wg sync.WaitGroup
+	decide := func(s *Session) {
+		defer wg.Done()
+		if _, err := s.Decide(obs); err != nil {
+			t.Errorf("decide: %v", err)
+		}
+	}
+	wg.Add(1)
+	go decide(sessions[0])
+	<-gate.entered // first batch is inside the backend, worker is busy
+
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go decide(sessions[1+i])
+	}
+	// Wait until all four waiters' requests are claimed in the ring. head
+	// is quiescent here — the single consumer is parked inside the gate —
+	// and tail is atomic, so this observation is race-free.
+	ring := srv.batch.ring
+	for ring.tail.Load()-ring.head < waiters {
+		runtime.Gosched()
+	}
+	close(gate.release)
+	wg.Wait()
+
+	gate.mu.Lock()
+	sizes := append([]int(nil), gate.sizes...)
+	gate.mu.Unlock()
+	if len(sizes) == 0 || sizes[0] != 2 {
+		t.Fatalf("first batch sizes %v, want the solo 2-lookup request first", sizes)
+	}
+	var coalesced bool
+	for _, n := range sizes[1:] {
+		if n >= 4 {
+			coalesced = true
+		}
+	}
+	if !coalesced {
+		t.Fatalf("queued requests never shared a batch: backend call sizes %v", sizes)
+	}
+	if _, _, maxOcc := srv.batch.stats(); maxOcc < 4 {
+		t.Fatalf("max batch occupancy %d, want >= 4", maxOcc)
+	}
+}

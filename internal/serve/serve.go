@@ -85,6 +85,11 @@ type Model struct {
 	cfg    core.Config
 	levels []int         // per-cluster OPP counts
 	tables [][][]float64 // [cluster][state][action], deep-copied
+	// flat is the contiguous row-major arena the serving read path prefers:
+	// one offset computation per lookup instead of a pointer chase, and
+	// batch lookups walk it in sorted order (see core.FlatTables). nil when
+	// the shape cannot be packed — readers fall back to the pointer walk.
+	flat *core.FlatTables
 }
 
 // NewModel builds a Model from a snapshot. cfg supplies the state encoding
@@ -120,6 +125,7 @@ func NewModel(cfg core.Config, snap core.Snapshot) (*Model, error) {
 		m.tables = append(m.tables, cp)
 		m.levels = append(m.levels, actions)
 	}
+	m.flat = core.NewFlatTables(m.tables)
 	return m, nil
 }
 
@@ -158,6 +164,9 @@ func (m *Model) Snapshot() core.Snapshot {
 // Greedy returns the argmax action for (cluster, state); ties break low,
 // matching core.Agent and the hardware comparator tree.
 func (m *Model) Greedy(cluster, state int) int {
+	if m.flat != nil {
+		return m.flat.Argmax(cluster, state)
+	}
 	row := m.tables[cluster][state]
 	best, idx := row[0], 0
 	for i := 1; i < len(row); i++ {
@@ -232,11 +241,15 @@ type Session struct {
 	prevDemand []float64
 
 	// Retry dedup: lastSeq is the highest sequence number served,
-	// lastLevels its decision. A retry carrying lastSeq replays the cached
-	// decision without touching the RNG or demand history, so a response
-	// lost to the network can never produce a divergent second decision.
-	lastSeq    uint64
-	lastLevels []int
+	// lastLevels the decisions of the frame that served it, lastPeriods how
+	// many control periods that frame carried (its first period's seq is
+	// lastSeq-lastPeriods+1). A retry carrying that first seq with the same
+	// period count replays the cached frame without touching the RNG or
+	// demand history, so a response lost to the network can never produce a
+	// divergent second decision.
+	lastSeq     uint64
+	lastLevels  []int
+	lastPeriods int
 
 	lastActive atomic.Int64 // unix nanos of the last request, for TTL reaping
 
@@ -245,9 +258,13 @@ type Session struct {
 	rewardSum  float64
 	simObs     []sim.Observation // scratch: wire → encoder form
 	lookups    []Lookup          // scratch: exploit lookups of one decide
-	lookupsIdx []int             // scratch: cluster index of each lookup
+	lookupsIdx []int             // scratch: levels index of each lookup
 	lookupOut  []int             // scratch: batch results of one decide
 	demandSave []float64         // scratch: prevDemand snapshot for rollback
+	epsSave    float64           // scratch: ε snapshot for rollback
+	rngSave    [4]uint64         // scratch: RNG snapshot for rollback
+	txnSeq     uint64            // open decide transaction: first period's seq
+	txnPeriods int               // open decide transaction: period count
 }
 
 // ID returns the session identifier.
@@ -258,96 +275,57 @@ func (s *Session) ID() string { return s.id }
 // strings.
 func (s *Session) Handle() uint64 { return s.handle }
 
-// Decide serves one control period: encodes each cluster's observation
-// into the discrete state (using the session-local demand-trend history),
-// explores with the session-local ε/RNG, and resolves all exploitation
-// lookups through the server's shared batch path. The returned slice is
-// freshly allocated; the binary protocol's hot path uses DecideInto with a
+// Decide serves one or more control periods: encodes each cluster's
+// observation into the discrete state (using the session-local
+// demand-trend history), explores with the session-local ε/RNG, and
+// resolves all exploitation lookups through the server's shared batch
+// path. obs may carry K consecutive periods (K×clusters entries, period
+// by period); the returned slice is freshly allocated with one level per
+// observation. The binary protocol's hot path uses DecideInto with a
 // caller-owned slice instead.
 func (s *Session) Decide(obs []Observation) ([]int, error) {
-	levels := make([]int, s.srv.model.Clusters())
+	levels := make([]int, len(obs))
 	if err := s.DecideInto(obs, levels); err != nil {
 		return nil, err
 	}
 	return levels, nil
 }
 
-// DecideInto is Decide writing the chosen level per cluster into levels,
-// which must have length len(obs). All working state is session-owned
-// scratch, so a warmed session decides with zero allocations.
+// DecideInto is Decide writing the chosen level per observation into
+// levels, which must have length len(obs). All working state is
+// session-owned scratch, so a warmed session decides with zero
+// allocations.
 func (s *Session) DecideInto(obs []Observation, levels []int) error {
 	_, err := s.DecideSeq(0, obs, levels)
 	return err
 }
 
 // DecideSeq is DecideInto with retry deduplication. seq 0 is the legacy
-// unsequenced path. Otherwise seq must be the session's next sequence
-// number (lastSeq+1) — the decision is computed and cached — or a replay
-// of lastSeq, which returns the cached decision with replayed=true and
-// advances nothing: no RNG draws, no demand-history write, no ledger
-// bump. Any other seq fails with ErrBadSeq.
+// unsequenced path. Otherwise seq must be the first period's sequence
+// number: the session's next one (lastSeq+1) — the whole frame is
+// computed and cached — or a replay of the last served frame's first seq
+// with the same period count, which returns the cached frame with
+// replayed=true and advances nothing: no RNG draws, no demand-history
+// write, no ledger bump. Any other seq fails with ErrBadSeq. A K-period
+// frame consumes K sequence numbers; lastSeq afterwards is seq+K-1.
 //
-// The compute path is transactional: the exploration RNG and the
+// The compute path is transactional: the exploration RNG, ε, and the
 // demand-trend history are snapshotted before any mutation and rolled
 // back if the batched lookup fails (overload, shutdown), so a client
 // retry after a shed request replays the exact same stochastic draws and
-// can never diverge from a client-side mirror of the session.
+// can never diverge from a client-side mirror of the session. A K-period
+// frame draws, decays ε, and updates demand history exactly as K
+// sequential single-period decides would — byte-identical decisions —
+// while paying one lock, one batch dispatch, and one dedup check.
 func (s *Session) DecideSeq(seq uint64, obs []Observation, levels []int) (replayed bool, err error) {
-	m := s.srv.model
-	if len(obs) != m.Clusters() {
-		return false, fmt.Errorf("serve: %d observations for %d clusters", len(obs), m.Clusters())
+	if err := s.srv.model.decideValidate(obs, levels); err != nil {
+		return false, err
 	}
-	if len(levels) != len(obs) {
-		return false, fmt.Errorf("serve: %d level slots for %d observations", len(levels), len(obs))
-	}
-	for i, o := range obs {
-		if o.Level < 0 || o.Level >= m.levels[i] {
-			return false, fmt.Errorf("serve: cluster %d level %d out of [0,%d)", i, o.Level, m.levels[i])
-		}
-	}
-
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return false, ErrSessionClosed
-	}
-	s.lastActive.Store(nanotime())
-
-	if seq != 0 {
-		switch {
-		case seq == s.lastSeq && len(s.lastLevels) == len(levels):
-			copy(levels, s.lastLevels)
-			s.srv.decidesDeduped.Add(1)
-			return true, nil
-		case seq != s.lastSeq+1:
-			return false, fmt.Errorf("%w: got %d, expected %d or replay of %d", ErrBadSeq, seq, s.lastSeq+1, s.lastSeq)
-		}
-	}
-
-	rngState := s.r.State()
-	s.demandSave = append(s.demandSave[:0], s.prevDemand...)
-
-	s.lookups = s.lookups[:0]
-	s.lookupsIdx = s.lookupsIdx[:0]
-	for i, o := range obs {
-		so := sim.Observation{
-			Utilization: o.Utilization,
-			DemandRatio: o.DemandRatio,
-			QoS:         o.QoS,
-			ClusterQoS:  o.ClusterQoS,
-			Critical:    o.Critical,
-			Level:       o.Level,
-			NumLevels:   m.levels[i],
-		}
-		state := m.cfg.EncodeState(so, s.prevDemand[i])
-		s.prevDemand[i] = o.DemandRatio
-		if s.eps > 0 && s.r.Float64() < s.eps {
-			levels[i] = s.r.Intn(m.levels[i])
-			s.srv.explorations.Add(1)
-			continue
-		}
-		s.lookups = append(s.lookups, Lookup{Cluster: i, State: state})
-		s.lookupsIdx = append(s.lookupsIdx, i)
+	replayed, err = s.decideBeginLocked(seq, obs, levels)
+	if replayed || err != nil {
+		return replayed, err
 	}
 	if len(s.lookups) > 0 {
 		if cap(s.lookupOut) < len(s.lookups) {
@@ -355,28 +333,135 @@ func (s *Session) DecideSeq(seq uint64, obs []Observation, levels []int) (replay
 		}
 		out := s.lookupOut[:len(s.lookups)]
 		if err := s.srv.batch.Do(s.lookups, out); err != nil {
-			s.r.SetState(rngState)
-			copy(s.prevDemand, s.demandSave)
+			s.decideAbortLocked()
 			return false, err
 		}
 		for j, a := range out {
 			levels[s.lookupsIdx[j]] = a
 		}
 	}
-	if s.eps > 0 && s.epsDecay > 0 {
-		s.eps *= s.epsDecay
-		if s.eps < s.epsMin {
-			s.eps = s.epsMin
+	s.decideFinishLocked(levels)
+	return false, nil
+}
+
+// decideValidate checks a decide's shape against the frozen model: a
+// positive whole number of periods, one level slot per observation, and
+// every reported level in range. Read-only on the immutable model, so it
+// runs before the session lock is taken.
+func (m *Model) decideValidate(obs []Observation, levels []int) error {
+	k := m.Clusters()
+	if len(obs) == 0 || len(obs)%k != 0 {
+		return fmt.Errorf("serve: %d observations for %d clusters", len(obs), k)
+	}
+	if len(levels) != len(obs) {
+		return fmt.Errorf("serve: %d level slots for %d observations", len(levels), len(obs))
+	}
+	for i, o := range obs {
+		c := i % k
+		if o.Level < 0 || o.Level >= m.levels[c] {
+			return fmt.Errorf("serve: cluster %d level %d out of [0,%d)", c, o.Level, m.levels[c])
 		}
 	}
+	return nil
+}
+
+// decideBeginLocked opens a decide transaction: dedup check, rollback
+// snapshot, then state encoding and exploration for every period of the
+// frame. Caller holds s.mu and has validated shapes. When it returns
+// (false, nil) the transaction is open — s.lookups holds the exploit
+// lookups awaiting batch resolution (their results scatter through
+// s.lookupsIdx into levels) and the caller must decideFinishLocked or
+// decideAbortLocked before releasing the lock. Exploration decisions are
+// already written into levels.
+func (s *Session) decideBeginLocked(seq uint64, obs []Observation, levels []int) (replayed bool, err error) {
+	if s.closed {
+		return false, ErrSessionClosed
+	}
+	s.lastActive.Store(nanotime())
+	m := s.srv.model
+	k := m.Clusters()
+	periods := len(obs) / k
+
 	if seq != 0 {
-		s.lastSeq = seq
+		replaySeq := s.lastSeq
+		if s.lastPeriods > 0 {
+			replaySeq = s.lastSeq - uint64(s.lastPeriods) + 1
+		}
+		switch {
+		case s.lastPeriods > 0 && seq == replaySeq && periods == s.lastPeriods && len(levels) == len(s.lastLevels):
+			copy(levels, s.lastLevels)
+			s.srv.decidesDeduped.Add(1)
+			return true, nil
+		case seq != s.lastSeq+1:
+			return false, fmt.Errorf("%w: got %d, expected %d or replay of %d", ErrBadSeq, seq, s.lastSeq+1, replaySeq)
+		}
+	}
+
+	s.rngSave = s.r.State()
+	s.epsSave = s.eps
+	s.demandSave = append(s.demandSave[:0], s.prevDemand...)
+
+	s.lookups = s.lookups[:0]
+	s.lookupsIdx = s.lookupsIdx[:0]
+	for p := 0; p < periods; p++ {
+		base := p * k
+		for i := 0; i < k; i++ {
+			o := obs[base+i]
+			so := sim.Observation{
+				Utilization: o.Utilization,
+				DemandRatio: o.DemandRatio,
+				QoS:         o.QoS,
+				ClusterQoS:  o.ClusterQoS,
+				Critical:    o.Critical,
+				Level:       o.Level,
+				NumLevels:   m.levels[i],
+			}
+			state := m.cfg.EncodeState(so, s.prevDemand[i])
+			s.prevDemand[i] = o.DemandRatio
+			if s.eps > 0 && s.r.Float64() < s.eps {
+				levels[base+i] = s.r.Intn(m.levels[i])
+				s.srv.explorations.Add(1)
+				continue
+			}
+			s.lookups = append(s.lookups, Lookup{Cluster: i, State: state})
+			s.lookupsIdx = append(s.lookupsIdx, base+i)
+		}
+		// ε decays once per control period — exactly as K sequential
+		// single-period decides would have decayed it between draws.
+		if s.eps > 0 && s.epsDecay > 0 {
+			s.eps *= s.epsDecay
+			if s.eps < s.epsMin {
+				s.eps = s.epsMin
+			}
+		}
+	}
+	s.txnSeq = seq
+	s.txnPeriods = periods
+	return false, nil
+}
+
+// decideAbortLocked rolls an open decide transaction back: RNG stream, ε,
+// and demand history return to their pre-transaction snapshots, so the
+// client's retry replays the exact same stochastic draws.
+func (s *Session) decideAbortLocked() {
+	s.r.SetState(s.rngSave)
+	s.eps = s.epsSave
+	copy(s.prevDemand, s.demandSave)
+}
+
+// decideFinishLocked commits an open decide transaction: caches the frame
+// for replay (sequenced decides only) and bumps the ledgers by the
+// frame's period count.
+func (s *Session) decideFinishLocked(levels []int) {
+	periods := s.txnPeriods
+	if s.txnSeq != 0 {
+		s.lastSeq = s.txnSeq + uint64(periods) - 1
+		s.lastPeriods = periods
 		s.lastLevels = append(s.lastLevels[:0], levels...)
 	}
-	s.decisions++
-	s.srv.decisions.Add(1)
+	s.decisions += uint64(periods)
+	s.srv.decisions.Add(uint64(periods))
 	s.srv.lookupsServed.Add(uint64(len(s.lookups)))
-	return false, nil
 }
 
 // nanotime is the session-activity clock (monotonic enough for TTLs).
@@ -903,6 +988,12 @@ func (s *Server) ResumeSession(st ResumeState) (*Session, error) {
 		decisions:  st.Decisions,
 		rewards:    st.Rewards,
 		rewardSum:  st.RewardSum,
+	}
+	// Resume state carries only the last period's decision, so the replay
+	// window re-opens as a one-period frame at Seq regardless of how many
+	// periods the original frame bundled.
+	if st.Seq > 0 {
+		sess.lastPeriods = 1
 	}
 	sess.lastActive.Store(nanotime())
 	s.sessions[sess.id] = sess

@@ -116,6 +116,21 @@ func FuzzWireDecode(f *testing.F) {
 		LastLevels: []int{2, 0},
 	}))
 	seed(TResumeOK, AppendCreateOK(nil, 6, 2, []int{3, 5}))
+	// Multi-period decide: 2 periods × 2 clusters in one frame, plus the
+	// malformed-count shapes the parser must reject — count=0, count
+	// overstating the payload, and trailing bytes after the declared
+	// observations.
+	seed(TDecide, AppendDecideReq(nil, 5, 1, 9, []Obs{
+		{Utilization: 0.8, Level: 2}, {Critical: true},
+		{Utilization: 0.4, Level: 1}, {DemandRatio: 2},
+	}))
+	zeroCount := AppendDecideReq(nil, 5, 1, 9, []Obs{{Level: 1}})[:22]
+	zeroCount[20], zeroCount[21] = 0, 0
+	seed(TDecide, zeroCount)
+	underCount := AppendDecideReq(nil, 5, 1, 9, []Obs{{Level: 1}})
+	underCount[20] = 2
+	seed(TDecide, underCount)
+	seed(TDecide, append(AppendDecideReq(nil, 5, 1, 9, []Obs{{Level: 1}}), 0xAA))
 	// ...and classic malformations: truncations, a bad version, a
 	// corrupted CRC, an oversized length prefix.
 	good := FinishFrame(AppendCloseReq(BeginFrame(nil), CloseReq{Handle: 1}), TClose, 1)

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseDecideReqRejectsZeroCount pins count == 0 as a payload error:
+// a decide frame with no observations has no meaning, and letting it
+// through would make the server divide by zero when deriving the period
+// count from len(obs)/clusters.
+func TestParseDecideReqRejectsZeroCount(t *testing.T) {
+	p := AppendDecideReq(nil, 7, 1, 3, make([]Obs, 2))
+	p = p[:decideReqBase] // keep the fixed prefix only...
+	binary.LittleEndian.PutUint16(p[decideReqBase-2:], 0)
+	var dreq DecideReq
+	err := ParseDecideReq(p, &dreq)
+	if !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("count=0 decide: got %v, want ErrBadPayload", err)
+	}
+	if !strings.Contains(err.Error(), "no observations") {
+		t.Fatalf("count=0 decide error %q does not name the cause", err)
+	}
+}
+
+// TestParseDecideReqRejectsHugeCount pins the count×obsSize overflow guard:
+// a count whose implied payload would exceed MaxPayload must be rejected
+// as a payload error before the size arithmetic runs, not reported as a
+// truncation (or worse, wrapped on a 32-bit int).
+func TestParseDecideReqRejectsHugeCount(t *testing.T) {
+	p := AppendDecideReq(nil, 7, 1, 3, make([]Obs, 1))
+	for _, n := range []uint16{65535, uint16((MaxPayload-decideReqBase)/obsSize + 1)} {
+		binary.LittleEndian.PutUint16(p[decideReqBase-2:], n)
+		var dreq DecideReq
+		if err := ParseDecideReq(p, &dreq); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("count=%d decide: got %v, want ErrBadPayload", n, err)
+		}
+	}
+	// The largest representable count is a size mismatch (we only supplied
+	// one observation), never an overflow rejection.
+	max := uint16((MaxPayload - decideReqBase) / obsSize)
+	binary.LittleEndian.PutUint16(p[decideReqBase-2:], max)
+	var dreq DecideReq
+	if err := ParseDecideReq(p, &dreq); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("count=%d (max representable) decide: got %v, want ErrTruncated", max, err)
+	}
+}
+
+// TestParseDecideOKRejectsZeroAndTrailing pins the response-side guards:
+// an empty level vector is a payload error, and trailing bytes after the
+// declared levels are rejected rather than silently ignored.
+func TestParseDecideOKRejectsZeroAndTrailing(t *testing.T) {
+	var dok DecideOK
+	p := AppendDecideOK(nil, []int{2, 4})
+	binary.LittleEndian.PutUint16(p[0:], 0)
+	err := ParseDecideOK(p[:2], &dok)
+	if !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("count=0 decideOK: got %v, want ErrBadPayload", err)
+	}
+	if !strings.Contains(err.Error(), "no levels") {
+		t.Fatalf("count=0 decideOK error %q does not name the cause", err)
+	}
+	p = AppendDecideOK(nil, []int{2, 4})
+	if err := ParseDecideOK(append(p, 0xAA), &dok); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("trailing decideOK byte: got %v, want ErrBadPayload", err)
+	}
+	if err := ParseDecideOK(p[:len(p)-1], &dok); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated decideOK: got %v, want ErrTruncated", err)
+	}
+}
+
+// TestMultiPeriodDecideLayout pins the K-period frame layout: a frame
+// carrying K periods × n clusters is byte-identical to the fixed prefix
+// followed by the K single-period observation blocks concatenated in
+// period order. The server relies on this to slice a multi-period payload
+// into per-period decides without re-parsing.
+func TestMultiPeriodDecideLayout(t *testing.T) {
+	const k, n = 3, 2
+	obs := make([]Obs, 0, k*n)
+	for p := 0; p < k; p++ {
+		for c := 0; c < n; c++ {
+			obs = append(obs, Obs{
+				Utilization: float64(p) * 0.25,
+				DemandRatio: 1 + float64(c)*0.5,
+				QoS:         float64(p*n + c),
+				ClusterQoS:  0.125,
+				Level:       p + c,
+				Critical:    (p+c)%2 == 1,
+			})
+		}
+	}
+	frame := AppendDecideReq(nil, 9, 2, 100, obs)
+	var want []byte
+	want = append(want, frame[:decideReqBase-2]...)
+	want = binary.LittleEndian.AppendUint16(want, k*n)
+	for p := 0; p < k; p++ {
+		single := AppendDecideReq(nil, 9, 2, 100, obs[p*n:(p+1)*n])
+		want = append(want, single[decideReqBase:]...)
+	}
+	if string(frame) != string(want) {
+		t.Fatalf("multi-period frame is not the concatenation of its periods:\n got %x\nwant %x", frame, want)
+	}
+	var dreq DecideReq
+	if err := ParseDecideReq(frame, &dreq); err != nil {
+		t.Fatalf("ParseDecideReq: %v", err)
+	}
+	if len(dreq.Obs) != k*n {
+		t.Fatalf("parsed %d observations, want %d", len(dreq.Obs), k*n)
+	}
+	for i, o := range dreq.Obs {
+		if !f64Eq(o.Utilization, obs[i].Utilization) || o.Level != obs[i].Level || o.Critical != obs[i].Critical {
+			t.Fatalf("obs %d round-trip mismatch: got %+v, want %+v", i, o, obs[i])
+		}
+	}
+}

@@ -32,11 +32,11 @@
 //	          payload_len u32 | crc32(bytes 0..11) u32
 //	create    epsilon f64 | epsilon_min f64 | epsilon_decay f64 | seed u64
 //	createOK  handle u64 | epoch u32 | clusters u16 | num_levels u16 × clusters
-//	decide    handle u64 | epoch u32 | seq u64 | clusters u16 |
-//	          obs × clusters, each:
+//	decide    handle u64 | epoch u32 | seq u64 | count u16 |
+//	          obs × count, each:
 //	          utilization f64 | demand_ratio f64 | qos f64 |
 //	          cluster_qos f64 | critical u8 (0/1) | level u16
-//	decideOK  clusters u16 | level u16 × clusters
+//	decideOK  count u16 | level u16 × count
 //	reward    handle u64 | reward f64
 //	rewardOK  decisions u64 | rewards u64 | mean_reward f64 | epsilon f64
 //	close     handle u64
@@ -56,6 +56,14 @@
 // divergent decision. The resume frame re-creates a session from the
 // client's last acked state after the server lost it (restart or TTL
 // reaping).
+//
+// The decide count is K×clusters for a multi-period frame: one frame may
+// carry K consecutive control periods' observations, period by period
+// (period 0's clusters first), and the decideOK answers with K×clusters
+// levels in the same order. Seq names the first period; the frame consumes
+// K sequence numbers. count must be a positive multiple of the session's
+// cluster count — zero is rejected at parse time, a non-multiple by the
+// serve layer.
 //
 // The package is dependency-free (standard library only); the serve layer
 // owns the mapping between wire frames and sessions.
@@ -334,8 +342,9 @@ func ParseCreateOK(p []byte, r *CreateOK) error {
 	return nil
 }
 
-// DecideReq carries one control period's observations for a session. Epoch
-// names the server incarnation the handle came from; Seq is the session's
+// DecideReq carries one or more control periods' observations for a
+// session (len(Obs) = K×clusters, period by period). Epoch names the
+// server incarnation the handle came from; Seq is the first period's
 // decision sequence number (see the package comment). Seq 0 is the legacy
 // no-dedup path.
 type DecideReq struct {
@@ -380,6 +389,15 @@ func ParseDecideReq(p []byte, r *DecideReq) error {
 	r.Epoch = binary.LittleEndian.Uint32(p[8:])
 	r.Seq = binary.LittleEndian.Uint64(p[12:])
 	n := int(binary.LittleEndian.Uint16(p[20:]))
+	if n == 0 {
+		return fmt.Errorf("%w: decide carries no observations", ErrBadPayload)
+	}
+	// Bound count before the size product: a hostile count must surface as
+	// a payload error, never as arithmetic past MaxPayload (or, on a
+	// 32-bit int, an overflowed expected length).
+	if n > (MaxPayload-decideReqBase)/obsSize {
+		return fmt.Errorf("%w: decide count %d exceeds max payload", ErrBadPayload, n)
+	}
 	if err := exactLen(p, decideReqBase+obsSize*n); err != nil {
 		return err
 	}
@@ -404,7 +422,8 @@ func ParseDecideReq(p []byte, r *DecideReq) error {
 	return nil
 }
 
-// DecideOK carries the chosen OPP level per cluster.
+// DecideOK carries the chosen OPP level per observation — K×clusters
+// levels for a K-period decide, in the request's period-by-period order.
 type DecideOK struct {
 	Levels []int
 }
@@ -424,6 +443,9 @@ func ParseDecideOK(p []byte, r *DecideOK) error {
 		return fmt.Errorf("%w: decideOK needs 2 bytes, got %d", ErrTruncated, len(p))
 	}
 	n := int(binary.LittleEndian.Uint16(p[0:]))
+	if n == 0 {
+		return fmt.Errorf("%w: decideOK carries no levels", ErrBadPayload)
+	}
 	if err := exactLen(p, 2+2*n); err != nil {
 		return err
 	}
