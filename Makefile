@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race staticcheck fuzz cover bench bench-smoke bench-serve serve-smoke chaos-smoke experiments golden
+.PHONY: check build vet test race staticcheck fuzz cover bench bench-smoke bench-serve bench-shard serve-smoke shard-smoke chaos-smoke experiments golden
 
 # check is the full CI gate: vet, build, the default test suite (unit +
 # determinism + golden, in shuffled order), and the race-detector pass over
@@ -26,7 +26,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/fault/... ./internal/hwpolicy/... ./internal/serve/... ./internal/obs/...
+	$(GO) test -race ./internal/bench/... ./internal/sim/... ./internal/fault/... ./internal/hwpolicy/... ./internal/serve/... ./internal/obs/... ./internal/shard/...
 
 # fuzz runs the fuzz targets for a short smoke window each; raise FUZZTIME
 # for a longer campaign.
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test ./internal/hwpolicy -run '^$$' -fuzz FuzzAccelRegisterFile -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/shard -run '^$$' -fuzz FuzzRingRoute -fuzztime $(FUZZTIME)
 
 # cover enforces the coverage floor (measured at 84.8% when the gate was
 # introduced; the floor leaves headroom for timing-dependent paths).
@@ -92,6 +93,43 @@ serve-smoke:
 chaos-smoke:
 	$(GO) run -race ./cmd/pmload -chaos -proto bin -devices 6 -periods 80 -restart crash
 	$(GO) run -race ./cmd/pmload -chaos -proto json -devices 4 -periods 60 -restart drain
+	$(GO) run -race ./cmd/pmload -shard-chaos -proto bin -kill -shards 3 -devices 8 -periods 90 -shard-faults
+	$(GO) run -race ./cmd/pmload -shard-chaos -proto json -shards 2 -devices 6 -periods 60
+
+# shard-smoke is the sharded end-to-end binary check: two pmserve shards,
+# a pmrouter fronting them on HTTP + binary, pmload driving the fleet
+# through the router on both transports, then a scrape of the router's
+# merged /metrics requiring a nonzero decide count on EVERY shard.
+shard-smoke:
+	$(GO) build -o /tmp/pmserve ./cmd/pmserve
+	$(GO) build -o /tmp/pmrouter ./cmd/pmrouter
+	$(GO) build -o /tmp/pmload ./cmd/pmload
+	/tmp/pmserve -addr 127.0.0.1:7441 -listen-bin 127.0.0.1:7442 -quick -epoch 1 & \
+	S0=$$!; \
+	/tmp/pmserve -addr 127.0.0.1:7443 -listen-bin 127.0.0.1:7444 -quick -epoch 2 & \
+	S1=$$!; \
+	/tmp/pmrouter -addr 127.0.0.1:7440 -listen-bin 127.0.0.1:7439 -ring-seed 1 -wait-shards 60s \
+		-shard s0=127.0.0.1:7442@127.0.0.1:7441 -shard s1=127.0.0.1:7444@127.0.0.1:7443 & \
+	R=$$!; \
+	stop='kill $$R $$S0 $$S1 2>/dev/null'; \
+	/tmp/pmload -addr http://127.0.0.1:7440 -devices 50 -duration 2s || { eval $$stop; exit 1; }; \
+	/tmp/pmload -addr http://127.0.0.1:7440 -proto bin -bin-addr 127.0.0.1:7439 -devices 50 -duration 2s || { eval $$stop; exit 1; }; \
+	curl -fsS -o /tmp/router_metrics.prom http://127.0.0.1:7440/metrics || { eval $$stop; exit 1; }; \
+	grep -E 'router_shard_decisions_total\{shard="s0"\} [1-9]' /tmp/router_metrics.prom >/dev/null || { eval $$stop; exit 1; }; \
+	grep -E 'router_shard_decisions_total\{shard="s1"\} [1-9]' /tmp/router_metrics.prom >/dev/null || { eval $$stop; exit 1; }; \
+	grep -E '^serve_decisions_total [1-9]' /tmp/router_metrics.prom >/dev/null || { eval $$stop; exit 1; }; \
+	kill -TERM $$R; wait $$R; \
+	kill -TERM $$S0 $$S1; wait $$S0 $$S1
+
+# bench-shard records the N-shard scaling curve: per shard count it
+# self-hosts a checkpoint-hydrated fleet plus a router, drives 100k+
+# simulated devices shard-direct by ring placement (bounded workers), and
+# stores throughput, latency quantiles, and the router's merged fleet
+# metrics in BENCH_pr9.json.
+SHARD_OUT ?= BENCH_pr9.json
+SHARD_CURVE ?= 1,2,4
+bench-shard:
+	$(GO) run ./cmd/pmload -shard-curve $(SHARD_CURVE) -devices 100000 -workers 64 -duration 10s -out $(SHARD_OUT)
 
 # experiments regenerates the full evaluation through the testing harness.
 experiments:

@@ -35,12 +35,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"rlpm/internal/bench"
 	"rlpm/internal/chaos"
 	"rlpm/internal/serve"
+	"rlpm/internal/shard"
 )
 
 // report is the BENCH_pr6.json document.
@@ -74,6 +77,14 @@ func main() {
 		out      = flag.String("out", "", "write the JSON report here (e.g. BENCH_pr6.json)")
 		quick    = flag.Bool("quick", true, "self-hosted mode: quick training")
 
+		workers = flag.Int("workers", 0, "bound the load-generator goroutines; 0 runs one per device (large -devices needs this)")
+
+		shardCurve  = flag.String("shard-curve", "", "comma-separated shard counts (e.g. '1,2,4'): self-host an N-shard fleet + router per count and record the scaling curve")
+		shardChaos  = flag.Bool("shard-chaos", false, "run the sharded rebalance harness: N shards behind a router, one seeded remove and one add mid-run, differential oracle")
+		shards      = flag.Int("shards", 2, "shard-chaos: initial shard count")
+		kill        = flag.Bool("kill", false, "shard-chaos: kill the victim shard abruptly instead of draining it")
+		shardFaults = flag.Bool("shard-faults", false, "shard-chaos: also inject the -drop/-partial/-corrupt/-latency fault schedule between devices and router")
+
 		chaosMode = flag.Bool("chaos", false, "run the chaos harness instead of a load test: inject faults, optionally restart the server mid-run, and verify zero lost/duplicated/changed decisions")
 		periods   = flag.Int("periods", 200, "chaos mode: decisions per device")
 		restart   = flag.String("restart", "", "chaos mode: kill the server mid-run: 'crash' (abrupt) or 'drain' (graceful + checkpoint); empty never")
@@ -99,6 +110,23 @@ func main() {
 		}
 		os.Exit(runChaosMode(ctx, *proto, *devices, *periods, *scenario, *seed, *epsilon, *restart, *quick, *out, faults))
 	}
+	if *shardChaos {
+		var faults chaos.Config
+		if *shardFaults {
+			faults = chaos.Config{
+				Seed:             *seed,
+				DropRate:         *dropRate,
+				PartialWriteRate: *partRate,
+				CorruptRate:      *corrRate,
+				LatencyRate:      *latRate,
+				LatencyFor:       *latFor,
+			}
+		}
+		os.Exit(runShardChaos(ctx, *proto, *shards, *devices, *periods, *scenario, *seed, *epsilon, *kill, *quick, *out, faults))
+	}
+	if *shardCurve != "" {
+		os.Exit(runShardCurve(ctx, *shardCurve, *devices, *workers, *duration, *scenario, *seed, *epsilon, *quick, *out))
+	}
 
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -107,7 +135,7 @@ func main() {
 	var err error
 	if *addr != "" {
 		rep.Mode = "remote"
-		rep.Runs, err = runRemote(ctx, *addr, *binAddr, *proto, *devices, *duration, *scenario, *seed, *epsilon, *ppf)
+		rep.Runs, err = runRemote(ctx, *addr, *binAddr, *proto, *devices, *workers, *duration, *scenario, *seed, *epsilon, *ppf)
 	} else {
 		rep.Mode = "self-hosted"
 		rep.Runs, err = runSelfHosted(ctx, *backends, *proto, *devices, *duration, *scenario, *seed, *epsilon, *quick, *ppf)
@@ -216,6 +244,135 @@ func runChaosMode(ctx context.Context, proto string, devices, periods int, scena
 	return 0
 }
 
+// runShardChaos trains a quick model and hands it to the sharded rebalance
+// harness: N checkpoint-hydrated shards behind a router, one seeded shard
+// remove (graceful or -kill) and one add mid-run, and a single-process
+// differential oracle. Exit status is non-zero when any invariant is
+// violated — a lost, duplicated, or changed decision, an unmoved fleet, or
+// a leaked goroutine.
+func runShardChaos(ctx context.Context, proto string, shards, devices, periods int, scenario string, seed uint64, epsilon float64, kill, quick bool, out string, faults chaos.Config) int {
+	opt := bench.DefaultOptions()
+	opt.Quick = quick
+	opt.Seed = seed
+	model, _, err := bench.TrainedServeModel(bench.ServeOptions{Options: opt, Scenario: scenario})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmload:", err)
+		return 1
+	}
+	if epsilon == 0 {
+		epsilon = 0.2 // stateful decisions, so any handoff bug diverges
+	}
+	rep, rerr := shard.RunRebalance(ctx, model, shard.RebalanceConfig{
+		Proto:     proto,
+		Shards:    shards,
+		Devices:   devices,
+		Periods:   periods,
+		Seed:      seed,
+		Scenario:  scenario,
+		Epsilon:   epsilon,
+		Rebalance: true,
+		Kill:      kill,
+		Faults:    faults,
+	})
+	if rep != nil {
+		fmt.Printf("shard-chaos: proto=%s shards=%d devices=%d periods=%d decisions=%d moved=%d resumes=%d removed=%s added=%s mismatches=%d in %.2fs\n",
+			rep.Proto, rep.Shards, rep.Devices, rep.Periods, rep.Decisions, rep.Moved, rep.Resumes, rep.Removed, rep.Added, rep.Mismatches, rep.DurationS)
+		if out != "" {
+			raw, err := json.MarshalIndent(rep, "", "  ")
+			if err == nil {
+				err = os.WriteFile(out, append(raw, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmload:", err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", out)
+		}
+	}
+	if rerr != nil {
+		fmt.Fprintln(os.Stderr, "pmload: shard invariant violated:", rerr)
+		return 1
+	}
+	fmt.Println("shard-chaos: all invariants held")
+	return 0
+}
+
+// shardCurveReport is the BENCH_pr9.json document.
+type shardCurveReport struct {
+	GeneratedAt string `json:"generated_at"`
+	Scenario    string `json:"scenario"`
+	*shard.ScaleResult
+}
+
+// runShardCurve measures decide throughput at each requested shard count:
+// per point it self-hosts an N-shard checkpoint-hydrated fleet plus a
+// router, drives the device fleet shard-direct by ring placement, and
+// scrapes the router's merged fleet metrics.
+func runShardCurve(ctx context.Context, curve string, devices, workers int, duration time.Duration, scenario string, seed uint64, epsilon float64, quick bool, out string) int {
+	var counts []int
+	for _, f := range strings.Split(curve, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "pmload: bad -shard-curve entry %q\n", f)
+			return 1
+		}
+		counts = append(counts, n)
+	}
+	opt := bench.DefaultOptions()
+	opt.Quick = quick
+	opt.Seed = seed
+	model, _, err := bench.TrainedServeModel(bench.ServeOptions{Options: opt, Scenario: scenario})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmload:", err)
+		return 1
+	}
+	res, serr := shard.RunScale(ctx, model, shard.ScaleConfig{
+		ShardCounts: counts,
+		Devices:     devices,
+		Workers:     workers,
+		Duration:    duration,
+		Scenario:    scenario,
+		Seed:        seed,
+		Epsilon:     epsilon,
+	})
+	for _, pt := range res.Points {
+		fleetDecisions := uint64(0)
+		if pt.Fleet != nil {
+			fleetDecisions = pt.Fleet.Decisions
+		}
+		fmt.Printf("shards=%d decisions=%d rate=%.0f/s p50=%.3fms p99=%.3fms fleet_decisions=%d\n",
+			pt.Shards, pt.Report.Decisions, pt.Report.DecisionsPerSec,
+			pt.Report.LatencyNs.P50/1e6, pt.Report.LatencyNs.P99/1e6, fleetDecisions)
+	}
+	if out != "" && len(res.Points) > 0 {
+		rep := shardCurveReport{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Scenario:    scenario,
+			ScaleResult: res,
+		}
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(out, append(raw, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmload:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if serr != nil {
+		fmt.Fprintln(os.Stderr, "pmload:", serr)
+		return 1
+	}
+	for _, pt := range res.Points {
+		if pt.Report.Errors > 0 || pt.Report.Decisions == 0 {
+			fmt.Fprintf(os.Stderr, "pmload: shards=%d saw %d errors, %d decisions\n", pt.Shards, pt.Report.Errors, pt.Report.Decisions)
+			return 1
+		}
+	}
+	return 0
+}
+
 // speedup returns bin-over-json decisions/sec when the run set holds one
 // json and one single-period bin run against the same backend; 0
 // otherwise. Multi-period bin runs are excluded so the ratio compares the
@@ -284,7 +441,7 @@ func protoList(proto string) ([]string, error) {
 // runRemote load-tests an already-running server. A bin transport with
 // ppf > 1 is measured twice — single-period first, then batched — so the
 // report carries the framing speedup alongside the raw transport numbers.
-func runRemote(ctx context.Context, addr, binAddr, proto string, devices int, duration time.Duration, scenario string, seed uint64, epsilon float64, ppf int) ([]bench.ServeResult, error) {
+func runRemote(ctx context.Context, addr, binAddr, proto string, devices, workers int, duration time.Duration, scenario string, seed uint64, epsilon float64, ppf int) ([]bench.ServeResult, error) {
 	protos, err := protoList(proto)
 	if err != nil {
 		return nil, err
@@ -301,6 +458,7 @@ func runRemote(ctx context.Context, addr, binAddr, proto string, devices int, du
 				Proto:           p,
 				BinAddr:         binAddr,
 				Devices:         devices,
+				Workers:         workers,
 				Duration:        duration,
 				Scenario:        scenario,
 				Seed:            seed,

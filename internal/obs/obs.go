@@ -84,6 +84,9 @@ type desc struct {
 type metric struct {
 	desc  desc
 	write func(w io.Writer) error
+	// snap captures the series' current value in process-portable form —
+	// what Registry.Snapshot serializes for cross-process scrape-merge.
+	snap func() SeriesSnapshot
 }
 
 // Registry holds registered metrics and renders them in Prometheus text
@@ -138,6 +141,8 @@ func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
 	r.register(metric{desc: c.desc, write: func(w io.Writer) error {
 		_, err := fmt.Fprintf(w, "%s %d\n", series(c.desc.name, c.desc.labels), c.Load())
 		return err
+	}, snap: func() SeriesSnapshot {
+		return scalarSnapshot(c.desc, float64(c.Load()))
 	}})
 	return c
 }
@@ -148,6 +153,8 @@ func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
 	r.register(metric{desc: g.desc, write: func(w io.Writer) error {
 		_, err := fmt.Fprintf(w, "%s %s\n", series(g.desc.name, g.desc.labels), formatFloat(g.Load()))
 		return err
+	}, snap: func() SeriesSnapshot {
+		return scalarSnapshot(g.desc, g.Load())
 	}})
 	return g
 }
@@ -159,6 +166,8 @@ func (r *Registry) NewCounterFunc(name, help string, fn func() uint64, labels ..
 	r.register(metric{desc: d, write: func(w io.Writer) error {
 		_, err := fmt.Fprintf(w, "%s %d\n", series(d.name, d.labels), fn())
 		return err
+	}, snap: func() SeriesSnapshot {
+		return scalarSnapshot(d, float64(fn()))
 	}})
 }
 
@@ -169,6 +178,8 @@ func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...
 	r.register(metric{desc: d, write: func(w io.Writer) error {
 		_, err := fmt.Fprintf(w, "%s %s\n", series(d.name, d.labels), formatFloat(fn()))
 		return err
+	}, snap: func() SeriesSnapshot {
+		return scalarSnapshot(d, fn())
 	}})
 }
 
@@ -176,7 +187,10 @@ func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...
 // the bucket layout).
 func (r *Registry) NewHistogram(name, help string, labels ...Label) *Histogram {
 	h := &Histogram{desc: desc{name: name, help: help, labels: renderLabels(labels), typ: "histogram"}}
-	r.register(metric{desc: h.desc, write: h.writeProm})
+	r.register(metric{desc: h.desc, write: h.writeProm, snap: func() SeriesSnapshot {
+		hs := h.Snapshot()
+		return SeriesSnapshot{Name: h.desc.name, Labels: h.desc.labels, Help: h.desc.help, Type: "histogram", Hist: &hs}
+	}})
 	return h
 }
 

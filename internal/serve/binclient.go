@@ -333,6 +333,8 @@ func binCodeErr(code uint16, backoffMs uint32, msg string) error {
 		base = ErrServerClosed
 	case wire.CodeOverloaded:
 		base = ErrOverloaded
+	case wire.CodeBadRequest:
+		base = ErrBadRequest
 	default:
 		return fmt.Errorf("serve: remote error %d: %s", code, msg)
 	}

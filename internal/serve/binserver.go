@@ -647,6 +647,11 @@ func isWireErr(err error) bool {
 
 // binErrCode maps serve-layer errors onto wire error codes, mirroring the
 // HTTP status mapping in writeError.
+// WireCode maps a serve-layer error onto its binary-protocol error code —
+// exported so front tiers (the shard router) answering on the wire speak
+// the same codes a shard itself would.
+func WireCode(err error) uint16 { return binErrCode(err) }
+
 func binErrCode(err error) uint16 {
 	switch {
 	// ErrUnknownSession wraps ErrNoSession, so it must be checked first:

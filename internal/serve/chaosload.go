@@ -25,8 +25,6 @@ import (
 	"time"
 
 	"rlpm/internal/chaos"
-	"rlpm/internal/qos"
-	"rlpm/internal/soc"
 	"rlpm/internal/workload"
 )
 
@@ -361,7 +359,7 @@ func RunChaos(ctx context.Context, model *Model, cfg ChaosConfig) (*ChaosReport,
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			seed := cfg.Seed + uint64(idx)*0x9e3779b9
+			seed := DeviceSeed(cfg.Seed, idx)
 			sess, err := open(ctx, SessionOptions{Epsilon: cfg.Epsilon, Seed: seed})
 			if err != nil {
 				devErrs[idx] = fmt.Errorf("device %d open: %w", idx, err)
@@ -436,7 +434,7 @@ func RunChaos(ctx context.Context, model *Model, cfg ChaosConfig) (*ChaosReport,
 			if devErrs[idx] != nil {
 				continue
 			}
-			seed := cfg.Seed + uint64(idx)*0x9e3779b9
+			seed := DeviceSeed(cfg.Seed, idx)
 			sess, err := oracle.CreateSession(SessionOptions{Epsilon: cfg.Epsilon, Seed: seed})
 			if err != nil {
 				return err
@@ -484,76 +482,17 @@ func RunChaos(ctx context.Context, model *Model, cfg ChaosConfig) (*ChaosReport,
 	return rep, nil
 }
 
-// chaosDevice runs one device's full chip-simulation life — the same
-// control loop the load generator uses, but period-counted so completeness
-// is exact, and with the decision sequence recorded for the oracle diff.
+// chaosDevice runs one device's full chip-simulation life — the shared
+// RunDeviceSim loop, period-counted so completeness is exact, with the
+// decision sequence recorded for the oracle diff.
 func chaosDevice(cfg ChaosConfig, seed uint64, decide func(int, []Observation) ([]int, error), reward func(float64) error) ([]int, error) {
-	chip, err := soc.NewChip(soc.DefaultChipSpec())
-	if err != nil {
-		return nil, err
-	}
-	spec, err := workload.ByName(cfg.Scenario)
-	if err != nil {
-		return nil, err
-	}
-	scen, err := workload.New(spec, chip.NumClusters(), seed)
-	if err != nil {
-		return nil, err
-	}
-	chip.Reset()
-	scen.Reset(seed)
-
-	n := chip.NumClusters()
-	obs := make([]Observation, n)
-	for i := range obs {
-		obs[i] = Observation{QoS: 1, ClusterQoS: 1, Level: chip.Cluster(i).Level()}
-	}
-	seq := make([]int, 0, cfg.Periods*n)
-	var chipRes soc.ChipStep
-	for p := 0; p < cfg.Periods; p++ {
-		levels, err := decide(p, obs)
-		if err != nil {
-			return seq, err
-		}
-		if len(levels) != n {
-			return seq, fmt.Errorf("serve: %d levels for %d clusters", len(levels), n)
-		}
-		seq = append(seq, levels...)
-		for i, lvl := range levels {
-			chip.Cluster(i).SetLevel(lvl)
-		}
-		w := scen.Next(chaosPeriodS)
-		if err := chip.StepInto(&chipRes, w.Demands, chaosPeriodS); err != nil {
-			return seq, err
-		}
-		var demanded, completed float64
-		for i, d := range w.Demands {
-			demanded += d.Cycles
-			completed += chipRes.Clusters[i].CompletedCycles
-		}
-		q := qos.PeriodQoS(demanded, completed)
-		for i := range obs {
-			cr := chipRes.Clusters[i]
-			dr := 0.0
-			if cr.CapacityCycles > 0 {
-				dr = w.Demands[i].Cycles / cr.CapacityCycles
-			}
-			obs[i] = Observation{
-				Utilization: cr.Utilization,
-				DemandRatio: dr,
-				QoS:         q,
-				ClusterQoS:  qos.PeriodQoS(w.Demands[i].Cycles, cr.CompletedCycles),
-				Critical:    w.Critical,
-				Level:       chip.Cluster(i).Level(),
-			}
-		}
-		if reward != nil && cfg.RewardEvery > 0 && (p+1)%cfg.RewardEvery == 0 {
-			if err := reward(-chipRes.EnergyJ); err != nil {
-				return seq, fmt.Errorf("reward at period %d: %w", p, err)
-			}
-		}
-	}
-	return seq, nil
+	return RunDeviceSim(DeviceSimConfig{
+		Scenario:    cfg.Scenario,
+		Periods:     cfg.Periods,
+		Seed:        seed,
+		PeriodS:     chaosPeriodS,
+		RewardEvery: cfg.RewardEvery,
+	}, decide, reward)
 }
 
 func equalInts(a, b []int) bool {

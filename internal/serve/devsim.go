@@ -1,0 +1,121 @@
+// Shared device simulator: one definition of what a simulated device *is*
+// — chip model, workload stream, observation assembly, reward cadence —
+// used by the load generator, the chaos harness, the sharded rebalance
+// harness, and every differential oracle. Splitting this out is what makes
+// "byte-identical to the oracle" a meaningful claim: the endpoint under
+// test (json, bin, router, N shards) is the only variable; the device side
+// is literally the same code and the same RNG stream.
+package serve
+
+import (
+	"fmt"
+
+	"rlpm/internal/qos"
+	"rlpm/internal/soc"
+	"rlpm/internal/workload"
+)
+
+// DeviceSeed derives device idx's stream seed from the fleet base seed.
+// The derivation depends on the device id ONLY — not on the endpoint, the
+// transport, or how devices are partitioned across shards or worker
+// goroutines — so a json run, a bin run, and an N-shard run over the same
+// fleet replay the same per-device scenario and exploration streams, and
+// one single-process oracle diffs against all of them. (The golden chaos
+// and load fixtures depend on this exact formula; change it and every
+// differential test says so.)
+func DeviceSeed(base uint64, device int) uint64 {
+	return base + uint64(device)*0x9e3779b9
+}
+
+// DeviceSimConfig parameterizes one simulated device's life.
+type DeviceSimConfig struct {
+	// Scenario is the workload name (workload.ByName).
+	Scenario string
+	// Periods is the decide count — the sim is work-based, so harness
+	// completeness invariants are exact.
+	Periods int
+	// Seed is the device's stream seed (DeviceSeed(base, idx)).
+	Seed uint64
+	// PeriodS is the simulated control period in seconds (default 0.05).
+	PeriodS float64
+	// RewardEvery posts a device-computed reward every that many periods
+	// (0 or negative disables).
+	RewardEvery int
+}
+
+// RunDeviceSim runs one device's full chip-simulation life: every control
+// period's observations go through decide, the returned levels are applied,
+// and the recorded decision sequence is returned for oracle diffs. decide
+// receives the period index and one period's observations; reward (may be
+// nil) receives -energy every RewardEvery periods.
+func RunDeviceSim(cfg DeviceSimConfig, decide func(int, []Observation) ([]int, error), reward func(float64) error) ([]int, error) {
+	if cfg.PeriodS == 0 {
+		cfg.PeriodS = 0.05
+	}
+	chip, err := soc.NewChip(soc.DefaultChipSpec())
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workload.ByName(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	scen, err := workload.New(spec, chip.NumClusters(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	chip.Reset()
+	scen.Reset(cfg.Seed)
+
+	n := chip.NumClusters()
+	obs := make([]Observation, n)
+	for i := range obs {
+		obs[i] = Observation{QoS: 1, ClusterQoS: 1, Level: chip.Cluster(i).Level()}
+	}
+	seq := make([]int, 0, cfg.Periods*n)
+	var chipRes soc.ChipStep
+	for p := 0; p < cfg.Periods; p++ {
+		levels, err := decide(p, obs)
+		if err != nil {
+			return seq, err
+		}
+		if len(levels) != n {
+			return seq, fmt.Errorf("serve: %d levels for %d clusters", len(levels), n)
+		}
+		seq = append(seq, levels...)
+		for i, lvl := range levels {
+			chip.Cluster(i).SetLevel(lvl)
+		}
+		w := scen.Next(cfg.PeriodS)
+		if err := chip.StepInto(&chipRes, w.Demands, cfg.PeriodS); err != nil {
+			return seq, err
+		}
+		var demanded, completed float64
+		for i, d := range w.Demands {
+			demanded += d.Cycles
+			completed += chipRes.Clusters[i].CompletedCycles
+		}
+		q := qos.PeriodQoS(demanded, completed)
+		for i := range obs {
+			cr := chipRes.Clusters[i]
+			dr := 0.0
+			if cr.CapacityCycles > 0 {
+				dr = w.Demands[i].Cycles / cr.CapacityCycles
+			}
+			obs[i] = Observation{
+				Utilization: cr.Utilization,
+				DemandRatio: dr,
+				QoS:         q,
+				ClusterQoS:  qos.PeriodQoS(w.Demands[i].Cycles, cr.CompletedCycles),
+				Critical:    w.Critical,
+				Level:       chip.Cluster(i).Level(),
+			}
+		}
+		if reward != nil && cfg.RewardEvery > 0 && (p+1)%cfg.RewardEvery == 0 {
+			if err := reward(-chipRes.EnergyJ); err != nil {
+				return seq, fmt.Errorf("reward at period %d: %w", p, err)
+			}
+		}
+	}
+	return seq, nil
+}

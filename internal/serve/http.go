@@ -102,6 +102,7 @@ type errorResponse struct {
 //	POST   /v1/checkpoint            persist the model to the configured path
 //	GET    /metrics                  Prometheus text exposition (JSON with Accept: application/json)
 //	GET    /debug/events             structured runtime event log (JSON)
+//	GET    /debug/obs                registry snapshot for fleet scrape-merge (JSON)
 //	GET    /healthz                  liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -113,6 +114,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/events", s.handleEvents)
+	mux.HandleFunc("GET /debug/obs", s.handleObs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -317,6 +319,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
+}
+
+// handleObs serves the registry as a process-portable obs.RegistrySnapshot
+// — the scrape endpoint the shard router merges across the fleet.
+func (s *Server) handleObs(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {

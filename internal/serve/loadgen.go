@@ -27,10 +27,25 @@ type LoadConfig struct {
 	// HTTP/JSON path, "bin" the internal/wire binary protocol.
 	Proto string
 	// BinAddr is the binary listener's address ("host:port"); required
-	// when Proto is "bin".
+	// when Proto is "bin" and BinAddrs is empty.
 	BinAddr string
+	// BinAddrs lists N binary listeners (a sharded fleet). With more than
+	// one address, ShardFor must place each device; devices then drive
+	// their owning shard directly, bypassing any router hop — the
+	// configuration the scaling curve measures.
+	BinAddrs []string
+	// ShardFor maps a device stream seed (DeviceSeed(Seed, idx)) to an
+	// index into BinAddrs. Required when len(BinAddrs) > 1; the shard
+	// package supplies the ring's owner function so the load generator
+	// and the router agree on placement.
+	ShardFor func(seed uint64) int
 	// Devices is the concurrent device count.
 	Devices int
+	// Workers bounds the goroutine count: 0 (default) runs one goroutine
+	// per device; W > 0 runs W workers, each round-robining one decide
+	// frame per owned device per pass. 100k-device runs need this — the
+	// per-device state stays, but stacks and scheduler load do not.
+	Workers int
 	// Duration is the wall-clock run length.
 	Duration time.Duration
 	// PeriodS is each device's simulated DVFS control period (default 50 ms
@@ -86,11 +101,20 @@ func (c LoadConfig) Validate() error {
 	if c.Proto != "json" && c.Proto != "bin" {
 		return fmt.Errorf("serve: unknown protocol %q (want json or bin)", c.Proto)
 	}
-	if c.Proto == "bin" && c.BinAddr == "" {
+	if c.Proto == "bin" && c.BinAddr == "" && len(c.BinAddrs) == 0 {
 		return fmt.Errorf("serve: protocol bin needs a binary listener address")
+	}
+	if len(c.BinAddrs) > 0 && c.Proto != "bin" {
+		return fmt.Errorf("serve: sharded addresses need the bin protocol")
+	}
+	if len(c.BinAddrs) > 1 && c.ShardFor == nil {
+		return fmt.Errorf("serve: %d shard addresses need a ShardFor placement function", len(c.BinAddrs))
 	}
 	if c.Devices < 1 {
 		return fmt.Errorf("serve: need at least one device, got %d", c.Devices)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("serve: negative worker count %d", c.Workers)
 	}
 	if c.Duration <= 0 {
 		return fmt.Errorf("serve: non-positive duration %v", c.Duration)
@@ -148,10 +172,13 @@ type deviceStats struct {
 	latencies []int64
 }
 
-// RunLoad drives cfg.Devices simulated devices against the server until
-// cfg.Duration elapses, then closes every session and reports aggregate
-// throughput and latency quantiles. It first waits for the server to pass
-// /healthz, so callers can start server and load generator concurrently.
+// RunLoad drives cfg.Devices simulated devices against the server and
+// reports aggregate throughput and latency quantiles. It first waits for
+// the server to pass /healthz, so callers can start server and load
+// generator concurrently. The run is phased: every session is established
+// before the clock starts, the cfg.Duration window measures decide
+// traffic only, and the fleet closes after the window — so the reported
+// rate is steady-state decide throughput, not session churn.
 func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -164,34 +191,101 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if err := client.WaitHealthy(ctx, 10*time.Second); err != nil {
 		return nil, err
 	}
-	// open resolves the decision transport; health and metrics stay HTTP.
-	open := func(ctx context.Context, opts SessionOptions) (deviceSession, error) {
-		return client.CreateSession(ctx, opts)
+	// openFor resolves the decision transport for one device; health and
+	// metrics stay HTTP. A sharded bin run places each device on its
+	// owning shard via ShardFor over the endpoint-independent device seed,
+	// so placement agrees with the router's ring by construction.
+	openFor := func(int) func(context.Context, SessionOptions) (deviceSession, error) {
+		return func(ctx context.Context, opts SessionOptions) (deviceSession, error) {
+			return client.CreateSession(ctx, opts)
+		}
 	}
 	if cfg.Proto == "bin" {
-		bc := NewBinClient(cfg.BinAddr)
-		defer bc.Close()
-		open = func(ctx context.Context, opts SessionOptions) (deviceSession, error) {
-			return bc.OpenSession(ctx, opts)
+		addrs := cfg.BinAddrs
+		if len(addrs) == 0 {
+			addrs = []string{cfg.BinAddr}
+		}
+		clients := make([]*BinClient, len(addrs))
+		for i, a := range addrs {
+			clients[i] = NewBinClient(a)
+			defer clients[i].Close()
+		}
+		openFor = func(idx int) func(context.Context, SessionOptions) (deviceSession, error) {
+			bc := clients[0]
+			if len(clients) > 1 {
+				bc = clients[cfg.ShardFor(DeviceSeed(cfg.Seed, idx))%len(clients)]
+			}
+			return func(ctx context.Context, opts SessionOptions) (deviceSession, error) {
+				return bc.OpenSession(ctx, opts)
+			}
 		}
 	}
 
-	start := time.Now()
-	deadline := start.Add(cfg.Duration)
 	// Every device observes its round trips into one shared histogram —
 	// the fleet-side mirror of the server's decide-stage histograms.
 	hist := obs.NewHistogram("pmload_decide_latency_ns", "client-observed decide round-trip latency")
 	devStats := make([]deviceStats, cfg.Devices)
+
+	// Device ownership: one contiguous range per worker in bounded mode,
+	// one range per device otherwise.
+	type span struct{ lo, hi int }
+	var spans []span
+	if w := cfg.Workers; w > 0 && w < cfg.Devices {
+		for wk := 0; wk < w; wk++ {
+			spans = append(spans, span{wk * cfg.Devices / w, (wk + 1) * cfg.Devices / w})
+		}
+	} else {
+		for d := 0; d < cfg.Devices; d++ {
+			spans = append(spans, span{d, d + 1})
+		}
+	}
+
+	// Phase 1: establish every session BEFORE the clock starts, so the
+	// measured window holds decide traffic only. (At fleet scale the
+	// one-time session setup otherwise dominates a fixed window and the
+	// throughput numbers stop meaning anything.)
+	live := make([][]*loadDevice, len(spans))
 	var wg sync.WaitGroup
-	for d := 0; d < cfg.Devices; d++ {
+	for i, sp := range spans {
 		wg.Add(1)
-		go func(idx int) {
+		go func(i int, sp span) {
 			defer wg.Done()
-			devStats[idx] = runDevice(ctx, open, cfg, idx, deadline, hist)
-		}(d)
+			for idx := sp.lo; idx < sp.hi; idx++ {
+				d, err := newLoadDevice(ctx, openFor(idx), cfg, idx, &devStats[idx])
+				if err != nil {
+					devStats[idx].errors++
+					continue
+				}
+				live[i] = append(live[i], d)
+			}
+		}(i, sp)
+	}
+	wg.Wait()
+
+	// Phase 2: the measured decide window.
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for i := range spans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			live[i] = decideRange(ctx, live[i], deadline, hist)
+		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	// Phase 3: close the fleet outside the window.
+	for i := range spans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, d := range live[i] {
+				d.close()
+			}
+		}(i)
+	}
+	wg.Wait()
 
 	rep := &LoadReport{Proto: cfg.Proto, Devices: cfg.Devices, PeriodsPerFrame: cfg.PeriodsPerFrame, DurationS: elapsed.Seconds()}
 	var all []int64
@@ -234,130 +328,181 @@ type multiPeriodSession interface {
 	DecideMany(ctx context.Context, obs []Observation) ([]int, error)
 }
 
-// runDevice is one simulated device's life: local chip + scenario, every
-// control period's decision fetched from the server, periodic reward
-// reports, session closed at the end. Errors abort the device and are
-// counted; they never panic the fleet.
-func runDevice(ctx context.Context, open func(context.Context, SessionOptions) (deviceSession, error), cfg LoadConfig, idx int, deadline time.Time, hist *obs.Histogram) deviceStats {
-	var st deviceStats
-	fail := func(error) deviceStats { st.errors++; return st }
+// loadDevice is one simulated device's live state: local chip + scenario,
+// its session, and the frame-assembly scratch. The per-device loop is a
+// struct (not a closed-over goroutine body) so a worker can interleave
+// many devices frame-by-frame without one goroutine each.
+type loadDevice struct {
+	cfg     LoadConfig
+	st      *deviceStats
+	sess    deviceSession
+	decide  func(context.Context, []Observation) ([]int, error)
+	chip    *soc.Chip
+	scen    workload.Scenario
+	obs     []Observation
+	frame   []Observation
+	chipRes soc.ChipStep
+	k, n    int
+	period  int
+}
 
+// newLoadDevice builds device idx's chip, scenario, and session. Errors
+// are counted into st and returned; the device never joins the fleet.
+func newLoadDevice(ctx context.Context, open func(context.Context, SessionOptions) (deviceSession, error), cfg LoadConfig, idx int, st *deviceStats) (*loadDevice, error) {
 	chip, err := soc.NewChip(soc.DefaultChipSpec())
 	if err != nil {
-		return fail(err)
+		return nil, err
 	}
 	spec, err := workload.ByName(cfg.Scenario)
 	if err != nil {
-		return fail(err)
+		return nil, err
 	}
-	seed := cfg.Seed + uint64(idx)*0x9e3779b9
+	seed := DeviceSeed(cfg.Seed, idx)
 	scen, err := workload.New(spec, chip.NumClusters(), seed)
 	if err != nil {
-		return fail(err)
+		return nil, err
 	}
 	chip.Reset()
 	scen.Reset(seed)
 
 	sess, err := open(ctx, SessionOptions{Epsilon: cfg.Epsilon, Seed: seed})
 	if err != nil {
-		return fail(err)
+		return nil, err
 	}
-	defer func() {
-		closeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if _, err := sess.Close(closeCtx); err != nil {
-			st.errors++
-		}
-	}()
-	if sess.NumClusters() != chip.NumClusters() {
-		return fail(fmt.Errorf("server chip has %d clusters, device has %d", sess.NumClusters(), chip.NumClusters()))
+	d := &loadDevice{cfg: cfg, st: st, sess: sess, chip: chip, scen: scen, k: cfg.PeriodsPerFrame, n: chip.NumClusters()}
+	fail := func(err error) (*loadDevice, error) {
+		d.close()
+		return nil, err
 	}
-
-	n := chip.NumClusters()
-	obs := make([]Observation, n)
-	for i := range obs {
-		obs[i] = Observation{QoS: 1, ClusterQoS: 1, Level: chip.Cluster(i).Level()}
+	if sess.NumClusters() != d.n {
+		return fail(fmt.Errorf("server chip has %d clusters, device has %d", sess.NumClusters(), d.n))
 	}
-	k := cfg.PeriodsPerFrame
-	decide := sess.Decide
-	if k > 1 {
+	d.decide = sess.Decide
+	if d.k > 1 {
 		mp, ok := sess.(multiPeriodSession)
 		if !ok {
-			return fail(fmt.Errorf("session %T cannot batch %d periods per frame", sess, k))
+			return fail(fmt.Errorf("session %T cannot batch %d periods per frame", sess, d.k))
 		}
-		decide = mp.DecideMany
+		d.decide = mp.DecideMany
 	}
-	var chipRes soc.ChipStep
-	// stepOnce advances the device one control period at its current OPP
-	// levels and rebuilds obs from the step's telemetry.
-	stepOnce := func() error {
-		p := scen.Next(cfg.PeriodS)
-		if err := chip.StepInto(&chipRes, p.Demands, cfg.PeriodS); err != nil {
+	d.obs = make([]Observation, d.n)
+	for i := range d.obs {
+		d.obs[i] = Observation{QoS: 1, ClusterQoS: 1, Level: chip.Cluster(i).Level()}
+	}
+	d.frame = make([]Observation, 0, d.k*d.n)
+	return d, nil
+}
+
+// stepOnce advances the device one control period at its current OPP
+// levels and rebuilds obs from the step's telemetry.
+func (d *loadDevice) stepOnce() error {
+	p := d.scen.Next(d.cfg.PeriodS)
+	if err := d.chip.StepInto(&d.chipRes, p.Demands, d.cfg.PeriodS); err != nil {
+		return err
+	}
+	var demanded, completed float64
+	for i, dem := range p.Demands {
+		demanded += dem.Cycles
+		completed += d.chipRes.Clusters[i].CompletedCycles
+	}
+	q := qos.PeriodQoS(demanded, completed)
+	for i := range d.obs {
+		cr := d.chipRes.Clusters[i]
+		dr := 0.0
+		if cr.CapacityCycles > 0 {
+			dr = p.Demands[i].Cycles / cr.CapacityCycles
+		}
+		d.obs[i] = Observation{
+			Utilization: cr.Utilization,
+			DemandRatio: dr,
+			QoS:         q,
+			ClusterQoS:  qos.PeriodQoS(p.Demands[i].Cycles, cr.CompletedCycles),
+			Critical:    p.Critical,
+			Level:       d.chip.Cluster(i).Level(),
+		}
+	}
+	return nil
+}
+
+// frameStep runs one decide frame: assemble the K-period frame, fetch the
+// decision, apply the freshest period's levels, advance the chip, and
+// post the reward on cadence.
+func (d *loadDevice) frameStep(ctx context.Context, hist *obs.Histogram) error {
+	// Assemble the frame: the current period's observations, plus k-1
+	// further periods simulated open-loop at the current levels.
+	d.frame = append(d.frame[:0], d.obs...)
+	for p := 1; p < d.k; p++ {
+		if err := d.stepOnce(); err != nil {
 			return err
 		}
-		var demanded, completed float64
-		for i, d := range p.Demands {
-			demanded += d.Cycles
-			completed += chipRes.Clusters[i].CompletedCycles
-		}
-		q := qos.PeriodQoS(demanded, completed)
-		for i := range obs {
-			cr := chipRes.Clusters[i]
-			dr := 0.0
-			if cr.CapacityCycles > 0 {
-				dr = p.Demands[i].Cycles / cr.CapacityCycles
-			}
-			obs[i] = Observation{
-				Utilization: cr.Utilization,
-				DemandRatio: dr,
-				QoS:         q,
-				ClusterQoS:  qos.PeriodQoS(p.Demands[i].Cycles, cr.CompletedCycles),
-				Critical:    p.Critical,
-				Level:       chip.Cluster(i).Level(),
-			}
-		}
-		return nil
+		d.frame = append(d.frame, d.obs...)
 	}
-	frame := make([]Observation, 0, k*n)
-	period := 0
-	for time.Now().Before(deadline) && ctx.Err() == nil {
-		// Assemble the frame: the current period's observations, plus k-1
-		// further periods simulated open-loop at the current levels.
-		frame = append(frame[:0], obs...)
-		for p := 1; p < k; p++ {
-			if err := stepOnce(); err != nil {
-				return fail(err)
-			}
-			frame = append(frame, obs...)
-		}
-		t0 := time.Now()
-		levels, err := decide(ctx, frame)
-		if err != nil {
-			return fail(err)
-		}
-		st.decisions += uint64(k)
-		lat := time.Since(t0).Nanoseconds()
-		st.latencies = append(st.latencies, lat)
-		hist.Observe(lat)
-		if len(levels) != k*n {
-			return fail(fmt.Errorf("server returned %d levels for %d observations", len(levels), k*n))
-		}
-		// Apply the final period's decision — the freshest one — and step
-		// into the next period under it.
-		for i := 0; i < n; i++ {
-			chip.Cluster(i).SetLevel(levels[(k-1)*n+i])
-		}
-		if err := stepOnce(); err != nil {
-			return fail(err)
-		}
-		period += k
-		if cfg.RewardEvery > 0 && period/cfg.RewardEvery != (period-k)/cfg.RewardEvery {
-			if _, err := sess.Reward(ctx, -chipRes.EnergyJ); err != nil {
-				return fail(err)
-			}
+	t0 := time.Now()
+	levels, err := d.decide(ctx, d.frame)
+	if err != nil {
+		return err
+	}
+	d.st.decisions += uint64(d.k)
+	lat := time.Since(t0).Nanoseconds()
+	d.st.latencies = append(d.st.latencies, lat)
+	hist.Observe(lat)
+	if len(levels) != d.k*d.n {
+		return fmt.Errorf("server returned %d levels for %d observations", len(levels), d.k*d.n)
+	}
+	// Apply the final period's decision — the freshest one — and step
+	// into the next period under it.
+	for i := 0; i < d.n; i++ {
+		d.chip.Cluster(i).SetLevel(levels[(d.k-1)*d.n+i])
+	}
+	if err := d.stepOnce(); err != nil {
+		return err
+	}
+	d.period += d.k
+	if d.cfg.RewardEvery > 0 && d.period/d.cfg.RewardEvery != (d.period-d.k)/d.cfg.RewardEvery {
+		if _, err := d.sess.Reward(ctx, -d.chipRes.EnergyJ); err != nil {
+			return err
 		}
 	}
-	return st
+	return nil
+}
+
+// close ends the device's session, counting a failed close as an error.
+func (d *loadDevice) close() {
+	closeCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := d.sess.Close(closeCtx); err != nil {
+		d.st.errors++
+	}
+}
+
+// decideRange round-robins one decide frame per live device per pass
+// until the deadline, checking the deadline between frames so a pass
+// over a large range cannot overrun the window. A device error aborts
+// that device (counted, session closed); it never panics the fleet. It
+// returns the devices still live for the caller to close. With one
+// device this degenerates to the classic per-device loop.
+func decideRange(ctx context.Context, live []*loadDevice, deadline time.Time, hist *obs.Histogram) []*loadDevice {
+	for len(live) > 0 {
+		n := 0
+		for j, d := range live {
+			if !time.Now().Before(deadline) || ctx.Err() != nil {
+				// Window closed mid-pass: keep the unvisited tail live.
+				return append(live[:n], live[j:]...)
+			}
+			if err := d.frameStep(ctx, hist); err != nil {
+				d.st.errors++
+				d.close()
+				continue
+			}
+			live[n] = d
+			n++
+		}
+		live = live[:n]
+		if !time.Now().Before(deadline) || ctx.Err() != nil {
+			break
+		}
+	}
+	return live
 }
 
 // quantiles computes latency quantiles over raw nanosecond samples using

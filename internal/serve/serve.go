@@ -78,6 +78,14 @@ var ErrBadSeq = errors.New("serve: bad request sequence")
 // protocol to CodeOverloaded.
 var ErrOverloaded = errors.New("serve: overloaded")
 
+// ErrBadRequest is the client-side sentinel for a remote CodeBadRequest
+// rejection: the server understood the transport but refused the request
+// itself (malformed frame payload, wrong cluster count). Retrying the same
+// bytes cannot help, so the retry loop treats it as terminal. The router
+// forwards it unchanged — the device client is the party that must fix
+// its request.
+var ErrBadRequest = errors.New("serve: bad request")
+
 // Model is the shared frozen policy: per-cluster Q-tables plus the state
 // encoding they were trained with. A Model is immutable after construction
 // and safe for concurrent readers.
