@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race staticcheck fuzz cover bench bench-smoke bench-serve bench-shard serve-smoke shard-smoke chaos-smoke experiments golden
+.PHONY: check build vet test race staticcheck fuzz cover bench bench-smoke bench-serve bench-shard serve-smoke shard-smoke chaos-smoke learn-smoke experiments golden
 
 # check is the full CI gate: vet, build, the default test suite (unit +
 # determinism + golden, in shuffled order), and the race-detector pass over
@@ -95,6 +95,15 @@ chaos-smoke:
 	$(GO) run -race ./cmd/pmload -chaos -proto json -devices 4 -periods 60 -restart drain
 	$(GO) run -race ./cmd/pmload -shard-chaos -proto bin -kill -shards 3 -devices 8 -periods 90 -shard-faults
 	$(GO) run -race ./cmd/pmload -shard-chaos -proto json -shards 2 -devices 6 -periods 60
+
+# learn-smoke runs the training-while-serving harness under the race
+# detector: a seeded fleet split into learning and frozen-control arms
+# against an online-learning server, run twice. pmload -learn exits
+# non-zero unless updates were applied losslessly, both runs produced
+# identical decision traces and bit-identical learned checkpoints, and the
+# learned checkpoint reloads into a servable model.
+learn-smoke:
+	$(GO) run -race ./cmd/pmload -learn -devices 8 -periods 120
 
 # shard-smoke is the sharded end-to-end binary check: two pmserve shards,
 # a pmrouter fronting them on HTTP + binary, pmload driving the fleet

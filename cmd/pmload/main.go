@@ -28,6 +28,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -35,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 	"syscall"
@@ -42,6 +44,7 @@ import (
 
 	"rlpm/internal/bench"
 	"rlpm/internal/chaos"
+	"rlpm/internal/core"
 	"rlpm/internal/serve"
 	"rlpm/internal/shard"
 )
@@ -85,6 +88,9 @@ func main() {
 		kill        = flag.Bool("kill", false, "shard-chaos: kill the victim shard abruptly instead of draining it")
 		shardFaults = flag.Bool("shard-faults", false, "shard-chaos: also inject the -drop/-partial/-corrupt/-latency fault schedule between devices and router")
 
+		learnMode = flag.Bool("learn", false, "run the seeded training-while-serving harness: a frozen-vs-learning device A/B with live Q-updates, then verify determinism and that the learned checkpoint reloads")
+		learnTick = flag.Int("learn-tick-every", 0, "learn mode: drain the learner every this many fleet rounds (0 = default)")
+
 		chaosMode = flag.Bool("chaos", false, "run the chaos harness instead of a load test: inject faults, optionally restart the server mid-run, and verify zero lost/duplicated/changed decisions")
 		periods   = flag.Int("periods", 200, "chaos mode: decisions per device")
 		restart   = flag.String("restart", "", "chaos mode: kill the server mid-run: 'crash' (abrupt) or 'drain' (graceful + checkpoint); empty never")
@@ -99,6 +105,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *learnMode {
+		os.Exit(runLearnMode(*devices, *periods, *scenario, *seed, *epsilon, *learnTick, *quick, *out))
+	}
 	if *chaosMode {
 		faults := chaos.Config{
 			Seed:             *seed,
@@ -179,6 +188,103 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pmload: %d device errors\n", errs)
 		os.Exit(1)
 	}
+}
+
+// runLearnMode trains a quick model and hands it to the seeded
+// training-while-serving harness: half the fleet learns (decisions follow
+// the live tables, rewards feed Q-updates), half is frozen on the
+// construction-time model as the control arm. The run is executed twice
+// with the same seed, and the smoke gates are: updates were applied, no
+// samples were dropped or rejected, both runs produced identical decision
+// traces and bit-identical learned checkpoints, and the learned checkpoint
+// loads back as a serving model.
+func runLearnMode(devices, periods int, scenario string, seed uint64, epsilon float64, tickEvery int, quick bool, out string) int {
+	opt := bench.DefaultOptions()
+	opt.Quick = quick
+	opt.Seed = seed
+	model, _, err := bench.TrainedServeModel(bench.ServeOptions{Options: opt, Scenario: scenario})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmload:", err)
+		return 1
+	}
+	if epsilon == 0 {
+		epsilon = 0.2 // off-greedy samples are what the learner feeds on
+	}
+	cfg := serve.LearnLoadConfig{
+		Devices:   devices,
+		Periods:   periods,
+		Scenario:  scenario,
+		Seed:      seed,
+		Epsilon:   epsilon,
+		TickEvery: tickEvery,
+	}
+	rep, err := serve.RunLearn(model, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmload:", err)
+		return 1
+	}
+	rep2, err := serve.RunLearn(model, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmload: replay run:", err)
+		return 1
+	}
+
+	fmt.Printf("learn: devices=%d periods=%d updates=%d swaps=%d policy_version=%d dropped=%d rejected=%d\n",
+		rep.Devices, rep.Periods, rep.Updates, rep.Swaps, rep.PolicyVersion, rep.Dropped, rep.Rejected)
+	for _, arm := range []struct {
+		name string
+		a    serve.LearnArm
+	}{{"learning", rep.Learning}, {"frozen", rep.Frozen}} {
+		fmt.Printf("learn: arm=%-8s devices=%d rewards=%d mean_reward=%.4f energy=%.4fJ mean_qos=%.4f\n",
+			arm.name, arm.a.Devices, arm.a.Rewards, arm.a.MeanReward, arm.a.EnergyJ, arm.a.MeanQoS)
+	}
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "pmload: learn invariant violated: "+format+"\n", args...)
+		return 1
+	}
+	if rep.Updates == 0 {
+		return fail("no Q-updates applied")
+	}
+	if rep.Dropped > 0 || rep.Rejected > 0 {
+		return fail("%d samples dropped, %d rejected", rep.Dropped, rep.Rejected)
+	}
+	if !bytes.Equal(rep.Checkpoint, rep2.Checkpoint) {
+		return fail("seeded replay produced different learned tables")
+	}
+	for i := range rep.Traces {
+		if !slices.Equal(rep.Traces[i], rep2.Traces[i]) {
+			return fail("seeded replay diverged on device %d's decisions", i)
+		}
+	}
+	dir, err := os.MkdirTemp("", "pmload-learn-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmload:", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "learned.ckpt")
+	if err := os.WriteFile(ckpt, rep.Checkpoint, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pmload:", err)
+		return 1
+	}
+	if _, err := serve.LoadModel(ckpt, core.DefaultConfig()); err != nil {
+		return fail("learned checkpoint does not reload: %v", err)
+	}
+
+	if out != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(out, append(raw, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmload:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	fmt.Println("learn: all invariants held (replay deterministic, checkpoint reloads)")
+	return 0
 }
 
 // runChaosMode trains a quick model and hands it to the chaos harness.

@@ -16,6 +16,7 @@
 //	pmserve -backend hw                      # serve through the modeled accelerator
 //	pmserve -backend hw -fault-read-err 1e-3 # ...with injected bus faults
 //	pmserve -listen-bin 127.0.0.1:7422       # also speak the binary wire protocol
+//	pmserve -learn -checkpoint policy.ckpt   # apply device rewards as live Q-updates
 //
 // Endpoints: POST /v1/sessions, POST /v1/sessions/{id}/decide,
 // POST /v1/sessions/{id}/reward, DELETE /v1/sessions/{id},
@@ -69,6 +70,13 @@ func main() {
 		queueDeadline = flag.Duration("queue-deadline", 0, "shed decide requests queued longer than this with a retry hint (0 = never)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown window on SIGINT/SIGTERM")
 
+		learn          = flag.Bool("learn", false, "apply device-reported rewards as live Q-updates (sw backend only)")
+		learnSeed      = flag.Uint64("learn-seed", 1, "learner Double-Q coin seed")
+		learnAlpha     = flag.Float64("learn-alpha", 0, "learning rate override (0 = model config)")
+		learnGamma     = flag.Float64("learn-gamma", 0, "discount override (0 = model config)")
+		learnSwapEvery = flag.Int("learn-swap-every", 0, "applied updates per table publication (0 = default 256)")
+		learnCkptEvery = flag.Duration("learn-checkpoint-every", 0, "periodically publish the learned tables to -checkpoint (0 = only on drain)")
+
 		faultReadErr  = flag.Float64("fault-read-err", 0, "hw backend: injected bus read error rate")
 		faultWriteErr = flag.Float64("fault-write-err", 0, "hw backend: injected bus write error rate")
 		faultTimeout  = flag.Float64("fault-timeout", 0, "hw backend: injected device-wedge rate")
@@ -82,6 +90,10 @@ func main() {
 		seed: *seed, faultReadErr: *faultReadErr, faultWriteErr: *faultWriteErr,
 		faultTimeout: *faultTimeout, faultSeed: *faultSeed,
 		epoch: uint32(*epoch), sessionTTL: *sessionTTL, queueDeadline: *queueDeadline,
+		learn: serve.LearnConfig{
+			Enabled: *learn, Seed: *learnSeed, Alpha: *learnAlpha, Gamma: *learnGamma,
+			SwapEvery: *learnSwapEvery, CheckpointEvery: *learnCkptEvery,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmserve:", err)
@@ -175,6 +187,7 @@ type serverParams struct {
 	faultReadErr, faultWriteErr, faultTimeout float64
 	epoch                                     uint32
 	sessionTTL, queueDeadline                 time.Duration
+	learn                                     serve.LearnConfig
 }
 
 // buildServer resolves the model (checkpoint or fresh training), wires the
@@ -238,9 +251,13 @@ func buildServer(p serverParams) (*serve.Server, error) {
 		freshlyTrained = true
 	}
 
+	if p.learn.Enabled && p.backend == "hw" {
+		return nil, fmt.Errorf("-learn requires the sw backend: learned tables publish by swapping immutable models, which the modeled accelerator cannot do")
+	}
 	srv, err := serve.New(model, backend, serve.Config{
 		MaxBatch: p.maxBatch, Linger: p.linger, CheckpointPath: p.checkpoint,
 		Epoch: p.epoch, SessionTTL: p.sessionTTL, QueueDeadline: p.queueDeadline,
+		Learn: p.learn,
 	})
 	if err != nil {
 		return nil, err

@@ -17,12 +17,46 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"rlpm/internal/rng"
 	"rlpm/internal/sim"
 )
+
+// ErrBadObservation marks an observation whose numeric fields cannot be
+// discretized meaningfully (NaN, ±Inf, or negative ratios). The bin
+// functions would otherwise silently map such values onto a valid bin —
+// NaN fails every `<` comparison, so a poisoned demand ratio lands in the
+// top load band and a poisoned QoS in the bottom band — which is merely
+// misleading for a frozen policy but corrupts the table once observations
+// drive live Q-updates. Callers on learning paths must validate first.
+var ErrBadObservation = errors.New("core: bad observation")
+
+// badRatio reports whether v is unusable as a nonnegative ratio.
+func badRatio(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0) || v < 0
+}
+
+// ValidateObservation rejects observations whose demand or QoS fields are
+// NaN, infinite, or negative, returning an error wrapping
+// ErrBadObservation that names the offending field. Utilization is checked
+// on the same terms; Level/NumLevels range checks stay with the callers
+// that know the cluster shape.
+func (c Config) ValidateObservation(o sim.Observation) error {
+	switch {
+	case badRatio(o.DemandRatio):
+		return fmt.Errorf("%w: demand ratio %v", ErrBadObservation, o.DemandRatio)
+	case badRatio(o.QoS):
+		return fmt.Errorf("%w: qos %v", ErrBadObservation, o.QoS)
+	case badRatio(o.ClusterQoS):
+		return fmt.Errorf("%w: cluster qos %v", ErrBadObservation, o.ClusterQoS)
+	case badRatio(o.Utilization):
+		return fmt.Errorf("%w: utilization %v", ErrBadObservation, o.Utilization)
+	}
+	return nil
+}
 
 // StateConfig controls discretization of the observation space.
 type StateConfig struct {

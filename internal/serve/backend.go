@@ -36,15 +36,24 @@ type Backend interface {
 // so a batch of fleet lookups scans each hot row once instead of
 // pointer-chasing per lookup. keys and memo are backend-owned scratch —
 // Decide runs only on the single batch worker.
+//
+// The served model is behind an atomic pointer so an online learner can
+// publish a new table set (SetModel) without the decide path ever taking a
+// lock: readers load the pointer once per batch, models are immutable
+// after construction, and the epoch-tagged memo never needs clearing on a
+// swap — same-shape models share an arena length (core.FlatMemo.Fits
+// guards the one way that could break), and the memo's per-call epoch
+// already invalidates every cached row between batches.
 type SWBackend struct {
-	m    *Model
-	keys []uint64       // scratch: packed lookup keys of one batch
-	memo *core.FlatMemo // scratch: per-row argmax memo across one batch
+	live atomic.Pointer[Model] // current policy: swapped by SetModel, read by Decide
+	keys []uint64              // scratch: packed lookup keys of one batch
+	memo *core.FlatMemo        // scratch: per-row argmax memo across one batch
 }
 
 // NewSWBackend builds the software backend over model.
 func NewSWBackend(m *Model) *SWBackend {
-	b := &SWBackend{m: m}
+	b := &SWBackend{}
+	b.live.Store(m)
 	if m.flat != nil {
 		b.memo = m.flat.NewMemo()
 	}
@@ -54,15 +63,28 @@ func NewSWBackend(m *Model) *SWBackend {
 // Name implements Backend.
 func (*SWBackend) Name() string { return "sw" }
 
+// Model returns the currently served model.
+func (b *SWBackend) Model() *Model { return b.live.Load() }
+
+// SetModel publishes m as the served policy. The swap is a single atomic
+// store; in-flight Decide calls finish against the model they loaded, and
+// the next batch sees m. m must be shape-compatible with the backend's
+// construction model (the learner republishes snapshots of the same
+// tables, so it always is; Decide degrades to the pointer walk otherwise).
+func (b *SWBackend) SetModel(m *Model) { b.live.Store(m) }
+
 // Decide implements Backend. It cannot fail: the session layer validates
 // cluster/state ranges before queueing.
 func (b *SWBackend) Decide(lookups []Lookup, out []int) error {
-	ft := b.m.flat
-	if ft == nil || len(lookups) <= 2 || len(lookups) > core.MaxFlatBatch {
-		// No packable arena, a batch too small for memoization to pay off,
-		// or one too large for the packed key's index field: per-lookup walk.
+	m := b.live.Load()
+	ft := m.flat
+	if ft == nil || b.memo == nil || !b.memo.Fits(ft) ||
+		len(lookups) <= 2 || len(lookups) > core.MaxFlatBatch {
+		// No packable arena (or a swapped-in arena the memo wasn't sized
+		// for), a batch too small for memoization to pay off, or one too
+		// large for the packed key's index field: per-lookup walk.
 		for i, l := range lookups {
-			out[i] = b.m.Greedy(l.Cluster, l.State)
+			out[i] = m.Greedy(l.Cluster, l.State)
 		}
 		return nil
 	}
@@ -202,7 +224,7 @@ func (b *HWBackend) Decide(lookups []Lookup, out []int) error {
 			d = b.drivers[l.Cluster]
 		}
 		if d == nil {
-			out[i] = b.sw.m.Greedy(l.Cluster, l.State)
+			out[i] = b.sw.Model().Greedy(l.Cluster, l.State)
 			b.degraded.Add(1)
 			continue
 		}
@@ -216,10 +238,10 @@ func (b *HWBackend) Decide(lookups []Lookup, out []int) error {
 			action, lat = a, l2
 			return nil
 		})
-		if err != nil || action < 0 || action >= b.sw.m.levels[l.Cluster] {
+		if err != nil || action < 0 || action >= b.sw.Model().levels[l.Cluster] {
 			// Transaction failed all retries, or a fault corrupted the
 			// action read: the shared software tables answer instead.
-			out[i] = b.sw.m.Greedy(l.Cluster, l.State)
+			out[i] = b.sw.Model().Greedy(l.Cluster, l.State)
 			b.degraded.Add(1)
 			if b.events != nil {
 				if err != nil {

@@ -141,17 +141,18 @@ func (b *BinCaller) DecideSeq(ctx context.Context, c *BinClient, handle uint64, 
 	return b.levels, nil
 }
 
-// Reward forwards a reward report; Close forwards a session close. Both
-// return the shard-side ledger.
-func (b *BinCaller) Reward(ctx context.Context, c *BinClient, handle uint64, reward float64) (wire.Stats, error) {
-	return b.statsCall(ctx, c, wire.TReward, wire.TRewardOK, handle, reward)
+// Reward forwards a reward report under the shard-side handle/epoch and
+// the device's reward sequence number (0 = untagged legacy); Close
+// forwards a session close. Both return the shard-side ledger.
+func (b *BinCaller) Reward(ctx context.Context, c *BinClient, handle uint64, epoch uint32, seq uint64, reward float64) (wire.Stats, error) {
+	return b.statsCall(ctx, c, wire.TReward, wire.TRewardOK, handle, epoch, seq, reward)
 }
 
 func (b *BinCaller) Close(ctx context.Context, c *BinClient, handle uint64) (wire.Stats, error) {
-	return b.statsCall(ctx, c, wire.TClose, wire.TCloseOK, handle, 0)
+	return b.statsCall(ctx, c, wire.TClose, wire.TCloseOK, handle, 0, 0, 0)
 }
 
-func (b *BinCaller) statsCall(ctx context.Context, c *BinClient, typ, wantType byte, handle uint64, reward float64) (wire.Stats, error) {
+func (b *BinCaller) statsCall(ctx context.Context, c *BinClient, typ, wantType byte, handle uint64, epoch uint32, seq uint64, reward float64) (wire.Stats, error) {
 	mc, err := c.conn()
 	if err != nil {
 		return wire.Stats{}, err
@@ -159,7 +160,9 @@ func (b *BinCaller) statsCall(ctx context.Context, c *BinClient, typ, wantType b
 	reqID := mc.reqID.Add(1)
 	buf := wire.BeginFrame(b.wbuf)
 	if typ == wire.TReward {
-		buf = wire.AppendRewardReq(buf, wire.RewardReq{Handle: handle, Reward: reward})
+		buf = wire.AppendRewardReq(buf, wire.RewardReq{
+			Handle: handle, Reward: reward, Epoch: epoch, Seq: seq,
+		})
 	} else {
 		buf = wire.AppendCloseReq(buf, wire.CloseReq{Handle: handle})
 	}

@@ -625,11 +625,16 @@ func (s *BinSession) decideOnce(ctx context.Context, obs []Observation, seq uint
 	return levels, nil
 }
 
-// Reward reports a device-computed reward. Note that rewards feed only
-// the monitoring ledger, not decisions, and are not deduplicated: a
-// reward retried across a lost response may count twice server-side.
+// Reward reports a device-computed reward. With a mirror the frame
+// carries the session epoch and the next reward sequence number, so a
+// retry after a lost ack deduplicates server-side — the ledger counts it
+// once and a learning server applies its Q-updates once.
 func (s *BinSession) Reward(ctx context.Context, r float64) (SessionStats, error) {
-	st, err := s.statsCall(ctx, wire.TReward, wire.TRewardOK, r)
+	var seq uint64
+	if s.mirror != nil {
+		seq = s.mirror.nextRewardSeq()
+	}
+	st, err := s.statsCall(ctx, wire.TReward, wire.TRewardOK, r, seq)
 	if err == nil && s.mirror != nil {
 		s.mirror.ackReward(r)
 	}
@@ -639,7 +644,7 @@ func (s *BinSession) Reward(ctx context.Context, r float64) (SessionStats, error
 // Close ends the session, returning its final ledger. After a successful
 // close the session is dead client-side: no further call will resume it.
 func (s *BinSession) Close(ctx context.Context) (SessionStats, error) {
-	st, err := s.statsCall(ctx, wire.TClose, wire.TCloseOK, 0)
+	st, err := s.statsCall(ctx, wire.TClose, wire.TCloseOK, 0, 0)
 	if err == nil {
 		s.closed = true
 		s.mirror = nil
@@ -647,7 +652,7 @@ func (s *BinSession) Close(ctx context.Context) (SessionStats, error) {
 	return st, err
 }
 
-func (s *BinSession) statsCall(ctx context.Context, typ, wantType byte, reward float64) (SessionStats, error) {
+func (s *BinSession) statsCall(ctx context.Context, typ, wantType byte, reward float64, rewardSeq uint64) (SessionStats, error) {
 	if s.closed {
 		return SessionStats{}, ErrSessionClosed
 	}
@@ -660,7 +665,13 @@ func (s *BinSession) statsCall(ctx context.Context, typ, wantType byte, reward f
 		reqID := mc.reqID.Add(1)
 		buf := wire.BeginFrame(s.wbuf)
 		if typ == wire.TReward {
-			buf = wire.AppendRewardReq(buf, wire.RewardReq{Handle: s.Handle, Reward: reward})
+			var epoch uint32
+			if s.mirror != nil {
+				epoch = s.Epoch // read per attempt: a resume mints a fresh epoch
+			}
+			buf = wire.AppendRewardReq(buf, wire.RewardReq{
+				Handle: s.Handle, Reward: reward, Epoch: epoch, Seq: rewardSeq,
+			})
 		} else {
 			buf = wire.AppendCloseReq(buf, wire.CloseReq{Handle: s.Handle})
 		}

@@ -238,11 +238,11 @@ func (s *Server) handleBinFrame(st *binConnState, h wire.Header) bool {
 		if err := wire.ParseRewardReq(st.payload, &st.rreq); err != nil {
 			return s.binError(st, h.ReqID, err)
 		}
-		sess, err := s.SessionByHandle(st.rreq.Handle)
+		sess, err := s.SessionByHandleEpoch(st.rreq.Handle, st.rreq.Epoch)
 		if err != nil {
 			return s.binError(st, h.ReqID, err)
 		}
-		stats, err := sess.Reward(st.rreq.Reward)
+		stats, err := sess.RewardSeq(st.rreq.Seq, st.rreq.Reward)
 		if err != nil {
 			return s.binError(st, h.ReqID, err)
 		}

@@ -140,6 +140,15 @@ type ChaosReport struct {
 	Restarts        int  `json:"restarts"`
 	DrainCheckpoint bool `json:"drain_checkpoint,omitempty"` // drain-mode checkpoint verified
 
+	// RewardsAcked counts reward reports acknowledged exactly once
+	// client-side; ServerRewards is the server ledger's count and
+	// RewardsDeduped its replay-answered retries. Without a restart the
+	// first two must be equal — a retried reward that double-counted would
+	// show up as ServerRewards > RewardsAcked.
+	RewardsAcked   uint64 `json:"rewards_acked"`
+	ServerRewards  uint64 `json:"server_rewards"`
+	RewardsDeduped uint64 `json:"rewards_deduped"`
+
 	Mismatches int `json:"mismatches"` // devices whose sequence diverged from the oracle
 
 	GoroutinesStart int    `json:"goroutines_start"`
@@ -289,6 +298,7 @@ func RunChaos(ctx context.Context, model *Model, cfg ChaosConfig) (*ChaosReport,
 
 	total := uint64(cfg.Devices) * uint64(cfg.Periods)
 	var acked atomic.Uint64
+	var rewardsAcked atomic.Uint64
 
 	// Restart controller: once half the fleet's decisions are acked, kill
 	// the incarnation and start epoch 2 on the same address. Clients ride
@@ -380,6 +390,9 @@ func RunChaos(ctx context.Context, model *Model, cfg ChaosConfig) (*ChaosReport,
 			}
 			reward := func(r float64) error {
 				_, err := sess.Reward(ctx, r)
+				if err == nil {
+					rewardsAcked.Add(1)
+				}
 				return err
 			}
 			sequences[idx], err = chaosDevice(cfg, seed, decide, reward)
@@ -419,6 +432,9 @@ func RunChaos(ctx context.Context, model *Model, cfg ChaosConfig) (*ChaosReport,
 	rep.ProxyConns, rep.ProxyDrops, rep.ProxyStalls = ps.Conns, ps.Drops, ps.Stalls
 	rep.ProxyPartials, rep.ProxyCorrupts, rep.ProxyDelays = ps.Partials, ps.Corrupts, ps.Delays
 	rep.Decisions = acked.Load()
+	rep.RewardsAcked = rewardsAcked.Load()
+	rep.ServerRewards = m.Rewards
+	rep.RewardsDeduped = m.RewardsDeduped
 	rep.DurationS = time.Since(start).Seconds()
 
 	// Fault-free oracle: the same fleet served by an in-process server.
@@ -474,6 +490,14 @@ func RunChaos(ctx context.Context, model *Model, cfg ChaosConfig) (*ChaosReport,
 		return rep, fmt.Errorf("serve: chaos acked %d decisions, want %d", rep.Decisions, total)
 	case rep.Mismatches > 0:
 		return rep, fmt.Errorf("serve: %d device(s) diverged from the fault-free oracle", rep.Mismatches)
+	case cfg.Restart == "" && rep.ServerRewards != rep.RewardsAcked:
+		// Exactly-once: every client-acked reward landed on the ledger once.
+		// A retried frame that double-counted shows up as ServerRewards >
+		// RewardsAcked; a lost ack the dedup path swallowed shows the
+		// reverse. Restart runs skip this — the final incarnation's counters
+		// don't cover rewards applied before the kill.
+		return rep, fmt.Errorf("serve: chaos reward ledger %d != %d client-acked (deduped %d)",
+			rep.ServerRewards, rep.RewardsAcked, rep.RewardsDeduped)
 	case rep.GoroutinesEnd > rep.GoroutinesStart:
 		return rep, fmt.Errorf("serve: chaos leaked goroutines: %d before, %d after", rep.GoroutinesStart, rep.GoroutinesEnd)
 	case rep.HeapAllocEnd > rep.HeapAllocStart+256<<20:

@@ -333,16 +333,26 @@ func (s *RemoteSession) Decide(ctx context.Context, obs []Observation) ([]int, e
 	return levels, nil
 }
 
-// Reward reports a device-computed reward. Rewards feed only the
-// monitoring ledger and are not deduplicated: one retried across a lost
-// response may count twice server-side.
+// Reward reports a device-computed reward. With a mirror the request
+// carries the session epoch and the next reward sequence number, so a
+// retry after a lost ack deduplicates server-side — the ledger counts it
+// once and a learning server applies its Q-updates once.
 func (s *RemoteSession) Reward(ctx context.Context, r float64) (SessionStats, error) {
 	if s.closed {
 		return SessionStats{}, ErrSessionClosed
 	}
+	var seq uint64
+	if s.mirror != nil {
+		seq = s.mirror.nextRewardSeq()
+	}
 	var st SessionStats
 	once := func() error {
-		return s.c.do(ctx, http.MethodPost, "/v1/sessions/"+s.ID+"/reward", RewardRequest{Reward: r}, &st)
+		var epoch uint32
+		if s.mirror != nil {
+			epoch = s.Epoch // read per attempt: a resume mints a fresh epoch
+		}
+		return s.c.do(ctx, http.MethodPost, "/v1/sessions/"+s.ID+"/reward",
+			RewardRequest{Reward: r, Epoch: epoch, Seq: seq}, &st)
 	}
 	err := once()
 	if err != nil {

@@ -43,12 +43,25 @@ type DeviceSimConfig struct {
 	RewardEvery int
 }
 
-// RunDeviceSim runs one device's full chip-simulation life: every control
-// period's observations go through decide, the returned levels are applied,
-// and the recorded decision sequence is returned for oracle diffs. decide
-// receives the period index and one period's observations; reward (may be
-// nil) receives -energy every RewardEvery periods.
-func RunDeviceSim(cfg DeviceSimConfig, decide func(int, []Observation) ([]int, error), reward func(float64) error) ([]int, error) {
+// DeviceStepper is RunDeviceSim unrolled: the same chip, workload stream,
+// and observation assembly, advanced one control period at a time so a
+// harness can interleave many devices deterministically (the learning
+// harness round-robins a cohort and ticks the learner between rounds).
+type DeviceStepper struct {
+	cfg     DeviceSimConfig
+	chip    *soc.Chip
+	scen    workload.Scenario
+	obs     []Observation
+	trace   []int
+	chipRes soc.ChipStep
+	period  int
+	energyJ float64
+	qosSum  float64
+}
+
+// NewDeviceStepper builds one device's simulation in its pre-first-decide
+// state (idle observations, QoS 1).
+func NewDeviceStepper(cfg DeviceSimConfig) (*DeviceStepper, error) {
 	if cfg.PeriodS == 0 {
 		cfg.PeriodS = 0.05
 	}
@@ -66,56 +79,114 @@ func RunDeviceSim(cfg DeviceSimConfig, decide func(int, []Observation) ([]int, e
 	}
 	chip.Reset()
 	scen.Reset(cfg.Seed)
-
+	d := &DeviceStepper{cfg: cfg, chip: chip, scen: scen}
 	n := chip.NumClusters()
-	obs := make([]Observation, n)
-	for i := range obs {
-		obs[i] = Observation{QoS: 1, ClusterQoS: 1, Level: chip.Cluster(i).Level()}
+	d.obs = make([]Observation, n)
+	for i := range d.obs {
+		d.obs[i] = Observation{QoS: 1, ClusterQoS: 1, Level: chip.Cluster(i).Level()}
 	}
-	seq := make([]int, 0, cfg.Periods*n)
-	var chipRes soc.ChipStep
-	for p := 0; p < cfg.Periods; p++ {
-		levels, err := decide(p, obs)
+	d.trace = make([]int, 0, cfg.Periods*n)
+	return d, nil
+}
+
+// Clusters reports the chip's cluster count.
+func (d *DeviceStepper) Clusters() int { return d.chip.NumClusters() }
+
+// Done reports whether every configured period has been applied.
+func (d *DeviceStepper) Done() bool { return d.period >= d.cfg.Periods }
+
+// Period is the index of the next period to decide.
+func (d *DeviceStepper) Period() int { return d.period }
+
+// Obs is the current period's observations — the decide input. The slice
+// is reused across periods.
+func (d *DeviceStepper) Obs() []Observation { return d.obs }
+
+// Trace is the flat decision sequence recorded so far, for oracle diffs.
+func (d *DeviceStepper) Trace() []int { return d.trace }
+
+// EnergyJ is the total simulated energy consumed so far.
+func (d *DeviceStepper) EnergyJ() float64 { return d.energyJ }
+
+// MeanQoS is the mean per-period QoS over the applied periods (1 before
+// any period has run).
+func (d *DeviceStepper) MeanQoS() float64 {
+	if d.period == 0 {
+		return 1
+	}
+	return d.qosSum / float64(d.period)
+}
+
+// Apply commits one period's decision: sets the levels, steps the chip
+// through the next workload slice, and reassembles observations. It
+// returns the device-computed reward (-energy for the period) and whether
+// the RewardEvery cadence says this period's reward is due for reporting.
+func (d *DeviceStepper) Apply(levels []int) (reward float64, due bool, err error) {
+	n := d.chip.NumClusters()
+	if len(levels) != n {
+		return 0, false, fmt.Errorf("serve: %d levels for %d clusters", len(levels), n)
+	}
+	d.trace = append(d.trace, levels...)
+	for i, lvl := range levels {
+		d.chip.Cluster(i).SetLevel(lvl)
+	}
+	w := d.scen.Next(d.cfg.PeriodS)
+	if err := d.chip.StepInto(&d.chipRes, w.Demands, d.cfg.PeriodS); err != nil {
+		return 0, false, err
+	}
+	var demanded, completed float64
+	for i, dm := range w.Demands {
+		demanded += dm.Cycles
+		completed += d.chipRes.Clusters[i].CompletedCycles
+	}
+	q := qos.PeriodQoS(demanded, completed)
+	for i := range d.obs {
+		cr := d.chipRes.Clusters[i]
+		dr := 0.0
+		if cr.CapacityCycles > 0 {
+			dr = w.Demands[i].Cycles / cr.CapacityCycles
+		}
+		d.obs[i] = Observation{
+			Utilization: cr.Utilization,
+			DemandRatio: dr,
+			QoS:         q,
+			ClusterQoS:  qos.PeriodQoS(w.Demands[i].Cycles, cr.CompletedCycles),
+			Critical:    w.Critical,
+			Level:       d.chip.Cluster(i).Level(),
+		}
+	}
+	d.energyJ += d.chipRes.EnergyJ
+	d.qosSum += q
+	d.period++
+	due = d.cfg.RewardEvery > 0 && d.period%d.cfg.RewardEvery == 0
+	return -d.chipRes.EnergyJ, due, nil
+}
+
+// RunDeviceSim runs one device's full chip-simulation life: every control
+// period's observations go through decide, the returned levels are applied,
+// and the recorded decision sequence is returned for oracle diffs. decide
+// receives the period index and one period's observations; reward (may be
+// nil) receives -energy every RewardEvery periods.
+func RunDeviceSim(cfg DeviceSimConfig, decide func(int, []Observation) ([]int, error), reward func(float64) error) ([]int, error) {
+	d, err := NewDeviceStepper(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for !d.Done() {
+		p := d.Period()
+		levels, err := decide(p, d.Obs())
 		if err != nil {
-			return seq, err
+			return d.Trace(), err
 		}
-		if len(levels) != n {
-			return seq, fmt.Errorf("serve: %d levels for %d clusters", len(levels), n)
+		r, due, err := d.Apply(levels)
+		if err != nil {
+			return d.Trace(), err
 		}
-		seq = append(seq, levels...)
-		for i, lvl := range levels {
-			chip.Cluster(i).SetLevel(lvl)
-		}
-		w := scen.Next(cfg.PeriodS)
-		if err := chip.StepInto(&chipRes, w.Demands, cfg.PeriodS); err != nil {
-			return seq, err
-		}
-		var demanded, completed float64
-		for i, d := range w.Demands {
-			demanded += d.Cycles
-			completed += chipRes.Clusters[i].CompletedCycles
-		}
-		q := qos.PeriodQoS(demanded, completed)
-		for i := range obs {
-			cr := chipRes.Clusters[i]
-			dr := 0.0
-			if cr.CapacityCycles > 0 {
-				dr = w.Demands[i].Cycles / cr.CapacityCycles
-			}
-			obs[i] = Observation{
-				Utilization: cr.Utilization,
-				DemandRatio: dr,
-				QoS:         q,
-				ClusterQoS:  qos.PeriodQoS(w.Demands[i].Cycles, cr.CompletedCycles),
-				Critical:    w.Critical,
-				Level:       chip.Cluster(i).Level(),
-			}
-		}
-		if reward != nil && cfg.RewardEvery > 0 && (p+1)%cfg.RewardEvery == 0 {
-			if err := reward(-chipRes.EnergyJ); err != nil {
-				return seq, fmt.Errorf("reward at period %d: %w", p, err)
+		if reward != nil && due {
+			if err := reward(r); err != nil {
+				return d.Trace(), fmt.Errorf("reward at period %d: %w", p, err)
 			}
 		}
 	}
-	return seq, nil
+	return d.Trace(), nil
 }

@@ -55,9 +55,15 @@ type DecideResponse struct {
 	Levels []int `json:"levels"`
 }
 
-// RewardRequest reports a device-computed reward.
+// RewardRequest reports a device-computed reward. Epoch and Seq are the
+// retry-safety fields, mirroring DecideRequest: a non-zero seq lets the
+// server deduplicate a retried reward instead of double-counting it (and,
+// on a learning server, double-applying its Q-updates). Zero values select
+// the legacy unchecked path.
 type RewardRequest struct {
 	Reward float64 `json:"reward"`
+	Epoch  uint32  `json:"epoch,omitempty"`
+	Seq    uint64  `json:"seq,omitempty"`
 }
 
 // CheckpointResponse answers POST /v1/checkpoint.
@@ -139,6 +145,8 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status, code = http.StatusGone, "session_closed"
 	case errors.Is(err, ErrBadSeq):
 		status, code = http.StatusConflict, "bad_seq"
+	case errors.Is(err, ErrBadRequest):
+		status, code = http.StatusBadRequest, "bad_request"
 	case errors.Is(err, ErrServerClosed):
 		status, code = http.StatusServiceUnavailable, "server_closed"
 	case errors.Is(err, ErrOverloaded):
@@ -260,17 +268,17 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReward(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.Session(r.PathValue("id"))
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
 	var req RewardRequest
 	if err := decodeBody(r, &req); err != nil {
 		s.writeBadRequest(w, err)
 		return
 	}
-	st, err := sess.Reward(req.Reward)
+	sess, err := s.SessionByIDEpoch(r.PathValue("id"), req.Epoch)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	st, err := sess.RewardSeq(req.Seq, req.Reward)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -292,7 +300,21 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 		s.writeError(w, fmt.Errorf("serve: no checkpoint path configured"))
 		return
 	}
-	n, err := SaveCheckpoint(s.cfg.CheckpointPath, s.model.Snapshot())
+	// On a learning server the endpoint publishes the *learned* tables, and
+	// the write serializes with the periodic/drain publications; after the
+	// drain snapshot has been written nothing may overwrite it.
+	s.ckptPubMu.Lock()
+	if s.ckptFinal {
+		s.ckptPubMu.Unlock()
+		s.writeError(w, fmt.Errorf("serve: final drain checkpoint already published"))
+		return
+	}
+	snap := s.model.Snapshot()
+	if s.learner != nil {
+		snap = s.learner.snapshot()
+	}
+	n, err := saveCheckpoint(s.cfg.CheckpointPath, snap, s.fs)
+	s.ckptPubMu.Unlock()
 	if err != nil {
 		s.events.Addf("checkpoint", "save to %s failed: %v", s.cfg.CheckpointPath, err)
 		s.writeError(w, err)

@@ -1,0 +1,410 @@
+// Online learning in the serving path. The serving tier hosted a frozen
+// policy: rewards fed a ledger and nothing else. The learner closes the
+// loop the way the paper's companion online-learning line of work does —
+// device-reported rewards drive live Double-Q updates while serving:
+//
+//   - reward reports are paired with the reporting session's last two
+//     committed (state, action) periods into core.Transitions and pushed
+//     onto a bounded lock-free MPSC ring (a full ring drops the sample —
+//     learning is best-effort, the serving path never blocks on it);
+//   - a single consumer drains the ring into batched per-agent Double-Q
+//     updates against a shadow table (core.TDUpdater), off every decide
+//     hot path;
+//   - every SwapEvery updates the shadow tables are frozen into a fresh
+//     immutable Model and published RCU-style: one atomic pointer store
+//     into the software backend plus a version bump. Decide readers load
+//     the pointer once per batch and never take a lock; the epoch-tagged
+//     FlatMemo stays valid because same-shape models share an arena
+//     length;
+//   - the learned state is periodically published through the existing
+//     checkpoint store (and finally at drain), so restarts and new shards
+//     hydrate what was learned;
+//   - Manual mode runs no goroutine: the caller drives Server.LearnTick
+//     at explicit points, which makes a training-while-serving run
+//     deterministic end to end — the seeded replay mode RunLearn uses.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rlpm/internal/core"
+	"rlpm/internal/obs"
+)
+
+// LearnConfig parameterizes the online learner. The zero value disables
+// learning entirely.
+type LearnConfig struct {
+	// Enabled turns the learner on. Requires the software backend —
+	// learned tables are published by swapping immutable models, which the
+	// modeled accelerator cannot do.
+	Enabled bool
+	// Manual suppresses the background drain goroutine; updates apply only
+	// when the caller invokes Server.LearnTick. This is the seeded replay
+	// mode: with a fixed tick schedule, a training-while-serving run is
+	// bit-reproducible.
+	Manual bool
+	// Seed drives the learner's Double-Q coin stream.
+	Seed uint64
+	// Alpha/Gamma override the model config's learning rate and discount;
+	// 0 selects the config values.
+	Alpha, Gamma float64
+	// SwapEvery is how many applied updates trigger an RCU table
+	// publication (default 256).
+	SwapEvery int
+	// QueueCap bounds the transition ring (default 4096, rounded up to a
+	// power of two). When full, new samples are dropped and counted.
+	QueueCap int
+	// CheckpointEvery, when positive, periodically publishes the learned
+	// tables through the server's checkpoint store (async mode only; needs
+	// Config.CheckpointPath).
+	CheckpointEvery time.Duration
+}
+
+func (c LearnConfig) validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.SwapEvery < 0 {
+		return fmt.Errorf("serve: negative learn SwapEvery %d", c.SwapEvery)
+	}
+	if c.QueueCap < 0 {
+		return fmt.Errorf("serve: negative learn QueueCap %d", c.QueueCap)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("serve: negative learn CheckpointEvery %v", c.CheckpointEvery)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("serve: learn alpha %v out of [0,1]", c.Alpha)
+	}
+	if c.Gamma < 0 || c.Gamma >= 1 {
+		return fmt.Errorf("serve: learn gamma %v out of [0,1)", c.Gamma)
+	}
+	return nil
+}
+
+func (c LearnConfig) withDefaults() LearnConfig {
+	if c.SwapEvery == 0 {
+		c.SwapEvery = 256
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 4096
+	}
+	return c
+}
+
+// applyChunk bounds how many transitions the async consumer applies
+// between shutdown/checkpoint checks.
+const applyChunk = 256
+
+// learnIdlePoll is the async consumer's sleep when the ring is empty.
+const learnIdlePoll = 200 * time.Microsecond
+
+// learner drains reward-derived transitions into a shadow TDUpdater and
+// publishes the result as immutable model swaps. Producers are session
+// goroutines (via Server.noteRewardLocked); the consumer is either the
+// background goroutine (async mode) or LearnTick callers (manual mode) —
+// applyMu serializes them, so the ring's single-consumer contract holds in
+// both modes.
+type learner struct {
+	srv  *Server
+	sw   *SWBackend
+	cfg  LearnConfig
+	ring *tranRing
+
+	applyMu sync.Mutex
+	upd     *core.TDUpdater
+	pending int // updates applied since the last publication
+
+	version atomic.Uint64
+
+	updates  *obs.Counter   // transitions applied to the shadow tables
+	dropped  *obs.Counter   // transitions dropped on a full ring
+	rejected *obs.Counter   // transitions rejected by the updater
+	swaps    *obs.Counter   // RCU table publications
+	tdAbs    *obs.Histogram // |TD error| per update, in 1e-6 units
+
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+func newLearner(s *Server, sw *SWBackend, cfg LearnConfig) (*learner, error) {
+	cfg = cfg.withDefaults()
+	upd, err := core.NewTDUpdater(s.model.cfg, s.model.Snapshot(), cfg.Seed, cfg.Alpha, cfg.Gamma)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building learner: %w", err)
+	}
+	l := &learner{
+		srv:  s,
+		sw:   sw,
+		cfg:  cfg,
+		ring: newTranRing(cfg.QueueCap),
+		upd:  upd,
+		quit: make(chan struct{}),
+
+		updates:  s.reg.NewCounter("learn_updates_total", "Q-table updates applied by the online learner"),
+		dropped:  s.reg.NewCounter("learn_dropped_total", "learning samples dropped on a full transition queue"),
+		rejected: s.reg.NewCounter("learn_rejected_total", "learning samples rejected by the updater"),
+		swaps:    s.reg.NewCounter("learn_swaps_total", "RCU table publications by the online learner"),
+		tdAbs:    s.reg.NewHistogram("learn_td_abs", "absolute TD error per applied update, in 1e-6 units"),
+	}
+	s.reg.NewGaugeFunc("serve_policy_version", "served policy version; 0 is the construction-time model", func() float64 {
+		return float64(l.version.Load())
+	})
+	return l, nil
+}
+
+// start launches the background consumer (async mode only); split from
+// newLearner so the server finishes wiring before the goroutine runs.
+func (l *learner) start() {
+	if l.cfg.Manual {
+		return
+	}
+	l.wg.Add(1)
+	go l.run()
+}
+
+// offer enqueues one transition; false when the ring is full.
+func (l *learner) offer(t core.Transition) bool { return l.ring.Push(t) }
+
+func (l *learner) run() {
+	defer l.wg.Done()
+	var ckpt <-chan time.Time
+	if l.cfg.CheckpointEvery > 0 {
+		t := time.NewTicker(l.cfg.CheckpointEvery)
+		defer t.Stop()
+		ckpt = t.C
+	}
+	for {
+		n := l.apply(applyChunk)
+		select {
+		case <-l.quit:
+			// Final drain: every acked reward still queued lands in the
+			// tables before the drain-time checkpoint snapshots them.
+			l.tick()
+			return
+		case <-ckpt:
+			l.srv.publishCheckpoint(false)
+		default:
+		}
+		if n == 0 {
+			select {
+			case <-l.quit:
+				l.tick()
+				return
+			case <-ckpt:
+				l.srv.publishCheckpoint(false)
+			case <-time.After(learnIdlePoll):
+			}
+		}
+	}
+}
+
+// apply drains up to max transitions, publishing every SwapEvery updates.
+func (l *learner) apply(max int) int {
+	l.applyMu.Lock()
+	defer l.applyMu.Unlock()
+	n := 0
+	for n < max {
+		t, ok := l.ring.Pop()
+		if !ok {
+			break
+		}
+		l.applyOneLocked(t)
+		n++
+		if l.pending >= l.cfg.SwapEvery {
+			l.publishLocked()
+		}
+	}
+	return n
+}
+
+// tick drains the ring completely and publishes any pending updates —
+// the manual-mode step, also used as the shutdown flush.
+func (l *learner) tick() int {
+	l.applyMu.Lock()
+	defer l.applyMu.Unlock()
+	n := 0
+	for {
+		t, ok := l.ring.Pop()
+		if !ok {
+			break
+		}
+		l.applyOneLocked(t)
+		n++
+	}
+	if l.pending > 0 {
+		l.publishLocked()
+	}
+	return n
+}
+
+func (l *learner) applyOneLocked(t core.Transition) {
+	td, err := l.upd.Apply(t)
+	if err != nil {
+		// Sessions validate states and actions before queueing, so this is
+		// defense in depth: count it, never let one sample stop learning.
+		l.rejected.Add(1)
+		return
+	}
+	l.updates.Add(1)
+	l.pending++
+	l.tdAbs.Observe(int64(math.Abs(td) * 1e6))
+}
+
+// publishLocked freezes the shadow tables into an immutable Model and
+// swaps it into the software backend — one atomic store, no reader locks.
+func (l *learner) publishLocked() {
+	m, err := NewModel(l.srv.model.cfg, l.upd.Snapshot())
+	if err != nil {
+		// Unreachable: the snapshot has the construction model's shape.
+		l.rejected.Add(1)
+		l.pending = 0
+		return
+	}
+	l.sw.SetModel(m)
+	l.pending = 0
+	l.swaps.Add(1)
+	l.version.Add(1)
+}
+
+// snapshot exports the learned tables for checkpointing.
+func (l *learner) snapshot() core.Snapshot {
+	l.applyMu.Lock()
+	defer l.applyMu.Unlock()
+	return l.upd.Snapshot()
+}
+
+// close stops the consumer and flushes the queue; idempotent. After close
+// the ring may still accept pushes (sessions can outlive the learner
+// during shutdown) — they are simply never drained.
+func (l *learner) close() {
+	l.closeOnce.Do(func() {
+		close(l.quit)
+		l.wg.Wait()
+		if l.cfg.Manual {
+			l.tick()
+		}
+	})
+}
+
+// LearnStats is the learner's observable state inside Metrics.
+type LearnStats struct {
+	Updates            uint64  `json:"updates"`
+	Dropped            uint64  `json:"dropped"`
+	Rejected           uint64  `json:"rejected"`
+	Swaps              uint64  `json:"swaps"`
+	PolicyVersion      uint64  `json:"policy_version"`
+	RewardsLearning    uint64  `json:"rewards_learning"`
+	RewardsFrozen      uint64  `json:"rewards_frozen"`
+	MeanRewardLearning float64 `json:"mean_reward_learning"`
+	MeanRewardFrozen   float64 `json:"mean_reward_frozen"`
+}
+
+func (l *learner) statsSnapshot(s *Server) *LearnStats {
+	return &LearnStats{
+		Updates:            l.updates.Load(),
+		Dropped:            l.dropped.Load(),
+		Rejected:           l.rejected.Load(),
+		Swaps:              l.swaps.Load(),
+		PolicyVersion:      l.version.Load(),
+		RewardsLearning:    s.cohortLearn.rewards.Load(),
+		RewardsFrozen:      s.cohortFrozen.rewards.Load(),
+		MeanRewardLearning: s.cohortLearn.mean(),
+		MeanRewardFrozen:   s.cohortFrozen.mean(),
+	}
+}
+
+// LearnTick drains every queued learning sample and publishes the result,
+// synchronously on the caller's goroutine — the manual-mode step. Returns
+// the number of transitions applied; 0 when learning is off or async.
+func (s *Server) LearnTick() int {
+	if s.learner == nil || !s.learner.cfg.Manual {
+		return 0
+	}
+	return s.learner.tick()
+}
+
+// PolicyVersion returns the served policy version: 0 until the learner
+// first publishes, then incremented per RCU swap.
+func (s *Server) PolicyVersion() uint64 {
+	if s.learner == nil {
+		return 0
+	}
+	return s.learner.version.Load()
+}
+
+// LearnSnapshot exports the learner's current tables; ok is false when
+// learning is disabled.
+func (s *Server) LearnSnapshot() (snap core.Snapshot, ok bool) {
+	if s.learner == nil {
+		return core.Snapshot{}, false
+	}
+	return s.learner.snapshot(), true
+}
+
+// tranRing is the learner's bounded lock-free MPSC transition queue —
+// mpscRing's Vyukov design carrying core.Transition by value so the reward
+// path enqueues without allocating. Producers are session goroutines;
+// consumers serialize on the learner's applyMu, which preserves the
+// single-consumer contract on head.
+type tranRing struct {
+	mask  uint64
+	slots []tranSlot
+	tail  atomic.Uint64
+	head  uint64 // guarded by learner.applyMu
+}
+
+type tranSlot struct {
+	seq atomic.Uint64
+	t   core.Transition
+}
+
+func newTranRing(capacity int) *tranRing {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	r := &tranRing{mask: uint64(n - 1), slots: make([]tranSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Push enqueues t, returning false immediately when the ring is full.
+// Safe for concurrent producers.
+func (r *tranRing) Push(t core.Transition) bool {
+	for {
+		pos := r.tail.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		if seq == pos {
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				slot.t = t
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			continue
+		}
+		if seq < pos {
+			return false // consumer a full lap behind: ring is full
+		}
+	}
+}
+
+// Pop dequeues the oldest transition. Single consumer only (applyMu).
+func (r *tranRing) Pop() (core.Transition, bool) {
+	slot := &r.slots[r.head&r.mask]
+	if slot.seq.Load() != r.head+1 {
+		return core.Transition{}, false
+	}
+	t := slot.t
+	slot.seq.Store(r.head + uint64(len(r.slots)))
+	r.head++
+	return t, true
+}

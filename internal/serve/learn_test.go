@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rlpm/internal/core"
+)
+
+// learnServer builds an in-process learning server in manual (seeded
+// replay) mode with per-update publication, so tests control exactly when
+// updates apply and tables swap.
+func learnServer(t *testing.T, m *Model) *Server {
+	t.Helper()
+	return newTestServer(t, m, nil, Config{Learn: LearnConfig{
+		Enabled: true, Manual: true, Seed: 9, SwapEvery: 1,
+	}})
+}
+
+// TestRewardSeqDedupExactlyOnce pins the reward-path fix this package's
+// learner depends on: a retried reward frame (same seq) is answered from
+// the ledger and applies nothing — no double-count, no second Q-update.
+func TestRewardSeqDedupExactlyOnce(t *testing.T) {
+	m := testModel(t, 3, 5)
+	srv := learnServer(t, m)
+	sess, err := srv.CreateSession(SessionOptions{})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	obs := testObs(m, 3, 2)
+	for _, o := range obs { // two periods complete the transition pair
+		if _, err := sess.Decide(o); err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+	}
+
+	st1, err := sess.RewardSeq(1, -0.5)
+	if err != nil {
+		t.Fatalf("RewardSeq(1): %v", err)
+	}
+	st2, err := sess.RewardSeq(1, -0.5) // lost-ack retry
+	if err != nil {
+		t.Fatalf("RewardSeq(1) replay: %v", err)
+	}
+	if st1 != st2 {
+		t.Errorf("replay stats %+v != original %+v", st2, st1)
+	}
+	met := srv.MetricsSnapshot()
+	if met.Rewards != 1 || met.RewardsDeduped != 1 {
+		t.Errorf("rewards=%d deduped=%d, want 1/1", met.Rewards, met.RewardsDeduped)
+	}
+	// The replay queued no second batch of transitions: exactly one
+	// Q-update sample per cluster reaches the learner.
+	if n := srv.LearnTick(); n != m.Clusters() {
+		t.Errorf("LearnTick applied %d transitions, want %d", n, m.Clusters())
+	}
+
+	if _, err := sess.RewardSeq(5, 0); !errors.Is(err, ErrBadSeq) {
+		t.Errorf("gapped seq error = %v, want ErrBadSeq", err)
+	}
+	if _, err := sess.RewardSeq(2, math.NaN()); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("NaN reward error = %v, want ErrBadRequest", err)
+	}
+	if _, err := sess.RewardSeq(2, math.Inf(-1)); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("-Inf reward error = %v, want ErrBadRequest", err)
+	}
+	// Rejected attempts must not burn the sequence number.
+	if _, err := sess.RewardSeq(2, 0.25); err != nil {
+		t.Fatalf("RewardSeq(2) after rejected attempts: %v", err)
+	}
+	// The legacy unsequenced path still works and leaves the cursor alone.
+	if _, err := sess.Reward(0.5); err != nil {
+		t.Fatalf("legacy Reward: %v", err)
+	}
+	if _, err := sess.RewardSeq(3, 0.1); err != nil {
+		t.Fatalf("RewardSeq(3) after legacy reward: %v", err)
+	}
+}
+
+// TestLearnFrozenCohortPinned drives the learning arm hard enough to force
+// RCU swaps and demands the frozen control arm never notices: its decision
+// trace must match an oracle over the construction-time model, period by
+// period, and its rewards must never reach the learner.
+func TestLearnFrozenCohortPinned(t *testing.T) {
+	m := testModel(t, 3, 5)
+	srv := newTestServer(t, m, nil, Config{Learn: LearnConfig{
+		Enabled: true, Manual: true, Seed: 3, SwapEvery: 1, Alpha: 0.5, Gamma: 0.9,
+	}})
+	learnSess, err := srv.CreateSession(SessionOptions{Seed: 1})
+	if err != nil {
+		t.Fatalf("CreateSession learning: %v", err)
+	}
+	fopts := SessionOptions{Seed: 2, Epsilon: 0.15, EpsilonDecay: 0.99, Cohort: CohortFrozen}
+	frozenSess, err := srv.CreateSession(fopts)
+	if err != nil {
+		t.Fatalf("CreateSession frozen: %v", err)
+	}
+	want := newOracle(m, fopts)
+
+	const periods = 60
+	lobs, fobs := testObs(m, 11, periods), testObs(m, 12, periods)
+	var seq uint64
+	for i := 0; i < periods; i++ {
+		if _, err := learnSess.Decide(lobs[i]); err != nil {
+			t.Fatalf("learning decide %d: %v", i, err)
+		}
+		if i >= 1 { // a transition pair exists from the second period on
+			seq++
+			if _, err := learnSess.RewardSeq(seq, -0.1*float64(i%7)); err != nil {
+				t.Fatalf("learning reward %d: %v", i, err)
+			}
+		}
+		srv.LearnTick()
+		got, err := frozenSess.Decide(fobs[i])
+		if err != nil {
+			t.Fatalf("frozen decide %d: %v", i, err)
+		}
+		if !equalInts(got, want.decide(fobs[i])) {
+			t.Fatalf("frozen cohort diverged from the construction model at period %d", i)
+		}
+	}
+	if srv.PolicyVersion() == 0 {
+		t.Fatal("learner never published a swap; the frozen pin was not exercised")
+	}
+
+	// Frozen rewards land in the frozen ledger and apply zero updates.
+	met := srv.MetricsSnapshot()
+	updates := met.Learn.Updates
+	for i, r := range []float64{1.0, 0.5} {
+		if _, err := frozenSess.RewardSeq(uint64(i+1), r); err != nil {
+			t.Fatalf("frozen reward: %v", err)
+		}
+	}
+	if n := srv.LearnTick(); n != 0 {
+		t.Errorf("frozen rewards applied %d updates, want 0", n)
+	}
+	met = srv.MetricsSnapshot()
+	if met.Learn.Updates != updates {
+		t.Errorf("updates moved %d -> %d on frozen rewards", updates, met.Learn.Updates)
+	}
+	if met.Learn.RewardsFrozen != 2 || met.Learn.RewardsLearning != periods-1 {
+		t.Errorf("cohort ledgers frozen=%d learning=%d, want 2/%d",
+			met.Learn.RewardsFrozen, met.Learn.RewardsLearning, periods-1)
+	}
+
+	// Meanwhile the live policy IS the learned one: a fresh greedy session
+	// must match an oracle over a model built from the learner's snapshot.
+	snap, ok := srv.LearnSnapshot()
+	if !ok {
+		t.Fatal("LearnSnapshot: learner missing")
+	}
+	learned, err := NewModel(m.cfg, snap)
+	if err != nil {
+		t.Fatalf("NewModel(learned): %v", err)
+	}
+	greedy, err := srv.CreateSession(SessionOptions{})
+	if err != nil {
+		t.Fatalf("CreateSession greedy: %v", err)
+	}
+	liveWant := newOracle(learned, SessionOptions{})
+	for i, o := range testObs(m, 13, 20) {
+		got, err := greedy.Decide(o)
+		if err != nil {
+			t.Fatalf("greedy decide %d: %v", i, err)
+		}
+		if !equalInts(got, liveWant.decide(o)) {
+			t.Fatalf("live policy diverged from the learner snapshot at period %d", i)
+		}
+	}
+}
+
+// TestRunLearnSeededReplay pins the training-while-serving determinism
+// contract: same config, bit-identical run — every device's decision trace
+// and the learned checkpoint bytes — and the checkpoint builds a servable
+// model.
+func TestRunLearnSeededReplay(t *testing.T) {
+	m := chaosTestModel(t) // DeviceStepper simulates soc.DefaultChipSpec
+	cfg := LearnLoadConfig{
+		Devices: 4, Periods: 60, Seed: 5, Epsilon: 0.25,
+		RewardEvery: 5, TickEvery: 5, SwapEvery: 1,
+	}
+	a, err := RunLearn(m, cfg)
+	if err != nil {
+		t.Fatalf("RunLearn: %v", err)
+	}
+	if a.Updates == 0 || a.Swaps == 0 {
+		t.Fatalf("run learned nothing: updates=%d swaps=%d", a.Updates, a.Swaps)
+	}
+	if a.Dropped != 0 || a.Rejected != 0 {
+		t.Errorf("lossless single-threaded run dropped=%d rejected=%d, want 0/0", a.Dropped, a.Rejected)
+	}
+	b, err := RunLearn(m, cfg)
+	if err != nil {
+		t.Fatalf("RunLearn replay: %v", err)
+	}
+	for i := range a.Traces {
+		if !slices.Equal(a.Traces[i], b.Traces[i]) {
+			t.Fatalf("device %d decision trace diverged between same-seed runs", i)
+		}
+	}
+	if !bytes.Equal(a.Checkpoint, b.Checkpoint) {
+		t.Fatal("same-seed runs produced different learned checkpoints")
+	}
+
+	other := cfg
+	other.Seed = 6
+	c, err := RunLearn(m, other)
+	if err != nil {
+		t.Fatalf("RunLearn other seed: %v", err)
+	}
+	if bytes.Equal(a.Checkpoint, c.Checkpoint) {
+		t.Error("different seeds produced identical checkpoints; determinism test is vacuous")
+	}
+
+	snap, err := core.DecodeCheckpoint(bytes.NewReader(a.Checkpoint))
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	if _, err := NewModel(m.cfg, snap); err != nil {
+		t.Fatalf("learned checkpoint does not build a model: %v", err)
+	}
+}
+
+// TestCheckpointFinalWinsOverPeriodic races a periodic learner checkpoint
+// against a drain: the drain-time final publication must wait for the
+// in-flight periodic write, land last with the freshest tables, and latch
+// the store shut against stragglers.
+func TestCheckpointFinalWinsOverPeriodic(t *testing.T) {
+	m := testModel(t, 3, 5)
+	path := filepath.Join(t.TempDir(), "learned.ckpt")
+	srv := newTestServer(t, m, nil, Config{
+		CheckpointPath: path,
+		Learn:          LearnConfig{Enabled: true, Manual: true, Seed: 1, SwapEvery: 1},
+	})
+	sess, err := srv.CreateSession(SessionOptions{})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	obs := testObs(m, 7, 2)
+	for _, o := range obs {
+		if _, err := sess.Decide(o); err != nil {
+			t.Fatalf("Decide: %v", err)
+		}
+	}
+
+	var renames atomic.Int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var gateOnce sync.Once
+	real := osHooks()
+	srv.fs = fsHooks{
+		syncFile: func(f *os.File) error {
+			// Hold only the first write (the periodic one) mid-syscall.
+			gateOnce.Do(func() {
+				close(entered)
+				<-release
+			})
+			return real.syncFile(f)
+		},
+		rename: func(o, n string) error {
+			renames.Add(1)
+			return real.rename(o, n)
+		},
+		syncDir: real.syncDir,
+	}
+
+	periodicDone := make(chan error, 1)
+	go func() { periodicDone <- srv.publishCheckpoint(false) }()
+	<-entered
+
+	// While the periodic write is stalled inside fsync, a reward lands and
+	// a drain begins. The drain snapshot must carry that reward.
+	if _, err := sess.RewardSeq(1, -1); err != nil {
+		t.Fatalf("RewardSeq: %v", err)
+	}
+	srv.LearnTick()
+	wantSnap, ok := srv.LearnSnapshot()
+	if !ok {
+		t.Fatal("LearnSnapshot: learner missing")
+	}
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- srv.Drain(context.Background()) }()
+	select {
+	case err := <-drainDone:
+		t.Fatalf("drain completed while the periodic checkpoint held the store: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-periodicDone; err != nil {
+		t.Fatalf("periodic publish: %v", err)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := renames.Load(); got != 2 {
+		t.Errorf("renames = %d, want 2 (periodic then final)", got)
+	}
+
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	var wantBuf, gotBuf bytes.Buffer
+	if err := wantSnap.EncodeCheckpoint(&wantBuf); err != nil {
+		t.Fatalf("encode want: %v", err)
+	}
+	if err := got.EncodeCheckpoint(&gotBuf); err != nil {
+		t.Fatalf("encode got: %v", err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Error("final checkpoint does not carry the drain-time tables")
+	}
+
+	// The final latch: a straggling periodic tick after drain is a no-op.
+	if err := srv.publishCheckpoint(false); err != nil {
+		t.Fatalf("post-drain periodic publish: %v", err)
+	}
+	if got := renames.Load(); got != 2 {
+		t.Errorf("straggler wrote the store: renames = %d, want 2", got)
+	}
+}
+
+// TestLearnDecideAllocFree extends the package's zero-allocation pin to a
+// learning server: a learning-arm session's steady-state decide must stay
+// allocation-free even as the learner swaps tables under it.
+func TestLearnDecideAllocFree(t *testing.T) {
+	m := testModel(t, 3, 5)
+	srv := learnServer(t, m)
+	sess, err := srv.CreateSession(SessionOptions{})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	obs := []Observation{{Utilization: 0.6, Level: 1}, {DemandRatio: 1.1, Level: 3}}
+	levels := make([]int, 2)
+	warm := func() {
+		for i := 0; i < 10; i++ {
+			if err := sess.DecideInto(obs, levels); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	measure := func(when string) {
+		if n := testing.AllocsPerRun(200, func() {
+			if err := sess.DecideInto(obs, levels); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Fatalf("DecideInto allocates %v times per call %s, want 0", n, when)
+		}
+	}
+	swap := func(seq uint64) {
+		if _, err := sess.RewardSeq(seq, -0.5); err != nil {
+			t.Fatal(err)
+		}
+		srv.LearnTick()
+	}
+
+	warm()
+	swap(1)
+	if srv.PolicyVersion() == 0 {
+		t.Fatal("no swap published; alloc pin would not cover the swapped path")
+	}
+	warm()
+	measure("after the first table swap")
+	v := srv.PolicyVersion()
+	swap(2)
+	if srv.PolicyVersion() == v {
+		t.Fatal("second swap did not publish")
+	}
+	warm()
+	measure("after a mid-stream table swap")
+}

@@ -1,0 +1,215 @@
+// Training-while-serving harness: a fleet of simulated devices split into
+// a learning arm and a frozen control arm, driven round-robin against one
+// in-process learning server. Everything that moves — device workload
+// streams, session exploration, the learner's Double-Q coin, the tick
+// schedule — is seeded, and the learner runs in manual mode (updates apply
+// only at LearnTick), so two runs with the same config produce identical
+// decision traces and bit-identical learned tables. That reproducibility
+// is what makes the frozen-vs-learning A/B numbers trustworthy: the
+// control arm differs from the treatment arm in policy only.
+package serve
+
+import (
+	"bytes"
+	"fmt"
+
+	"rlpm/internal/workload"
+)
+
+// LearnLoadConfig parameterizes one seeded training-while-serving run.
+type LearnLoadConfig struct {
+	// Devices is the fleet size (default 8). Even indices join the
+	// learning arm, odd indices the frozen control arm, so the two arms
+	// interleave across the seed-derived per-device workload streams.
+	Devices int
+	// Periods is the decide count per device (default 200).
+	Periods int
+	// Scenario is the workload every device runs (default "gaming").
+	Scenario string
+	// Seed derives every stream in the run (default 1).
+	Seed uint64
+	// Epsilon is the per-session exploration rate (both arms, for
+	// parity). Exploration is what feeds the learner off-greedy samples.
+	Epsilon float64
+	// RewardEvery posts a device reward every that many periods
+	// (default 25; negative disables).
+	RewardEvery int
+	// TickEvery drains the learner every that many rounds (default 10).
+	// A round is one period across the whole fleet.
+	TickEvery int
+	// Alpha, Gamma, SwapEvery pass through to LearnConfig.
+	Alpha, Gamma float64
+	SwapEvery    int
+}
+
+func (c LearnLoadConfig) withDefaults() LearnLoadConfig {
+	if c.Devices == 0 {
+		c.Devices = 8
+	}
+	if c.Periods == 0 {
+		c.Periods = 200
+	}
+	if c.Scenario == "" {
+		c.Scenario = "gaming"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RewardEvery == 0 {
+		c.RewardEvery = 25
+	}
+	if c.TickEvery == 0 {
+		c.TickEvery = 10
+	}
+	return c
+}
+
+// LearnArm aggregates one cohort's outcomes.
+type LearnArm struct {
+	Devices    int     `json:"devices"`
+	Rewards    uint64  `json:"rewards"`
+	MeanReward float64 `json:"mean_reward"`
+	EnergyJ    float64 `json:"energy_j"` // total simulated energy across the arm's devices
+	MeanQoS    float64 `json:"mean_qos"` // mean of the devices' mean per-period QoS
+}
+
+// LearnReport is the harness outcome: learner counters, per-arm A/B
+// aggregates, per-device decision traces, and the final learned tables
+// encoded as checkpoint bytes — the determinism witness two seeded runs
+// are compared on.
+type LearnReport struct {
+	Devices       int      `json:"devices"`
+	Periods       int      `json:"periods"`
+	Updates       uint64   `json:"updates"`
+	Dropped       uint64   `json:"dropped"`
+	Rejected      uint64   `json:"rejected"`
+	Swaps         uint64   `json:"swaps"`
+	PolicyVersion uint64   `json:"policy_version"`
+	Learning      LearnArm `json:"learning"`
+	Frozen        LearnArm `json:"frozen"`
+	Traces        [][]int  `json:"-"`
+	Checkpoint    []byte   `json:"-"`
+}
+
+// RunLearn runs the seeded training-while-serving fleet against model.
+func RunLearn(model *Model, cfg LearnLoadConfig) (*LearnReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Devices < 0 || cfg.Periods < 0 {
+		return nil, fmt.Errorf("serve: negative learn-load devices/periods")
+	}
+	if _, err := workload.ByName(cfg.Scenario); err != nil {
+		return nil, err
+	}
+
+	srv, err := New(model, nil, Config{
+		Learn: LearnConfig{
+			Enabled:   true,
+			Manual:    true,
+			Seed:      cfg.Seed,
+			Alpha:     cfg.Alpha,
+			Gamma:     cfg.Gamma,
+			SwapEvery: cfg.SwapEvery,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	devs := make([]*DeviceStepper, cfg.Devices)
+	sessions := make([]*Session, cfg.Devices)
+	rewardSeqs := make([]uint64, cfg.Devices)
+	for i := range devs {
+		devs[i], err = NewDeviceStepper(DeviceSimConfig{
+			Scenario:    cfg.Scenario,
+			Periods:     cfg.Periods,
+			Seed:        DeviceSeed(cfg.Seed, i),
+			RewardEvery: cfg.RewardEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cohort := CohortLearning
+		if i%2 == 1 {
+			cohort = CohortFrozen
+		}
+		sessions[i], err = srv.CreateSession(SessionOptions{
+			Epsilon: cfg.Epsilon,
+			Seed:    DeviceSeed(cfg.Seed, i),
+			Cohort:  cohort,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// One round = one control period across the fleet, device order fixed.
+	// The single-goroutine interleave plus the manual learner make the
+	// model version every decide reads a pure function of the config.
+	for p := 0; p < cfg.Periods; p++ {
+		for i, d := range devs {
+			levels, err := sessions[i].Decide(d.Obs())
+			if err != nil {
+				return nil, fmt.Errorf("device %d period %d: %w", i, p, err)
+			}
+			r, due, err := d.Apply(levels)
+			if err != nil {
+				return nil, fmt.Errorf("device %d period %d: %w", i, p, err)
+			}
+			if due {
+				rewardSeqs[i]++
+				if _, err := sessions[i].RewardSeq(rewardSeqs[i], r); err != nil {
+					return nil, fmt.Errorf("device %d reward at period %d: %w", i, p, err)
+				}
+			}
+		}
+		if cfg.TickEvery > 0 && (p+1)%cfg.TickEvery == 0 {
+			srv.LearnTick()
+		}
+	}
+	srv.LearnTick() // flush the tail so the checkpoint sees every sample
+
+	rep := &LearnReport{
+		Devices: cfg.Devices, Periods: cfg.Periods,
+		Traces: make([][]int, cfg.Devices),
+	}
+	for i, d := range devs {
+		rep.Traces[i] = append([]int(nil), d.Trace()...)
+		arm := &rep.Learning
+		if i%2 == 1 {
+			arm = &rep.Frozen
+		}
+		arm.Devices++
+		arm.EnergyJ += d.EnergyJ()
+		arm.MeanQoS += d.MeanQoS()
+	}
+	for _, arm := range []*LearnArm{&rep.Learning, &rep.Frozen} {
+		if arm.Devices > 0 {
+			arm.MeanQoS /= float64(arm.Devices)
+		}
+	}
+
+	m := srv.MetricsSnapshot()
+	if m.Learn != nil {
+		rep.Updates = m.Learn.Updates
+		rep.Dropped = m.Learn.Dropped
+		rep.Rejected = m.Learn.Rejected
+		rep.Swaps = m.Learn.Swaps
+		rep.PolicyVersion = m.Learn.PolicyVersion
+		rep.Learning.Rewards = m.Learn.RewardsLearning
+		rep.Learning.MeanReward = m.Learn.MeanRewardLearning
+		rep.Frozen.Rewards = m.Learn.RewardsFrozen
+		rep.Frozen.MeanReward = m.Learn.MeanRewardFrozen
+	}
+
+	snap, ok := srv.LearnSnapshot()
+	if !ok {
+		return nil, fmt.Errorf("serve: learning server has no learner snapshot")
+	}
+	var buf bytes.Buffer
+	if err := snap.EncodeCheckpoint(&buf); err != nil {
+		return nil, err
+	}
+	rep.Checkpoint = buf.Bytes()
+	return rep, nil
+}

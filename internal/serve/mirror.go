@@ -186,6 +186,13 @@ func (m *sessionMirror) ackDecide(obs []Observation, levels []int) {
 	m.decisions += uint64(periods)
 }
 
+// nextRewardSeq numbers the next reward attempt — the acked-reward count
+// plus one, the reward path's nextSeq. Every retry of one logical reward
+// reuses the number; the server dedups on it, so a lost ack can never
+// double-count the ledger or double-apply a live Q-update. The count also
+// rides ResumeState.Rewards, seeding the new incarnation's dedup cursor.
+func (m *sessionMirror) nextRewardSeq() uint64 { return m.rewards + 1 }
+
 // ackReward advances the ledger for an acknowledged reward report.
 func (m *sessionMirror) ackReward(r float64) {
 	m.rewards++

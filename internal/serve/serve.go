@@ -37,6 +37,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -196,6 +197,16 @@ type Observation struct {
 	Level       int     `json:"level"`
 }
 
+// Cohort names for SessionOptions.Cohort. On a learning server the cohort
+// is the A/B arm: learning sessions read the live (swapped) policy and
+// their rewards feed the learner; frozen sessions read the construction
+// model forever and their rewards only feed the ledger. On a non-learning
+// server both behave identically (there is nothing to diverge from).
+const (
+	CohortLearning = "learning"
+	CohortFrozen   = "frozen"
+)
+
 // SessionOptions parameterize a device session at creation.
 type SessionOptions struct {
 	// Epsilon is the device-local exploration rate. 0 (the default) serves
@@ -207,6 +218,10 @@ type SessionOptions struct {
 	EpsilonDecay float64 `json:"epsilon_decay,omitempty"`
 	// Seed drives the session's exploration stream.
 	Seed uint64 `json:"seed,omitempty"`
+	// Cohort is the A/B arm on a learning server: "" or CohortLearning
+	// follows the live policy and feeds the learner, CohortFrozen is pinned
+	// to the construction-time model as the control arm.
+	Cohort string `json:"cohort,omitempty"`
 }
 
 func (o SessionOptions) validate() error {
@@ -218,6 +233,9 @@ func (o SessionOptions) validate() error {
 	}
 	if o.EpsilonDecay < 0 || o.EpsilonDecay > 1 {
 		return fmt.Errorf("serve: epsilon decay %v out of [0,1]", o.EpsilonDecay)
+	}
+	if o.Cohort != "" && o.Cohort != CohortLearning && o.Cohort != CohortFrozen {
+		return fmt.Errorf("serve: unknown cohort %q", o.Cohort)
 	}
 	return nil
 }
@@ -258,6 +276,30 @@ type Session struct {
 	lastSeq     uint64
 	lastLevels  []int
 	lastPeriods int
+
+	// lastRewardSeq mirrors lastSeq for the reward path: the highest reward
+	// sequence number applied. A retry carrying the same seq replays the
+	// current ledger without re-applying — the reward-path half of the
+	// exactly-once story (decides have lastSeq/lastLevels).
+	lastRewardSeq uint64
+
+	// frozen pins the session to the construction-time model: its lookups
+	// bypass the batcher (which reads the live, swapped policy) and its
+	// rewards never feed the learner — the control arm of the A/B.
+	frozen bool
+
+	// Transition tracking for the learner: the per-cluster (state, action)
+	// of the last two *committed* control periods. Only decideFinishLocked
+	// advances these, so aborted and replayed decides leave the learning
+	// history untouched. Allocated only on a learning server for
+	// non-frozen sessions; nil otherwise.
+	prevStates  []int
+	prevActions []int
+	curStates   []int
+	curActions  []int
+	havePrev    bool
+	haveCur     bool
+	txnStates   []int // scratch: encoded state per (period, cluster) of the open txn
 
 	lastActive atomic.Int64 // unix nanos of the last request, for TTL reaping
 
@@ -336,16 +378,27 @@ func (s *Session) DecideSeq(seq uint64, obs []Observation, levels []int) (replay
 		return replayed, err
 	}
 	if len(s.lookups) > 0 {
-		if cap(s.lookupOut) < len(s.lookups) {
-			s.lookupOut = make([]int, len(s.lookups))
-		}
-		out := s.lookupOut[:len(s.lookups)]
-		if err := s.srv.batch.Do(s.lookups, out); err != nil {
-			s.decideAbortLocked()
-			return false, err
-		}
-		for j, a := range out {
-			levels[s.lookupsIdx[j]] = a
+		if s.frozen {
+			// Control arm: resolve inline against the immutable
+			// construction model instead of the batcher's live (possibly
+			// learner-swapped) policy. The model is read-only, so this
+			// takes no lock and cannot fail.
+			m := s.srv.model
+			for j, l := range s.lookups {
+				levels[s.lookupsIdx[j]] = m.Greedy(l.Cluster, l.State)
+			}
+		} else {
+			if cap(s.lookupOut) < len(s.lookups) {
+				s.lookupOut = make([]int, len(s.lookups))
+			}
+			out := s.lookupOut[:len(s.lookups)]
+			if err := s.srv.batch.Do(s.lookups, out); err != nil {
+				s.decideAbortLocked()
+				return false, err
+			}
+			for j, a := range out {
+				levels[s.lookupsIdx[j]] = a
+			}
 		}
 	}
 	s.decideFinishLocked(levels)
@@ -368,6 +421,17 @@ func (m *Model) decideValidate(obs []Observation, levels []int) error {
 		c := i % k
 		if o.Level < 0 || o.Level >= m.levels[c] {
 			return fmt.Errorf("serve: cluster %d level %d out of [0,%d)", c, o.Level, m.levels[c])
+		}
+		if err := m.cfg.ValidateObservation(sim.Observation{
+			Utilization: o.Utilization,
+			DemandRatio: o.DemandRatio,
+			QoS:         o.QoS,
+			ClusterQoS:  o.ClusterQoS,
+		}); err != nil {
+			// NaN/Inf/negative ratios would discretize onto a valid bin and
+			// silently poison a learning server's Q-table; reject them at
+			// the door as a client error.
+			return fmt.Errorf("%w: cluster %d: %v", ErrBadRequest, c, err)
 		}
 	}
 	return nil
@@ -411,6 +475,10 @@ func (s *Session) decideBeginLocked(seq uint64, obs []Observation, levels []int)
 
 	s.lookups = s.lookups[:0]
 	s.lookupsIdx = s.lookupsIdx[:0]
+	tracking := s.curStates != nil // learning server, non-frozen session
+	if tracking {
+		s.txnStates = s.txnStates[:0]
+	}
 	for p := 0; p < periods; p++ {
 		base := p * k
 		for i := 0; i < k; i++ {
@@ -426,6 +494,9 @@ func (s *Session) decideBeginLocked(seq uint64, obs []Observation, levels []int)
 			}
 			state := m.cfg.EncodeState(so, s.prevDemand[i])
 			s.prevDemand[i] = o.DemandRatio
+			if tracking {
+				s.txnStates = append(s.txnStates, state)
+			}
 			if s.eps > 0 && s.r.Float64() < s.eps {
 				levels[base+i] = s.r.Intn(m.levels[i])
 				s.srv.explorations.Add(1)
@@ -458,14 +529,35 @@ func (s *Session) decideAbortLocked() {
 }
 
 // decideFinishLocked commits an open decide transaction: caches the frame
-// for replay (sequenced decides only) and bumps the ledgers by the
-// frame's period count.
+// for replay (sequenced decides only), advances the learner's transition
+// history, and bumps the ledgers by the frame's period count.
 func (s *Session) decideFinishLocked(levels []int) {
 	periods := s.txnPeriods
 	if s.txnSeq != 0 {
 		s.lastSeq = s.txnSeq + uint64(periods) - 1
 		s.lastPeriods = periods
 		s.lastLevels = append(s.lastLevels[:0], levels...)
+	}
+	if s.curStates != nil {
+		// Roll the committed-period (state, action) window forward: prev
+		// becomes the frame's second-to-last period (or the old cur for a
+		// one-period frame), cur its last. Rewards arriving before the
+		// next decide pair these into Transitions.
+		k := len(s.curStates)
+		if periods >= 2 {
+			base := (periods - 2) * k
+			copy(s.prevStates, s.txnStates[base:base+k])
+			copy(s.prevActions, levels[base:base+k])
+			s.havePrev = true
+		} else if s.haveCur {
+			copy(s.prevStates, s.curStates)
+			copy(s.prevActions, s.curActions)
+			s.havePrev = true
+		}
+		base := (periods - 1) * k
+		copy(s.curStates, s.txnStates[base:base+k])
+		copy(s.curActions, levels[base:base+k])
+		s.haveCur = true
 	}
 	s.decisions += uint64(periods)
 	s.srv.decisions.Add(uint64(periods))
@@ -475,19 +567,46 @@ func (s *Session) decideFinishLocked(levels []int) {
 // nanotime is the session-activity clock (monotonic enough for TTLs).
 func nanotime() int64 { return time.Now().UnixNano() }
 
-// Reward records a device-reported reward for the session. The policy is
-// frozen — rewards feed the session ledger (and fleet-level monitoring),
-// not the tables.
+// Reward records a device-reported reward without retry deduplication —
+// the legacy unsequenced path, equivalent to RewardSeq(0, r).
 func (s *Session) Reward(r float64) (SessionStats, error) {
+	return s.RewardSeq(0, r)
+}
+
+// RewardSeq records a device-reported reward with retry deduplication,
+// mirroring DecideSeq's discipline on the reward path. seq 0 is the legacy
+// unsequenced path. Otherwise seq must be the session's next reward
+// sequence number (lastRewardSeq+1) — the reward is applied exactly once:
+// ledger, fleet counter, and (on a learning server) the Q-update queue — or
+// a replay of the last applied one, which returns the current ledger and
+// applies nothing. Any other seq fails with ErrBadSeq. Without this, a
+// client retry after a lost ack double-counts rewardSum and
+// serve_rewards_total, and would double-apply live Q-updates.
+func (s *Session) RewardSeq(seq uint64, r float64) (SessionStats, error) {
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return SessionStats{}, fmt.Errorf("%w: non-finite reward %v", ErrBadRequest, r)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return SessionStats{}, ErrSessionClosed
 	}
 	s.lastActive.Store(nanotime())
+	if seq != 0 {
+		switch {
+		case seq == s.lastRewardSeq:
+			s.srv.rewardsDeduped.Add(1)
+			return s.statsLocked(), nil
+		case seq != s.lastRewardSeq+1:
+			return SessionStats{}, fmt.Errorf("%w: reward seq %d, expected %d or replay of %d",
+				ErrBadSeq, seq, s.lastRewardSeq+1, s.lastRewardSeq)
+		}
+		s.lastRewardSeq = seq
+	}
 	s.rewards++
 	s.rewardSum += r
 	s.srv.rewards.Add(1)
+	s.srv.noteRewardLocked(s, r)
 	return s.statsLocked(), nil
 }
 
@@ -541,6 +660,9 @@ type Config struct {
 	// DrainGrace is how long Drain lets connections finish their buffered
 	// frames before forcing them closed. Defaults to 250ms.
 	DrainGrace time.Duration
+	// Learn configures the online learner; zero value disabled — the
+	// server hosts a frozen policy exactly as before.
+	Learn LearnConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -572,6 +694,9 @@ func (c Config) Validate() error {
 	}
 	if c.DrainGrace < 0 {
 		return fmt.Errorf("serve: negative DrainGrace %v", c.DrainGrace)
+	}
+	if err := c.Learn.validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -606,6 +731,7 @@ type Server struct {
 	lookupsServed   *obs.Counter // individual table lookups
 	explorations    *obs.Counter // decisions taken by device-local exploration
 	rewards         *obs.Counter
+	rewardsDeduped  *obs.Counter // reward retries answered from the dedup ledger
 	sessionsCreated *obs.Counter
 	sessionsClosed  *obs.Counter
 	sessionsReaped  *obs.Counter // sessions closed by the TTL reaper
@@ -622,6 +748,76 @@ type Server struct {
 
 	ckptMu   sync.Mutex
 	ckptTime time.Time // zero until a checkpoint is loaded or saved
+
+	// Checkpoint *publication* serialization: the periodic learner
+	// checkpoint and the drain-time final checkpoint write the same path;
+	// ckptPubMu makes each write atomic with respect to the other and
+	// ckptFinal makes the drain snapshot the last writer — a late periodic
+	// tick can never clobber the final state the next incarnation hydrates
+	// from. fs is the injectable syscall seam the ordering test uses.
+	ckptPubMu sync.Mutex
+	ckptFinal bool
+	fs        fsHooks
+
+	learner      *learner    // nil unless cfg.Learn.Enabled
+	cohortLearn  cohortStats // learning-arm reward ledger (learning server only)
+	cohortFrozen cohortStats // frozen-arm reward ledger
+}
+
+// cohortStats is a lock-free reward ledger for one A/B arm.
+type cohortStats struct {
+	rewards atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the reward sum, CAS-accumulated
+}
+
+func (c *cohortStats) add(v float64) {
+	c.rewards.Add(1)
+	for {
+		old := c.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if c.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+func (c *cohortStats) mean() float64 {
+	n := c.rewards.Load()
+	if n == 0 {
+		return 0
+	}
+	return math.Float64frombits(c.sumBits.Load()) / float64(n)
+}
+
+// noteRewardLocked routes one freshly applied (non-replayed) reward to the
+// learner: cohort accounting plus, for learning-arm sessions with a
+// complete transition pair, one Q-update sample per cluster. Caller holds
+// sess.mu. A full queue drops the sample and counts it — learning is
+// best-effort, serving is not allowed to block on it.
+func (s *Server) noteRewardLocked(sess *Session, r float64) {
+	if s.learner == nil {
+		return
+	}
+	if sess.frozen {
+		s.cohortFrozen.add(r)
+		return
+	}
+	s.cohortLearn.add(r)
+	if !sess.havePrev || !sess.haveCur {
+		return
+	}
+	for i := range sess.prevStates {
+		t := core.Transition{
+			Cluster:   i,
+			State:     sess.prevStates[i],
+			Action:    sess.prevActions[i],
+			NextState: sess.curStates[i],
+			Reward:    r,
+		}
+		if !s.learner.offer(t) {
+			s.learner.dropped.Add(1)
+		}
+	}
 }
 
 // eventLogSinks are backends that report degradations into the server's
@@ -655,11 +851,13 @@ func New(model *Model, backend Backend, cfg Config) (*Server, error) {
 		binConns: make(map[net.Conn]struct{}),
 		reg:      reg,
 		events:   obs.NewEventLog(256),
+		fs:       osHooks(),
 
 		decisions:       reg.NewCounter("serve_decisions_total", "decide calls served"),
 		lookupsServed:   reg.NewCounter("serve_lookups_total", "individual greedy table lookups resolved"),
 		explorations:    reg.NewCounter("serve_explorations_total", "decisions taken by device-local exploration"),
 		rewards:         reg.NewCounter("serve_rewards_total", "device-reported rewards recorded"),
+		rewardsDeduped:  reg.NewCounter("serve_rewards_deduped_total", "reward retries answered from the per-session dedup ledger"),
 		sessionsCreated: reg.NewCounter("serve_sessions_created_total", "device sessions opened"),
 		sessionsClosed:  reg.NewCounter("serve_sessions_closed_total", "device sessions closed"),
 		sessionsReaped:  reg.NewCounter("serve_sessions_reaped_total", "idle device sessions closed by the TTL reaper"),
@@ -718,6 +916,26 @@ func New(model *Model, backend Backend, cfg Config) (*Server, error) {
 	reg.NewGaugeFunc("serve_batch_max_occupancy", "largest batch dispatched", func() float64 {
 		return float64(s.batch.maxOcc.Load())
 	})
+	if cfg.Learn.Enabled {
+		sw, ok := backend.(*SWBackend)
+		if !ok {
+			return nil, fmt.Errorf("serve: online learning requires the software backend (swappable tables), not %q", backend.Name())
+		}
+		l, err := newLearner(s, sw, cfg.Learn)
+		if err != nil {
+			return nil, err
+		}
+		s.learner = l
+		reg.NewGaugeFunc("serve_cohort_mean_reward", "mean device-reported reward, learning arm",
+			s.cohortLearn.mean, obs.Label{Key: "cohort", Value: CohortLearning})
+		reg.NewGaugeFunc("serve_cohort_mean_reward", "mean device-reported reward, frozen arm",
+			s.cohortFrozen.mean, obs.Label{Key: "cohort", Value: CohortFrozen})
+		reg.NewCounterFunc("serve_cohort_rewards_total", "rewards recorded, learning arm",
+			s.cohortLearn.rewards.Load, obs.Label{Key: "cohort", Value: CohortLearning})
+		reg.NewCounterFunc("serve_cohort_rewards_total", "rewards recorded, frozen arm",
+			s.cohortFrozen.rewards.Load, obs.Label{Key: "cohort", Value: CohortFrozen})
+		l.start()
+	}
 	if cfg.SessionTTL > 0 {
 		s.reapQuit = make(chan struct{})
 		s.reapWG.Add(1)
@@ -808,6 +1026,9 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.learner != nil {
+		s.learner.close()
+	}
 	if s.reapQuit != nil {
 		close(s.reapQuit)
 		s.reapWG.Wait()
@@ -869,12 +1090,47 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 	}
 
+	// Stop the learner before the final checkpoint: its goroutine applies
+	// everything still queued and exits, so the drain snapshot carries every
+	// reward the server acked — and cannot race a periodic checkpoint tick,
+	// whose writes serialize behind publishCheckpoint's mutex anyway.
+	if s.learner != nil {
+		s.learner.close()
+	}
 	if s.cfg.CheckpointPath != "" {
-		if _, err := SaveCheckpoint(s.cfg.CheckpointPath, s.model.Snapshot()); err != nil {
+		if err := s.publishCheckpoint(true); err != nil {
 			return fmt.Errorf("serve: drain checkpoint: %w", err)
 		}
-		s.MarkCheckpoint(time.Now())
 	}
+	return nil
+}
+
+// publishCheckpoint persists the current policy — the learner's live
+// tables when learning, the frozen model otherwise — to cfg.CheckpointPath.
+// Publications serialize on ckptPubMu so the periodic learner tick and the
+// drain-time final write can never interleave on the store; final marks
+// the drain snapshot as the last writer, turning any straggling periodic
+// publication into a no-op.
+func (s *Server) publishCheckpoint(final bool) error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	s.ckptPubMu.Lock()
+	defer s.ckptPubMu.Unlock()
+	if s.ckptFinal {
+		return nil
+	}
+	if final {
+		s.ckptFinal = true
+	}
+	snap := s.model.Snapshot()
+	if s.learner != nil {
+		snap = s.learner.snapshot()
+	}
+	if _, err := saveCheckpoint(s.cfg.CheckpointPath, snap, s.fs); err != nil {
+		return err
+	}
+	s.MarkCheckpoint(time.Now())
 	return nil
 }
 
@@ -916,11 +1172,27 @@ func (s *Server) CreateSession(opts SessionOptions) (*Session, error) {
 		r:          rng.New(opts.Seed),
 		prevDemand: make([]float64, s.model.Clusters()),
 	}
+	s.initLearnState(sess, opts.Cohort)
 	sess.lastActive.Store(nanotime())
 	s.sessions[sess.id] = sess
 	s.handles[sess.handle] = sess
 	s.sessionsCreated.Add(1)
 	return sess, nil
+}
+
+// initLearnState applies the session's cohort and, on a learning server,
+// allocates the transition-tracking scratch for learning-arm sessions.
+// Caller holds s.mu.
+func (s *Server) initLearnState(sess *Session, cohort string) {
+	sess.frozen = cohort == CohortFrozen
+	if s.learner == nil || sess.frozen {
+		return
+	}
+	k := s.model.Clusters()
+	sess.prevStates = make([]int, k)
+	sess.prevActions = make([]int, k)
+	sess.curStates = make([]int, k)
+	sess.curActions = make([]int, k)
 }
 
 // ResumeState is everything a client must carry to re-create a session on
@@ -996,7 +1268,12 @@ func (s *Server) ResumeSession(st ResumeState) (*Session, error) {
 		decisions:  st.Decisions,
 		rewards:    st.Rewards,
 		rewardSum:  st.RewardSum,
+		// The client's acked-reward count doubles as its reward sequence
+		// cursor, so an in-flight reward retry still deduplicates across
+		// the restart — same trick as Seq/LastLevels for decides.
+		lastRewardSeq: st.Rewards,
 	}
+	s.initLearnState(sess, st.Options.Cohort)
 	// Resume state carries only the last period's decision, so the replay
 	// window re-opens as a one-period frame at Seq regardless of how many
 	// periods the original frame bundled.
@@ -1124,30 +1401,32 @@ type HWStats struct {
 
 // Metrics is the server's observable state, served at /metrics.
 type Metrics struct {
-	UptimeS            float64  `json:"uptime_s"`
-	Backend            string   `json:"backend"`
-	Clusters           int      `json:"clusters"`
-	Sessions           int      `json:"sessions"`
-	SessionsCreated    uint64   `json:"sessions_created"`
-	SessionsClosed     uint64   `json:"sessions_closed"`
-	SessionsReaped     uint64   `json:"sessions_reaped"`
-	Resumes            uint64   `json:"resumes"`
-	Decisions          uint64   `json:"decisions"`
-	DecidesDeduped     uint64   `json:"decides_deduped"`
-	LookupsServed      uint64   `json:"lookups_served"`
-	Explorations       uint64   `json:"explorations"`
-	Rewards            uint64   `json:"rewards"`
-	Batches            uint64   `json:"batches"`
-	BatchRejected      uint64   `json:"batch_rejected"`
-	BatchStale         uint64   `json:"batch_stale"`
-	MeanBatchOccupancy float64  `json:"mean_batch_occupancy"`
-	MaxBatchOccupancy  uint64   `json:"max_batch_occupancy"`
-	HTTPErrors         uint64   `json:"http_errors"`
-	BinConnections     uint64   `json:"bin_connections"`
-	BinFrames          uint64   `json:"bin_frames"`
-	BinErrors          uint64   `json:"bin_errors"`
-	CheckpointAgeS     float64  `json:"checkpoint_age_s"` // -1 when no checkpoint exists
-	HW                 *HWStats `json:"hw,omitempty"`
+	UptimeS            float64     `json:"uptime_s"`
+	Backend            string      `json:"backend"`
+	Clusters           int         `json:"clusters"`
+	Sessions           int         `json:"sessions"`
+	SessionsCreated    uint64      `json:"sessions_created"`
+	SessionsClosed     uint64      `json:"sessions_closed"`
+	SessionsReaped     uint64      `json:"sessions_reaped"`
+	Resumes            uint64      `json:"resumes"`
+	Decisions          uint64      `json:"decisions"`
+	DecidesDeduped     uint64      `json:"decides_deduped"`
+	LookupsServed      uint64      `json:"lookups_served"`
+	Explorations       uint64      `json:"explorations"`
+	Rewards            uint64      `json:"rewards"`
+	RewardsDeduped     uint64      `json:"rewards_deduped"`
+	Batches            uint64      `json:"batches"`
+	BatchRejected      uint64      `json:"batch_rejected"`
+	BatchStale         uint64      `json:"batch_stale"`
+	MeanBatchOccupancy float64     `json:"mean_batch_occupancy"`
+	MaxBatchOccupancy  uint64      `json:"max_batch_occupancy"`
+	HTTPErrors         uint64      `json:"http_errors"`
+	BinConnections     uint64      `json:"bin_connections"`
+	BinFrames          uint64      `json:"bin_frames"`
+	BinErrors          uint64      `json:"bin_errors"`
+	CheckpointAgeS     float64     `json:"checkpoint_age_s"` // -1 when no checkpoint exists
+	HW                 *HWStats    `json:"hw,omitempty"`
+	Learn              *LearnStats `json:"learn,omitempty"` // nil unless learning is enabled
 }
 
 // MetricsSnapshot assembles the current metrics. Ages are monotonic-safe
@@ -1172,6 +1451,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 		LookupsServed:     s.lookupsServed.Load(),
 		Explorations:      s.explorations.Load(),
 		Rewards:           s.rewards.Load(),
+		RewardsDeduped:    s.rewardsDeduped.Load(),
 		Batches:           batches,
 		BatchRejected:     s.batch.o.rejected.Load(),
 		BatchStale:        s.batch.o.stale.Load(),
@@ -1187,6 +1467,9 @@ func (s *Server) MetricsSnapshot() Metrics {
 	}
 	if hb, ok := s.backend.(*HWBackend); ok {
 		m.HW = hb.statsSnapshot()
+	}
+	if s.learner != nil {
+		m.Learn = s.learner.statsSnapshot(s)
 	}
 	return m
 }

@@ -208,7 +208,7 @@ func (r *Router) handleBinFrame(st *routerConnState, h wire.Header) bool {
 		if err := wire.ParseRewardReq(st.payload, &st.rreq); err != nil {
 			return r.binFrontError(st, h.ReqID, err)
 		}
-		stats, err := r.Reward(ctx, &st.caller, st.rreq.Handle, st.rreq.Reward)
+		stats, err := r.Reward(ctx, &st.caller, st.rreq.Handle, st.rreq.Epoch, st.rreq.Seq, st.rreq.Reward)
 		if err != nil {
 			return r.binFrontError(st, h.ReqID, err)
 		}

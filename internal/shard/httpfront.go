@@ -230,7 +230,7 @@ func (r *Router) handleReward(w http.ResponseWriter, req *http.Request) {
 	ctx, cancel := r.reqCtx(req)
 	defer cancel()
 	c := r.getCaller()
-	st, err := r.RewardByID(ctx, c, req.PathValue("id"), body.Reward)
+	st, err := r.RewardByID(ctx, c, req.PathValue("id"), body.Epoch, body.Seq, body.Reward)
 	r.putCaller(c)
 	if err != nil {
 		writeError(w, err)

@@ -79,7 +79,7 @@ type routerSession struct {
 	mu          sync.Mutex
 	handle      uint64 // router-minted, device-visible
 	id          string
-	key         uint64 // routing key: the device's seed
+	key         uint64     // routing key: the device's seed
 	shard       *shardConn // nil once moved
 	shardHandle uint64
 	shardEpoch  uint32
@@ -591,30 +591,33 @@ func (r *Router) DecideByID(ctx context.Context, c *serve.BinCaller, id string, 
 	return levels, nil
 }
 
-// Reward forwards a reward report.
-func (r *Router) Reward(ctx context.Context, c *serve.BinCaller, handle uint64, reward float64) (wire.Stats, error) {
-	s, err := r.lookupHandle(handle, 0)
+// Reward forwards a reward report. epoch addresses the *device-facing*
+// incarnation (0 = don't check); seq is the device's reward sequence
+// number, forwarded verbatim so the shard's dedup cursor sees the same
+// stream the device's mirror numbers.
+func (r *Router) Reward(ctx context.Context, c *serve.BinCaller, handle uint64, epoch uint32, seq uint64, reward float64) (wire.Stats, error) {
+	s, err := r.lookupHandle(handle, epoch)
 	if err != nil {
 		return wire.Stats{}, err
 	}
-	return r.rewardSession(ctx, c, s, reward)
+	return r.rewardSession(ctx, c, s, seq, reward)
 }
 
 // RewardByID is Reward addressed by session id.
-func (r *Router) RewardByID(ctx context.Context, c *serve.BinCaller, id string, reward float64) (wire.Stats, error) {
-	s, err := r.lookupID(id, 0)
+func (r *Router) RewardByID(ctx context.Context, c *serve.BinCaller, id string, epoch uint32, seq uint64, reward float64) (wire.Stats, error) {
+	s, err := r.lookupID(id, epoch)
 	if err != nil {
 		return wire.Stats{}, err
 	}
-	return r.rewardSession(ctx, c, s, reward)
+	return r.rewardSession(ctx, c, s, seq, reward)
 }
 
-func (r *Router) rewardSession(ctx context.Context, c *serve.BinCaller, s *routerSession, reward float64) (wire.Stats, error) {
-	sc, sh, _, err := s.target()
+func (r *Router) rewardSession(ctx context.Context, c *serve.BinCaller, s *routerSession, seq uint64, reward float64) (wire.Stats, error) {
+	sc, sh, se, err := s.target()
 	if err != nil {
 		return wire.Stats{}, err
 	}
-	st, err := c.Reward(ctx, sc.bc, sh, reward)
+	st, err := c.Reward(ctx, sc.bc, sh, se, seq, reward)
 	if err != nil {
 		r.forwardErrors.Add(1)
 		return wire.Stats{}, mapForwardErr(err, true)

@@ -63,7 +63,14 @@ func reencode(t byte, p []byte) ([]byte, error) {
 		if err := ParseRewardReq(p, &v); err != nil {
 			return nil, err
 		}
-		return AppendRewardReq(nil, v), nil
+		out := AppendRewardReq(nil, v)
+		// The legacy 16-byte layout decodes with a zero epoch/seq tail; its
+		// canonical re-encode is the tagged form truncated back to the bytes
+		// actually read.
+		if len(p) == 16 {
+			out = out[:16]
+		}
+		return out, nil
 	case TRewardOK, TCloseOK:
 		var v Stats
 		if err := ParseStats(p, &v); err != nil {
@@ -100,7 +107,8 @@ func FuzzWireDecode(f *testing.F) {
 	seed(TCreateOK, AppendCreateOK(nil, 5, 1, []int{3, 5}))
 	seed(TDecide, AppendDecideReq(nil, 5, 1, 9, []Obs{{Utilization: 0.8, Level: 2}, {Critical: true}}))
 	seed(TDecideOK, AppendDecideOK(nil, []int{1, 4}))
-	seed(TReward, AppendRewardReq(nil, RewardReq{Handle: 5, Reward: -1.5}))
+	seed(TReward, AppendRewardReq(nil, RewardReq{Handle: 5, Reward: -1.5, Epoch: 2, Seq: 9}))
+	seed(TReward, AppendRewardReq(nil, RewardReq{Handle: 5, Reward: -1.5})[:16]) // legacy untagged layout
 	seed(TRewardOK, AppendStats(nil, Stats{Decisions: 10, Rewards: 2, MeanReward: -0.5}))
 	seed(TClose, AppendCloseReq(nil, CloseReq{Handle: 5}))
 	seed(TError, AppendError(nil, CodeNoSession, 100, "gone"))

@@ -37,7 +37,7 @@
 //	          utilization f64 | demand_ratio f64 | qos f64 |
 //	          cluster_qos f64 | critical u8 (0/1) | level u16
 //	decideOK  count u16 | level u16 × count
-//	reward    handle u64 | reward f64
+//	reward    handle u64 | reward f64 [| epoch u32 | seq u64]
 //	rewardOK  decisions u64 | rewards u64 | mean_reward f64 | epsilon f64
 //	close     handle u64
 //	closeOK   same as rewardOK
@@ -456,24 +456,47 @@ func ParseDecideOK(p []byte, r *DecideOK) error {
 	return nil
 }
 
-// RewardReq reports a device-computed reward for a session.
+// RewardReq reports a device-computed reward for a session. Epoch/Seq
+// extend the decide dedup contract to rewards: Epoch names the server
+// incarnation the handle came from, Seq is the session's reward sequence
+// number (the count of rewards the client has had acked, plus one), and a
+// retry after a lost ack carries the same Seq so the server answers from
+// the ledger instead of double-counting — and, with online learning on,
+// instead of double-applying a Q-update. Seq 0 is the legacy no-dedup
+// path; the 16-byte v2 payload without the epoch/seq tail still parses
+// (as Epoch 0, Seq 0) so old clients keep working.
 type RewardReq struct {
 	Handle uint64
 	Reward float64
+	Epoch  uint32
+	Seq    uint64
 }
 
-const rewardReqSize = 16
+const (
+	rewardReqSizeLegacy = 16
+	rewardReqSize       = rewardReqSizeLegacy + 4 + 8
+)
 
-// AppendRewardReq appends the payload encoding to dst.
+// AppendRewardReq appends the payload encoding to dst (the tagged 28-byte
+// form).
 func AppendRewardReq(dst []byte, r RewardReq) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, r.Handle)
-	return appendF64(dst, r.Reward)
+	dst = appendF64(dst, r.Reward)
+	dst = binary.LittleEndian.AppendUint32(dst, r.Epoch)
+	return binary.LittleEndian.AppendUint64(dst, r.Seq)
 }
 
-// ParseRewardReq decodes p into r.
+// ParseRewardReq decodes p into r. Both the tagged 28-byte layout and the
+// legacy 16-byte layout (Epoch/Seq zero) are accepted.
 func ParseRewardReq(p []byte, r *RewardReq) error {
-	if err := exactLen(p, rewardReqSize); err != nil {
-		return err
+	switch len(p) {
+	case rewardReqSizeLegacy:
+		r.Epoch, r.Seq = 0, 0
+	case rewardReqSize:
+		r.Epoch = binary.LittleEndian.Uint32(p[16:])
+		r.Seq = binary.LittleEndian.Uint64(p[20:])
+	default:
+		return exactLen(p, rewardReqSize)
 	}
 	r.Handle = binary.LittleEndian.Uint64(p[0:])
 	r.Reward = getF64(p[8:])

@@ -169,7 +169,8 @@ func TestPayloadRoundTrips(t *testing.T) {
 			}
 		}
 
-		rreq := RewardReq{Handle: r.Uint64(), Reward: r.Float64()*10 - 5}
+		rreq := RewardReq{Handle: r.Uint64(), Reward: r.Float64()*10 - 5,
+			Epoch: uint32(r.Uint64()), Seq: r.Uint64()}
 		buf = AppendRewardReq(buf[:0], rreq)
 		var rreq2 RewardReq
 		if err := ParseRewardReq(buf, &rreq2); err != nil {
@@ -340,3 +341,31 @@ func TestFrameAssemblyAndReadFrame(t *testing.T) {
 type neverReader struct{}
 
 func (neverReader) Read([]byte) (int, error) { select {} }
+
+// TestRewardReqLegacyLayout pins the dual-size reward payload contract:
+// the 16-byte pre-dedup layout still parses (Epoch/Seq zero), the tagged
+// form is exactly 28 bytes, and any other size is rejected.
+func TestRewardReqLegacyLayout(t *testing.T) {
+	tagged := AppendRewardReq(nil, RewardReq{Handle: 0xfeed, Reward: -1.5, Epoch: 9, Seq: 42})
+	if len(tagged) != 28 {
+		t.Fatalf("tagged payload is %d bytes, want 28", len(tagged))
+	}
+
+	var legacy RewardReq
+	if err := ParseRewardReq(tagged[:16], &legacy); err != nil {
+		t.Fatalf("legacy 16-byte parse: %v", err)
+	}
+	if legacy.Handle != 0xfeed || legacy.Reward != -1.5 || legacy.Epoch != 0 || legacy.Seq != 0 {
+		t.Fatalf("legacy parse = %+v, want handle/reward with zero epoch/seq", legacy)
+	}
+
+	for _, n := range []int{0, 8, 15, 17, 27} {
+		var r RewardReq
+		if err := ParseRewardReq(tagged[:n], &r); err == nil {
+			t.Fatalf("%d-byte payload accepted", n)
+		}
+	}
+	if err := ParseRewardReq(append(tagged, 0), &legacy); err == nil {
+		t.Fatal("29-byte payload accepted")
+	}
+}
